@@ -1,0 +1,64 @@
+// Appendix D.1: the analytical throughput values for the evaluation
+// parameters (n=10, C=0.5 MB, le=438 B, lp=lh=139 B, R=0.8 blocks/s), with
+// the compression ratios the paper measured (r=2.7 at c=100, r=3.5 at
+// c=500), side by side with the ratios our szx codec actually achieves on
+// the synthetic Arbitrum-like trace.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace setchain;
+  using namespace setchain::bench;
+
+  runner::print_title("Appendix D.1 - Analytical throughput for the paper's setup");
+
+  analysis::ModelParams p;
+  p.block_rate = 0.8;
+  p.block_capacity = 500'000;
+  p.element_size = 438;
+  p.proof_size = 139;
+  p.hash_batch_size = 139;
+  p.n = 10;
+
+  const double measured_r100 = runner::Experiment::measure_compress_ratio({}, 100, 1);
+  const double measured_r500 = runner::Experiment::measure_compress_ratio({}, 500, 1);
+
+  std::vector<std::vector<std::string>> rows;
+  p.collector_size = 100;
+  p.compress_ratio = 2.7;
+  rows.push_back({"Vanilla", "-", "-", runner::fmt_rate(analysis::vanilla_throughput(p)),
+                  "955"});
+  rows.push_back({"Compresschain", "100", "2.7 (paper)",
+                  runner::fmt_rate(analysis::compresschain_throughput(p)), "2497"});
+  p.compress_ratio = measured_r100;
+  rows.push_back({"Compresschain", "100",
+                  runner::fmt_double(measured_r100, 2) + " (szx)",
+                  runner::fmt_rate(analysis::compresschain_throughput(p)), "-"});
+  p.collector_size = 500;
+  p.compress_ratio = 3.5;
+  rows.push_back({"Compresschain", "500", "3.5 (paper)",
+                  runner::fmt_rate(analysis::compresschain_throughput(p)), "3330"});
+  p.compress_ratio = measured_r500;
+  rows.push_back({"Compresschain", "500",
+                  runner::fmt_double(measured_r500, 2) + " (szx)",
+                  runner::fmt_rate(analysis::compresschain_throughput(p)), "-"});
+  p.collector_size = 100;
+  rows.push_back({"Hashchain", "100", "-",
+                  runner::fmt_rate(analysis::hashchain_throughput(p)), "27157"});
+  p.collector_size = 500;
+  rows.push_back({"Hashchain", "500", "-",
+                  runner::fmt_rate(analysis::hashchain_throughput(p)), "147857"});
+
+  runner::print_table({"Algorithm", "collector", "ratio", "analytical el/s",
+                       "paper el/s"},
+                      rows);
+
+  p.collector_size = 500;
+  p.compress_ratio = 3.5;
+  const double tv = analysis::vanilla_throughput(p);
+  const double tc = analysis::compresschain_throughput(p);
+  const double th = analysis::hashchain_throughput(p);
+  std::printf("\nSpeedup ratios at c=500: Th/Tv = %.0f (paper ~155), Th/Tc = %.0f"
+              " (paper ~44)\n",
+              th / tv, th / tc);
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "analysis/model.hpp"
+#include "runner/experiment.hpp"
+#include "runner/report.hpp"
+
+namespace setchain::bench {
+
+using runner::Algorithm;
+using runner::Scenario;
+
+/// SETCHAIN_BENCH_SCALE scales the add window (default 1.0 = the paper's
+/// 50 s). Values < 1 shorten every run proportionally for quick iteration;
+/// the printed series/tables note the effective window.
+inline double bench_scale() {
+  if (const char* s = std::getenv("SETCHAIN_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.01 && v <= 1.0) return v;
+  }
+  return 1.0;
+}
+
+/// The paper's evaluation scenario (§4): n servers, clients add for 50 s,
+/// CometBFT-like ledger with 0.5 MB blocks at ~0.8 blocks/s.
+inline Scenario paper_scenario(Algorithm algo, std::uint32_t n, double rate,
+                               std::uint32_t collector, sim::Time delay = 0) {
+  Scenario s;
+  s.algorithm = algo;
+  s.n = n;
+  s.sending_rate = rate;
+  s.collector_limit = collector;
+  s.network_delay = delay;
+  s.add_duration = sim::from_seconds(50 * bench_scale());
+  s.horizon = sim::from_seconds(300 * bench_scale());
+  s.fidelity = core::Fidelity::kCalibrated;
+  // The very highest rates drop per-element set bookkeeping (DESIGN.md):
+  // workload ids are unique by construction, so the sets only cost memory.
+  s.lean_state = rate >= 50'000;
+  return s;
+}
+
+/// Analytical throughput overlay for a scenario (Appendix D with the run's
+/// measured compression ratio).
+inline double analytical_throughput(const Scenario& s, double measured_ratio) {
+  analysis::ModelParams p;
+  p.block_rate = 1.0 / sim::to_seconds(s.block_interval);
+  // The paper quotes R ~= 0.8 blocks/s for 1.25 s intervals.
+  p.block_capacity = static_cast<double>(s.block_bytes);
+  p.n = s.n;
+  p.collector_size = s.collector_limit;
+  p.compress_ratio = measured_ratio;
+  switch (s.algorithm) {
+    case Algorithm::kVanilla:
+      return analysis::vanilla_throughput(p);
+    case Algorithm::kCompresschain:
+      return analysis::compresschain_throughput(p);
+    case Algorithm::kHashchain:
+      return analysis::hashchain_throughput(p);
+  }
+  return 0.0;
+}
+
+}  // namespace setchain::bench

@@ -1,0 +1,60 @@
+// Figure 1: throughput over time (rolling 9 s average of committed
+// elements/s) for the three Setchain algorithms, 10 servers, no added
+// network delay. Panels: (left) 5,000 el/s with collector 100, (center)
+// 10,000 el/s with collector 100 (Vanilla excluded, as in the paper),
+// (right) 10,000 el/s with collector 500. The dotted analytical bound of
+// Appendix D is printed alongside each measured series.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace setchain;
+using namespace setchain::bench;
+
+void panel(const char* name, double rate, std::uint32_t collector,
+           bool include_vanilla) {
+  runner::print_subtitle(std::string("Fig. 1 ") + name + ": rate " +
+                         runner::fmt_rate(rate) + " el/s, collector " +
+                         std::to_string(collector));
+  std::vector<Algorithm> algos;
+  if (include_vanilla) algos.push_back(Algorithm::kVanilla);
+  algos.push_back(Algorithm::kCompresschain);
+  algos.push_back(Algorithm::kHashchain);
+
+  for (const Algorithm algo : algos) {
+    const Scenario s = paper_scenario(algo, 10, rate, collector);
+    runner::Experiment e(s);
+    e.run();
+    const auto r = e.result();
+    const double analytical = analytical_throughput(s, r.measured_compress_ratio);
+    std::printf("\n%s  (analytical bound %.0f el/s, min(rate, bound) = %.0f)\n",
+                runner::algorithm_name(algo), analytical,
+                std::min(rate, analytical));
+    const auto series = e.recorder().committed().rolling_rate(
+        sim::from_seconds(9), sim::from_seconds(5), sim::from_seconds(r.sim_seconds) +
+                                                        sim::from_seconds(5));
+    runner::print_rate_series(runner::algorithm_name(algo), series, 24);
+    runner::print_run_summary(s, r);
+  }
+}
+
+}  // namespace
+
+int main() {
+  runner::print_title(
+      "Figure 1 - Throughput over time of the Setchain algorithms (10 servers)");
+  if (bench_scale() < 1.0) {
+    std::printf("note: SETCHAIN_BENCH_SCALE=%.2f shortens the 50 s add window\n",
+                bench_scale());
+  }
+  panel("left", 5'000, 100, /*include_vanilla=*/true);
+  panel("center", 10'000, 100, /*include_vanilla=*/false);
+  panel("right", 10'000, 500, /*include_vanilla=*/false);
+  std::printf(
+      "\nExpected shape (paper): Vanilla and Compresschain saturate well below\n"
+      "the sending rate and keep committing long after clients stop (stress\n"
+      "peak at the end); Hashchain tracks the sending rate and finishes\n"
+      "shortly after the last element is added; collector 500 relieves\n"
+      "Hashchain at 10k el/s.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 2 (right): analytical throughput of the three Setchain algorithms
+// for ledger block sizes 0.5 MB .. 128 MB (collector 500, 10 servers,
+// everything else as in the evaluation platform). Pure Appendix-D model —
+// the paper plots the same closed forms.
+#include "analysis/model.hpp"
+#include "runner/report.hpp"
+
+int main() {
+  using namespace setchain;
+
+  runner::print_title(
+      "Figure 2 (right) - Analytical throughput vs block size (collector 500)");
+
+  analysis::ModelParams base;
+  base.block_rate = 0.8;
+  base.element_size = 438;
+  base.proof_size = 139;
+  base.hash_batch_size = 139;
+  base.n = 10;
+  base.collector_size = 500;
+  base.compress_ratio = 3.5;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const double mb : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+    analysis::ModelParams p = base;
+    p.block_capacity = mb * 1e6;
+    rows.push_back({runner::fmt_double(mb, 1) + " MB",
+                    runner::fmt_rate(analysis::vanilla_throughput(p)),
+                    runner::fmt_rate(analysis::compresschain_throughput(p)),
+                    runner::fmt_rate(analysis::hashchain_throughput(p))});
+  }
+  runner::print_table({"Block size", "Vanilla el/s", "Compresschain el/s",
+                       "Hashchain el/s"},
+                      rows);
+  std::printf(
+      "\nPaper reference points: with CometBFT's usual 4 MB blocks Hashchain\n"
+      "reaches ~10^6 el/s; with 128 MB blocks more than 30 million el/s.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 2 (left): pushing the Hashchain limits, collector size 500,
+// 10 servers. The paper drives the sending rate up and finds a ~20k el/s
+// bottleneck caused by hash-reversal (batch exchange between servers); with
+// hash-reversal and validation removed ("Hashchain Light", all servers
+// assumed correct) it reaches ~134k el/s out of the analytical ~148k.
+// Compresschain is run with and without decompression+validation; Vanilla
+// is the baseline.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace setchain;
+using namespace setchain::bench;
+
+struct Variant {
+  const char* name;
+  Algorithm algo;
+  double rate;
+  bool validate;
+  bool hash_reversal;
+};
+
+}  // namespace
+
+int main() {
+  runner::print_title(
+      "Figure 2 (left) - Highest achieved throughput, collector 500, 10 servers");
+
+  const Variant variants[] = {
+      {"Vanilla", Algorithm::kVanilla, 5'000, true, true},
+      {"Compresschain", Algorithm::kCompresschain, 25'000, true, true},
+      {"Compresschain Light", Algorithm::kCompresschain, 25'000, false, true},
+      {"Hashchain (reversal) @25k", Algorithm::kHashchain, 25'000, true, true},
+      {"Hashchain (reversal) @50k", Algorithm::kHashchain, 50'000, true, true},
+      {"Hashchain Light (no reversal)", Algorithm::kHashchain, 150'000, true, false},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Variant& v : variants) {
+    Scenario s = paper_scenario(v.algo, 10, v.rate, 500);
+    s.validate = v.validate;
+    s.hash_reversal = v.hash_reversal;
+    runner::Experiment e(s);
+    e.run();
+    const auto r = e.result();
+
+    // Peak of the 9 s rolling average — the quantity Fig. 2 plots.
+    double peak = 0.0;
+    for (const auto& p : e.recorder().committed().rolling_rate(
+             sim::from_seconds(9), sim::from_seconds(3),
+             sim::from_seconds(r.sim_seconds + 5))) {
+      peak = std::max(peak, p.rate);
+    }
+    const double analytical = analytical_throughput(s, r.measured_compress_ratio);
+    rows.push_back({v.name, runner::fmt_rate(v.rate),
+                    runner::fmt_rate(r.avg_throughput_50s),
+                    runner::fmt_rate(r.sustained_throughput), runner::fmt_rate(peak),
+                    runner::fmt_rate(analytical)});
+    runner::print_run_summary(s, r);
+  }
+  runner::print_table({"Variant", "sending rate", "avg el/s (to 50s)",
+                       "sustained el/s", "peak el/s", "analytical el/s"},
+                      rows);
+  std::printf(
+      "\nExpected shape (paper): Hashchain with hash-reversal bottlenecks around\n"
+      "~20k el/s regardless of further rate increases; Hashchain Light reaches\n"
+      ">100k (134k measured vs 148k analytical in the paper); Compresschain\n"
+      "variants stay far below Hashchain; Vanilla's sustained rate matches its\n"
+      "analytical ledger bound.\n");
+  return 0;
+}

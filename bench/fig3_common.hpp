@@ -1,0 +1,76 @@
+#pragma once
+
+// Shared scaffolding for the Fig. 3 efficiency benches and the Fig. 5 commit
+// time benches: both sweep the same five algorithm variants over one axis of
+// the Table-1 grid, starting from the base scenario (10 servers,
+// 10,000 el/s, no delay).
+#include "bench_common.hpp"
+#include "runner/parallel.hpp"
+
+namespace setchain::bench {
+
+struct AlgoVariant {
+  const char* name;
+  Algorithm algo;
+  std::uint32_t collector;
+};
+
+/// The five bar groups of Fig. 3 / Fig. 5.
+inline const std::vector<AlgoVariant>& fig3_variants() {
+  static const std::vector<AlgoVariant> kVariants = {
+      {"Vanilla", Algorithm::kVanilla, 100},
+      {"Compresschain c=100", Algorithm::kCompresschain, 100},
+      {"Compresschain c=500", Algorithm::kCompresschain, 500},
+      {"Hashchain c=100", Algorithm::kHashchain, 100},
+      {"Hashchain c=500", Algorithm::kHashchain, 500},
+  };
+  return kVariants;
+}
+
+struct SweepResult {
+  runner::RunResult run;
+  std::optional<double> commit_first;
+  std::array<std::optional<double>, 5> commit_fraction;  // 10%..50%
+};
+
+inline SweepResult run_variant(Algorithm algo, std::uint32_t n, double rate,
+                               std::uint32_t collector, sim::Time delay) {
+  const Scenario s = paper_scenario(algo, n, rate, collector, delay);
+  runner::Experiment e(s);
+  e.run();
+  SweepResult out;
+  out.run = e.result();
+  out.commit_first = e.recorder().commit_time_of_first();
+  for (int i = 0; i < 5; ++i) {
+    out.commit_fraction[static_cast<std::size_t>(i)] =
+        e.recorder().commit_time_of_fraction(0.1 * (i + 1));
+  }
+  return out;
+}
+
+inline std::string eff_cells(const runner::RunResult& r) {
+  return runner::fmt_eff(r.efficiency_50) + " / " + runner::fmt_eff(r.efficiency_75) +
+         " / " + runner::fmt_eff(r.efficiency_100);
+}
+
+/// Run the full (variant x axis) grid with a worker pool — every cell is an
+/// independent simulation (see runner/parallel.hpp). Returns
+/// results[variant][axis].
+template <typename Axis, typename Fn>
+std::vector<std::vector<SweepResult>> run_grid(const std::vector<AlgoVariant>& variants,
+                                               const std::vector<Axis>& axis,
+                                               Fn&& run_one) {
+  const std::size_t cols = axis.size();
+  const auto flat = runner::parallel_map<SweepResult>(
+      variants.size() * cols, [&](std::size_t i) {
+        return run_one(variants[i / cols], axis[i % cols]);
+      });
+  std::vector<std::vector<SweepResult>> grid(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    grid[v].assign(flat.begin() + static_cast<std::ptrdiff_t>(v * cols),
+                   flat.begin() + static_cast<std::ptrdiff_t>((v + 1) * cols));
+  }
+  return grid;
+}
+
+}  // namespace setchain::bench

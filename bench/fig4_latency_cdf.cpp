@@ -1,0 +1,54 @@
+// Figure 4: cumulative distribution of the latency experienced by elements
+// until they reach five stages: (1) first CometBFT mempool, (2) f+1
+// mempools, (3) all mempools, (4) inclusion in a ledger block, (5) commit
+// (f+1 epoch-proofs on the ledger). Scenario: 10 servers, 1,250 el/s,
+// collector 100, no added delay — one panel per algorithm.
+#include "bench_common.hpp"
+#include "metrics/stats.hpp"
+
+namespace {
+
+using namespace setchain;
+using namespace setchain::bench;
+
+void panel(Algorithm algo) {
+  Scenario s = paper_scenario(algo, 10, 1'250, 100);
+  s.per_element_metrics = true;
+  runner::Experiment e(s);
+  e.run();
+  const auto r = e.result();
+
+  runner::print_subtitle(std::string("Fig. 4 ") + runner::algorithm_name(algo));
+  auto& rec = e.recorder();
+  const struct {
+    const char* name;
+    metrics::Stage stage;
+  } stages[] = {
+      {"First mempool", metrics::Stage::kMempoolFirst},
+      {"f+1 mempools", metrics::Stage::kMempoolQuorum},
+      {"All mempools", metrics::Stage::kMempoolAll},
+      {"Ledger", metrics::Stage::kLedger},
+      {"f+1 epoch-proofs", metrics::Stage::kCommitted},
+  };
+  for (const auto& st : stages) {
+    runner::print_cdf_quantiles(st.name, rec.stage_latencies(st.stage));
+  }
+  runner::print_run_summary(s, r);
+}
+
+}  // namespace
+
+int main() {
+  runner::print_title(
+      "Figure 4 - Latency CDF per pipeline stage (10 servers, 1,250 el/s, c=100)");
+  panel(Algorithm::kVanilla);
+  panel(Algorithm::kCompresschain);
+  panel(Algorithm::kHashchain);
+  std::printf(
+      "\nExpected shape (paper): Vanilla reaches mempools almost immediately\n"
+      "(elements go straight to CometBFT) but takes tens of seconds to reach\n"
+      "the ledger and commit; Compresschain/Hashchain delay the mempool stages\n"
+      "by the collector wait, then commit within one-two seconds of reaching\n"
+      "the ledger — commit latency below ~4 s with probability ~1.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5 (Appendix F): commit time of the first element and of the
+// 10%..50% fractions of all added elements, swept over (a) sending rate,
+// (b) number of servers, (c) network delay — same grids as Fig. 3.
+#include "fig3_common.hpp"
+
+namespace {
+
+using namespace setchain;
+using namespace setchain::bench;
+
+std::string commit_cells(const SweepResult& r) {
+  std::string s = runner::fmt_opt_seconds(r.commit_first);
+  for (const auto& f : r.commit_fraction) s += " / " + runner::fmt_opt_seconds(f);
+  return s;
+}
+
+template <typename Axis, typename Fn>
+void sweep(const char* title, const std::vector<std::string>& headers,
+           const std::vector<Axis>& axis, Fn&& run_one) {
+  runner::print_subtitle(title);
+  std::printf("cells: commit time [s] of first / 10%% / 20%% / 30%% / 40%% / 50%%"
+              " of elements ('-' = not reached before the horizon)\n");
+  const auto grid = run_grid(fig3_variants(), axis, run_one);
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t vi = 0; vi < fig3_variants().size(); ++vi) {
+    std::vector<std::string> row{fig3_variants()[vi].name};
+    for (const auto& res : grid[vi]) row.push_back(commit_cells(res));
+    rows.push_back(std::move(row));
+  }
+  runner::print_table(headers, rows);
+}
+
+}  // namespace
+
+int main() {
+  runner::print_title("Figure 5 - Commit times under different scenarios");
+
+  sweep("Fig. 5a - impact of sending rate (10 servers, 0 delay)",
+        {"Variant", "500 el/s", "1000 el/s", "5000 el/s", "10000 el/s"},
+        std::vector<double>{500, 1'000, 5'000, 10'000},
+        [](const AlgoVariant& v, double rate) {
+          return run_variant(v.algo, 10, rate, v.collector, 0);
+        });
+
+  sweep("Fig. 5b - impact of number of servers (10,000 el/s, 0 delay)",
+        {"Variant", "4 servers", "7 servers", "10 servers"},
+        std::vector<std::uint32_t>{4, 7, 10},
+        [](const AlgoVariant& v, std::uint32_t n) {
+          return run_variant(v.algo, n, 10'000, v.collector, 0);
+        });
+
+  sweep("Fig. 5c - impact of network delay (10 servers, 10,000 el/s)",
+        {"Variant", "0 ms", "30 ms", "100 ms"},
+        std::vector<double>{0, 30, 100},
+        [](const AlgoVariant& v, double ms) {
+          return run_variant(v.algo, 10, 10'000, v.collector, sim::from_millis(ms));
+        });
+
+  std::printf(
+      "\nExpected shape (paper): Vanilla commits its first element earliest but\n"
+      "its fractions drag out under load; higher rates and delays push commit\n"
+      "times up; more servers slow Vanilla/Compresschain slightly while\n"
+      "Hashchain benefits (more peers for the reversal service).\n");
+  return 0;
+}

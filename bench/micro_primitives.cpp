@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark) for the primitives the Setchain
+// algorithms lean on: SHA-512 hashing, Ed25519 signing/verification, the szx
+// codec on the Arbitrum-like workload, canonical epoch hashing, and the
+// simulation kernel's event throughput. These justify the CostModel
+// constants used in calibrated runs (core/config.hpp).
+#include <benchmark/benchmark.h>
+
+#include "codec/lz77.hpp"
+#include "core/batch.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/pki.hpp"
+#include "crypto/sha512.hpp"
+#include "sim/simulation.hpp"
+#include "workload/arbitrum_like.hpp"
+
+namespace {
+
+using namespace setchain;
+
+codec::Bytes sample_payload(std::size_t size) {
+  workload::ArbitrumLikeGenerator gen(1);
+  return gen.make_payload(1, static_cast<std::uint32_t>(size));
+}
+
+void BM_Sha512(benchmark::State& state) {
+  const codec::Bytes data = sample_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha512::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(438)->Arg(4096)->Arg(65536);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  crypto::Pki pki(1);
+  pki.register_process(0);
+  const codec::Bytes msg = sample_payload(438);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pki.sign(0, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  crypto::Pki pki(1);
+  pki.register_process(0);
+  const codec::Bytes msg = sample_payload(438);
+  const auto sig = pki.sign(0, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pki.verify(0, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_SzxCompressBatch(benchmark::State& state) {
+  workload::ArbitrumLikeGenerator gen(2);
+  codec::Bytes batch;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    codec::append(batch, gen.make_payload(static_cast<std::uint64_t>(i), gen.sample_size()));
+  }
+  double ratio = 0;
+  for (auto _ : state) {
+    const auto comp = codec::lz77_compress(batch);
+    ratio = codec::compression_ratio(batch, comp);
+    benchmark::DoNotOptimize(comp);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+  state.counters["ratio"] = ratio;
+}
+BENCHMARK(BM_SzxCompressBatch)->Arg(100)->Arg(500);
+
+void BM_SzxDecompressBatch(benchmark::State& state) {
+  workload::ArbitrumLikeGenerator gen(2);
+  codec::Bytes batch;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    codec::append(batch, gen.make_payload(static_cast<std::uint64_t>(i), gen.sample_size()));
+  }
+  const auto comp = codec::lz77_compress(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::lz77_decompress(comp));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_SzxDecompressBatch)->Arg(100)->Arg(500);
+
+void BM_EpochHash(benchmark::State& state) {
+  std::vector<std::pair<core::ElementId, std::uint64_t>> ids;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    ids.emplace_back(static_cast<core::ElementId>(i), static_cast<std::uint64_t>(i * 31));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::epoch_hash(1, ids, core::Fidelity::kFull));
+  }
+}
+BENCHMARK(BM_EpochHash)->Arg(100)->Arg(500);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    int counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      s.schedule_at(i, [&counter] { ++counter; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SimulationEventThroughput);
+
+}  // namespace

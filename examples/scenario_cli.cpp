@@ -1,0 +1,118 @@
+// scenario_cli: run any Setchain scenario from the command line and print
+// the paper-style metrics — a small workbench for exploring the parameter
+// space beyond the bundled benchmarks.
+//
+//   $ ./scenario_cli --algo hashchain --n 10 --rate 10000 --collector 500
+//                    --delay-ms 30 --duration 50 --series
+//
+// Flags (all optional):
+//   --algo vanilla|compresschain|hashchain   (default hashchain)
+//   --n <servers>            --rate <el/s>       --collector <entries>
+//   --delay-ms <ms>          --duration <s>      --horizon <s>
+//   --committee <k>          --no-reversal       --no-validate
+//   --full-fidelity          --seed <u64>        --series
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runner/report.hpp"
+
+namespace {
+
+using namespace setchain;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--algo vanilla|compresschain|hashchain] [--n N]\n"
+               "          [--rate EL_PER_S] [--collector C] [--delay-ms MS]\n"
+               "          [--duration S] [--horizon S] [--committee K]\n"
+               "          [--no-reversal] [--no-validate] [--full-fidelity]\n"
+               "          [--seed U64] [--series]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::Scenario s;
+  s.algorithm = runner::Algorithm::kHashchain;
+  s.n = 10;
+  s.sending_rate = 10'000;
+  s.collector_limit = 100;
+  bool print_series = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--algo") {
+      const std::string a = next();
+      if (a == "vanilla") {
+        s.algorithm = runner::Algorithm::kVanilla;
+      } else if (a == "compresschain") {
+        s.algorithm = runner::Algorithm::kCompresschain;
+      } else if (a == "hashchain") {
+        s.algorithm = runner::Algorithm::kHashchain;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--n") {
+      s.n = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--rate") {
+      s.sending_rate = std::atof(next());
+    } else if (arg == "--collector") {
+      s.collector_limit = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--delay-ms") {
+      s.network_delay = sim::from_millis(std::atof(next()));
+    } else if (arg == "--duration") {
+      s.add_duration = sim::from_seconds(std::atof(next()));
+    } else if (arg == "--horizon") {
+      s.horizon = sim::from_seconds(std::atof(next()));
+    } else if (arg == "--committee") {
+      s.hashchain_committee = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--no-reversal") {
+      s.hash_reversal = false;
+    } else if (arg == "--no-validate") {
+      s.validate = false;
+    } else if (arg == "--full-fidelity") {
+      s.fidelity = core::Fidelity::kFull;
+    } else if (arg == "--seed") {
+      s.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--series") {
+      print_series = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (s.n < 2 || s.sending_rate <= 0) usage(argv[0]);
+  s.lean_state = s.sending_rate >= 50'000;
+
+  runner::Experiment e(s);
+  e.run();
+  const auto r = e.result();
+
+  runner::print_title(std::string("Scenario: ") + runner::algorithm_name(s.algorithm));
+  runner::print_run_summary(s, r);
+  std::printf("  avg throughput (to 50s) : %.1f el/s\n", r.avg_throughput_50s);
+  std::printf("  sustained throughput    : %.1f el/s\n", r.sustained_throughput);
+  std::printf("  efficiency 50/75/100 s  : %.2f / %.2f / %.2f\n", r.efficiency_50,
+              r.efficiency_75, r.efficiency_100);
+  const auto first = e.recorder().commit_time_of_first();
+  const auto half = e.recorder().commit_time_of_fraction(0.5);
+  std::printf("  first commit            : %s s\n",
+              runner::fmt_opt_seconds(first).c_str());
+  std::printf("  50%% committed by        : %s s\n",
+              runner::fmt_opt_seconds(half).c_str());
+
+  if (print_series) {
+    const auto series = e.recorder().committed().rolling_rate(
+        sim::from_seconds(9), sim::from_seconds(5),
+        sim::from_seconds(r.sim_seconds) + sim::from_seconds(5));
+    runner::print_rate_series("committed (9 s rolling)", series, 40);
+  }
+  return 0;
+}

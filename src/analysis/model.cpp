@@ -1,0 +1,32 @@
+#include "analysis/model.hpp"
+
+namespace setchain::analysis {
+
+double vanilla_throughput(const ModelParams& p) {
+  const double payload = p.block_capacity - static_cast<double>(p.n) * p.proof_size;
+  if (payload <= 0) return 0.0;
+  return p.block_rate * payload / p.element_size;
+}
+
+double compresschain_epoch_bytes(const ModelParams& p) {
+  const double c_eff = p.collector_size - static_cast<double>(p.n);
+  if (c_eff <= 0 || p.compress_ratio <= 0) return 0.0;
+  return (c_eff * p.element_size + static_cast<double>(p.n) * p.proof_size) /
+         p.compress_ratio;
+}
+
+double compresschain_throughput(const ModelParams& p) {
+  const double l = compresschain_epoch_bytes(p);
+  const double c_eff = p.collector_size - static_cast<double>(p.n);
+  if (l <= 0 || c_eff <= 0) return 0.0;
+  return p.block_rate * c_eff * p.block_capacity / l;
+}
+
+double hashchain_throughput(const ModelParams& p) {
+  const double c_eff = p.collector_size - static_cast<double>(p.n);
+  if (c_eff <= 0) return 0.0;
+  return p.block_rate * c_eff * p.block_capacity /
+         (static_cast<double>(p.n) * p.hash_batch_size);
+}
+
+}  // namespace setchain::analysis

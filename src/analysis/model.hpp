@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace setchain::analysis {
+
+/// Appendix D analytical stationary-throughput model. All three formulas
+/// assume every server correct (n epoch-proofs per epoch) and the ledger as
+/// the bottleneck.
+struct ModelParams {
+  double block_rate = 0.8;       ///< R, blocks/s
+  double block_capacity = 500'000.0;  ///< C, bytes
+  double element_size = 438.0;   ///< le (measured Arbitrum mean)
+  double proof_size = 139.0;     ///< lp
+  double hash_batch_size = 139.0;  ///< lh
+  std::uint32_t n = 10;
+  double collector_size = 500.0;  ///< c
+  double compress_ratio = 3.5;    ///< r (Brotli/szx measured)
+};
+
+/// Tv = R * (C - n*lp) / le  — each block carries n proofs plus elements.
+double vanilla_throughput(const ModelParams& p);
+
+/// Compressed length of one epoch: l = ((c-n)*le + n*lp) / r.
+double compresschain_epoch_bytes(const ModelParams& p);
+
+/// Tc = R * (c-n) * C / l.
+double compresschain_throughput(const ModelParams& p);
+
+/// Th = R * (c-n) * C / (n*lh) — n hash-batches appended per epoch.
+double hashchain_throughput(const ModelParams& p);
+
+}  // namespace setchain::analysis

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstring>
+#include <optional>
+
+#include "codec/bytes.hpp"
+#include "codec/varint.hpp"
+
+namespace setchain::codec {
+
+/// Bounds-checked sequential reader over a byte view. All accessors return
+/// nullopt / false on underflow instead of throwing, because the inputs are
+/// untrusted wire data (Byzantine peers may send garbage).
+class Reader {
+ public:
+  explicit Reader(ByteView in) : in_(in) {}
+
+  std::size_t remaining() const { return in_.size() - pos_; }
+  bool done() const { return pos_ == in_.size(); }
+  std::size_t position() const { return pos_; }
+
+  std::optional<std::uint8_t> u8() {
+    if (remaining() < 1) return std::nullopt;
+    return in_[pos_++];
+  }
+
+  std::optional<std::uint32_t> u32le() {
+    if (remaining() < 4) return std::nullopt;
+    const std::uint32_t v = read_u32le(in_.subspan(pos_, 4));
+    pos_ += 4;
+    return v;
+  }
+
+  std::optional<std::uint64_t> u64le() {
+    if (remaining() < 8) return std::nullopt;
+    const std::uint64_t v = read_u64le(in_.subspan(pos_, 8));
+    pos_ += 8;
+    return v;
+  }
+
+  std::optional<std::uint64_t> varint() { return get_varint(in_, pos_); }
+
+  std::optional<ByteView> bytes(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    const ByteView v = in_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  /// Length-prefixed byte string (varint length).
+  std::optional<ByteView> lp_bytes() {
+    const auto n = varint();
+    if (!n) return std::nullopt;
+    return bytes(static_cast<std::size_t>(*n));
+  }
+
+ private:
+  ByteView in_;
+  std::size_t pos_ = 0;
+};
+
+/// Sequential writer building a Bytes buffer.
+class Writer {
+ public:
+  Bytes take() { return std::move(out_); }
+  const Bytes& buffer() const { return out_; }
+  std::size_t size() const { return out_.size(); }
+
+  Writer& u8(std::uint8_t v) {
+    append_u8(out_, v);
+    return *this;
+  }
+  Writer& u32le(std::uint32_t v) {
+    append_u32le(out_, v);
+    return *this;
+  }
+  Writer& u64le(std::uint64_t v) {
+    append_u64le(out_, v);
+    return *this;
+  }
+  Writer& varint(std::uint64_t v) {
+    put_varint(out_, v);
+    return *this;
+  }
+  Writer& bytes(ByteView v) {
+    append(out_, v);
+    return *this;
+  }
+  Writer& lp_bytes(ByteView v) {
+    put_varint(out_, v.size());
+    append(out_, v);
+    return *this;
+  }
+
+ private:
+  Bytes out_;
+};
+
+}  // namespace setchain::codec

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace setchain::codec {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline void append(Bytes& out, ByteView in) {
+  out.insert(out.end(), in.begin(), in.end());
+}
+
+inline void append(Bytes& out, std::string_view in) {
+  out.insert(out.end(), in.begin(), in.end());
+}
+
+inline void append_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+inline void append_u32le(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void append_u64le(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint32_t read_u32le(ByteView in) {
+  return static_cast<std::uint32_t>(in[0]) | (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) | (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+inline std::uint64_t read_u64le(ByteView in) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace setchain::codec

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::codec {
+
+/// Lowercase hex encoding of a byte string.
+std::string to_hex(ByteView in);
+
+/// Decode hex (case-insensitive). Returns nullopt on odd length or non-hex
+/// characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace setchain::codec

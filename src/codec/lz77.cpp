@@ -1,0 +1,143 @@
+#include "codec/lz77.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "codec/byte_io.hpp"
+
+namespace setchain::codec {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'S', 'Z', 'X', '1'};
+constexpr std::uint8_t kTokLiteral = 0x00;
+constexpr std::uint8_t kTokMatch = 0x01;
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;  // 15-bit hash
+}
+
+}  // namespace
+
+Bytes lz77_compress(ByteView in, const Lz77Config& cfg) {
+  Writer w;
+  w.bytes(kMagic);
+  w.varint(in.size());
+
+  const std::size_t n = in.size();
+  const std::size_t window = std::size_t{1} << cfg.window_log2;
+
+  // head[h] = most recent position with hash h; prev[i % window] = previous
+  // position with the same hash as i (classic hash-chain match finder).
+  constexpr std::size_t kHashSize = 1 << 15;
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(std::min(window, n ? n : 1), -1);
+
+  std::size_t lit_start = 0;  // start of the pending literal run
+  std::size_t i = 0;
+
+  auto flush_literals = [&](std::size_t end) {
+    while (lit_start < end) {
+      const std::size_t len = std::min<std::size_t>(end - lit_start, 1 << 16);
+      w.u8(kTokLiteral);
+      w.varint(len);
+      w.bytes(in.subspan(lit_start, len));
+      lit_start += len;
+    }
+  };
+
+  auto insert = [&](std::size_t pos) {
+    if (pos + 4 > n) return;
+    const std::uint32_t h = hash4(in.data() + pos);
+    prev[pos % window] = head[h];
+    head[h] = static_cast<std::int64_t>(pos);
+  };
+
+  while (i + cfg.min_match <= n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + 4 <= n) {
+      std::int64_t cand = head[hash4(in.data() + i)];
+      int chain = cfg.max_chain;
+      while (cand >= 0 && chain-- > 0 &&
+             i - static_cast<std::size_t>(cand) <= window) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        const std::size_t limit = std::min(n - i, cfg.max_match);
+        std::size_t len = 0;
+        while (len < limit && in[c + len] == in[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len >= limit) break;
+        }
+        cand = prev[c % window];
+      }
+    }
+
+    if (best_len >= cfg.min_match) {
+      flush_literals(i);
+      w.u8(kTokMatch);
+      w.varint(best_len);
+      w.varint(best_dist);
+      // Index the covered positions so later matches can reference them.
+      const std::size_t end = i + best_len;
+      for (; i < end; ++i) insert(i);
+      lit_start = i;
+    } else {
+      insert(i);
+      ++i;
+    }
+  }
+  flush_literals(n);
+  return w.take();
+}
+
+std::optional<Bytes> lz77_decompress(ByteView in) {
+  Reader r(in);
+  const auto magic = r.bytes(4);
+  if (!magic || !std::equal(magic->begin(), magic->end(), kMagic.begin())) {
+    return std::nullopt;
+  }
+  const auto raw_size = r.varint();
+  if (!raw_size) return std::nullopt;
+  // Defensive cap: a Byzantine peer must not make us allocate unbounded
+  // memory from a tiny header. 256 MiB is far above any legitimate batch.
+  if (*raw_size > (std::uint64_t{256} << 20)) return std::nullopt;
+
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(*raw_size));
+  while (!r.done()) {
+    const auto tok = r.u8();
+    if (!tok) return std::nullopt;
+    if (*tok == kTokLiteral) {
+      const auto len = r.varint();
+      if (!len || *len == 0) return std::nullopt;
+      const auto data = r.bytes(static_cast<std::size_t>(*len));
+      if (!data) return std::nullopt;
+      append(out, *data);
+    } else if (*tok == kTokMatch) {
+      const auto len = r.varint();
+      const auto dist = r.varint();
+      if (!len || !dist) return std::nullopt;
+      if (*dist == 0 || *dist > out.size() || *len == 0) return std::nullopt;
+      // Byte-by-byte copy: overlapping matches (dist < len) are legal and
+      // reproduce run-length behaviour.
+      std::size_t src = out.size() - static_cast<std::size_t>(*dist);
+      for (std::uint64_t k = 0; k < *len; ++k) out.push_back(out[src++]);
+    } else {
+      return std::nullopt;
+    }
+    if (out.size() > *raw_size) return std::nullopt;
+  }
+  if (out.size() != *raw_size) return std::nullopt;
+  return out;
+}
+
+double compression_ratio(ByteView raw, ByteView compressed) {
+  if (compressed.empty()) return 0.0;
+  return static_cast<double>(raw.size()) / static_cast<double>(compressed.size());
+}
+
+}  // namespace setchain::codec

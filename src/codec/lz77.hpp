@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::codec {
+
+/// "szx" — a from-scratch LZ77 byte codec standing in for Brotli (RFC 7932),
+/// which the paper uses to compress Compresschain batches. Only the achieved
+/// compression ratio enters the paper's analytical model, so a greedy LZ77
+/// with a hash-chain match finder is an adequate substitute; on the
+/// Arbitrum-like workload it reaches the same 2.5-3.5x band the paper reports
+/// (see tests/codec and EXPERIMENTS.md).
+///
+/// Stream layout:
+///   magic "SZX1" (4 bytes) | varint raw_size | token stream
+/// Token stream:
+///   0x00 len  <len literal bytes>        literal run (len >= 1)
+///   0x01 len dist                        match: copy `len` bytes from
+///                                        `dist` back (len >= kMinMatch)
+/// All integers are varints.
+struct Lz77Config {
+  int window_log2 = 16;       ///< search window: 64 KiB
+  int max_chain = 32;         ///< match-finder effort
+  std::size_t min_match = 4;  ///< shortest emitted match
+  std::size_t max_match = 1 << 15;
+};
+
+/// Compress `in`. Never fails; incompressible input grows by a small framing
+/// overhead only.
+Bytes lz77_compress(ByteView in, const Lz77Config& cfg = {});
+
+/// Decompress; returns nullopt on any malformed input (bad magic, truncated
+/// stream, out-of-range match, size mismatch). Byzantine servers may append
+/// arbitrary bytes as "compressed batches", so this must be total.
+std::optional<Bytes> lz77_decompress(ByteView in);
+
+/// Convenience: measured ratio raw/compressed for diagnostics.
+double compression_ratio(ByteView raw, ByteView compressed);
+
+}  // namespace setchain::codec

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::codec {
+
+/// LEB128 unsigned varint (protobuf-style): 7 data bits per byte, MSB is the
+/// continuation flag. Values up to 64 bits -> at most 10 bytes.
+void put_varint(Bytes& out, std::uint64_t v);
+
+/// Number of bytes put_varint would emit.
+std::size_t varint_size(std::uint64_t v);
+
+/// Decode a varint at `in[pos...]`; advances pos. Returns nullopt on
+/// truncated or overlong (>10 byte) input.
+std::optional<std::uint64_t> get_varint(ByteView in, std::size_t& pos);
+
+}  // namespace setchain::codec

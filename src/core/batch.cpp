@@ -1,0 +1,79 @@
+#include "core/batch.hpp"
+
+#include "codec/lz77.hpp"
+#include "sim/rng.hpp"
+
+namespace setchain::core {
+
+codec::Bytes serialize_batch(const Batch& b) {
+  codec::Writer w;
+  w.varint(b.entry_count());
+  for (const auto& e : b.elements) serialize_element(w, e);
+  for (const auto& p : b.proofs) serialize_epoch_proof(w, p);
+  return w.take();
+}
+
+std::optional<Batch> parse_batch(codec::ByteView bytes) {
+  codec::Reader r(bytes);
+  const auto count = r.varint();
+  if (!count) return std::nullopt;
+  if (*count > 1'000'000) return std::nullopt;  // Byzantine size bomb guard
+
+  Batch b;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto tag = r.u8();
+    if (!tag) return std::nullopt;
+    if (*tag == kElementTag) {
+      auto e = parse_element(r);
+      if (!e) return std::nullopt;
+      b.elements.push_back(std::move(*e));
+    } else if (*tag == kEpochProofTag) {
+      auto p = parse_epoch_proof(r);
+      if (!p) return std::nullopt;
+      b.proofs.push_back(*p);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!r.done()) return std::nullopt;  // trailing garbage
+  return b;
+}
+
+EpochHash batch_hash(const Batch& b, Fidelity fidelity) {
+  if (fidelity == Fidelity::kFull) {
+    return crypto::Sha512::hash(serialize_batch(b));
+  }
+  // Calibrated: mix the content identifiers so equal content gives equal
+  // hash and different batches collide with negligible probability.
+  std::uint64_t acc = 0xBA7C4ULL;
+  for (const auto& e : b.elements) {
+    std::uint64_t s = acc ^ e.id;
+    acc = sim::splitmix64(s);
+  }
+  for (const auto& p : b.proofs) {
+    std::uint64_t s = acc ^ (p.epoch * 0x100003ULL + p.server);
+    acc = sim::splitmix64(s);
+  }
+  EpochHash out{};
+  std::uint64_t s = acc;
+  for (std::size_t i = 0; i < out.size(); i += 8) {
+    const std::uint64_t v = sim::splitmix64(s);
+    for (std::size_t j = 0; j < 8; ++j) out[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+  }
+  return out;
+}
+
+std::uint64_t compressed_size(const Batch& b, Fidelity fidelity, double calibrated_ratio,
+                              codec::Bytes* out_compressed) {
+  if (fidelity == Fidelity::kFull) {
+    const codec::Bytes raw = serialize_batch(b);
+    codec::Bytes comp = codec::lz77_compress(raw);
+    const std::uint64_t size = comp.size();
+    if (out_compressed) *out_compressed = std::move(comp);
+    return size;
+  }
+  const double ratio = calibrated_ratio > 0.1 ? calibrated_ratio : 1.0;
+  return 16 + static_cast<std::uint64_t>(static_cast<double>(b.wire_size()) / ratio);
+}
+
+}  // namespace setchain::core

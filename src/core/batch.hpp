@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/element.hpp"
+#include "core/proofs.hpp"
+
+namespace setchain::core {
+
+/// A collector batch: the unit Compresschain compresses into one ledger
+/// transaction and Hashchain hashes into a hash-batch. Holds client
+/// elements plus piggybacked epoch-proofs (the collector receives both,
+/// §3 Compresschain).
+struct Batch {
+  std::uint64_t uid = 0;  ///< run-unique (drives calibrated hashing)
+  crypto::ProcessId origin = 0;
+  std::vector<Element> elements;
+  std::vector<EpochProof> proofs;
+
+  std::uint64_t element_bytes() const {
+    std::uint64_t s = 0;
+    for (const auto& e : elements) s += e.wire_size;
+    return s;
+  }
+  /// Serialized size: entries plus framing.
+  std::uint64_t wire_size() const {
+    return 8 + element_bytes() + proofs.size() * kEpochProofWireSize;
+  }
+  std::size_t entry_count() const { return elements.size() + proofs.size(); }
+  bool empty() const { return elements.empty() && proofs.empty(); }
+};
+
+using BatchPtr = std::shared_ptr<const Batch>;
+
+/// Full-fidelity wire format: varint entry count, then tagged entries
+/// (kElementTag / kEpochProofTag).
+codec::Bytes serialize_batch(const Batch& b);
+
+/// Total parser: Byzantine peers may hand us arbitrary bytes as a "batch".
+std::optional<Batch> parse_batch(codec::ByteView bytes);
+
+/// Hash(batch): SHA-512 of the serialization in full fidelity; a
+/// deterministic placeholder keyed by content ids in calibrated runs.
+EpochHash batch_hash(const Batch& b, Fidelity fidelity);
+
+/// Compressed size of a batch under the szx codec: real compression in full
+/// fidelity, `wire/ratio + header` in calibrated runs (ratio measured from
+/// the real codec by the experiment runner).
+std::uint64_t compressed_size(const Batch& b, Fidelity fidelity, double calibrated_ratio,
+                              codec::Bytes* out_compressed = nullptr);
+
+}  // namespace setchain::core

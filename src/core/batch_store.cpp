@@ -1,0 +1,31 @@
+#include "core/batch_store.hpp"
+
+namespace setchain::core {
+
+void BatchStore::put(const EpochHash& h, BatchPtr batch, codec::Bytes serialized) {
+  auto [it, inserted] = batches_.try_emplace(h);
+  if (!inserted) return;  // already registered (idempotent)
+  stored_bytes_ += batch->wire_size();
+  it->second.batch = std::move(batch);
+  it->second.serialized = std::move(serialized);
+}
+
+BatchPtr BatchStore::find(const EpochHash& h) const {
+  auto it = batches_.find(h);
+  return it == batches_.end() ? nullptr : it->second.batch;
+}
+
+void BatchStore::erase(const EpochHash& h) {
+  auto it = batches_.find(h);
+  if (it == batches_.end()) return;
+  stored_bytes_ -= it->second.batch->wire_size();
+  batches_.erase(it);
+}
+
+const codec::Bytes* BatchStore::find_serialized(const EpochHash& h) const {
+  auto it = batches_.find(h);
+  if (it == batches_.end() || it->second.serialized.empty()) return nullptr;
+  return &it->second.serialized;
+}
+
+}  // namespace setchain::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "core/batch.hpp"
+
+namespace setchain::core {
+
+/// Hasher for 64-byte batch/epoch hashes used as map keys.
+struct EpochHashHasher {
+  std::size_t operator()(const EpochHash& h) const {
+    // The hash is already uniform; fold the first 8 bytes.
+    std::size_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | h[static_cast<std::size_t>(i)];
+    return v;
+  }
+};
+
+/// Per-server hash -> batch storage backing Hashchain's Register_batch /
+/// Request_batch service (§3): irreversible hashes on the ledger are
+/// resolved back to batch contents by asking a server that signed them.
+/// In full fidelity the serialized bytes are kept so responses travel (and
+/// are re-verified) exactly as on a real wire.
+class BatchStore {
+ public:
+  /// Register_batch(h, batch).
+  void put(const EpochHash& h, BatchPtr batch, codec::Bytes serialized = {});
+
+  BatchPtr find(const EpochHash& h) const;
+  const codec::Bytes* find_serialized(const EpochHash& h) const;
+  bool contains(const EpochHash& h) const { return batches_.contains(h); }
+  std::size_t size() const { return batches_.size(); }
+
+  /// Drop a batch's contents (bounded-memory operation: lean high-rate runs
+  /// prune consolidated batches, like Narwhal-style mempool GC). No-op when
+  /// absent.
+  void erase(const EpochHash& h);
+
+  /// Total bytes of stored batch content (memory footprint diagnostics).
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+ private:
+  struct Entry {
+    BatchPtr batch;
+    codec::Bytes serialized;
+  };
+  std::unordered_map<EpochHash, Entry, EpochHashHasher> batches_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace setchain::core

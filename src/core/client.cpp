@@ -1,0 +1,84 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+
+namespace setchain::core {
+
+SetchainClient::SetchainClient(sim::Simulation& sim, crypto::ProcessId client_id,
+                               SetchainServer* local_server,
+                               std::vector<SetchainServer*> all_servers,
+                               ElementFactory& factory,
+                               metrics::StageRecorder* recorder, Config cfg,
+                               std::uint64_t seed)
+    : sim_(sim),
+      id_(client_id),
+      local_(local_server),
+      all_(std::move(all_servers)),
+      factory_(factory),
+      recorder_(recorder),
+      cfg_(cfg),
+      rng_(seed ^ (0xC11E47ULL + client_id)) {}
+
+void SetchainClient::start() {
+  if (cfg_.rate_el_per_s <= 0) return;
+  deadline_ = cfg_.start + cfg_.add_duration;
+  // Deterministic phase offset spreads the clients across the interval.
+  const sim::Time interval = sim::from_seconds(1.0 / cfg_.rate_el_per_s);
+  const sim::Time phase = static_cast<sim::Time>(
+      rng_.uniform01() * static_cast<double>(interval));
+  sim_.schedule_at(cfg_.start + phase, [this] { add_one(); });
+}
+
+void SetchainClient::add_one() {
+  if (sim_.now() > deadline_) return;
+
+  const bool make_bad =
+      cfg_.invalid_fraction > 0.0 && rng_.chance(cfg_.invalid_fraction);
+  Element e = make_bad ? factory_.make_invalid(id_, seq_++) : factory_.make(id_, seq_++);
+  const ElementId eid = e.id;
+  if (cfg_.created_sink) cfg_.created_sink->insert(eid);
+
+  bool accepted = false;
+  if (cfg_.duplicate_to_all) {
+    for (auto* s : all_) accepted = s->add(e) || accepted;
+  } else {
+    accepted = local_->add(std::move(e));
+  }
+  if (accepted) {
+    ++added_;
+    if (recorder_) recorder_->on_add(eid, sim_.now());
+    if (cfg_.accepted_sink && !make_bad) cfg_.accepted_sink->push_back(eid);
+  } else {
+    ++rejected_;
+  }
+
+  const sim::Time interval = sim::from_seconds(1.0 / cfg_.rate_el_per_s);
+  const sim::Time next = sim_.now() + interval;
+  if (next <= deadline_) sim_.schedule_at(next, [this] { add_one(); });
+}
+
+SetchainClient::VerifyResult SetchainClient::verify(const SetchainServer& server,
+                                                    ElementId id, const crypto::Pki& pki,
+                                                    const SetchainParams& params) {
+  VerifyResult out;
+  const auto snap = server.get();
+  out.in_the_set = snap.the_set->contains(id);
+  for (const auto& rec : *snap.history) {
+    if (std::binary_search(rec.ids.begin(), rec.ids.end(), id)) {
+      out.in_epoch = true;
+      out.epoch = rec.number;
+      // Count proofs that verify against the epoch hash we recompute
+      // ourselves — the client trusts no single server.
+      if (rec.number <= snap.proofs->size()) {
+        for (const auto& p : (*snap.proofs)[rec.number - 1]) {
+          if (valid_proof(p, rec.hash, pki, params.fidelity)) ++out.valid_proofs;
+        }
+      }
+      break;
+    }
+  }
+  out.committed = out.in_epoch && out.valid_proofs >= params.f + 1;
+  return out;
+}
+
+}  // namespace setchain::core

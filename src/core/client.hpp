@@ -1,0 +1,71 @@
+#pragma once
+
+#include "core/element.hpp"
+#include "core/setchain_base.hpp"
+#include "sim/rng.hpp"
+
+namespace setchain::core {
+
+/// Simulated Setchain client: adds elements to its local server at a fixed
+/// rate (sending_rate / server_count, like the paper's per-container
+/// clients), and offers the light-client verification workflow from §2
+/// ("Setchain Epoch-proofs"): one get() against one server plus f+1 proof
+/// checks suffices to trust a committed epoch.
+class SetchainClient {
+ public:
+  struct Config {
+    double rate_el_per_s = 100.0;
+    sim::Time start = 0;
+    sim::Time add_duration = sim::from_seconds(50);
+    double invalid_fraction = 0.0;  ///< Byzantine: fraction of bad elements
+    bool duplicate_to_all = false;  ///< Byzantine: add the same element everywhere
+
+    /// Optional sinks for invariant checking (not owned; may be null):
+    /// ids of *valid* elements a server accepted, and ids of everything the
+    /// client ever created (including invalid ones).
+    std::vector<ElementId>* accepted_sink = nullptr;
+    std::unordered_set<ElementId>* created_sink = nullptr;
+  };
+
+  SetchainClient(sim::Simulation& sim, crypto::ProcessId client_id,
+                 SetchainServer* local_server, std::vector<SetchainServer*> all_servers,
+                 ElementFactory& factory, metrics::StageRecorder* recorder, Config cfg,
+                 std::uint64_t seed);
+
+  /// Arm the add schedule. Elements are spaced 1/rate apart with a small
+  /// deterministic phase offset per client so clients do not add in lockstep.
+  void start();
+
+  std::uint64_t added() const { return added_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  /// Light-client verification against a single server: is the element in
+  /// an epoch, and does that epoch carry >= f+1 valid epoch-proofs?
+  struct VerifyResult {
+    bool in_the_set = false;
+    bool in_epoch = false;
+    std::uint64_t epoch = 0;
+    std::size_t valid_proofs = 0;
+    bool committed = false;  ///< in_epoch && valid_proofs >= f+1
+  };
+  static VerifyResult verify(const SetchainServer& server, ElementId id,
+                             const crypto::Pki& pki, const SetchainParams& params);
+
+ private:
+  void add_one();
+
+  sim::Simulation& sim_;
+  crypto::ProcessId id_;
+  SetchainServer* local_;
+  std::vector<SetchainServer*> all_;
+  ElementFactory& factory_;
+  metrics::StageRecorder* recorder_;
+  Config cfg_;
+  sim::Rng rng_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t added_ = 0;
+  std::uint64_t rejected_ = 0;
+  sim::Time deadline_ = 0;
+};
+
+}  // namespace setchain::core

@@ -1,0 +1,46 @@
+#include "core/collector.hpp"
+
+namespace setchain::core {
+
+Collector::Collector(sim::Simulation* sim, std::size_t limit, sim::Time timeout,
+                     std::function<void(Batch&&)> on_ready)
+    : sim_(sim), limit_(limit), timeout_(timeout), on_ready_(std::move(on_ready)) {}
+
+void Collector::add_element(Element e) {
+  batch_.elements.push_back(std::move(e));
+  note_added();
+}
+
+void Collector::add_proof(EpochProof p) {
+  batch_.proofs.push_back(std::move(p));
+  note_added();
+}
+
+void Collector::note_added() {
+  if (batch_.entry_count() >= limit_) {
+    emit();
+    return;
+  }
+  if (batch_.entry_count() == 1 && timeout_ > 0 && sim_) {
+    // First entry of a fresh batch: arm the flush timer.
+    timer_.cancel();
+    timer_ = sim_->schedule_in(timeout_, [this] { flush(); });
+  }
+}
+
+void Collector::flush() {
+  if (batch_.empty()) return;
+  emit();
+}
+
+void Collector::emit() {
+  timer_.cancel();
+  Batch out = std::move(batch_);
+  batch_ = Batch{};
+  out.uid = (static_cast<std::uint64_t>(origin_) << 40) | next_uid_++;
+  out.origin = origin_;
+  ++batches_;
+  on_ready_(std::move(out));
+}
+
+}  // namespace setchain::core

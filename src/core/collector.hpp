@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+
+#include "core/batch.hpp"
+#include "sim/simulation.hpp"
+
+namespace setchain::core {
+
+/// The per-server collector of Compresschain/Hashchain (§3): elements added
+/// by clients and epoch-proofs created by the server accumulate until the
+/// collector size is reached or a timeout fires, then the batch is handed to
+/// the algorithm (isReady(batch) in the pseudocode).
+class Collector {
+ public:
+  /// `sim` may be null (ledger-only unit tests): the timeout path is then
+  /// disabled and only the size trigger / manual flush emit batches.
+  Collector(sim::Simulation* sim, std::size_t limit, sim::Time timeout,
+            std::function<void(Batch&&)> on_ready);
+
+  void add_element(Element e);
+  void add_proof(EpochProof p);
+
+  /// Flush regardless of fill level (used at drain time). No-op when empty.
+  void flush();
+
+  std::size_t size() const { return batch_.entry_count(); }
+  std::uint64_t batches_emitted() const { return batches_; }
+
+  /// Origin server stamped on emitted batches.
+  void set_origin(crypto::ProcessId origin) { origin_ = origin; }
+
+ private:
+  void note_added();
+  void emit();
+
+  sim::Simulation* sim_;
+  std::size_t limit_;
+  sim::Time timeout_;
+  std::function<void(Batch&&)> on_ready_;
+  crypto::ProcessId origin_ = 0;
+  Batch batch_;
+  sim::EventHandle timer_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t next_uid_ = 0;
+};
+
+}  // namespace setchain::core

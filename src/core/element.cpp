@@ -1,0 +1,95 @@
+#include "core/element.hpp"
+
+#include "crypto/sha512.hpp"
+#include "sim/rng.hpp"
+
+namespace setchain::core {
+
+void serialize_element(codec::Writer& w, const Element& e) {
+  w.u8(kElementTag);
+  w.u64le(e.id);
+  w.u32le(e.client);
+  w.lp_bytes(e.payload);
+  w.bytes(codec::ByteView(e.sig.data(), e.sig.size()));
+}
+
+std::optional<Element> parse_element(codec::Reader& r) {
+  // Caller consumed the tag already.
+  Element e;
+  const auto id = r.u64le();
+  const auto client = r.u32le();
+  const auto payload = r.lp_bytes();
+  if (!id || !client || !payload) return std::nullopt;
+  const auto sig = r.bytes(crypto::Ed25519::kSignatureSize);
+  if (!sig) return std::nullopt;
+  e.id = *id;
+  e.client = *client;
+  e.payload.assign(payload->begin(), payload->end());
+  std::copy(sig->begin(), sig->end(), e.sig.begin());
+  e.wire_size =
+      static_cast<std::uint32_t>(kElementOverhead - 4 + codec::varint_size(e.payload.size()) +
+                                 e.payload.size());
+  return e;
+}
+
+bool valid_element(const Element& e, const crypto::Pki& pki, Fidelity fidelity) {
+  // The id must be bound to the signing client, or a Byzantine client could
+  // replay another client's payload under a colliding id.
+  if (element_client(e.id) != e.client) return false;
+  if (fidelity == Fidelity::kCalibrated) return e.valid_flag;
+  if (e.payload.empty()) return false;
+  // Sign over id || payload so the signature also authenticates placement.
+  codec::Writer w;
+  w.u64le(e.id);
+  w.bytes(e.payload);
+  return pki.verify(e.client, w.buffer(), e.sig);
+}
+
+std::uint64_t element_digest(const Element& e, Fidelity fidelity) {
+  if (fidelity == Fidelity::kFull && !e.payload.empty()) {
+    const auto d = crypto::Sha512::hash(e.payload);
+    return codec::read_u64le(codec::ByteView(d.data(), 8));
+  }
+  std::uint64_t s = e.id ^ 0xC0FFEE5EED5EEDULL;
+  return sim::splitmix64(s);
+}
+
+ElementFactory::ElementFactory(workload::ArbitrumLikeGenerator& gen, crypto::Pki& pki,
+                               Fidelity fidelity)
+    : gen_(gen), pki_(pki), fidelity_(fidelity) {}
+
+Element ElementFactory::make(crypto::ProcessId client, std::uint64_t seq) {
+  ++created_;
+  Element e;
+  e.client = client;
+  e.id = make_element_id(client, seq);
+  const std::uint32_t target = gen_.sample_size();
+  if (fidelity_ == Fidelity::kCalibrated) {
+    e.wire_size = target;
+    e.valid_flag = true;
+    return e;
+  }
+  const std::uint32_t payload_size =
+      target > kElementOverhead ? target - kElementOverhead : 16;
+  e.payload = gen_.make_payload(e.id, payload_size);
+  codec::Writer w;
+  w.u64le(e.id);
+  w.bytes(e.payload);
+  e.sig = pki_.sign(client, w.buffer());
+  codec::Writer ser;
+  serialize_element(ser, e);
+  e.wire_size = static_cast<std::uint32_t>(ser.size());
+  return e;
+}
+
+Element ElementFactory::make_invalid(crypto::ProcessId client, std::uint64_t seq) {
+  Element e = make(client, seq);
+  if (fidelity_ == Fidelity::kCalibrated) {
+    e.valid_flag = false;
+  } else {
+    e.sig[0] ^= 0xFF;  // break the signature
+  }
+  return e;
+}
+
+}  // namespace setchain::core

@@ -1,0 +1,389 @@
+#include "core/hashchain.hpp"
+
+#include "sim/rng.hpp"
+
+namespace setchain::core {
+
+HashchainServer::HashchainServer(ServerContext ctx, crypto::ProcessId id)
+    : SetchainServer(std::move(ctx), id),
+      collector_(this->ctx_.sim, this->ctx_.params->collector_limit,
+                 this->ctx_.params->collector_timeout,
+                 [this](Batch&& b) { on_batch_ready(std::move(b)); }) {
+  collector_.set_origin(id);
+}
+
+void HashchainServer::connect_peers(std::vector<HashchainServer*> peers) {
+  peers_ = std::move(peers);
+}
+
+bool HashchainServer::add(Element e) {
+  cpu_acquire(params().costs.validate_element);
+  if (!valid_element(e, *ctx_.pki, fidelity())) return false;
+  if (in_the_set(e.id)) return false;
+  the_set_insert(e.id);
+  collector_.add_element(std::move(e));
+  return true;
+}
+
+void HashchainServer::on_batch_ready(Batch&& batch) {
+  codec::Bytes serialized;
+  if (fidelity() == Fidelity::kFull) serialized = serialize_batch(batch);
+  cpu_acquire(params().costs.hash_cost(batch.wire_size()) + params().costs.sign);
+
+  auto ptr = std::make_shared<const Batch>(std::move(batch));
+  const EpochHash h = batch_hash(*ptr, fidelity());
+
+  // hash_to_batch[h] <- batch; Register_batch(h, batch).
+  store_.put(h, ptr, std::move(serialized));
+  hash_state_[h].own_appended = true;
+  append_hash_batch(h);
+}
+
+void HashchainServer::append_hash_batch(const EpochHash& h) {
+  const HashBatchMsg hb = make_hash_batch(*ctx_.pki, id_, h, fidelity());
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kHashBatch;
+  tx.wire_size = kHashBatchWireSize;
+  if (fidelity() == Fidelity::kFull) {
+    codec::Writer w;
+    serialize_hash_batch(w, hb);
+    tx.data = w.take();
+    tx.wire_size = static_cast<std::uint32_t>(tx.data.size());
+  } else {
+    tx.app = std::make_shared<HashBatchMsg>(hb);
+  }
+  const ledger::TxIdx idx = ctx_.ledger->append(id_, std::move(tx));
+  ++hash_batches_appended_;
+
+  // Associate carried elements with the hash-batch tx for stage metrics
+  // (only for our own batch announcements — the first carrier).
+  if (ctx_.register_tx_elements) {
+    if (const BatchPtr batch = store_.find(h); batch && !batch->elements.empty()) {
+      const HashState& st = hash_state_[h];
+      if (st.own_appended && batch->origin == id_) {
+        std::vector<ElementId> ids;
+        ids.reserve(batch->elements.size());
+        for (const auto& e : batch->elements) ids.push_back(e.id);
+        ctx_.register_tx_elements(idx, ids);
+      }
+    }
+  }
+}
+
+void HashchainServer::byz_announce_fake_hash() {
+  EpochHash h{};
+  std::uint64_t seed = 0xFA4EULL ^ (static_cast<std::uint64_t>(id_) << 32) ^
+                       hash_batches_appended_;
+  for (std::size_t i = 0; i < h.size(); i += 8) {
+    const std::uint64_t v = sim::splitmix64(seed);
+    for (std::size_t j = 0; j < 8; ++j) h[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+  }
+  hash_state_[h].own_appended = true;  // never serve it, never re-sign
+  append_hash_batch(h);
+}
+
+void HashchainServer::on_new_block(const ledger::Block& b) {
+  sim::Time cost = 0;
+  const auto& table = ctx_.ledger->txs();
+  if (params().hash_reversal) {
+    for (const auto idx : b.txs) {
+      const auto& tx = table.get(idx);
+      if (tx.kind == ledger::TxKind::kHashBatch ||
+          (fidelity() == Fidelity::kFull && !tx.data.empty() &&
+           tx.data[0] == kHashBatchTag)) {
+        cost += params().costs.verify_signature;
+      } else {
+        cost += params().costs.check_tx_cost(tx.wire_size);
+      }
+    }
+  }
+  const sim::Time done = cpu_acquire(cost);
+  if (ctx_.sim) {
+    ctx_.sim->schedule_at(done, [this, &b] { process_block(b); });
+  } else {
+    process_block(b);
+  }
+}
+
+void HashchainServer::process_block(const ledger::Block& b) {
+  const auto& table = ctx_.ledger->txs();
+  for (const auto idx : b.txs) {
+    const auto& tx = table.get(idx);
+    std::optional<HashBatchMsg> hb;
+    if (fidelity() == Fidelity::kFull) {
+      codec::Reader r(tx.data);
+      const auto tag = r.u8();
+      if (!tag || *tag != kHashBatchTag) continue;
+      hb = parse_hash_batch(r);
+    } else {
+      if (tx.kind != ledger::TxKind::kHashBatch) continue;
+      if (const auto* p = tx.app_as<HashBatchMsg>()) hb = *p;
+    }
+    if (!hb) continue;
+    if (hb->server >= params().n) continue;  // unknown signer
+    if (params().hash_reversal && !valid_hash_batch(*hb, *ctx_.pki, fidelity())) {
+      continue;  // invalid signature
+    }
+    handle_hash_batch(*hb, b);
+  }
+  try_consolidate();
+}
+
+void HashchainServer::handle_hash_batch(const HashBatchMsg& hb, const ledger::Block& b) {
+  HashState& st = hash_state_[hb.hash];
+  if (st.signers.empty()) st.first_block_time = b.first_commit_at;
+  const bool new_signer = st.signers.insert(hb.server).second;
+
+  if (store_.contains(hb.hash)) {
+    batch_now_available(hb.hash);
+  } else if (params().hash_reversal) {
+    if (new_signer && hb.server != id_) st.fetch_candidates.push_back(hb.server);
+    if (!st.fetching && !st.consolidated) start_fetch(hb.hash);
+  } else {
+    // Light mode (Fig. 2 ablation): no reversal service; all servers are
+    // assumed correct, so contents are taken straight from the origin's
+    // store (zero-copy stand-in for a perfect dissemination layer) and the
+    // server co-signs immediately.
+    for (auto* peer : peers_) {
+      if (!peer) continue;
+      if (const BatchPtr batch = peer->store_.find(hb.hash)) {
+        store_.put(hb.hash, batch);
+        break;
+      }
+    }
+    batch_now_available(hb.hash);
+  }
+
+  if (st.signers.size() == params().f + 1 && !st.enqueued) {
+    st.enqueued = true;
+    st.consolidate_block_time = b.first_commit_at;
+    consolidation_queue_.push_back(hb.hash);
+  }
+}
+
+bool HashchainServer::in_committee(const EpochHash& h) const {
+  const std::uint32_t requested = params().hashchain_committee;
+  if (requested == 0 || requested >= params().n) return true;
+  const std::uint32_t k = std::max(requested, params().f + 1);
+
+  // Deterministic committee: every server scores (h, server) with the same
+  // mixing function; the k lowest scores are the committee. Identical at
+  // every correct server because it depends only on ledger content.
+  std::uint64_t folded = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    folded = (folded << 8) | h[i];
+  }
+  const auto score = [folded](std::uint32_t server) {
+    std::uint64_t s = folded ^ (0x9E3779B97F4A7C15ULL * (server + 1));
+    return sim::splitmix64(s);
+  };
+  const std::uint64_t own = score(id_);
+  std::uint32_t strictly_lower = 0;
+  std::uint32_t equal_lower_id = 0;
+  for (std::uint32_t server = 0; server < params().n; ++server) {
+    if (server == id_) continue;
+    const std::uint64_t sc = score(server);
+    if (sc < own) ++strictly_lower;
+    if (sc == own && server < id_) ++equal_lower_id;  // total order tiebreak
+  }
+  return strictly_lower + equal_lower_id < k;
+}
+
+void HashchainServer::batch_now_available(const EpochHash& h) {
+  HashState& st = hash_state_[h];
+  const BatchPtr batch = store_.find(h);
+  if (!batch) return;
+
+  if (!st.own_appended && in_committee(h)) {
+    st.own_appended = true;
+    cpu_acquire(params().costs.sign);
+    append_hash_batch(h);
+  }
+  if (!st.proofs_absorbed) {
+    st.proofs_absorbed = true;
+    for (const auto& p : batch->proofs) absorb_proof(p, st.first_block_time);
+  }
+  if (!st.elements_marked && ctx_.recorder) {
+    st.elements_marked = true;
+    for (const auto& e : batch->elements) {
+      ctx_.recorder->on_ledger(e.id, st.first_block_time);
+    }
+  }
+}
+
+void HashchainServer::start_fetch(const EpochHash& h) {
+  HashState& st = hash_state_[h];
+  if (st.fetching || store_.contains(h)) return;
+  st.fetching = true;
+  ++fetches_started_;
+  fetch_attempt(h);
+}
+
+void HashchainServer::fetch_attempt(const EpochHash& h) {
+  HashState& st = hash_state_[h];
+  if (store_.contains(h)) {
+    st.fetching = false;
+    return;
+  }
+  if (st.fetch_candidates.empty()) {
+    st.fetching = false;
+    return;
+  }
+  const crypto::ProcessId target =
+      st.fetch_candidates[st.next_candidate % st.fetch_candidates.size()];
+  ++st.next_candidate;
+  const std::uint64_t attempt = ++st.attempt_seq;
+
+  if (ctx_.net && ctx_.sim) {
+    // Request over the wire; answer (or silence) comes back asynchronously.
+    HashchainServer* peer = peers_.at(target);
+    ctx_.net->send(id_, target, kRequestWireSize,
+                   [peer, h, me = id_] { peer->serve_batch_request(me, h); });
+    ctx_.sim->schedule_in(params().request_batch_timeout,
+                          [this, h, attempt] { on_fetch_timeout(h, attempt); });
+  } else {
+    // Synchronous path for InstantLedger unit tests.
+    HashchainServer* peer = peers_.at(target);
+    peer->serve_batch_request(id_, h);
+    if (!store_.contains(h)) on_fetch_timeout(h, attempt);
+  }
+}
+
+void HashchainServer::serve_batch_request(crypto::ProcessId requester, const EpochHash& h) {
+  if (byz_.refuse_batch_service) return;  // Byzantine: silence
+  const BatchPtr batch = store_.find(h);
+  if (!batch) return;  // honest "don't have it" (also silence; requester times out)
+
+  HashchainServer* peer = peers_.at(requester);
+  const codec::Bytes* serialized = store_.find_serialized(h);
+  // Serving costs CPU (lookup + serialization + RPC overhead); the response
+  // leaves once the serving core gets to it.
+  const sim::Time done = cpu_acquire(params().costs.request_batch_overhead +
+                                     params().costs.hash_cost(batch->wire_size()));
+  if (ctx_.net && ctx_.sim) {
+    const std::uint64_t bytes = serialized ? serialized->size() : batch->wire_size();
+    ctx_.sim->schedule_at(done, [this, requester, bytes, peer, h, batch, serialized] {
+      ctx_.net->send(id_, requester, bytes, [peer, h, batch, serialized] {
+        peer->on_batch_response(h, batch, serialized);
+      });
+    });
+  } else {
+    peer->on_batch_response(h, batch, serialized);
+  }
+}
+
+void HashchainServer::on_batch_response(const EpochHash& h, BatchPtr batch,
+                                        const codec::Bytes* serialized) {
+  HashState& st = hash_state_[h];
+  if (store_.contains(h)) return;  // duplicate/late response
+
+  // Verify the contents actually hash to h (the responder may be Byzantine).
+  cpu_acquire(params().costs.request_batch_overhead +
+              params().costs.hash_cost(batch->wire_size()));
+  if (fidelity() == Fidelity::kFull && serialized) {
+    const auto parsed = parse_batch(*serialized);
+    if (!parsed) return;
+    auto owned = std::make_shared<const Batch>(std::move(*parsed));
+    if (batch_hash(*owned, fidelity()) != h) return;
+    // Element validation cost: the paper validates fetched batch contents.
+    cpu_acquire(static_cast<sim::Time>(owned->elements.size()) *
+                params().costs.validate_element);
+    store_.put(h, std::move(owned), codec::Bytes(*serialized));
+  } else {
+    if (batch_hash(*batch, fidelity()) != h) return;
+    cpu_acquire(static_cast<sim::Time>(batch->elements.size()) *
+                params().costs.validate_element);
+    codec::Bytes ser;
+    if (fidelity() == Fidelity::kFull) ser = serialize_batch(*batch);
+    store_.put(h, std::move(batch), std::move(ser));
+  }
+
+  st.fetching = false;
+  batch_now_available(h);
+  try_consolidate();
+}
+
+void HashchainServer::on_fetch_timeout(const EpochHash& h, std::uint64_t attempt) {
+  HashState& st = hash_state_[h];
+  if (store_.contains(h)) return;
+  if (st.attempt_seq != attempt) return;  // superseded attempt
+  ++fetches_failed_;
+  if (ctx_.sim) {
+    // Exponential backoff (capped): repeated refusals/overload must not
+    // amplify into a request storm against the remaining signers.
+    const sim::Time backoff =
+        params().request_batch_retry *
+        static_cast<sim::Time>(std::min<std::uint64_t>(st.attempt_seq, 16));
+    ctx_.sim->schedule_in(backoff, [this, h] {
+      HashState& st = hash_state_[h];
+      if (!store_.contains(h) && st.fetching) fetch_attempt(h);
+    });
+  }
+  // Without a simulation clock (unit tests) the retry is driven by the next
+  // hash-batch arrival for h (handle_hash_batch -> start_fetch).
+  if (!ctx_.sim) st.fetching = false;
+}
+
+void HashchainServer::try_consolidate() {
+  while (!consolidation_queue_.empty()) {
+    const EpochHash h = consolidation_queue_.front();
+    BatchPtr batch = store_.find(h);
+    if (!batch && !params().hash_reversal) {
+      // Light mode: re-pull from any peer still holding the contents (a
+      // peer may have pruned after consolidating before we got here).
+      for (auto* peer : peers_) {
+        if (!peer) continue;
+        if ((batch = peer->store_.find(h))) {
+          store_.put(h, batch);
+          break;
+        }
+      }
+    }
+    if (!batch) {
+      // Head-of-line blocking until the fetch succeeds: keeps epoch
+      // numbering identical across correct servers. With f+1 signers at
+      // least one correct server can serve the batch, so this terminates.
+      HashState& st = hash_state_[h];
+      if (params().hash_reversal && !st.fetching) start_fetch(h);
+      return;
+    }
+    consolidation_queue_.pop_front();
+    HashState& st = hash_state_[h];
+    if (st.consolidated) continue;
+    st.consolidated = true;
+    batch_now_available(h);  // proofs/metrics if not yet done
+    consolidate_hash(h, *batch);
+    if (params().lean_state && !params().hash_reversal) {
+      // Light+lean runs never serve this batch again: prune it so memory
+      // stays bounded at the highest sending rates (150k el/s sweeps).
+      store_.erase(h);
+    }
+  }
+}
+
+void HashchainServer::consolidate_hash(const EpochHash& h, const Batch& batch) {
+  const HashState& st = hash_state_[h];
+
+  std::vector<Element> g;
+  if (params().hash_reversal) {
+    g = extract_new_valid(batch.elements);
+  } else {
+    g.reserve(batch.elements.size());
+    for (const auto& e : batch.elements) {
+      if (!in_history(e.id)) g.push_back(e);
+    }
+  }
+
+  std::uint64_t g_bytes = 0;
+  for (const auto& e : g) {
+    the_set_insert(e.id);
+    g_bytes += e.wire_size;
+  }
+  if (g.empty()) return;  // proofs-only batch: no epoch (see DESIGN.md)
+
+  cpu_acquire(params().costs.hash_cost(g_bytes) + params().costs.sign);
+  EpochProof p = consolidate(g, st.consolidate_block_time);
+  collector_.add_proof(std::move(p));
+}
+
+}  // namespace setchain::core

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <deque>
+
+#include "core/batch_store.hpp"
+#include "core/setchain_base.hpp"
+
+namespace setchain::core {
+
+/// Algorithm Hashchain (§3) — the paper's primary contribution. Batches are
+/// hashed; only the fixed-size hash-batch <h, sig, server> travels through
+/// consensus. A hash consolidates into an epoch once hash-batches from f+1
+/// distinct servers are on the ledger (so at least one correct server can
+/// serve the batch contents). Unknown batches are fetched from a signer via
+/// the Request_batch service, verified against their hash, re-signed and
+/// re-announced.
+///
+/// Determinism note (DESIGN.md): signer counting uses only ledger content
+/// (valid signatures), so the consolidation *position* is identical at every
+/// correct server; a server lacking the batch contents blocks its
+/// consolidation queue until the fetch succeeds (guaranteed: f+1 signers
+/// include a correct one) instead of skipping, which keeps epoch numbering
+/// consistent even under Byzantine batch-withholding.
+class HashchainServer final : public SetchainServer {
+ public:
+  HashchainServer(ServerContext ctx, crypto::ProcessId id);
+
+  bool add(Element e) override;
+  void on_new_block(const ledger::Block& b);
+
+  /// Wire the peer vector (index = server id) for the batch-exchange
+  /// service. Must be called on every server before the run starts.
+  void connect_peers(std::vector<HashchainServer*> peers);
+
+  Collector& collector() { return collector_; }
+  const BatchStore& store() const { return store_; }
+
+  /// Byzantine hook for tests: announce a hash-batch whose batch contents
+  /// nobody stores. Correct servers must never consolidate it.
+  void byz_announce_fake_hash();
+
+  std::uint64_t hash_batches_appended() const { return hash_batches_appended_; }
+  std::uint64_t fetches_started() const { return fetches_started_; }
+  std::uint64_t fetches_failed() const { return fetches_failed_; }
+  std::size_t consolidation_backlog() const { return consolidation_queue_.size(); }
+
+  // ---- batch-exchange wire protocol (invoked via the network) ----
+  void serve_batch_request(crypto::ProcessId requester, const EpochHash& h);
+  void on_batch_response(const EpochHash& h, BatchPtr batch,
+                         const codec::Bytes* serialized);
+
+ private:
+  struct HashState {
+    std::unordered_set<crypto::ProcessId> signers;
+    std::vector<crypto::ProcessId> fetch_candidates;  ///< signers, in order seen
+    std::size_t next_candidate = 0;
+    std::uint64_t attempt_seq = 0;
+    bool fetching = false;
+    bool own_appended = false;
+    bool proofs_absorbed = false;
+    bool elements_marked = false;   ///< recorder on_ledger done
+    bool enqueued = false;          ///< in consolidation queue
+    bool consolidated = false;
+    sim::Time first_block_time = 0;
+    sim::Time consolidate_block_time = 0;
+  };
+
+  /// Is this server in the (deterministic, hash-derived) signer committee
+  /// for `h`? Always true when params().hashchain_committee == 0.
+  bool in_committee(const EpochHash& h) const;
+
+  void on_batch_ready(Batch&& batch);
+  void process_block(const ledger::Block& b);
+  void handle_hash_batch(const HashBatchMsg& hb, const ledger::Block& b);
+  void append_hash_batch(const EpochHash& h);
+  void batch_now_available(const EpochHash& h);
+  void start_fetch(const EpochHash& h);
+  void fetch_attempt(const EpochHash& h);
+  void on_fetch_timeout(const EpochHash& h, std::uint64_t attempt);
+  void try_consolidate();
+  void consolidate_hash(const EpochHash& h, const Batch& batch);
+
+  Collector collector_;
+  BatchStore store_;
+  std::unordered_map<EpochHash, HashState, EpochHashHasher> hash_state_;
+  std::deque<EpochHash> consolidation_queue_;
+  std::vector<HashchainServer*> peers_;
+
+  std::uint64_t hash_batches_appended_ = 0;
+  std::uint64_t fetches_started_ = 0;
+  std::uint64_t fetches_failed_ = 0;
+
+  static constexpr std::uint32_t kRequestWireSize = 96;
+};
+
+}  // namespace setchain::core

@@ -1,0 +1,144 @@
+#include "core/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace setchain::core {
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& v : violations) os << v << '\n';
+  return os.str();
+}
+
+namespace {
+void violate(InvariantReport& r, const std::string& msg) { r.violations.push_back(msg); }
+
+std::string sid(const SetchainServer* s) {
+  return "server " + std::to_string(s->id());
+}
+}  // namespace
+
+InvariantReport check_safety(const std::vector<const SetchainServer*>& servers) {
+  InvariantReport report;
+
+  for (const auto* s : servers) {
+    const auto snap = s->get();
+
+    // P1: every epoch's elements are in the_set.
+    for (const auto& rec : *snap.history) {
+      for (const auto id : rec.ids) {
+        if (!snap.the_set->contains(id)) {
+          violate(report, "P1 Consistent-Sets: " + sid(s) + " epoch " +
+                              std::to_string(rec.number) + " element " +
+                              std::to_string(id) + " not in the_set");
+        }
+      }
+    }
+
+    // P5: pairwise-disjoint epochs (single pass: ids may appear once).
+    std::unordered_set<ElementId> seen;
+    for (const auto& rec : *snap.history) {
+      for (const auto id : rec.ids) {
+        if (!seen.insert(id).second) {
+          violate(report, "P5 Unique-Epoch: " + sid(s) + " element " +
+                              std::to_string(id) + " in two epochs");
+        }
+      }
+    }
+
+    // history indexing sanity (epoch i stored at i-1).
+    if (snap.history->size() != snap.epoch) {
+      violate(report, "internal: " + sid(s) + " history size " +
+                          std::to_string(snap.history->size()) + " != epoch " +
+                          std::to_string(snap.epoch));
+    }
+  }
+
+  // P6: identical epoch contents across servers up to min(h, h').
+  for (std::size_t a = 0; a < servers.size(); ++a) {
+    for (std::size_t b = a + 1; b < servers.size(); ++b) {
+      const auto sa = servers[a]->get();
+      const auto sb = servers[b]->get();
+      const std::size_t upto = std::min(sa.history->size(), sb.history->size());
+      for (std::size_t i = 0; i < upto; ++i) {
+        const auto& ra = (*sa.history)[i];
+        const auto& rb = (*sb.history)[i];
+        if (ra.ids != rb.ids) {
+          violate(report, "P6 Consistent-Gets: epoch " + std::to_string(i + 1) +
+                              " differs between " + sid(servers[a]) + " and " +
+                              sid(servers[b]));
+        }
+        if (ra.hash != rb.hash) {
+          violate(report, "P6 Consistent-Gets: epoch hash " + std::to_string(i + 1) +
+                              " differs between " + sid(servers[a]) + " and " +
+                              sid(servers[b]));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_liveness_quiescent(
+    const std::vector<const SetchainServer*>& servers,
+    const std::vector<ElementId>& accepted_valid_elements, const SetchainParams& params,
+    const crypto::Pki& pki) {
+  InvariantReport report;
+
+  for (const auto* s : servers) {
+    const auto snap = s->get();
+    // P2/P3: accepted valid elements are in every correct server's the_set.
+    for (const auto id : accepted_valid_elements) {
+      if (!snap.the_set->contains(id)) {
+        violate(report, "P2/P3 Add-Get/Get-Global: element " + std::to_string(id) +
+                            " missing from the_set of " + sid(s));
+      }
+    }
+    // P4: ... and in history.
+    std::unordered_set<ElementId> in_history;
+    for (const auto& rec : *snap.history) {
+      in_history.insert(rec.ids.begin(), rec.ids.end());
+    }
+    for (const auto id : accepted_valid_elements) {
+      if (!in_history.contains(id)) {
+        violate(report, "P4 Eventual-Get: element " + std::to_string(id) +
+                            " not in history of " + sid(s));
+      }
+    }
+    // P8: f+1 valid proofs per epoch, from distinct servers.
+    for (const auto& rec : *snap.history) {
+      std::unordered_set<crypto::ProcessId> provers;
+      if (rec.number <= snap.proofs->size()) {
+        for (const auto& p : (*snap.proofs)[rec.number - 1]) {
+          if (valid_proof(p, rec.hash, pki, params.fidelity)) provers.insert(p.server);
+        }
+      }
+      if (provers.size() < params.f + 1) {
+        violate(report, "P8 Valid-Epoch: " + sid(s) + " epoch " +
+                            std::to_string(rec.number) + " has only " +
+                            std::to_string(provers.size()) + " valid proofs (need " +
+                            std::to_string(params.f + 1) + ")");
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_add_before_get(
+    const std::vector<const SetchainServer*>& servers,
+    const std::unordered_set<ElementId>& all_created) {
+  InvariantReport report;
+  for (const auto* s : servers) {
+    const auto snap = s->get();
+    for (const auto id : *snap.the_set) {
+      if (!all_created.contains(id)) {
+        violate(report, "P7 Add-before-Get: " + sid(s) + " holds element " +
+                            std::to_string(id) + " that no client created");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace setchain::core

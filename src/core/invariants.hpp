@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/setchain_base.hpp"
+
+namespace setchain::core {
+
+/// Checker for the Setchain correctness properties (§2, Properties 1-8).
+/// Safety properties are checkable at any point; liveness properties are
+/// checked at quiescence (all traffic drained), where "eventually" must have
+/// happened. Only *correct* servers are passed in — Byzantine servers give
+/// no guarantees.
+struct InvariantReport {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// P1 Consistent-Sets: history[i] ⊆ the_set, every server.
+/// P5 Unique-Epoch:   epochs pairwise disjoint, every server.
+/// P6 Consistent-Gets: same epoch contents across servers (up to min epoch).
+InvariantReport check_safety(const std::vector<const SetchainServer*>& servers);
+
+/// At quiescence:
+/// P2/P3 Add-Get-Local & Get-Global: every accepted valid element is in
+///        the_set of every correct server.
+/// P4 Eventual-Get: ... and in history.
+/// P8 Valid-Epoch: every epoch has >= f+1 proofs from distinct servers.
+InvariantReport check_liveness_quiescent(
+    const std::vector<const SetchainServer*>& servers,
+    const std::vector<ElementId>& accepted_valid_elements,
+    const SetchainParams& params, const crypto::Pki& pki);
+
+/// P7 Add-before-Get: nothing in the_set/history that no client created.
+InvariantReport check_add_before_get(
+    const std::vector<const SetchainServer*>& servers,
+    const std::unordered_set<ElementId>& all_created);
+
+}  // namespace setchain::core

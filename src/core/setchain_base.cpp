@@ -1,0 +1,136 @@
+#include "core/setchain_base.hpp"
+
+#include <algorithm>
+
+namespace setchain::core {
+
+SetchainServer::SetchainServer(ServerContext ctx, crypto::ProcessId id)
+    : ctx_(std::move(ctx)), id_(id) {}
+
+SetchainServer::Snapshot SetchainServer::get() const {
+  return Snapshot{&the_set_, &history_, epoch_, &proofs_};
+}
+
+bool SetchainServer::epoch_proven(std::uint64_t epoch_number) const {
+  if (epoch_number == 0 || epoch_number > proof_servers_.size()) return false;
+  return proof_servers_[epoch_number - 1].size() >= params().f + 1;
+}
+
+bool SetchainServer::in_the_set(ElementId id) const {
+  if (params().lean_state) return false;
+  return the_set_.contains(id);
+}
+
+bool SetchainServer::the_set_insert(ElementId id) {
+  if (params().lean_state) {
+    ++the_set_count_;
+    return true;
+  }
+  const bool inserted = the_set_.insert(id).second;
+  if (inserted) ++the_set_count_;
+  return inserted;
+}
+
+bool SetchainServer::in_history(ElementId id) const {
+  if (params().lean_state) return false;
+  return history_members_.contains(id);
+}
+
+std::vector<Element> SetchainServer::extract_new_valid(
+    const std::vector<Element>& es) const {
+  std::vector<Element> g;
+  g.reserve(es.size());
+  std::unordered_set<ElementId> in_g;
+  for (const auto& e : es) {
+    if (!valid_element(e, *ctx_.pki, fidelity())) continue;
+    if (in_history(e.id)) continue;
+    if (!params().lean_state && !in_g.insert(e.id).second) continue;
+    g.push_back(e);
+  }
+  return g;
+}
+
+EpochProof SetchainServer::consolidate(const std::vector<Element>& g,
+                                       sim::Time ledger_time) {
+  const std::uint64_t number = ++epoch_;
+
+  EpochRecord rec;
+  rec.number = number;
+  rec.count = g.size();
+  std::vector<std::pair<ElementId, std::uint64_t>> id_digests;
+  id_digests.reserve(g.size());
+  for (const auto& e : g) {
+    rec.bytes += e.wire_size;
+    id_digests.emplace_back(e.id, element_digest(e, fidelity()));
+  }
+  std::sort(id_digests.begin(), id_digests.end());
+  rec.hash = epoch_hash(number, id_digests, fidelity());
+  if (!params().lean_state) {
+    rec.ids.reserve(g.size());
+    for (const auto& [id, _] : id_digests) rec.ids.push_back(id);
+    for (const auto id : rec.ids) history_members_.insert(id);
+  }
+  history_.push_back(std::move(rec));
+  proofs_.emplace_back();
+  proof_servers_.emplace_back();
+
+  if (ctx_.recorder) {
+    ctx_.recorder->on_epoch_consolidated(number, history_.back().count,
+                                         history_.back().ids, ledger_time);
+  }
+  if (ctx_.on_epoch) {
+    // Hand elements over in canonical (id-sorted) order, matching rec.ids.
+    std::vector<Element> ordered = g;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Element& a, const Element& b) { return a.id < b.id; });
+    ctx_.on_epoch(history_.back(), ordered);
+  }
+
+  EpochProof p = make_epoch_proof(*ctx_.pki, id_, number, history_.back().hash,
+                                  fidelity());
+  if (byz_.corrupt_proofs) {
+    // Sign garbage: flip the hash (and re-sign it in full fidelity so the
+    // signature itself is fine but binds the wrong content).
+    EpochHash wrong = history_.back().hash;
+    wrong[0] ^= 0xFF;
+    p = make_epoch_proof(*ctx_.pki, id_, number, wrong, fidelity());
+  }
+
+  try_flush_pending_proofs(ledger_time);
+  return p;
+}
+
+void SetchainServer::absorb_proof(const EpochProof& p, sim::Time ledger_time) {
+  if (p.epoch == 0) return;
+  if (p.epoch > epoch_) {
+    // Not consolidated locally yet: park it (bounded against Byzantine
+    // epoch-number bombs).
+    if (p.epoch > epoch_ + kMaxPendingEpochAhead) return;
+    auto& bucket = pending_proofs_[p.epoch];
+    if (bucket.size() < 2 * params().n) bucket.push_back(p);
+    return;
+  }
+  const EpochRecord& rec = history_[p.epoch - 1];
+  if (!valid_proof(p, rec.hash, *ctx_.pki, fidelity())) return;
+  auto& servers = proof_servers_[p.epoch - 1];
+  if (!servers.insert(p.server).second) return;  // duplicate
+  proofs_[p.epoch - 1].push_back(p);
+  if (ctx_.recorder) ctx_.recorder->on_proof_on_ledger(p.epoch, p.server, ledger_time);
+}
+
+void SetchainServer::try_flush_pending_proofs(sim::Time ledger_time) {
+  auto it = pending_proofs_.find(epoch_);
+  if (it == pending_proofs_.end()) return;
+  const auto bucket = std::move(it->second);
+  pending_proofs_.erase(it);
+  for (const auto& p : bucket) absorb_proof(p, ledger_time);
+}
+
+sim::Time SetchainServer::cpu_acquire(sim::Time cost) {
+  if (!ctx_.cpus || ctx_.cpus->empty()) return now() + cost;
+  return (*ctx_.cpus)[id_].acquire(now(), cost);
+}
+
+sim::Time SetchainServer::now() const { return ctx_.sim ? ctx_.sim->now() : 0; }
+
+}  // namespace setchain::core

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/batch.hpp"
+#include "core/collector.hpp"
+#include "core/config.hpp"
+#include "ledger/ledger_node.hpp"
+#include "metrics/stage_recorder.hpp"
+#include "sim/network.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace setchain::core {
+
+struct EpochRecord;
+
+/// Wiring a server needs. Optional pieces may be null: `net`/`cpus` are
+/// absent in InstantLedger unit tests, `recorder` when metrics are off.
+struct ServerContext {
+  sim::Simulation* sim = nullptr;
+  sim::Network* net = nullptr;
+  ledger::IBlockLedger* ledger = nullptr;
+  crypto::Pki* pki = nullptr;
+  std::vector<sim::BusyResource>* cpus = nullptr;
+  metrics::StageRecorder* recorder = nullptr;
+  const SetchainParams* params = nullptr;
+  /// Associates a carrying ledger tx with the elements inside it (drives the
+  /// per-element mempool/ledger stage metrics). May be null.
+  std::function<void(ledger::TxIdx, const std::vector<ElementId>&)> register_tx_elements;
+
+  /// Fired by this server when it consolidates an epoch, with the full
+  /// element contents (in canonical order). The execution layer of
+  /// Appendix G subscribes here to run transactions sequentially per epoch.
+  /// May be null.
+  std::function<void(const EpochRecord&, const std::vector<Element>&)> on_epoch;
+};
+
+/// Application-level Byzantine behaviours for fault-injection tests.
+struct ServerByzantine {
+  bool refuse_batch_service = false;  ///< Hashchain: never serve Request_batch
+  bool corrupt_proofs = false;        ///< sign wrong epoch hashes
+  bool fake_hash_batches = false;     ///< announce hashes with no batch behind
+};
+
+/// One consolidated epoch as kept in `history`.
+struct EpochRecord {
+  std::uint64_t number = 0;
+  std::vector<ElementId> ids;  ///< sorted; empty under lean_state
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  EpochHash hash{};
+};
+
+/// Common state and helpers of the three Setchain algorithms (§2):
+/// the_set, history, epoch counter, and the epoch-proof set, plus the
+/// bookkeeping that must be identical across algorithms (canonical epoch
+/// hashing, proof validation/deferral, CPU accounting).
+class SetchainServer {
+ public:
+  SetchainServer(ServerContext ctx, crypto::ProcessId id);
+  virtual ~SetchainServer() = default;
+
+  SetchainServer(const SetchainServer&) = delete;
+  SetchainServer& operator=(const SetchainServer&) = delete;
+
+  /// S.add_v(e). Returns false when the element is invalid or already known
+  /// (the pseudocode's assert, made total).
+  virtual bool add(Element e) = 0;
+
+  /// S.get_v(): (the_set, history, epoch, proofs) — views into live state.
+  struct Snapshot {
+    const std::unordered_set<ElementId>* the_set;
+    const std::vector<EpochRecord>* history;
+    std::uint64_t epoch;
+    const std::vector<std::vector<EpochProof>>* proofs;  ///< index = epoch-1
+  };
+  Snapshot get() const;
+
+  crypto::ProcessId id() const { return id_; }
+  void set_byzantine(ServerByzantine b) { byz_ = b; }
+  const ServerByzantine& byzantine() const { return byz_; }
+
+  std::uint64_t the_set_size() const { return the_set_count_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// f+1 valid proofs present locally for epoch i? (client-side commit
+  /// criterion when talking to this single server).
+  bool epoch_proven(std::uint64_t epoch_number) const;
+
+ protected:
+  bool in_the_set(ElementId id) const;
+  /// Insert into the_set; false if already present. Under lean_state only a
+  /// counter is kept (workload ids are unique by construction).
+  bool the_set_insert(ElementId id);
+  bool in_history(ElementId id) const;
+
+  /// Filter a batch's elements down to the valid, not-yet-epoch'd ones
+  /// (dedup within the input too): the G of the pseudocode.
+  std::vector<Element> extract_new_valid(const std::vector<Element>& es) const;
+
+  /// Create epoch `epoch_+1` from G (callers guarantee determinism of G
+  /// across correct servers). Adds to history, notifies the recorder, and
+  /// returns this server's epoch-proof (possibly corrupted when Byzantine).
+  EpochProof consolidate(const std::vector<Element>& g, sim::Time ledger_time);
+
+  /// Validate an epoch-proof against local history and store it; proofs for
+  /// epochs not yet consolidated locally are parked and retried after each
+  /// consolidation. `ledger_time` feeds the commit metrics.
+  void absorb_proof(const EpochProof& p, sim::Time ledger_time);
+
+  /// Charge `cost` to this node's simulated CPU; returns completion time.
+  sim::Time cpu_acquire(sim::Time cost);
+
+  sim::Time now() const;
+  const SetchainParams& params() const { return *ctx_.params; }
+  Fidelity fidelity() const { return ctx_.params->fidelity; }
+
+  ServerContext ctx_;
+  crypto::ProcessId id_;
+  ServerByzantine byz_;
+
+  std::unordered_set<ElementId> the_set_;
+  std::uint64_t the_set_count_ = 0;
+  std::unordered_set<ElementId> history_members_;
+  std::vector<EpochRecord> history_;                ///< [i] = epoch i+1
+  std::vector<std::vector<EpochProof>> proofs_;     ///< by epoch
+  std::vector<std::unordered_set<crypto::ProcessId>> proof_servers_;
+  std::uint64_t epoch_ = 0;
+
+ private:
+  void try_flush_pending_proofs(sim::Time ledger_time);
+
+  /// Proofs received ahead of local consolidation of their epoch.
+  std::unordered_map<std::uint64_t, std::vector<EpochProof>> pending_proofs_;
+  static constexpr std::uint64_t kMaxPendingEpochAhead = 100'000;
+};
+
+}  // namespace setchain::core

@@ -1,0 +1,51 @@
+#include "crypto/bigint.hpp"
+
+namespace setchain::crypto {
+
+U512 mul_256(const U256& a, const U256& b) {
+  U512 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      carry += static_cast<unsigned __int128>(a.w[i]) * b.w[j] + r.w[i + j];
+      r.w[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    r.w[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  return r;
+}
+
+U256 mod_512(const U512& x, const U256& m) {
+  // Widen the modulus to 512 bits and do binary long division.
+  U512 rem = x;
+  U512 mod;
+  for (std::size_t i = 0; i < 4; ++i) mod.w[i] = m.w[i];
+
+  const std::size_t xb = rem.bit_length();
+  const std::size_t mb = mod.bit_length();
+  if (mb == 0) return U256::zero();  // degenerate; callers never pass m == 0
+  if (xb >= mb) {
+    for (std::size_t shift = xb - mb + 1; shift-- > 0;) {
+      const U512 shifted = mod.shl(shift);
+      if (rem >= shifted) rem.sub_in_place(shifted);
+    }
+  }
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.w[i] = rem.w[i];
+  return out;
+}
+
+U256 muladd_mod(const U256& a, const U256& b, const U256& c, const U256& m) {
+  U512 prod = mul_256(a, b);
+  // prod += c
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    carry += static_cast<unsigned __int128>(prod.w[i]) + (i < 4 ? c.w[i] : 0);
+    prod.w[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return mod_512(prod, m);
+}
+
+}  // namespace setchain::crypto

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::crypto {
+
+/// Fixed-width little-endian multiprecision unsigned integer (W 64-bit
+/// words). Used for Ed25519 scalar arithmetic mod the group order L; speed is
+/// not critical there (a handful of operations per signature), so clarity and
+/// obvious correctness win over limb tricks.
+template <std::size_t W>
+struct BigUInt {
+  std::array<std::uint64_t, W> w{};
+
+  static BigUInt zero() { return {}; }
+
+  static BigUInt from_u64(std::uint64_t v) {
+    BigUInt r;
+    r.w[0] = v;
+    return r;
+  }
+
+  /// Little-endian byte import (up to 8*W bytes).
+  static BigUInt from_bytes_le(codec::ByteView bytes) {
+    BigUInt r;
+    for (std::size_t i = 0; i < bytes.size() && i < 8 * W; ++i) {
+      r.w[i / 8] |= static_cast<std::uint64_t>(bytes[i]) << (8 * (i % 8));
+    }
+    return r;
+  }
+
+  /// Little-endian byte export (N bytes; high bytes beyond N must be zero
+  /// for a faithful roundtrip but are silently truncated here).
+  template <std::size_t N>
+  std::array<std::uint8_t, N> to_bytes_le() const {
+    std::array<std::uint8_t, N> out{};
+    for (std::size_t i = 0; i < N && i < 8 * W; ++i) {
+      out[i] = static_cast<std::uint8_t>(w[i / 8] >> (8 * (i % 8)));
+    }
+    return out;
+  }
+
+  bool is_zero() const {
+    for (auto x : w)
+      if (x != 0) return false;
+    return true;
+  }
+
+  int compare(const BigUInt& o) const {
+    for (std::size_t i = W; i-- > 0;) {
+      if (w[i] != o.w[i]) return w[i] < o.w[i] ? -1 : 1;
+    }
+    return 0;
+  }
+  bool operator<(const BigUInt& o) const { return compare(o) < 0; }
+  bool operator>=(const BigUInt& o) const { return compare(o) >= 0; }
+  bool operator==(const BigUInt& o) const { return compare(o) == 0; }
+
+  /// Index of highest set bit + 1 (0 for zero).
+  std::size_t bit_length() const {
+    for (std::size_t i = W; i-- > 0;) {
+      if (w[i] != 0) {
+        return 64 * i + (64 - static_cast<std::size_t>(__builtin_clzll(w[i])));
+      }
+    }
+    return 0;
+  }
+
+  bool bit(std::size_t i) const {
+    if (i >= 64 * W) return false;
+    return (w[i / 64] >> (i % 64)) & 1;
+  }
+
+  /// r = this + o (mod 2^(64W)); returns the carry out.
+  std::uint64_t add_in_place(const BigUInt& o) {
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < W; ++i) {
+      carry += static_cast<unsigned __int128>(w[i]) + o.w[i];
+      w[i] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    return static_cast<std::uint64_t>(carry);
+  }
+
+  /// r = this - o (mod 2^(64W)); returns the borrow out (1 if o > this).
+  std::uint64_t sub_in_place(const BigUInt& o) {
+    unsigned __int128 borrow = 0;
+    for (std::size_t i = 0; i < W; ++i) {
+      const unsigned __int128 lhs = w[i];
+      const unsigned __int128 rhs = static_cast<unsigned __int128>(o.w[i]) + borrow;
+      if (lhs >= rhs) {
+        w[i] = static_cast<std::uint64_t>(lhs - rhs);
+        borrow = 0;
+      } else {
+        w[i] = static_cast<std::uint64_t>((static_cast<unsigned __int128>(1) << 64) + lhs - rhs);
+        borrow = 1;
+      }
+    }
+    return static_cast<std::uint64_t>(borrow);
+  }
+
+  /// Left shift by k bits (drops overflow).
+  BigUInt shl(std::size_t k) const {
+    BigUInt r;
+    const std::size_t word_shift = k / 64;
+    const std::size_t bit_shift = k % 64;
+    for (std::size_t i = W; i-- > 0;) {
+      std::uint64_t v = 0;
+      if (i >= word_shift) {
+        v = w[i - word_shift] << bit_shift;
+        if (bit_shift > 0 && i > word_shift) {
+          v |= w[i - word_shift - 1] >> (64 - bit_shift);
+        }
+      }
+      r.w[i] = v;
+    }
+    return r;
+  }
+};
+
+using U256 = BigUInt<4>;
+using U512 = BigUInt<8>;
+
+/// Widening product of two 256-bit values.
+U512 mul_256(const U256& a, const U256& b);
+
+/// Reduce a 512-bit value modulo a <=256-bit modulus via binary long
+/// division. O(512) word ops; plenty fast for signing workloads.
+U256 mod_512(const U512& x, const U256& m);
+
+/// (a * b + c) mod m, all 256-bit.
+U256 muladd_mod(const U256& a, const U256& b, const U256& c, const U256& m);
+
+}  // namespace setchain::crypto

@@ -1,0 +1,105 @@
+#include "crypto/ed25519.hpp"
+
+#include "crypto/bigint.hpp"
+#include "crypto/ge25519.hpp"
+#include "crypto/sha512.hpp"
+
+namespace setchain::crypto {
+
+namespace {
+
+/// Group order L = 2^252 + 27742317777372353535851937790883648493.
+const U256& order_l() {
+  static const U256 kL = [] {
+    U256 l;
+    l.w[0] = 0x5812631A5CF5D3EDULL;
+    l.w[1] = 0x14DEF9DEA2F79CD6ULL;
+    l.w[2] = 0;
+    l.w[3] = 0x1000000000000000ULL;
+    return l;
+  }();
+  return kL;
+}
+
+U256 scalar_from_hash512(const Sha512::Digest& h) {
+  const U512 wide = U512::from_bytes_le(codec::ByteView(h.data(), h.size()));
+  return mod_512(wide, order_l());
+}
+
+struct ExpandedSecret {
+  U256 a;  ///< clamped scalar
+  std::array<std::uint8_t, 32> prefix;
+};
+
+ExpandedSecret expand(const Ed25519::Seed& seed) {
+  auto h = Sha512::hash(codec::ByteView(seed.data(), seed.size()));
+  h[0] &= 248;
+  h[31] &= 127;
+  h[31] |= 64;
+  ExpandedSecret out;
+  out.a = U256::from_bytes_le(codec::ByteView(h.data(), 32));
+  std::copy(h.begin() + 32, h.end(), out.prefix.begin());
+  return out;
+}
+
+}  // namespace
+
+Ed25519::PublicKey Ed25519::public_key(const Seed& seed) {
+  const auto secret = expand(seed);
+  return Ge::base().scalar_mul(secret.a).compress();
+}
+
+Ed25519::Signature Ed25519::sign(const Seed& seed, const PublicKey& pub,
+                                 codec::ByteView message) {
+  const auto secret = expand(seed);
+
+  Sha512 r_hash;
+  r_hash.update(codec::ByteView(secret.prefix.data(), secret.prefix.size()));
+  r_hash.update(message);
+  const U256 r = scalar_from_hash512(r_hash.finalize());
+
+  const auto r_enc = Ge::base().scalar_mul(r).compress();
+
+  Sha512 k_hash;
+  k_hash.update(codec::ByteView(r_enc.data(), r_enc.size()));
+  k_hash.update(codec::ByteView(pub.data(), pub.size()));
+  k_hash.update(message);
+  const U256 k = scalar_from_hash512(k_hash.finalize());
+
+  // S = (r + k*a) mod L
+  const U256 s = muladd_mod(k, secret.a, r, order_l());
+  const auto s_enc = s.to_bytes_le<32>();
+
+  Signature sig;
+  std::copy(r_enc.begin(), r_enc.end(), sig.begin());
+  std::copy(s_enc.begin(), s_enc.end(), sig.begin() + 32);
+  return sig;
+}
+
+bool Ed25519::verify(const PublicKey& pub, codec::ByteView message, const Signature& sig) {
+  const codec::ByteView r_bytes(sig.data(), 32);
+  const U256 s = U256::from_bytes_le(codec::ByteView(sig.data() + 32, 32));
+  if (!(s < order_l())) return false;  // non-canonical S (malleability guard)
+
+  const auto a_pt = Ge::decompress(codec::ByteView(pub.data(), pub.size()));
+  if (!a_pt) return false;
+  const auto r_pt = Ge::decompress(r_bytes);
+  if (!r_pt) return false;
+
+  Sha512 k_hash;
+  k_hash.update(r_bytes);
+  k_hash.update(codec::ByteView(pub.data(), pub.size()));
+  k_hash.update(message);
+  const U256 k = scalar_from_hash512(k_hash.finalize());
+
+  // Check S*B == R + k*A  <=>  S*B + k*(-A) == R.
+  const Ge sb = Ge::base().scalar_mul(s);
+  const Ge ka = a_pt->negate().scalar_mul(k);
+  const auto lhs = sb.add(ka).compress();
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (lhs[i] != r_bytes[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace setchain::crypto

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::crypto {
+
+/// Ed25519 (RFC 8032) built on the from-scratch SHA-512 / curve25519 code in
+/// this module. The paper signs epoch-proofs and hash-batches with ed25519;
+/// wire sizes (32-byte keys, 64-byte signatures) therefore match exactly.
+///
+/// Validated against the RFC 8032 test vectors in tests/crypto.
+struct Ed25519 {
+  static constexpr std::size_t kSeedSize = 32;
+  static constexpr std::size_t kPublicKeySize = 32;
+  static constexpr std::size_t kSignatureSize = 64;
+
+  using Seed = std::array<std::uint8_t, kSeedSize>;
+  using PublicKey = std::array<std::uint8_t, kPublicKeySize>;
+  using Signature = std::array<std::uint8_t, kSignatureSize>;
+
+  /// Derive the public key for a 32-byte seed (RFC 8032 "secret key").
+  static PublicKey public_key(const Seed& seed);
+
+  static Signature sign(const Seed& seed, const PublicKey& pub, codec::ByteView message);
+
+  /// Cofactorless verification: S*B == R + k*A with canonical-S check.
+  static bool verify(const PublicKey& pub, codec::ByteView message, const Signature& sig);
+};
+
+}  // namespace setchain::crypto

@@ -1,0 +1,229 @@
+#include "crypto/fe25519.hpp"
+
+#include <cstring>
+
+namespace setchain::crypto {
+
+namespace {
+
+constexpr std::uint64_t kMask = (std::uint64_t{1} << 51) - 1;
+
+inline std::uint64_t load64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian host assumed (x86/ARM); asserted in tests
+}
+
+/// Weak carry propagation: brings limbs below 2^52 (enough headroom for the
+/// next multiplication).
+inline void carry_weak(std::array<std::uint64_t, 5>& v) {
+  std::uint64_t c;
+  c = v[0] >> 51; v[0] &= kMask; v[1] += c;
+  c = v[1] >> 51; v[1] &= kMask; v[2] += c;
+  c = v[2] >> 51; v[2] &= kMask; v[3] += c;
+  c = v[3] >> 51; v[3] &= kMask; v[4] += c;
+  c = v[4] >> 51; v[4] &= kMask; v[0] += c * 19;
+  c = v[0] >> 51; v[0] &= kMask; v[1] += c;
+}
+
+}  // namespace
+
+Fe Fe::from_u64(std::uint64_t x) {
+  Fe r;
+  r.v[0] = x & kMask;
+  r.v[1] = x >> 51;
+  return r;
+}
+
+Fe Fe::from_bytes(codec::ByteView b) {
+  Fe r;
+  r.v[0] = load64(b.data()) & kMask;
+  r.v[1] = (load64(b.data() + 6) >> 3) & kMask;
+  r.v[2] = (load64(b.data() + 12) >> 6) & kMask;
+  r.v[3] = (load64(b.data() + 19) >> 1) & kMask;
+  r.v[4] = (load64(b.data() + 24) >> 12) & kMask;
+  return r;
+}
+
+std::array<std::uint8_t, 32> Fe::to_bytes() const {
+  std::array<std::uint64_t, 5> t = v;
+  carry_weak(t);
+  carry_weak(t);
+
+  // Freeze: add 19 and check whether the sum overflows 2^255; if so the
+  // value was >= p and we subtract p (i.e. keep the +19 and drop bit 255).
+  std::uint64_t q = (t[0] + 19) >> 51;
+  q = (t[1] + q) >> 51;
+  q = (t[2] + q) >> 51;
+  q = (t[3] + q) >> 51;
+  q = (t[4] + q) >> 51;
+
+  t[0] += 19 * q;
+  std::uint64_t c;
+  c = t[0] >> 51; t[0] &= kMask; t[1] += c;
+  c = t[1] >> 51; t[1] &= kMask; t[2] += c;
+  c = t[2] >> 51; t[2] &= kMask; t[3] += c;
+  c = t[3] >> 51; t[3] &= kMask; t[4] += c;
+  t[4] &= kMask;  // drop bit 255 (that subtracts 2^255, completing -p)
+
+  std::array<std::uint8_t, 32> out{};
+  const std::uint64_t w0 = t[0] | (t[1] << 51);
+  const std::uint64_t w1 = (t[1] >> 13) | (t[2] << 38);
+  const std::uint64_t w2 = (t[2] >> 26) | (t[3] << 25);
+  const std::uint64_t w3 = (t[3] >> 39) | (t[4] << 12);
+  std::memcpy(out.data() + 0, &w0, 8);
+  std::memcpy(out.data() + 8, &w1, 8);
+  std::memcpy(out.data() + 16, &w2, 8);
+  std::memcpy(out.data() + 24, &w3, 8);
+  return out;
+}
+
+bool Fe::is_zero() const {
+  const auto b = to_bytes();
+  for (auto x : b)
+    if (x != 0) return false;
+  return true;
+}
+
+bool Fe::is_negative() const { return to_bytes()[0] & 1; }
+
+Fe operator+(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  carry_weak(r.v);
+  return r;
+}
+
+Fe operator-(const Fe& a, const Fe& b) {
+  // a + 2p - b, limbwise, keeps everything nonnegative.
+  Fe r;
+  r.v[0] = a.v[0] + 0xFFFFFFFFFFFDAULL - b.v[0];
+  r.v[1] = a.v[1] + 0xFFFFFFFFFFFFEULL - b.v[1];
+  r.v[2] = a.v[2] + 0xFFFFFFFFFFFFEULL - b.v[2];
+  r.v[3] = a.v[3] + 0xFFFFFFFFFFFFEULL - b.v[3];
+  r.v[4] = a.v[4] + 0xFFFFFFFFFFFFEULL - b.v[4];
+  carry_weak(r.v);
+  return r;
+}
+
+Fe operator*(const Fe& a, const Fe& b) {
+  using u128 = unsigned __int128;
+  const std::uint64_t f0 = a.v[0], f1 = a.v[1], f2 = a.v[2], f3 = a.v[3], f4 = a.v[4];
+  const std::uint64_t g0 = b.v[0], g1 = b.v[1], g2 = b.v[2], g3 = b.v[3], g4 = b.v[4];
+
+  const u128 r0 = (u128)f0 * g0 +
+                  (u128)19 * ((u128)f1 * g4 + (u128)f2 * g3 + (u128)f3 * g2 + (u128)f4 * g1);
+  const u128 r1 = (u128)f0 * g1 + (u128)f1 * g0 +
+                  (u128)19 * ((u128)f2 * g4 + (u128)f3 * g3 + (u128)f4 * g2);
+  const u128 r2 = (u128)f0 * g2 + (u128)f1 * g1 + (u128)f2 * g0 +
+                  (u128)19 * ((u128)f3 * g4 + (u128)f4 * g3);
+  const u128 r3 = (u128)f0 * g3 + (u128)f1 * g2 + (u128)f2 * g1 + (u128)f3 * g0 +
+                  (u128)19 * ((u128)f4 * g4);
+  const u128 r4 = (u128)f0 * g4 + (u128)f1 * g3 + (u128)f2 * g2 + (u128)f3 * g1 +
+                  (u128)f4 * g0;
+
+  Fe out;
+  u128 c;
+  u128 t0 = r0, t1 = r1, t2 = r2, t3 = r3, t4 = r4;
+  c = t0 >> 51; t0 &= kMask; t1 += c;
+  c = t1 >> 51; t1 &= kMask; t2 += c;
+  c = t2 >> 51; t2 &= kMask; t3 += c;
+  c = t3 >> 51; t3 &= kMask; t4 += c;
+  c = t4 >> 51; t4 &= kMask; t0 += c * 19;
+  c = t0 >> 51; t0 &= kMask; t1 += c;
+
+  out.v[0] = static_cast<std::uint64_t>(t0);
+  out.v[1] = static_cast<std::uint64_t>(t1);
+  out.v[2] = static_cast<std::uint64_t>(t2);
+  out.v[3] = static_cast<std::uint64_t>(t3);
+  out.v[4] = static_cast<std::uint64_t>(t4);
+  return out;
+}
+
+Fe Fe::square() const { return *this * *this; }
+
+Fe Fe::negate() const { return Fe::zero() - *this; }
+
+Fe Fe::pow(const std::array<std::uint8_t, 32>& exp_le) const {
+  Fe result = Fe::one();
+  bool started = false;
+  for (int bit = 255; bit >= 0; --bit) {
+    if (started) result = result.square();
+    const bool set = (exp_le[static_cast<std::size_t>(bit / 8)] >> (bit % 8)) & 1;
+    if (set) {
+      if (started) {
+        result = result * *this;
+      } else {
+        result = *this;
+        started = true;
+      }
+    }
+  }
+  return started ? result : Fe::one();
+}
+
+namespace {
+std::array<std::uint8_t, 32> exp_bytes(std::uint8_t lowest, std::uint8_t highest) {
+  std::array<std::uint8_t, 32> e;
+  e.fill(0xFF);
+  e[0] = lowest;
+  e[31] = highest;
+  return e;
+}
+}  // namespace
+
+Fe Fe::invert() const {
+  // p - 2 = 2^255 - 21
+  return pow(exp_bytes(0xEB, 0x7F));
+}
+
+bool Fe::equals(const Fe& o) const { return to_bytes() == o.to_bytes(); }
+
+namespace fe_const {
+
+const Fe& d() {
+  static const Fe kD = [] {
+    const Fe num = Fe::from_u64(121665).negate();
+    const Fe den = Fe::from_u64(121666).invert();
+    return num * den;
+  }();
+  return kD;
+}
+
+const Fe& d2() {
+  static const Fe kD2 = d() + d();
+  return kD2;
+}
+
+const Fe& sqrt_m1() {
+  // 2^((p-1)/4), (p-1)/4 = 2^253 - 5
+  static const Fe kSqrtM1 = Fe::from_u64(2).pow(exp_bytes(0xFB, 0x1F));
+  return kSqrtM1;
+}
+
+}  // namespace fe_const
+
+bool fe_sqrt_ratio(const Fe& u, const Fe& v, Fe& x) {
+  // RFC 8032 section 5.1.3: candidate root of u/v.
+  const Fe v3 = v.square() * v;
+  const Fe v7 = v3.square() * v;
+  // (p-5)/8 = 2^252 - 3
+  std::array<std::uint8_t, 32> e;
+  e.fill(0xFF);
+  e[0] = 0xFD;
+  e[31] = 0x0F;
+  Fe cand = u * v3 * (u * v7).pow(e);
+
+  const Fe check = v * cand.square();
+  if (check.equals(u)) {
+    x = cand;
+    return true;
+  }
+  if (check.equals(u.negate())) {
+    x = cand * fe_const::sqrt_m1();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace setchain::crypto

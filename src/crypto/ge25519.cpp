@@ -1,0 +1,89 @@
+#include "crypto/ge25519.hpp"
+
+namespace setchain::crypto {
+
+Ge Ge::identity() {
+  return Ge{Fe::zero(), Fe::one(), Fe::one(), Fe::zero()};
+}
+
+const Ge& Ge::base() {
+  static const Ge kBase = [] {
+    // y = 4/5 mod p; x recovered with even parity (the standard B).
+    const Fe y = Fe::from_u64(4) * Fe::from_u64(5).invert();
+    auto enc = y.to_bytes();  // sign bit 0 -> even x
+    const auto p = Ge::decompress(codec::ByteView(enc.data(), enc.size()));
+    return *p;  // must exist; validated by RFC 8032 vectors in tests
+  }();
+  return kBase;
+}
+
+Ge Ge::add(const Ge& o) const {
+  // add-2008-hwcd-3 for a = -1 twisted Edwards (unified, complete).
+  const Fe A = (Y - X) * (o.Y - o.X);
+  const Fe B = (Y + X) * (o.Y + o.X);
+  const Fe C = T * fe_const::d2() * o.T;
+  const Fe D = (Z + Z) * o.Z;
+  const Fe E = B - A;
+  const Fe F = D - C;
+  const Fe G = D + C;
+  const Fe H = B + A;
+  return Ge{E * F, G * H, F * G, E * H};
+}
+
+Ge Ge::dbl() const {
+  // dbl-2008-hwcd for a = -1.
+  const Fe A = X.square();
+  const Fe B = Y.square();
+  const Fe C = Z.square() + Z.square();
+  const Fe D = A.negate();
+  const Fe E = (X + Y).square() - A - B;
+  const Fe G = D + B;
+  const Fe F = G - C;
+  const Fe H = D - B;
+  return Ge{E * F, G * H, F * G, E * H};
+}
+
+Ge Ge::negate() const { return Ge{X.negate(), Y, Z, T.negate()}; }
+
+Ge Ge::scalar_mul(const U256& k) const {
+  Ge acc = Ge::identity();
+  const std::size_t bits = k.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = acc.dbl();
+    if (k.bit(i)) acc = acc.add(*this);
+  }
+  return acc;
+}
+
+std::array<std::uint8_t, 32> Ge::compress() const {
+  const Fe zinv = Z.invert();
+  const Fe x = X * zinv;
+  const Fe y = Y * zinv;
+  auto out = y.to_bytes();
+  if (x.is_negative()) out[31] |= 0x80;
+  return out;
+}
+
+std::optional<Ge> Ge::decompress(codec::ByteView b) {
+  if (b.size() != 32) return std::nullopt;
+  const bool sign = (b[31] & 0x80) != 0;
+  const Fe y = Fe::from_bytes(b);
+
+  // x^2 = (y^2 - 1) / (d*y^2 + 1)
+  const Fe y2 = y.square();
+  const Fe u = y2 - Fe::one();
+  const Fe v = fe_const::d() * y2 + Fe::one();
+  Fe x;
+  if (!fe_sqrt_ratio(u, v, x)) return std::nullopt;
+  if (x.is_zero() && sign) return std::nullopt;  // -0 is not a valid encoding
+  if (x.is_negative() != sign) x = x.negate();
+
+  Ge p;
+  p.X = x;
+  p.Y = y;
+  p.Z = Fe::one();
+  p.T = x * y;
+  return p;
+}
+
+}  // namespace setchain::crypto

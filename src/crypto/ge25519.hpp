@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+#include "crypto/bigint.hpp"
+#include "crypto/fe25519.hpp"
+
+namespace setchain::crypto {
+
+/// Point on edwards25519 in extended homogeneous coordinates
+/// (X : Y : Z : T) with x = X/Z, y = Y/Z, x*y = T/Z.
+struct Ge {
+  Fe X, Y, Z, T;
+
+  static Ge identity();
+  /// The standard base point B (y = 4/5, x even), derived at first use.
+  static const Ge& base();
+
+  Ge add(const Ge& o) const;
+  Ge dbl() const;
+  Ge negate() const;
+
+  /// Scalar multiplication, plain double-and-add over 256 bits.
+  Ge scalar_mul(const U256& k) const;
+
+  /// Compressed 32-byte encoding: y with the sign of x in the top bit.
+  std::array<std::uint8_t, 32> compress() const;
+
+  /// Decompress; rejects non-curve points and the x==0/sign==1 encoding.
+  static std::optional<Ge> decompress(codec::ByteView bytes32);
+};
+
+}  // namespace setchain::crypto

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::crypto {
+
+/// HMAC (RFC 2104) over any hash with the Sha256/Sha512-style interface
+/// (kDigestSize, update, finalize, block size deduced from the context
+/// buffer). Validated against RFC 4231 vectors.
+template <typename Hash, std::size_t BlockSize>
+std::array<std::uint8_t, Hash::kDigestSize> hmac(codec::ByteView key,
+                                                 codec::ByteView message) {
+  std::array<std::uint8_t, BlockSize> k_block{};
+  if (key.size() > BlockSize) {
+    const auto digest = Hash::hash(key);
+    std::copy(digest.begin(), digest.end(), k_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k_block.begin());
+  }
+
+  std::array<std::uint8_t, BlockSize> ipad{};
+  std::array<std::uint8_t, BlockSize> opad{};
+  for (std::size_t i = 0; i < BlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Hash inner;
+  inner.update(codec::ByteView(ipad.data(), ipad.size()));
+  inner.update(message);
+  const auto inner_digest = inner.finalize();
+
+  Hash outer;
+  outer.update(codec::ByteView(opad.data(), opad.size()));
+  outer.update(codec::ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+}  // namespace setchain::crypto

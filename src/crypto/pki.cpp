@@ -1,0 +1,55 @@
+#include "crypto/pki.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha512.hpp"
+
+namespace setchain::crypto {
+
+Pki::Pki(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+const Ed25519::PublicKey& Pki::register_process(ProcessId id) {
+  auto it = keys_.find(id);
+  if (it != keys_.end()) return it->second.pub;
+
+  // seed = SHA-512(master_seed || id)[0..32): deterministic, collision-free
+  // per process.
+  codec::Bytes material;
+  codec::append_u64le(material, master_seed_);
+  codec::append_u32le(material, id);
+  const auto digest = Sha512::hash(material);
+
+  Entry e;
+  std::copy(digest.begin(), digest.begin() + 32, e.seed.begin());
+  e.pub = Ed25519::public_key(e.seed);
+  auto [pos, _] = keys_.emplace(id, e);
+  return pos->second.pub;
+}
+
+const Ed25519::PublicKey& Pki::public_key(ProcessId id) const {
+  auto it = keys_.find(id);
+  if (it == keys_.end()) throw std::out_of_range("Pki: unknown process");
+  return it->second.pub;
+}
+
+Ed25519::Signature Pki::sign(ProcessId id, codec::ByteView message) const {
+  auto it = keys_.find(id);
+  if (it == keys_.end()) throw std::out_of_range("Pki: unknown process");
+  return Ed25519::sign(it->second.seed, it->second.pub, message);
+}
+
+bool Pki::verify(ProcessId id, codec::ByteView message,
+                 const Ed25519::Signature& sig) const {
+  auto it = keys_.find(id);
+  if (it == keys_.end()) return false;
+  return Ed25519::verify(it->second.pub, message, sig);
+}
+
+std::vector<ProcessId> Pki::processes() const {
+  std::vector<ProcessId> out;
+  out.reserve(keys_.size());
+  for (const auto& [id, _] : keys_) out.push_back(id);
+  return out;
+}
+
+}  // namespace setchain::crypto

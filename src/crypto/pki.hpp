@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/ed25519.hpp"
+
+namespace setchain::crypto {
+
+/// Process identifier in the Setchain system model: servers and clients are
+/// both "processes" with keys in the PKI.
+using ProcessId = std::uint32_t;
+
+/// Public-key infrastructure from the paper's system model: every process
+/// has a keypair and knows everyone's public key. Keys are derived
+/// deterministically from a master seed so simulation runs are reproducible.
+class Pki {
+ public:
+  explicit Pki(std::uint64_t master_seed);
+
+  /// Create (or return the existing) keypair for a process.
+  const Ed25519::PublicKey& register_process(ProcessId id);
+
+  bool knows(ProcessId id) const { return keys_.contains(id); }
+  const Ed25519::PublicKey& public_key(ProcessId id) const;
+
+  /// Sign on behalf of a registered process (the simulation holds all seeds;
+  /// a real deployment would keep them per-host).
+  Ed25519::Signature sign(ProcessId id, codec::ByteView message) const;
+
+  /// Verify a signature allegedly from `id`. Unknown processes fail.
+  bool verify(ProcessId id, codec::ByteView message, const Ed25519::Signature& sig) const;
+
+  std::vector<ProcessId> processes() const;
+
+ private:
+  struct Entry {
+    Ed25519::Seed seed;
+    Ed25519::PublicKey pub;
+  };
+  std::uint64_t master_seed_;
+  std::unordered_map<ProcessId, Entry> keys_;
+};
+
+}  // namespace setchain::crypto

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::crypto {
+
+/// SHA-256 (FIPS 180-4), implemented from scratch and validated against the
+/// NIST test vectors in tests/crypto/sha_test.cpp.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+  void update(codec::ByteView data);
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(codec::ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace setchain::crypto

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::crypto {
+
+/// SHA-512 (FIPS 180-4), the hash the paper uses for epoch hashes and
+/// hash-batches. Implemented from scratch; validated against NIST vectors.
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512();
+  void update(codec::ByteView data);
+  Digest finalize();
+
+  static Digest hash(codec::ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, 128> buffer_;
+  std::size_t buffer_len_ = 0;
+  // 128-bit message length counter per FIPS 180-4; low word is enough for
+  // any realistic input but we keep both for spec fidelity.
+  std::uint64_t total_lo_ = 0;
+  std::uint64_t total_hi_ = 0;
+};
+
+}  // namespace setchain::crypto

@@ -1,0 +1,41 @@
+#include "exec/executor.hpp"
+
+namespace setchain::exec {
+
+void EpochExecutor::on_epoch(const core::EpochRecord& record,
+                             const std::vector<core::Element>& elements) {
+  std::uint64_t position = 0;
+  for (const auto& element : elements) {
+    ExecutedTx rec;
+    rec.element = element.id;
+    rec.epoch = record.number;
+
+    const auto parsed = parse_token_tx(element.payload);
+    if (!parsed) {
+      rec.verdict = VoidReason::kMalformedPayload;
+    } else {
+      rec.tx = *parsed;
+      const auto owner = owners_.find(parsed->from);
+      if (owner != owners_.end() && owner->second != element.client) {
+        rec.verdict = VoidReason::kUnauthorized;
+      } else if (cfg_.max_txs_per_epoch != 0 && position >= cfg_.max_txs_per_epoch) {
+        // Deterministic overflow cut: the same transactions are voided at
+        // every correct server because epoch order is canonical.
+        rec.verdict = VoidReason::kEpochLimitExceeded;
+      } else {
+        rec.verdict = state_.apply(*parsed);
+      }
+    }
+    ++position;
+    if (rec.verdict == VoidReason::kNone) {
+      ++executed_;
+    } else {
+      ++voided_;
+    }
+    log_.push_back(rec);
+  }
+  ++epochs_executed_;
+  epoch_roots_.push_back(state_.state_root());
+}
+
+}  // namespace setchain::exec

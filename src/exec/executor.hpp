@@ -1,0 +1,85 @@
+#pragma once
+
+#include <deque>
+
+#include "core/setchain_base.hpp"
+#include "exec/state.hpp"
+
+namespace setchain::exec {
+
+/// Appendix G: turning the Setchain into a fully functional blockchain.
+///
+/// (1) When elements are added and epochs are created, each transaction is
+///     validated "optimistically by itself ... in parallel, ignoring its
+///     semantics" — that is the ordinary Setchain pipeline (signature and
+///     syntax checks in valid_element).
+/// (2) "After each epoch is consolidated and its transactions ordered, the
+///     effect of its transactions can be computed (sequentially) in its
+///     actual final position. If a transaction is determined to be invalid
+///     it is marked as void."
+///
+/// One EpochExecutor attaches per server (via ServerContext::on_epoch) and
+/// replays consolidated epochs in order against a deterministic LedgerState.
+/// Because all correct servers consolidate identical epochs in the same
+/// order (Property 6), their executors reach identical state roots —
+/// asserted in tests/exec.
+class EpochExecutor {
+ public:
+  struct Config {
+    /// Epoch execution cap, mirroring the paper's note that "large epochs
+    /// may require large computational resources ... it may be required to
+    /// limit epoch sizes" (like Ethereum's block limits). Transactions past
+    /// the cap are voided deterministically. 0 = unlimited.
+    std::uint64_t max_txs_per_epoch = 0;
+  };
+
+  EpochExecutor() = default;
+  explicit EpochExecutor(Config cfg) : cfg_(cfg) {}
+
+  /// Seed an account before execution starts (must be identical across
+  /// servers, like any genesis).
+  void genesis(AccountId account, Amount amount) { state_.genesis(account, amount); }
+
+  /// Bind an account to the client key allowed to spend from it. Transfers
+  /// from an owned account inside an element signed by a different client
+  /// are voided (kUnauthorized). Unowned accounts are permissive (demo
+  /// faucets). Must be configured identically across servers.
+  void set_owner(AccountId account, crypto::ProcessId client) {
+    owners_[account] = client;
+  }
+
+  /// Consume one consolidated epoch (elements in canonical order). Wire this
+  /// to ServerContext::on_epoch. Epochs must arrive in increasing order.
+  void on_epoch(const core::EpochRecord& record, const std::vector<core::Element>& elements);
+
+  /// Record of one executed transaction.
+  struct ExecutedTx {
+    core::ElementId element = 0;
+    std::uint64_t epoch = 0;
+    TokenTx tx;
+    VoidReason verdict = VoidReason::kNone;
+  };
+
+  const LedgerState& state() const { return state_; }
+  LedgerState::StateRoot state_root() const { return state_.state_root(); }
+  std::uint64_t epochs_executed() const { return epochs_executed_; }
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t voided() const { return voided_; }
+  const std::deque<ExecutedTx>& log() const { return log_; }
+
+  /// State root after each executed epoch (index i = epoch i+1), so light
+  /// clients can check per-epoch roots like block hashes.
+  const std::vector<LedgerState::StateRoot>& epoch_roots() const { return epoch_roots_; }
+
+ private:
+  Config cfg_{};
+  LedgerState state_;
+  std::unordered_map<AccountId, crypto::ProcessId> owners_;
+  std::uint64_t epochs_executed_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t voided_ = 0;
+  std::deque<ExecutedTx> log_;
+  std::vector<LedgerState::StateRoot> epoch_roots_;
+};
+
+}  // namespace setchain::exec

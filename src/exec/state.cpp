@@ -1,0 +1,73 @@
+#include "exec/state.hpp"
+
+namespace setchain::exec {
+
+const char* void_reason_name(VoidReason r) {
+  switch (r) {
+    case VoidReason::kNone:
+      return "ok";
+    case VoidReason::kMalformedPayload:
+      return "malformed payload";
+    case VoidReason::kUnknownSender:
+      return "unknown sender";
+    case VoidReason::kBadNonce:
+      return "bad nonce";
+    case VoidReason::kInsufficientFunds:
+      return "insufficient funds";
+    case VoidReason::kSelfTransfer:
+      return "self transfer";
+    case VoidReason::kEpochLimitExceeded:
+      return "epoch execution limit exceeded";
+    case VoidReason::kUnauthorized:
+      return "unauthorized signer";
+  }
+  return "?";
+}
+
+void LedgerState::genesis(AccountId account, Amount amount) {
+  accounts_[account].balance += amount;
+  total_supply_ += amount;
+}
+
+VoidReason LedgerState::apply(const TokenTx& tx) {
+  if (tx.from == tx.to) return VoidReason::kSelfTransfer;
+  auto from_it = accounts_.find(tx.from);
+  if (from_it == accounts_.end()) return VoidReason::kUnknownSender;
+  Account& from = from_it->second;
+  if (tx.nonce != from.next_nonce) return VoidReason::kBadNonce;
+  if (from.balance < tx.amount) {
+    // A bad-amount transfer still burns the nonce: replaying it later must
+    // not succeed (the sender signed and published it).
+    ++from.next_nonce;
+    return VoidReason::kInsufficientFunds;
+  }
+  ++from.next_nonce;
+  from.balance -= tx.amount;
+  accounts_[tx.to].balance += tx.amount;
+  return VoidReason::kNone;
+}
+
+Amount LedgerState::balance(AccountId account) const {
+  auto it = accounts_.find(account);
+  return it == accounts_.end() ? 0 : it->second.balance;
+}
+
+std::uint64_t LedgerState::nonce(AccountId account) const {
+  auto it = accounts_.find(account);
+  return it == accounts_.end() ? 0 : it->second.next_nonce;
+}
+
+LedgerState::StateRoot LedgerState::state_root() const {
+  crypto::Sha256 h;
+  codec::Writer w;
+  w.varint(accounts_.size());
+  for (const auto& [id, acct] : accounts_) {  // std::map: sorted, canonical
+    w.u64le(id);
+    w.u64le(acct.balance);
+    w.u64le(acct.next_nonce);
+  }
+  h.update(w.buffer());
+  return h.finalize();
+}
+
+}  // namespace setchain::exec

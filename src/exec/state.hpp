@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "exec/token_tx.hpp"
+
+namespace setchain::exec {
+
+/// Why a transaction was voided during sequential execution (Appendix G:
+/// "If a transaction is determined to be invalid it is marked as void").
+enum class VoidReason : std::uint8_t {
+  kNone = 0,
+  kMalformedPayload,
+  kUnknownSender,
+  kBadNonce,
+  kInsufficientFunds,
+  kSelfTransfer,
+  kEpochLimitExceeded,
+  kUnauthorized,
+};
+
+const char* void_reason_name(VoidReason r);
+
+struct Account {
+  Amount balance = 0;
+  std::uint64_t next_nonce = 0;
+};
+
+/// Deterministic token-ledger state. Accounts live in an ordered map so the
+/// state root (SHA-256 over the sorted account list) is canonical; all
+/// correct servers executing the same epochs reach identical roots.
+class LedgerState {
+ public:
+  using StateRoot = crypto::Sha256::Digest;
+
+  /// Credit the genesis allocation (used before any epoch executes).
+  void genesis(AccountId account, Amount amount);
+
+  /// Apply one transaction; returns kNone on success, otherwise the state is
+  /// untouched and the reason reported.
+  VoidReason apply(const TokenTx& tx);
+
+  Amount balance(AccountId account) const;
+  std::uint64_t nonce(AccountId account) const;
+  Amount total_supply() const { return total_supply_; }
+  std::size_t account_count() const { return accounts_.size(); }
+
+  StateRoot state_root() const;
+
+ private:
+  std::map<AccountId, Account> accounts_;
+  Amount total_supply_ = 0;
+};
+
+}  // namespace setchain::exec

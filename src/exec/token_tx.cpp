@@ -1,0 +1,48 @@
+#include "exec/token_tx.hpp"
+
+namespace setchain::exec {
+
+void serialize_token_tx(codec::Writer& w, const TokenTx& tx) {
+  w.u8(kTokenTxTag);
+  w.u64le(tx.from);
+  w.u64le(tx.to);
+  w.u64le(tx.amount);
+  w.u64le(tx.nonce);
+}
+
+std::optional<TokenTx> parse_token_tx(codec::ByteView payload) {
+  codec::Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTokenTxTag) return std::nullopt;
+  TokenTx tx;
+  const auto from = r.u64le();
+  const auto to = r.u64le();
+  const auto amount = r.u64le();
+  const auto nonce = r.u64le();
+  if (!from || !to || !amount || !nonce) return std::nullopt;
+  tx.from = *from;
+  tx.to = *to;
+  tx.amount = *amount;
+  tx.nonce = *nonce;
+  return tx;
+}
+
+core::Element make_token_element(const crypto::Pki& pki, crypto::ProcessId client,
+                                 std::uint64_t seq, const TokenTx& tx) {
+  core::Element e;
+  e.client = client;
+  e.id = core::make_element_id(client, seq);
+  codec::Writer payload;
+  serialize_token_tx(payload, tx);
+  e.payload = payload.take();
+  codec::Writer signing;
+  signing.u64le(e.id);
+  signing.bytes(e.payload);
+  e.sig = pki.sign(client, signing.buffer());
+  codec::Writer wire;
+  core::serialize_element(wire, e);
+  e.wire_size = static_cast<std::uint32_t>(wire.size());
+  return e;
+}
+
+}  // namespace setchain::exec

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "codec/byte_io.hpp"
+#include "core/element.hpp"
+#include "crypto/pki.hpp"
+
+namespace setchain::exec {
+
+/// Appendix G extends Setchain to a fully functional blockchain: elements
+/// carry transactions with semantics, each transaction is validated
+/// optimistically (in parallel, signature + syntax) when added, and the
+/// *effects* are computed sequentially once its epoch consolidates. This
+/// module implements that extension for a token-transfer state machine.
+
+using AccountId = std::uint64_t;
+using Amount = std::uint64_t;
+
+/// A signed token transfer riding inside a Setchain element payload.
+struct TokenTx {
+  AccountId from = 0;
+  AccountId to = 0;
+  Amount amount = 0;
+  std::uint64_t nonce = 0;  ///< per-sender, strictly increasing from 0
+
+  bool operator==(const TokenTx&) const = default;
+};
+
+constexpr std::uint8_t kTokenTxTag = 0x54;  // 'T'
+
+/// Payload layout: tag(1) from(8) to(8) amount(8) nonce(8).
+void serialize_token_tx(codec::Writer& w, const TokenTx& tx);
+std::optional<TokenTx> parse_token_tx(codec::ByteView payload);
+
+/// Wrap a TokenTx into a signed Setchain element on behalf of `client`.
+/// The element id encodes (client, seq) as usual; the payload is the
+/// serialized transaction.
+core::Element make_token_element(const crypto::Pki& pki, crypto::ProcessId client,
+                                 std::uint64_t seq, const TokenTx& tx);
+
+}  // namespace setchain::exec

@@ -1,0 +1,250 @@
+#include "ledger/consensus.hpp"
+
+#include <cassert>
+
+namespace setchain::ledger {
+
+CometbftSim::CometbftSim(sim::Simulation& sim, sim::Network& net,
+                         std::vector<sim::BusyResource>& cpus, ConsensusConfig cfg,
+                         LedgerHooks hooks)
+    : sim_(sim),
+      net_(net),
+      cpus_(cpus),
+      cfg_(cfg),
+      hooks_(std::move(hooks)),
+      quorum_(2 * ((cfg.n - 1) / 3) + 1),
+      mempools_(cfg.n, Mempool(cfg.mempool)),
+      app_cbs_(cfg.n),
+      byzantine_(cfg.n),
+      next_deliver_(cfg.n, 1),
+      deliver_buffer_(cfg.n) {
+  assert(cpus_.size() >= cfg_.n);
+}
+
+void CometbftSim::set_byzantine(sim::NodeId node, LedgerByzantineConfig cfg) {
+  byzantine_.at(node) = std::move(cfg);
+}
+
+void CometbftSim::on_new_block(sim::NodeId node, std::function<void(const Block&)> cb) {
+  app_cbs_.at(node) = std::move(cb);
+}
+
+void CometbftSim::start() {
+  if (started_) return;
+  started_ = true;
+  last_scheduled_height_ = next_height_;
+  schedule_propose(next_height_, 0, sim_.now() + cfg_.block_interval);
+}
+
+TxIdx CometbftSim::append(sim::NodeId origin, Transaction tx) {
+  const TxIdx idx = table_.add(std::move(tx));
+  const Transaction& stored = table_.get(idx);
+
+  // CheckTx at the origin node (CPU-modeled), then mempool insert + gossip.
+  const sim::Time cost = hooks_.check_tx_cost ? hooks_.check_tx_cost(stored) : 0;
+  const sim::Time done = cpus_[origin].acquire(sim_.now(), cost);
+  sim_.schedule_at(done, [this, origin, idx] {
+    const Transaction& tx = table_.get(idx);
+    if (hooks_.check_tx && !hooks_.check_tx(tx)) return;  // rejected locally
+    accept_into_mempool(origin, idx);
+    // Disseminate to every peer (see class comment on the gossip model).
+    for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
+      if (peer == origin) continue;
+      net_.send(origin, peer, tx.wire_size, [this, peer, idx] {
+        const Transaction& tx = table_.get(idx);
+        const sim::Time cost = hooks_.check_tx_cost ? hooks_.check_tx_cost(tx) : 0;
+        const sim::Time done = cpus_[peer].acquire(sim_.now(), cost);
+        sim_.schedule_at(done, [this, peer, idx] {
+          const Transaction& tx = table_.get(idx);
+          if (hooks_.check_tx && !hooks_.check_tx(tx)) return;
+          accept_into_mempool(peer, idx);
+        });
+      });
+    }
+  });
+  return idx;
+}
+
+void CometbftSim::accept_into_mempool(sim::NodeId node, TxIdx idx) {
+  if (!mempools_[node].add(idx, table_.get(idx))) return;
+  if (hooks_.on_mempool_add) hooks_.on_mempool_add(node, idx, sim_.now());
+  // A waiting proposer (empty mempool, create_empty_blocks=false) wakes up
+  // as soon as the first transaction lands.
+  if (waiting_for_txs_ && node == proposer_for(next_height_, current_round_)) {
+    waiting_for_txs_ = false;
+    schedule_propose(next_height_, current_round_,
+                     std::max(sim_.now(), earliest_propose_));
+  }
+}
+
+void CometbftSim::schedule_propose(std::uint64_t height, std::uint32_t round,
+                                   sim::Time at) {
+  earliest_propose_ = at;
+  sim_.schedule_at(at, [this, height, round] { try_propose(height, round); });
+}
+
+CometbftSim::HeightState& CometbftSim::height_state(std::uint64_t height) {
+  auto it = inflight_.find(height);
+  if (it == inflight_.end()) {
+    HeightState st;
+    st.has_proposal.assign(cfg_.n, 0);
+    st.prevotes.assign(cfg_.n, 0);
+    st.precommits.assign(cfg_.n, 0);
+    st.sent_prevote.assign(cfg_.n, 0);
+    st.sent_precommit.assign(cfg_.n, 0);
+    st.committed.assign(cfg_.n, 0);
+    it = inflight_.emplace(height, std::move(st)).first;
+  }
+  return it->second;
+}
+
+void CometbftSim::try_propose(std::uint64_t height, std::uint32_t round) {
+  if (height != next_height_ || round != current_round_) return;  // stale event
+  const sim::NodeId proposer = proposer_for(height, round);
+
+  if (byzantine_[proposer].silent_proposer) {
+    // Correct nodes time out waiting for the proposal and move to the next
+    // round with the next proposer (Tendermint round skip).
+    current_round_ = round + 1;
+    schedule_propose(height, current_round_, sim_.now() + cfg_.timeout_propose);
+    return;
+  }
+
+  std::vector<TxIdx> txs =
+      mempools_[proposer].reap(table_, cfg_.max_block_bytes, &proposed_);
+  if (txs.empty() && !cfg_.create_empty_blocks &&
+      byzantine_[proposer].garbage_txs_per_block == 0) {
+    waiting_for_txs_ = true;  // woken by accept_into_mempool
+    return;
+  }
+
+  // Byzantine proposers may slip arbitrary transactions into their own
+  // blocks without CheckTx (the application layer must survive this).
+  std::uint64_t bytes = cfg_.proposal_overhead;
+  for (std::uint32_t i = 0; i < byzantine_[proposer].garbage_txs_per_block; ++i) {
+    if (!byzantine_[proposer].make_garbage) break;
+    txs.push_back(table_.add(byzantine_[proposer].make_garbage()));
+  }
+  for (const TxIdx idx : txs) {
+    bytes += table_.get(idx).wire_size;
+    if (idx >= proposed_.size()) proposed_.resize(idx + 1, false);
+    proposed_[idx] = true;
+  }
+
+  auto block = std::make_shared<Block>();
+  block->height = height;
+  block->proposer = proposer;
+  block->proposed_at = sim_.now();
+  block->txs = std::move(txs);
+  block->bytes = bytes;
+
+  HeightState& st = height_state(height);
+  st.block = block;
+
+  // The next height is scheduled when its proposer commits this block (see
+  // commit_at): cadence = max(block_interval, consensus latency +
+  // timeout_commit), like CometBFT.
+  next_height_ = height + 1;
+  current_round_ = 0;
+
+  // Proposal dissemination, then two all-to-all vote rounds.
+  deliver_proposal(proposer, height);
+  for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
+    if (peer == proposer) continue;
+    net_.send(proposer, peer, bytes, [this, peer, height] {
+      deliver_proposal(peer, height);
+    });
+  }
+}
+
+void CometbftSim::deliver_proposal(sim::NodeId node, std::uint64_t height) {
+  HeightState& st = height_state(height);
+  if (st.has_proposal[node]) return;
+  st.has_proposal[node] = 1;
+  if (st.sent_prevote[node]) return;
+  st.sent_prevote[node] = 1;
+  deliver_prevote(node, height);  // own vote counts immediately
+  for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
+    if (peer == node) continue;
+    net_.send(node, peer, cfg_.vote_size,
+              [this, peer, height] { deliver_prevote(peer, height); });
+  }
+}
+
+void CometbftSim::deliver_prevote(sim::NodeId node, std::uint64_t height) {
+  HeightState& st = height_state(height);
+  ++st.prevotes[node];
+  if (st.prevotes[node] >= quorum_ && st.has_proposal[node] && !st.sent_precommit[node]) {
+    st.sent_precommit[node] = 1;
+    deliver_precommit(node, height);
+    for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
+      if (peer == node) continue;
+      net_.send(node, peer, cfg_.vote_size,
+                [this, peer, height] { deliver_precommit(peer, height); });
+    }
+  }
+}
+
+void CometbftSim::deliver_precommit(sim::NodeId node, std::uint64_t height) {
+  HeightState& st = height_state(height);
+  ++st.precommits[node];
+  if (st.precommits[node] >= quorum_ && st.has_proposal[node] && !st.committed[node]) {
+    commit_at(node, height);
+  }
+}
+
+void CometbftSim::commit_at(sim::NodeId node, std::uint64_t height) {
+  HeightState& st = height_state(height);
+  st.committed[node] = 1;
+  ++st.commit_count;
+
+  if (!st.first_commit_done) {
+    st.first_commit_done = true;
+    st.block->first_commit_at = sim_.now();
+    // chain_ is kept in height order even if a block's first commit lands
+    // before its predecessor's (possible under extreme network delays).
+    pending_chain_.emplace(height, st.block);
+    while (!pending_chain_.empty() &&
+           pending_chain_.begin()->first == chain_.size() + 1) {
+      chain_.push_back(pending_chain_.begin()->second);
+      pending_chain_.erase(pending_chain_.begin());
+    }
+    if (hooks_.on_block_committed) hooks_.on_block_committed(*st.block, sim_.now());
+  }
+
+  for (const TxIdx idx : st.block->txs) {
+    mempools_[node].mark_committed(idx, table_.get(idx));
+  }
+
+  // A proposer cannot start height h+1 before committing height h: schedule
+  // the next proposal once the upcoming proposer commits this block.
+  if (height + 1 == next_height_ && node == proposer_for(next_height_, 0) &&
+      last_scheduled_height_ < next_height_) {
+    last_scheduled_height_ = next_height_;
+    const sim::Time at = std::max(st.block->proposed_at + cfg_.block_interval,
+                                  sim_.now() + cfg_.timeout_commit);
+    schedule_propose(next_height_, 0, at);
+  }
+
+  // Deliver FinalizeBlock strictly in height order at each node (P10);
+  // a block overtaking a slower predecessor waits in the buffer.
+  deliver_buffer_[node].emplace(height, st.block);
+  auto& buf = deliver_buffer_[node];
+  while (!buf.empty() && buf.begin()->first == next_deliver_[node]) {
+    const auto block = buf.begin()->second;
+    buf.erase(buf.begin());
+    ++next_deliver_[node];
+    if (app_cbs_[node]) app_cbs_[node](*block);
+  }
+
+  if (st.commit_count == cfg_.n) inflight_.erase(height);
+}
+
+bool CometbftSim::idle() const {
+  for (const auto& [h, st] : inflight_) {
+    if (st.block) return false;  // proposed but not yet committed everywhere
+  }
+  return true;
+}
+
+}  // namespace setchain::ledger

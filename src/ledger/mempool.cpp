@@ -1,0 +1,57 @@
+#include "ledger/mempool.hpp"
+
+namespace setchain::ledger {
+
+bool Mempool::add(TxIdx idx, const Transaction& tx) {
+  ensure(idx, seen_);
+  if (seen_[idx]) return false;
+  if (count_ + 1 > cfg_.max_txs || bytes_ + tx.wire_size > cfg_.max_bytes) {
+    ++rejected_capacity_;
+    return false;
+  }
+  seen_[idx] = true;
+  ensure(idx, pending_);
+  pending_[idx] = true;
+  fifo_.push_back(idx);
+  ++count_;
+  bytes_ += tx.wire_size;
+  return true;
+}
+
+void Mempool::mark_committed(TxIdx idx, const Transaction& tx) {
+  ensure(idx, seen_);
+  const bool was_pending = idx < pending_.size() && pending_[idx];
+  seen_[idx] = true;
+  if (was_pending) {
+    pending_[idx] = false;
+    --count_;
+    bytes_ -= tx.wire_size;
+    // The fifo entry is removed lazily during reap.
+  }
+}
+
+std::vector<TxIdx> Mempool::reap(const TxTable& table, std::uint64_t max_bytes,
+                                 const std::vector<bool>* exclude) {
+  // Prune committed entries off the front so repeated reaps stay cheap.
+  while (!fifo_.empty()) {
+    const TxIdx front = fifo_.front();
+    if (front < pending_.size() && pending_[front]) break;
+    fifo_.pop_front();
+  }
+  std::vector<TxIdx> out;
+  std::uint64_t used = 0;
+  for (const TxIdx idx : fifo_) {
+    if (idx >= pending_.size() || !pending_[idx]) continue;
+    if (exclude && idx < exclude->size() && (*exclude)[idx]) continue;
+    const std::uint32_t sz = table.get(idx).wire_size;
+    if (used + sz > max_bytes) {
+      if (out.empty()) continue;  // single oversized tx: skip it, try next
+      break;
+    }
+    used += sz;
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace setchain::ledger

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ledger/transaction.hpp"
+
+namespace setchain::ledger {
+
+/// Per-node unconfirmed-transaction pool, mirroring the CometBFT mempool
+/// the paper tunes ("mempool size has been set to 10,000,000 transactions or
+/// 2 GB, whichever is reached first", §4).
+struct MempoolConfig {
+  std::uint64_t max_txs = 10'000'000;
+  std::uint64_t max_bytes = std::uint64_t{2} << 30;  // 2 GiB
+};
+
+class Mempool {
+ public:
+  explicit Mempool(MempoolConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Insert if never seen and within capacity. Returns true when inserted.
+  bool add(TxIdx idx, const Transaction& tx);
+
+  /// A transaction that was committed must never re-enter (gossip may
+  /// deliver it late); `mark_committed` also removes it if pending.
+  void mark_committed(TxIdx idx, const Transaction& tx);
+
+  bool seen(TxIdx idx) const { return idx < seen_.size() && seen_[idx]; }
+
+  /// FIFO reap of pending transactions up to `max_bytes` total. Prunes
+  /// already-committed entries from the queue front as a side effect.
+  /// Entries whose index is set in `exclude` (when provided) are skipped —
+  /// the consensus layer uses this to avoid re-proposing transactions that
+  /// sit in a proposed-but-not-yet-committed block.
+  std::vector<TxIdx> reap(const TxTable& table, std::uint64_t max_bytes,
+                          const std::vector<bool>* exclude = nullptr);
+
+  std::uint64_t pending_count() const { return count_; }
+  std::uint64_t pending_bytes() const { return bytes_; }
+  std::uint64_t rejected_capacity() const { return rejected_capacity_; }
+
+ private:
+  void ensure(std::size_t idx, std::vector<bool>& v) const {
+    if (idx >= v.size()) v.resize(idx + 1, false);
+  }
+
+  MempoolConfig cfg_;
+  std::deque<TxIdx> fifo_;
+  mutable std::vector<bool> seen_;     // ever added or committed
+  mutable std::vector<bool> pending_;  // currently in pool
+  std::uint64_t count_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t rejected_capacity_ = 0;
+};
+
+}  // namespace setchain::ledger

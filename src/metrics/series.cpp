@@ -1,0 +1,81 @@
+#include "metrics/series.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace setchain::metrics {
+
+void StepSeries::add(sim::Time t, std::uint64_t count) {
+  if (count == 0) return;
+  if (!events_.empty() && t < events_.back().t) sorted_ = false;
+  events_.push_back({t, count});
+  total_ += count;
+}
+
+void StepSeries::ensure_sorted() const {
+  if (sorted_) return;
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const StepEvent& a, const StepEvent& b) { return a.t < b.t; });
+  sorted_ = true;
+}
+
+std::uint64_t StepSeries::count_until(sim::Time t) const {
+  ensure_sorted();
+  std::uint64_t acc = 0;
+  for (const auto& e : events_) {
+    if (e.t > t) break;
+    acc += e.count;
+  }
+  return acc;
+}
+
+sim::Time StepSeries::time_of_kth(std::uint64_t k) const {
+  if (k == 0) return 0;
+  ensure_sorted();
+  std::uint64_t acc = 0;
+  for (const auto& e : events_) {
+    acc += e.count;
+    if (acc >= k) return e.t;
+  }
+  return std::numeric_limits<sim::Time>::max();
+}
+
+std::vector<StepSeries::RatePoint> StepSeries::rolling_rate(sim::Time window,
+                                                            sim::Time step,
+                                                            sim::Time horizon) const {
+  ensure_sorted();
+  std::vector<RatePoint> out;
+  if (step <= 0 || window <= 0) return out;
+  std::size_t lo = 0, hi = 0;
+  std::uint64_t in_window = 0;
+  for (sim::Time t = step; t <= horizon; t += step) {
+    const sim::Time begin = t - window;
+    while (hi < events_.size() && events_[hi].t <= t) in_window += events_[hi++].count;
+    while (lo < hi && events_[lo].t <= begin) in_window -= events_[lo++].count;
+    out.push_back({sim::to_seconds(t),
+                   static_cast<double>(in_window) / sim::to_seconds(window)});
+  }
+  return out;
+}
+
+const std::vector<StepEvent>& StepSeries::events() const {
+  ensure_sorted();
+  return events_;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples, std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += stride) {
+    out.push_back({samples[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (out.back().x != samples.back() || out.back().f != 1.0) {
+    out.push_back({samples.back(), 1.0});
+  }
+  return out;
+}
+
+}  // namespace setchain::metrics

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace setchain::metrics {
+
+/// A (time, count) step event: `count` items passed a stage at `t`.
+struct StepEvent {
+  sim::Time t;
+  std::uint64_t count;
+};
+
+/// Monotone step series of counted events (elements added / committed ...).
+/// Events may be appended out of order; accessors sort lazily.
+class StepSeries {
+ public:
+  void add(sim::Time t, std::uint64_t count);
+
+  std::uint64_t total() const { return total_; }
+
+  /// Items with event time <= t.
+  std::uint64_t count_until(sim::Time t) const;
+
+  /// Time by which `k` items had passed (kMaxTime if fewer than k ever do).
+  sim::Time time_of_kth(std::uint64_t k) const;
+
+  /// Rolling average rate (items/second) over `window`, sampled every
+  /// `step`, from 0 to `horizon`. Matches the paper's "rolling average
+  /// number of elements committed in 9 seconds" presentation.
+  struct RatePoint {
+    double t_seconds;
+    double rate;
+  };
+  std::vector<RatePoint> rolling_rate(sim::Time window, sim::Time step,
+                                      sim::Time horizon) const;
+
+  const std::vector<StepEvent>& events() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<StepEvent> events_;
+  mutable bool sorted_ = true;
+  std::uint64_t total_ = 0;
+};
+
+/// Empirical CDF over latency samples (seconds).
+struct CdfPoint {
+  double x;
+  double f;  ///< fraction of samples <= x
+};
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t max_points = 200);
+
+}  // namespace setchain::metrics

@@ -1,0 +1,102 @@
+#include "metrics/stage_recorder.hpp"
+
+namespace setchain::metrics {
+
+void StageRecorder::on_add(std::uint64_t element_id, sim::Time t) {
+  added_.add(t, 1);
+  if (cfg_.per_element) elem(element_id).add = t;
+}
+
+void StageRecorder::on_mempool_arrival(std::uint64_t element_id, std::uint32_t server,
+                                       sim::Time t) {
+  (void)server;
+  if (!cfg_.per_element) return;
+  auto& e = elem(element_id);
+  ++e.mempool_arrivals;
+  auto& st = e.stage;
+  const auto idx = [](Stage s) { return static_cast<std::size_t>(s); };
+  if (st[idx(Stage::kMempoolFirst)] < 0) st[idx(Stage::kMempoolFirst)] = t;
+  if (e.mempool_arrivals == cfg_.f + 1 && st[idx(Stage::kMempoolQuorum)] < 0) {
+    st[idx(Stage::kMempoolQuorum)] = t;
+  }
+  if (e.mempool_arrivals == cfg_.n && st[idx(Stage::kMempoolAll)] < 0) {
+    st[idx(Stage::kMempoolAll)] = t;
+  }
+}
+
+void StageRecorder::on_ledger(std::uint64_t element_id, sim::Time t) {
+  if (!cfg_.per_element) return;
+  auto& e = elem(element_id);
+  auto& slot = e.stage[static_cast<std::size_t>(Stage::kLedger)];
+  if (slot < 0) slot = t;
+}
+
+void StageRecorder::on_epoch_consolidated(std::uint64_t epoch, std::uint64_t count,
+                                          const std::vector<std::uint64_t>& element_ids,
+                                          sim::Time t) {
+  (void)t;
+  auto [it, inserted] = epochs_.try_emplace(epoch);
+  if (!inserted) return;  // identical across correct servers; first wins
+  it->second.count = count;
+  if (cfg_.per_element) it->second.element_ids = element_ids;
+}
+
+void StageRecorder::on_proof_on_ledger(std::uint64_t epoch, std::uint32_t server,
+                                       sim::Time t) {
+  auto it = epochs_.find(epoch);
+  if (it == epochs_.end()) {
+    // Proof observed before any server reported consolidation; create the
+    // record so the proof is not lost (count filled in later).
+    it = epochs_.try_emplace(epoch).first;
+  }
+  EpochInfo& info = it->second;
+  if (info.committed) return;
+  info.proof_servers.insert(server);
+  if (info.proof_servers.size() >= cfg_.f + 1) {
+    info.committed = true;
+    ++epochs_committed_;
+    committed_.add(t, info.count);
+    if (cfg_.per_element) {
+      for (const auto id : info.element_ids) {
+        auto& slot = elem(id).stage[static_cast<std::size_t>(Stage::kCommitted)];
+        if (slot < 0) slot = t;
+      }
+    }
+  }
+}
+
+double StageRecorder::efficiency_at(sim::Time t) const {
+  const std::uint64_t total_added = added_.total();
+  if (total_added == 0) return 1.0;
+  return static_cast<double>(committed_.count_until(t)) /
+         static_cast<double>(total_added);
+}
+
+std::vector<double> StageRecorder::stage_latencies(Stage stage) const {
+  std::vector<double> out;
+  out.reserve(elements_.size());
+  const auto idx = static_cast<std::size_t>(stage);
+  for (const auto& [id, e] : elements_) {
+    if (e.add < 0 || e.stage[idx] < 0) continue;
+    out.push_back(sim::to_seconds(e.stage[idx] - e.add));
+  }
+  return out;
+}
+
+std::optional<double> StageRecorder::commit_time_of_fraction(double fraction) const {
+  const std::uint64_t total_added = added_.total();
+  if (total_added == 0) return std::nullopt;
+  const auto k = static_cast<std::uint64_t>(fraction * static_cast<double>(total_added));
+  if (k == 0) return commit_time_of_first();
+  const sim::Time t = committed_.time_of_kth(k);
+  if (t == std::numeric_limits<sim::Time>::max()) return std::nullopt;
+  return sim::to_seconds(t);
+}
+
+std::optional<double> StageRecorder::commit_time_of_first() const {
+  const sim::Time t = committed_.time_of_kth(1);
+  if (t == std::numeric_limits<sim::Time>::max()) return std::nullopt;
+  return sim::to_seconds(t);
+}
+
+}  // namespace setchain::metrics

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/series.hpp"
+#include "sim/time.hpp"
+
+namespace setchain::metrics {
+
+/// Pipeline stages an element passes through, mirroring Fig. 4 of the paper:
+/// client add -> first CometBFT mempool -> f+1 mempools -> all mempools ->
+/// included in a ledger block -> committed (f+1 epoch-proofs on the ledger).
+enum class Stage : std::uint8_t {
+  kMempoolFirst = 0,
+  kMempoolQuorum = 1,  ///< f+1 mempools
+  kMempoolAll = 2,
+  kLedger = 3,
+  kCommitted = 4,
+};
+constexpr std::size_t kStageCount = 5;
+
+/// Central measurement sink for an experiment run. Two granularities:
+///
+/// * Aggregate (default): only counts over time (added / committed step
+///   series, per-epoch element counts). O(epochs) memory; used for the
+///   throughput and efficiency sweeps, where runs reach 10^5..10^6 elements.
+/// * Per-element: additionally records every stage timestamp per element for
+///   the latency-CDF experiments (Fig. 4), which run at modest rates.
+///
+/// Commit accounting implements the paper's definition: an element is
+/// committed when the epoch containing it has f+1 valid epoch-proofs
+/// included in ledger blocks. Proofs are deduplicated per (epoch, server).
+class StageRecorder {
+ public:
+  struct Config {
+    std::uint32_t n = 4;         ///< number of servers
+    std::uint32_t f = 1;         ///< fault bound; commit threshold is f+1
+    bool per_element = false;
+  };
+
+  explicit StageRecorder(Config cfg) : cfg_(cfg) {}
+
+  // ---- ingestion (called by clients / servers / ledger glue) ----
+
+  void on_add(std::uint64_t element_id, sim::Time t);
+
+  /// Element's carrying transaction arrived in `server`'s mempool.
+  void on_mempool_arrival(std::uint64_t element_id, std::uint32_t server, sim::Time t);
+
+  /// Element's carrying transaction was finalized in a ledger block.
+  void on_ledger(std::uint64_t element_id, sim::Time t);
+
+  /// A (new) epoch was consolidated with `count` elements. The first caller
+  /// wins (all correct servers build identical epochs); repeat calls for the
+  /// same epoch are ignored. `element_ids` may be empty in aggregate mode.
+  void on_epoch_consolidated(std::uint64_t epoch, std::uint64_t count,
+                             const std::vector<std::uint64_t>& element_ids, sim::Time t);
+
+  /// A valid epoch-proof for `epoch` signed by `server` appeared on the
+  /// ledger. Triggers commit when f+1 distinct servers have proofs on-chain.
+  void on_proof_on_ledger(std::uint64_t epoch, std::uint32_t server, sim::Time t);
+
+  // ---- queries ----
+
+  const StepSeries& added() const { return added_; }
+  const StepSeries& committed() const { return committed_; }
+
+  /// committed(t) / added(total): the paper's efficiency metric, evaluated
+  /// at 50/75/100 s in Fig. 3.
+  double efficiency_at(sim::Time t) const;
+
+  /// Latency samples (seconds from add) for a stage; per-element mode only.
+  std::vector<double> stage_latencies(Stage stage) const;
+
+  /// Commit time (seconds) of the k-th committed element (Fig. 5 uses the
+  /// first element and the 10%..50% fractions).
+  std::optional<double> commit_time_of_fraction(double fraction) const;
+  std::optional<double> commit_time_of_first() const;
+
+  std::uint64_t epochs_consolidated() const { return epochs_.size(); }
+  std::uint64_t epochs_committed() const { return epochs_committed_; }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct ElemTimes {
+    sim::Time add = -1;
+    std::array<sim::Time, kStageCount> stage{-1, -1, -1, -1, -1};
+    std::uint32_t mempool_arrivals = 0;
+  };
+  struct EpochInfo {
+    std::uint64_t count = 0;
+    std::vector<std::uint64_t> element_ids;
+    std::unordered_set<std::uint32_t> proof_servers;
+    bool committed = false;
+  };
+
+  ElemTimes& elem(std::uint64_t id) { return elements_[id]; }
+
+  Config cfg_;
+  StepSeries added_;
+  StepSeries committed_;
+  std::unordered_map<std::uint64_t, ElemTimes> elements_;  // per-element mode
+  std::unordered_map<std::uint64_t, EpochInfo> epochs_;
+  std::uint64_t epochs_committed_ = 0;
+};
+
+}  // namespace setchain::metrics

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace setchain::metrics {
+
+/// Small numeric helpers shared by the experiment reports.
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);  ///< population stddev
+
+/// p in [0,1]; linear interpolation between order statistics. Empty input
+/// returns 0.
+double percentile(std::vector<double> xs, double p);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace setchain::metrics

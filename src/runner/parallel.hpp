@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace setchain::runner {
+
+/// Parallel map over an index range with a fixed worker pool.
+///
+/// The benchmark sweeps (Fig. 3 / Fig. 5 / Table 2 grids) run dozens of
+/// *independent* simulations; each Experiment owns all of its state (kernel,
+/// network, PKI, recorder), so running them on separate threads is safe and
+/// cuts wall time by ~#cores. Results are written to pre-sized slots, so no
+/// synchronization beyond the work-stealing counter is needed.
+///
+/// `fn(i)` must be thread-safe with respect to other indices (pure w.r.t.
+/// shared state). Exceptions propagate: the first one observed is rethrown
+/// after all workers join.
+template <typename Result>
+std::vector<Result> parallel_map(std::size_t count,
+                                 const std::function<Result(std::size_t)>& fn,
+                                 unsigned max_workers = 0) {
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+
+  unsigned workers = max_workers ? max_workers : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 2;
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, count));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace setchain::runner

@@ -1,0 +1,116 @@
+#include "runner/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "metrics/stats.hpp"
+
+namespace setchain::runner {
+
+void print_title(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_subtitle(const std::string& subtitle) {
+  std::printf("\n--- %s ---\n", subtitle.c_str());
+}
+
+void print_table(const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t i = 0; i < headers.size(); ++i) widths[i] = headers[i].size();
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      std::printf(" %-*s |", static_cast<int>(widths[i]), c.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers);
+  std::printf("|");
+  for (const auto w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows) print_row(row);
+}
+
+void print_rate_series(const std::string& name,
+                       const std::vector<metrics::StepSeries::RatePoint>& series,
+                       std::size_t max_rows) {
+  std::printf("%s (t [s] -> el/s):\n", name.c_str());
+  if (series.empty()) {
+    std::printf("  (empty)\n");
+    return;
+  }
+  const std::size_t stride = std::max<std::size_t>(1, series.size() / max_rows);
+  for (std::size_t i = 0; i < series.size(); i += stride) {
+    std::printf("  %6.1f  %12.1f\n", series[i].t_seconds, series[i].rate);
+  }
+}
+
+void print_cdf_quantiles(const std::string& name, const std::vector<double>& samples) {
+  std::printf("%s latency CDF [s] (n=%zu):\n", name.c_str(), samples.size());
+  if (samples.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  static constexpr double kQ[] = {0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.00};
+  std::printf(" ");
+  for (const double q : kQ) std::printf("   p%-3.0f", q * 100);
+  std::printf("\n ");
+  for (const double q : kQ) {
+    std::printf(" %6.2f", metrics::percentile(samples, q));
+  }
+  std::printf("\n");
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_rate(double els_per_s) {
+  char buf[64];
+  if (els_per_s >= 100'000) {
+    std::snprintf(buf, sizeof buf, "%.0f", els_per_s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f", els_per_s);
+  }
+  return buf;
+}
+
+std::string fmt_eff(double eff) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", eff);
+  return buf;
+}
+
+std::string fmt_opt_seconds(const std::optional<double>& s) {
+  if (!s) return "-";
+  return fmt_double(*s, 1);
+}
+
+void print_run_summary(const Scenario& s, const RunResult& r) {
+  std::printf(
+      "  [%s n=%u rate=%.0f c=%u delay=%.0fms] added=%llu committed=%llu epochs=%llu "
+      "blocks=%llu ratio=%.2f sim=%.0fs wall=%.0fms events=%llu\n",
+      algorithm_name(s.algorithm), s.n, s.sending_rate, s.collector_limit,
+      sim::to_millis(s.network_delay), static_cast<unsigned long long>(r.elements_added),
+      static_cast<unsigned long long>(r.elements_committed),
+      static_cast<unsigned long long>(r.epochs),
+      static_cast<unsigned long long>(r.blocks), r.measured_compress_ratio,
+      r.sim_seconds, r.wall_ms, static_cast<unsigned long long>(r.events));
+}
+
+}  // namespace setchain::runner

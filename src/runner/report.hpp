@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/series.hpp"
+#include "runner/experiment.hpp"
+
+namespace setchain::runner {
+
+/// Plain-text reporting helpers shared by the benchmark binaries: each bench
+/// prints the rows/series of one paper table or figure.
+
+void print_title(const std::string& title);
+void print_subtitle(const std::string& subtitle);
+
+/// Fixed-width table. `rows` are preformatted cells.
+void print_table(const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Throughput-over-time series (Fig. 1 style), decimated to ~`max_rows`.
+void print_rate_series(const std::string& name,
+                       const std::vector<metrics::StepSeries::RatePoint>& series,
+                       std::size_t max_rows = 30);
+
+/// CDF (Fig. 4 style): prints latency at fixed quantiles.
+void print_cdf_quantiles(const std::string& name, const std::vector<double>& samples);
+
+std::string fmt_double(double v, int precision = 1);
+std::string fmt_rate(double els_per_s);
+std::string fmt_eff(double eff);
+std::string fmt_opt_seconds(const std::optional<double>& s);
+
+/// One-line run summary (diagnostics appended to every bench).
+void print_run_summary(const Scenario& s, const RunResult& r);
+
+}  // namespace setchain::runner

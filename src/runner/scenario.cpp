@@ -1,0 +1,33 @@
+#include "runner/scenario.hpp"
+
+namespace setchain::runner {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kVanilla:
+      return "Vanilla";
+    case Algorithm::kCompresschain:
+      return "Compresschain";
+    case Algorithm::kHashchain:
+      return "Hashchain";
+  }
+  return "?";
+}
+
+core::SetchainParams Scenario::make_params(double measured_ratio) const {
+  core::SetchainParams p;
+  p.n = n;
+  p.f = f_value();
+  p.collector_limit = collector_limit;
+  p.collector_timeout = collector_timeout;
+  p.fidelity = fidelity;
+  p.validate = validate;
+  p.hash_reversal = hash_reversal;
+  p.hashchain_committee = hashchain_committee;
+  p.lean_state = lean_state;
+  p.calibrated_compress_ratio = measured_ratio;
+  p.costs = costs;
+  return p;
+}
+
+}  // namespace setchain::runner

@@ -1,0 +1,50 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+
+namespace setchain::sim {
+
+Network::Network(Simulation& sim, std::uint32_t n, NetworkConfig cfg, std::uint64_t seed)
+    : sim_(sim), n_(n), cfg_(cfg), rng_(seed), egress_(n) {}
+
+Time Network::transfer_delay(NodeId from, NodeId to, std::uint64_t bytes) {
+  if (from == to) {
+    // Loopback: same-host client -> server traffic in the paper's docker
+    // deployment. Negligible but nonzero.
+    return from_micros(5);
+  }
+  const double serialize_s =
+      cfg_.bandwidth_bytes_per_sec > 0
+          ? static_cast<double>(bytes) / cfg_.bandwidth_bytes_per_sec
+          : 0.0;
+  Time serialize = from_seconds(serialize_s);
+  if (cfg_.model_link_contention) {
+    // Occupy the sender's egress link FIFO; completion marks when the last
+    // byte left the sender.
+    const Time done = egress_[from].acquire(sim_.now(), serialize);
+    serialize = done - sim_.now();
+  }
+  Time latency = cfg_.base_latency + cfg_.extra_delay;
+  if (cfg_.jitter_fraction > 0) {
+    const double j = rng_.uniform(-cfg_.jitter_fraction, cfg_.jitter_fraction);
+    latency += static_cast<Time>(static_cast<double>(latency) * j);
+  }
+  return serialize + latency;
+}
+
+void Network::send(NodeId from, NodeId to, std::uint64_t bytes, std::function<void()> fn) {
+  assert(from < n_ && to < n_);
+  ++messages_;
+  bytes_ += bytes;
+  sim_.schedule_in(transfer_delay(from, to, bytes), std::move(fn));
+}
+
+void Network::broadcast(NodeId from, std::uint64_t bytes,
+                        const std::function<void(NodeId)>& fn_per_peer) {
+  for (NodeId peer = 0; peer < n_; ++peer) {
+    if (peer == from) continue;
+    send(from, peer, bytes, [fn_per_peer, peer] { fn_per_peer(peer); });
+  }
+}
+
+}  // namespace setchain::sim

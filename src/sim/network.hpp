@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace setchain::sim {
+
+using NodeId = std::uint32_t;
+
+/// Network configuration mirroring the paper's evaluation platform: a LAN
+/// cluster (sub-millisecond base latency, ~1 Gb/s links) plus an optional
+/// artificial `extra_delay` of 0/30/100 ms added to every message to emulate
+/// a WAN deployment (Table 1, `network_delay`).
+struct NetworkConfig {
+  Time base_latency = from_micros(120);  ///< one-way LAN latency
+  Time extra_delay = 0;                  ///< Table-1 network_delay knob
+  double jitter_fraction = 0.05;         ///< +/- uniform jitter on latency
+  double bandwidth_bytes_per_sec = 125e6;  ///< 1 Gb/s full-duplex per link
+  bool model_link_contention = true;     ///< serialize bytes on sender egress
+};
+
+/// Point-to-point message network between `n` nodes.
+///
+/// Transfer time = egress serialization (size/bandwidth, FIFO per sender) +
+/// propagation (base + extra + jitter). Local delivery (from == to) is
+/// immediate apart from a fixed loopback cost.
+class Network {
+ public:
+  Network(Simulation& sim, std::uint32_t n, NetworkConfig cfg, std::uint64_t seed);
+
+  /// Deliver `fn` at the receiver after the modeled transfer of `bytes`.
+  void send(NodeId from, NodeId to, std::uint64_t bytes, std::function<void()> fn);
+
+  /// Convenience: send the same payload to every node except `from`.
+  void broadcast(NodeId from, std::uint64_t bytes,
+                 const std::function<void(NodeId)>& fn_per_peer);
+
+  std::uint32_t size() const { return n_; }
+  const NetworkConfig& config() const { return cfg_; }
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+  /// Per-node egress utilisation bookkeeping (diagnostics).
+  Time egress_busy(NodeId node) const { return egress_[node].total_busy(); }
+
+ private:
+  Time transfer_delay(NodeId from, NodeId to, std::uint64_t bytes);
+
+  Simulation& sim_;
+  std::uint32_t n_;
+  NetworkConfig cfg_;
+  Rng rng_;
+  std::vector<BusyResource> egress_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace setchain::sim

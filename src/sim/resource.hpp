@@ -1,0 +1,42 @@
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace setchain::sim {
+
+/// A serially-reusable resource (a CPU core, one direction of a network
+/// link). Work items occupy it back-to-back; `acquire` returns the time at
+/// which a job of the given duration completes if submitted now.
+///
+/// This is the standard "busy-until" queueing approximation: jobs are
+/// processed FIFO at full speed, so completion(t, d) = max(now, busy_until)+d.
+class BusyResource {
+ public:
+  /// Submit a job of duration `d` at time `now`; returns its completion time
+  /// and advances the busy horizon.
+  Time acquire(Time now, Time d) {
+    const Time start = std::max(now, busy_until_);
+    busy_until_ = start + (d < 0 ? 0 : d);
+    busy_accum_ += busy_until_ - start;
+    return busy_until_;
+  }
+
+  /// Time at which the resource next becomes free.
+  Time busy_until() const { return busy_until_; }
+
+  /// Total busy time accumulated (for utilisation reporting).
+  Time total_busy() const { return busy_accum_; }
+
+  void reset() {
+    busy_until_ = 0;
+    busy_accum_ = 0;
+  }
+
+ private:
+  Time busy_until_ = 0;
+  Time busy_accum_ = 0;
+};
+
+}  // namespace setchain::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace setchain::sim {
+
+/// Deterministic xoshiro256** PRNG seeded via SplitMix64.
+///
+/// We do not use <random> engines because their distributions are not
+/// guaranteed to produce identical streams across standard-library
+/// implementations; reproducible experiment traces are a hard requirement.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling so the
+  /// result is exactly uniform.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal with the given *underlying* normal parameters.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (events per unit).
+  double exponential(double rate);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Derive an independent child RNG (for per-node streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// SplitMix64 step, exposed for seeding/hashing helpers.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace setchain::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace setchain::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. collector timers).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Single-threaded discrete-event simulation kernel.
+///
+/// Events with equal timestamps fire in scheduling order (FIFO), which makes
+/// runs bit-for-bit reproducible given the same seed and schedule.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now()).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` nanoseconds.
+  EventHandle schedule_in(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Run until the queue drains or `horizon` is passed (whichever first).
+  /// Returns the number of events executed.
+  std::uint64_t run_until(Time horizon);
+
+  /// Run until the queue is empty.
+  std::uint64_t run() { return run_until(std::numeric_limits<Time>::max()); }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace setchain::sim

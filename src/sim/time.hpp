@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace setchain::sim {
+
+/// Simulated time in integer nanoseconds. Integer time keeps the event queue
+/// ordering exactly reproducible across platforms (no floating-point ties).
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1'000;
+constexpr Time kMillisecond = 1'000'000;
+constexpr Time kSecond = 1'000'000'000;
+
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+constexpr Time from_millis(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Time from_micros(double us) {
+  return static_cast<Time>(us * static_cast<double>(kMicrosecond));
+}
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace setchain::sim

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "analysis/model.hpp"
+
+namespace setchain::analysis {
+namespace {
+
+ModelParams paper_params(double c, double r) {
+  ModelParams p;
+  p.block_rate = 0.8;
+  p.block_capacity = 500'000;
+  p.element_size = 438;
+  p.proof_size = 139;
+  p.hash_batch_size = 139;
+  p.n = 10;
+  p.collector_size = c;
+  p.compress_ratio = r;
+  return p;
+}
+
+// Appendix D.1 reports Tv ~= 955, Tc[100] ~= 2497, Tc[500] ~= 3330,
+// Th[100] ~= 27157, Th[500] ~= 147857 el/s. Our closed forms implement the
+// formulas as printed; tolerances cover rounding in the paper's constants.
+
+TEST(AnalyticalModel, VanillaNearPaperValue) {
+  const double tv = vanilla_throughput(paper_params(100, 2.7));
+  EXPECT_NEAR(tv, 955.0, 60.0);
+}
+
+TEST(AnalyticalModel, CompresschainNearPaperValues) {
+  EXPECT_NEAR(compresschain_throughput(paper_params(100, 2.7)), 2497.0, 150.0);
+  EXPECT_NEAR(compresschain_throughput(paper_params(500, 3.5)), 3330.0, 200.0);
+}
+
+TEST(AnalyticalModel, HashchainNearPaperValues) {
+  EXPECT_NEAR(hashchain_throughput(paper_params(100, 2.7)), 27157.0, 1500.0);
+  EXPECT_NEAR(hashchain_throughput(paper_params(500, 3.5)), 147857.0, 8000.0);
+}
+
+TEST(AnalyticalModel, PaperSpeedupRatios) {
+  // "Th[c=500]/Tv ~= 155 and Th[c=500]/Tc[c=500] ~= 44" (§D.1).
+  const double tv = vanilla_throughput(paper_params(500, 3.5));
+  const double tc = compresschain_throughput(paper_params(500, 3.5));
+  const double th = hashchain_throughput(paper_params(500, 3.5));
+  EXPECT_NEAR(th / tv, 155.0, 10.0);
+  EXPECT_NEAR(th / tc, 44.0, 4.0);
+}
+
+TEST(AnalyticalModel, ThroughputScalesLinearlyWithBlockSize) {
+  const double t1 = hashchain_throughput(paper_params(500, 3.5));
+  auto p = paper_params(500, 3.5);
+  p.block_capacity *= 8;  // 4 MB blocks (Fig. 2 right)
+  EXPECT_NEAR(hashchain_throughput(p) / t1, 8.0, 1e-9);
+}
+
+TEST(AnalyticalModel, FourMegabyteBlocksReachTenToTheSix) {
+  // §4.1: "with the usual 4MB blocksize of CometBFT, Hashchain reaches a
+  // throughput of 10^6 el/s".
+  auto p = paper_params(500, 3.5);
+  p.block_capacity = 4e6;
+  EXPECT_GT(hashchain_throughput(p), 1e6);
+}
+
+TEST(AnalyticalModel, HundredTwentyEightMegabyteBlocks) {
+  // "with blocks of 128 MB reaches more than 30 million el/s".
+  auto p = paper_params(500, 3.5);
+  p.block_capacity = 128e6;
+  EXPECT_GT(hashchain_throughput(p), 30e6);
+}
+
+TEST(AnalyticalModel, OrderingAlwaysHashGreaterCompressGreaterVanilla) {
+  for (double c : {50.0, 100.0, 500.0, 1000.0}) {
+    for (double r : {2.0, 2.7, 3.5}) {
+      const auto p = paper_params(c, r);
+      EXPECT_GT(hashchain_throughput(p), compresschain_throughput(p)) << c << " " << r;
+      EXPECT_GT(compresschain_throughput(p), vanilla_throughput(p)) << c << " " << r;
+    }
+  }
+}
+
+TEST(AnalyticalModel, DegenerateInputsReturnZero) {
+  auto p = paper_params(5, 3.5);  // collector smaller than n
+  EXPECT_DOUBLE_EQ(compresschain_throughput(p), 0.0);
+  EXPECT_DOUBLE_EQ(hashchain_throughput(p), 0.0);
+  auto q = paper_params(100, 3.5);
+  q.block_capacity = 100;  // proofs alone exceed the block
+  EXPECT_DOUBLE_EQ(vanilla_throughput(q), 0.0);
+}
+
+}  // namespace
+}  // namespace setchain::analysis

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/client.hpp"
+#include "core/compresschain.hpp"
+#include "core/hashchain.hpp"
+#include "core/invariants.hpp"
+#include "core/vanilla.hpp"
+#include "ledger/ledger_node.hpp"
+
+namespace setchain::core::testing {
+
+/// Algorithm test harness on the InstantLedger: n servers in full fidelity,
+/// fully synchronous and deterministic. Clients are driven manually (no
+/// simulation clock); seal_rounds() pumps the ledger until it drains, which
+/// is the "eventually" of the liveness properties.
+template <typename Server>
+struct AlgoHarness {
+  std::uint32_t n;
+  SetchainParams params;
+  crypto::Pki pki{99};
+  ledger::InstantLedger ledger;
+  workload::ArbitrumLikeGenerator gen{4};
+  ElementFactory factory{gen, pki, Fidelity::kFull};
+  std::vector<std::unique_ptr<Server>> servers;
+
+  explicit AlgoHarness(std::uint32_t n_servers = 4, std::uint32_t collector_limit = 4)
+      : n(n_servers), ledger(n_servers) {
+    params.n = n;
+    params.f = (n - 1) / 3;
+    params.fidelity = Fidelity::kFull;
+    params.collector_limit = collector_limit;
+    params.collector_timeout = 0;  // no clock: flush manually / by size
+
+    for (crypto::ProcessId p = 0; p < n; ++p) pki.register_process(p);
+    for (crypto::ProcessId p = 100; p < 100 + n; ++p) pki.register_process(p);
+
+    ServerContext ctx;
+    ctx.ledger = &ledger;
+    ctx.pki = &pki;
+    ctx.params = &params;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto s = std::make_unique<Server>(ctx, i);
+      ledger.on_new_block(i, [p = s.get()](const ledger::Block& b) {
+        p->on_new_block(b);
+      });
+      servers.push_back(std::move(s));
+    }
+    if constexpr (std::is_same_v<Server, HashchainServer>) {
+      std::vector<HashchainServer*> peers;
+      for (auto& s : servers) peers.push_back(s.get());
+      for (auto& s : servers) s->connect_peers(peers);
+    }
+  }
+
+  Element make_element(std::uint32_t client_slot, std::uint64_t seq) {
+    return factory.make(100 + client_slot, seq);
+  }
+
+  /// Flush every server's collector (batch algorithms), if any.
+  void flush_collectors() {
+    if constexpr (!std::is_same_v<Server, VanillaServer>) {
+      for (auto& s : servers) s->collector().flush();
+    }
+  }
+
+  /// Seal blocks (flushing collectors between rounds) until the system is
+  /// quiescent: no pending ledger txs and no partially filled collectors.
+  void seal_rounds(int max_rounds = 60) {
+    for (int round = 0; round < max_rounds; ++round) {
+      flush_collectors();
+      if (!ledger.seal_block()) {
+        flush_collectors();
+        if (!ledger.seal_block()) return;  // fully drained
+      }
+    }
+    FAIL() << "system did not quiesce within " << max_rounds << " seal rounds";
+  }
+
+  std::vector<const SetchainServer*> all_servers() const {
+    std::vector<const SetchainServer*> out;
+    for (const auto& s : servers) out.push_back(s.get());
+    return out;
+  }
+};
+
+}  // namespace setchain::core::testing

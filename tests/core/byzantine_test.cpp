@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo_fixture.hpp"
+
+namespace setchain::core {
+namespace {
+
+using testing::AlgoHarness;
+
+using HashHarness = AlgoHarness<HashchainServer>;
+using VanillaHarness = AlgoHarness<VanillaServer>;
+using CompressHarness = AlgoHarness<CompresschainServer>;
+
+// --------------------------------------------------- Hashchain batch refusal
+
+TEST(ByzantineHashchain, RefusedBatchNeverConsolidates) {
+  HashHarness h(4, 2);  // f = 1
+  ServerByzantine byz;
+  byz.refuse_batch_service = true;
+  h.servers[0]->set_byzantine(byz);
+
+  // Elements enter via the Byzantine server: its hash-batch lands on the
+  // ledger, but nobody can retrieve the contents, so no correct server ever
+  // co-signs and the hash stays below f+1 signatures.
+  h.servers[0]->add(h.make_element(0, 1));
+  h.servers[0]->add(h.make_element(0, 2));
+  for (int i = 0; i < 10; ++i) h.ledger.seal_block();
+
+  for (std::uint32_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(h.servers[s]->epoch(), 0u) << "server " << s;
+    EXPECT_EQ(h.servers[s]->consolidation_backlog(), 0u);  // not wedged
+  }
+  // The rest of the system keeps working: a correct server's batch
+  // consolidates normally.
+  h.servers[1]->add(h.make_element(1, 1));
+  h.servers[1]->add(h.make_element(1, 2));
+  h.seal_rounds(120);
+  for (std::uint32_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(h.servers[s]->epoch(), 1u) << "server " << s;
+    EXPECT_TRUE(h.servers[s]->epoch_proven(1));
+  }
+  const auto correct = std::vector<const SetchainServer*>{
+      h.servers[1].get(), h.servers[2].get(), h.servers[3].get()};
+  EXPECT_TRUE(check_safety(correct).ok());
+}
+
+TEST(ByzantineHashchain, FakeHashAnnouncementIsHarmless) {
+  HashHarness h(4, 2);
+  ServerByzantine byz;
+  byz.refuse_batch_service = true;
+  h.servers[3]->set_byzantine(byz);
+  h.servers[3]->byz_announce_fake_hash();  // hash with no batch behind it
+  h.servers[3]->byz_announce_fake_hash();
+
+  h.servers[0]->add(h.make_element(0, 1));
+  h.servers[0]->add(h.make_element(0, 2));
+  h.seal_rounds(120);
+
+  const auto correct = std::vector<const SetchainServer*>{
+      h.servers[0].get(), h.servers[1].get(), h.servers[2].get()};
+  for (const auto* s : correct) {
+    EXPECT_EQ(s->epoch(), 1u);  // only the real batch became an epoch
+  }
+  EXPECT_TRUE(check_safety(correct).ok());
+}
+
+// ----------------------------------------------------------- corrupt proofs
+
+TEST(ByzantineProofs, CorruptProofsAreNotCounted) {
+  VanillaHarness h(4);
+  ServerByzantine byz;
+  byz.corrupt_proofs = true;
+  h.servers[2]->set_byzantine(byz);
+
+  h.servers[0]->add(h.make_element(0, 1));
+  h.seal_rounds();
+
+  for (const std::uint32_t sidx : {0u, 1u, 3u}) {
+    const auto snap = h.servers[sidx]->get();
+    ASSERT_EQ(snap.history->size(), 1u);
+    // Server 2 signed a wrong hash: its proof must be absent.
+    for (const auto& p : (*snap.proofs)[0]) EXPECT_NE(p.server, 2u);
+    // Still f+1 = 2 (in fact 3) valid proofs: commit-ability preserved.
+    EXPECT_TRUE(h.servers[sidx]->epoch_proven(1));
+  }
+}
+
+TEST(ByzantineProofs, CompresschainCorruptProofsFiltered) {
+  CompressHarness h(4, 2);
+  ServerByzantine byz;
+  byz.corrupt_proofs = true;
+  h.servers[1]->set_byzantine(byz);
+  h.servers[0]->add(h.make_element(0, 1));
+  h.servers[0]->add(h.make_element(0, 2));
+  h.seal_rounds();
+  for (const std::uint32_t sidx : {0u, 2u, 3u}) {
+    const auto snap = h.servers[sidx]->get();
+    for (const auto& p : (*snap.proofs)[0]) EXPECT_NE(p.server, 1u);
+    EXPECT_TRUE(h.servers[sidx]->epoch_proven(1));
+  }
+}
+
+// -------------------------------------------------------- Byzantine clients
+
+TEST(ByzantineClients, InvalidElementsRejectedAtAdd) {
+  HashHarness h(4, 2);
+  EXPECT_FALSE(h.servers[0]->add(h.factory.make_invalid(100, 1)));
+  EXPECT_EQ(h.servers[0]->the_set_size(), 0u);
+}
+
+TEST(ByzantineClients, DuplicateToAllServersStaysUnique) {
+  CompressHarness h(4, 1);
+  const Element e = h.make_element(0, 1);
+  for (auto& s : h.servers) s->add(e);  // 4 servers, 4 batches, same element
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    std::size_t occurrences = 0;
+    for (const auto& rec : *s->get().history) {
+      occurrences += static_cast<std::size_t>(
+          std::count(rec.ids.begin(), rec.ids.end(), e.id));
+    }
+    EXPECT_EQ(occurrences, 1u);
+    EXPECT_TRUE(s->get().the_set->contains(e.id));
+  }
+  EXPECT_TRUE(check_safety(h.all_servers()).ok());
+}
+
+TEST(ByzantineClients, ForgedEpochProofFromClientRejected) {
+  // A client (not a server) forges an epoch-proof with its own key; servers
+  // must not count it even though the signature verifies under *some* key.
+  VanillaHarness h(4);
+  const Element e = h.make_element(0, 1);
+  h.servers[0]->add(e);
+  h.ledger.seal_block();  // epoch 1 exists everywhere
+
+  const auto snap = h.servers[0]->get();
+  const EpochHash real_hash = (*snap.history)[0].hash;
+  // Forge with client 100's key but claim server 1.
+  EpochProof forged;
+  forged.epoch = 1;
+  forged.server = 1;
+  forged.epoch_hash = real_hash;
+  forged.sig = h.pki.sign(100, codec::ByteView(real_hash.data(), real_hash.size()));
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kEpochProof;
+  codec::Writer w;
+  serialize_epoch_proof(w, forged);
+  tx.data = w.take();
+  tx.wire_size = static_cast<std::uint32_t>(tx.data.size());
+  h.ledger.append(2, std::move(tx));
+  h.ledger.seal_block();
+
+  // Server 1's genuine proof arrives in the same or later block; the forged
+  // one must not have pre-counted for server 1. Count server-1 proofs: at
+  // most one, and it must verify.
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    std::size_t from1 = 0;
+    for (const auto& p : (*s->get().proofs)[0]) {
+      if (p.server == 1) {
+        ++from1;
+        EXPECT_TRUE(valid_proof(p, real_hash, h.pki, Fidelity::kFull));
+      }
+    }
+    EXPECT_LE(from1, 1u);
+  }
+}
+
+// ------------------------------------------- epoch-number bombs (robustness)
+
+TEST(ByzantineProofs, HugeEpochNumberProofIsDropped) {
+  VanillaHarness h(4);
+  EpochProof bomb;
+  bomb.epoch = 1'000'000'000;  // way beyond any real epoch
+  bomb.server = 2;
+  bomb.sig = h.pki.sign(2, codec::ByteView(bomb.epoch_hash.data(), 64));
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kEpochProof;
+  codec::Writer w;
+  serialize_epoch_proof(w, bomb);
+  tx.data = w.take();
+  tx.wire_size = static_cast<std::uint32_t>(tx.data.size());
+  h.ledger.append(2, std::move(tx));
+  h.servers[0]->add(h.make_element(0, 1));
+  h.seal_rounds();
+  // System processed everything; no unbounded pending growth, no crash.
+  for (auto& s : h.servers) EXPECT_EQ(s->epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace setchain::core

@@ -1,0 +1,184 @@
+#include "core/compresschain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo_fixture.hpp"
+#include "codec/lz77.hpp"
+
+namespace setchain::core {
+namespace {
+
+using testing::AlgoHarness;
+
+using CompressHarness = AlgoHarness<CompresschainServer>;
+
+TEST(Compresschain, CollectorEmitsAtLimitAndAppendsOneTx) {
+  CompressHarness h(4, /*collector_limit=*/3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    h.servers[0]->add(h.make_element(0, i));
+  }
+  // Batch of 3 fills the collector: exactly one ledger tx appended.
+  EXPECT_EQ(h.servers[0]->batches_appended(), 1u);
+  EXPECT_EQ(h.ledger.pending(), 1u);
+}
+
+TEST(Compresschain, EachCompressedBatchBecomesOneEpoch) {
+  CompressHarness h(4, 2);
+  h.servers[0]->add(h.make_element(0, 1));
+  h.servers[0]->add(h.make_element(0, 2));  // batch A
+  h.servers[1]->add(h.make_element(1, 1));
+  h.servers[1]->add(h.make_element(1, 2));  // batch B
+  h.ledger.seal_block();                    // both batches in ONE block
+  for (auto& s : h.servers) {
+    EXPECT_EQ(s->epoch(), 2u);  // two epochs from one block
+    EXPECT_EQ((*s->get().history)[0].count, 2u);
+    EXPECT_EQ((*s->get().history)[1].count, 2u);
+  }
+}
+
+TEST(Compresschain, TransactionIsActuallyCompressed) {
+  CompressHarness h(4, 10);
+  for (std::uint64_t i = 0; i < 10; ++i) h.servers[0]->add(h.make_element(0, i));
+  ASSERT_EQ(h.ledger.pending(), 1u);
+  const auto& tx = h.ledger.txs().get(0);
+  // Decompress and parse: must be our batch.
+  const auto raw = codec::lz77_decompress(tx.data);
+  ASSERT_TRUE(raw.has_value());
+  const auto batch = parse_batch(*raw);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->elements.size(), 10u);
+  // Compressed smaller than raw (the whole point).
+  EXPECT_LT(tx.data.size(), raw->size());
+}
+
+TEST(Compresschain, ProofsPiggybackInBatches) {
+  CompressHarness h(4, 2);
+  h.servers[0]->add(h.make_element(0, 1));
+  h.servers[0]->add(h.make_element(0, 2));
+  h.seal_rounds();
+  // After drain: epoch 1 exists and every server holds >= f+1 proofs, all
+  // delivered inside later compressed batches.
+  for (auto& s : h.servers) {
+    EXPECT_EQ(s->epoch(), 1u);
+    EXPECT_TRUE(s->epoch_proven(1));
+    EXPECT_EQ((*s->get().proofs)[0].size(), 4u);
+  }
+}
+
+TEST(Compresschain, AllPropertiesAtQuiescence) {
+  CompressHarness h(4, 4);
+  std::vector<ElementId> accepted;
+  std::unordered_set<ElementId> created;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    for (std::uint64_t i = 0; i < 7; ++i) {  // 7: forces partial batches too
+      const Element e = h.make_element(c, i);
+      created.insert(e.id);
+      if (h.servers[c]->add(e)) accepted.push_back(e.id);
+    }
+  }
+  h.seal_rounds();
+  const auto servers = h.all_servers();
+  EXPECT_TRUE(check_safety(servers).ok()) << check_safety(servers).to_string();
+  const auto live = check_liveness_quiescent(servers, accepted, h.params, h.pki);
+  EXPECT_TRUE(live.ok()) << live.to_string();
+  EXPECT_TRUE(check_add_before_get(servers, created).ok());
+}
+
+TEST(Compresschain, DuplicateAcrossServersInOneEpochOnly) {
+  CompressHarness h(4, 1);  // every element its own batch
+  const Element e = h.make_element(0, 1);
+  h.servers[0]->add(e);
+  h.servers[1]->add(e);  // double-submission: two batches carry the same id
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    std::size_t occurrences = 0;
+    for (const auto& rec : *s->get().history) {
+      occurrences += static_cast<std::size_t>(
+          std::count(rec.ids.begin(), rec.ids.end(), e.id));
+    }
+    EXPECT_EQ(occurrences, 1u);  // P5 despite duplicate batches
+  }
+  EXPECT_TRUE(check_safety(h.all_servers()).ok());
+}
+
+TEST(Compresschain, CorruptCompressedDataIsSkipped) {
+  CompressHarness h(4, 2);
+  // Byzantine server appends bytes that are not a valid szx stream.
+  ledger::Transaction junk;
+  junk.kind = ledger::TxKind::kCompressedBatch;
+  junk.data = codec::to_bytes("SZX1 but actually broken");
+  junk.wire_size = static_cast<std::uint32_t>(junk.data.size());
+  h.ledger.append(2, std::move(junk));
+
+  // And a stream that decompresses but does not parse as a batch.
+  ledger::Transaction junk2;
+  junk2.kind = ledger::TxKind::kCompressedBatch;
+  junk2.data = codec::lz77_compress(codec::to_bytes("valid szx, invalid batch"));
+  junk2.wire_size = static_cast<std::uint32_t>(junk2.data.size());
+  h.ledger.append(2, std::move(junk2));
+
+  h.servers[0]->add(h.make_element(0, 1));
+  h.servers[0]->add(h.make_element(0, 2));
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    EXPECT_EQ(s->epoch(), 1u);  // only the genuine batch became an epoch
+  }
+  EXPECT_TRUE(check_safety(h.all_servers()).ok());
+}
+
+TEST(Compresschain, InvalidElementsInsideBatchFiltered) {
+  CompressHarness h(4, 3);
+  // Build a batch mixing valid and invalid elements and append it as a
+  // Byzantine server would.
+  Batch b;
+  const Element good = h.make_element(0, 1);
+  b.elements.push_back(good);
+  b.elements.push_back(h.factory.make_invalid(101, 1));
+  b.elements.push_back(h.factory.make_invalid(101, 2));
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kCompressedBatch;
+  tx.data = codec::lz77_compress(serialize_batch(b));
+  tx.wire_size = static_cast<std::uint32_t>(tx.data.size());
+  h.ledger.append(3, std::move(tx));
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    ASSERT_EQ(s->epoch(), 1u);
+    EXPECT_EQ((*s->get().history)[0].count, 1u);  // invalid ones filtered
+    EXPECT_EQ((*s->get().history)[0].ids[0], good.id);
+  }
+}
+
+TEST(Compresschain, LightModeSkipsValidationButFormsSameEpochs) {
+  CompressHarness h(4, 2);
+  h.params.validate = false;  // Compresschain Light (Fig. 2 ablation)
+  h.servers[0]->add(h.make_element(0, 1));
+  h.servers[0]->add(h.make_element(0, 2));
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    EXPECT_EQ(s->epoch(), 1u);
+    EXPECT_EQ((*s->get().history)[0].count, 2u);
+  }
+  EXPECT_TRUE(check_safety(h.all_servers()).ok());
+}
+
+TEST(Compresschain, ManyRoundsStaysConsistent) {
+  CompressHarness h(4, 5);
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      for (int k = 0; k < 3; ++k) h.servers[c]->add(h.make_element(c, seq + k));
+    }
+    seq += 3;
+    h.flush_collectors();
+    h.ledger.seal_block();
+  }
+  h.seal_rounds();
+  const auto report = check_safety(h.all_servers());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  for (auto& s : h.servers) EXPECT_EQ(s->the_set_size(), 4u * 8u * 3u);
+}
+
+}  // namespace
+}  // namespace setchain::core

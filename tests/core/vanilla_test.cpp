@@ -1,0 +1,194 @@
+#include "core/vanilla.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo_fixture.hpp"
+
+namespace setchain::core {
+namespace {
+
+using testing::AlgoHarness;
+
+using VanillaHarness = AlgoHarness<VanillaServer>;
+
+TEST(Vanilla, AddPutsElementInTheSetImmediately) {
+  VanillaHarness h;
+  const Element e = h.make_element(0, 1);
+  EXPECT_TRUE(h.servers[0]->add(e));
+  EXPECT_TRUE(h.servers[0]->get().the_set->contains(e.id));  // P2 Add-Get-Local
+  EXPECT_FALSE(h.servers[1]->get().the_set->contains(e.id));  // not yet global
+}
+
+TEST(Vanilla, AddRejectsInvalidAndDuplicate) {
+  VanillaHarness h;
+  const Element good = h.make_element(0, 1);
+  EXPECT_TRUE(h.servers[0]->add(good));
+  EXPECT_FALSE(h.servers[0]->add(good));  // duplicate
+  EXPECT_FALSE(h.servers[0]->add(h.factory.make_invalid(100, 2)));
+  EXPECT_EQ(h.servers[0]->the_set_size(), 1u);
+}
+
+TEST(Vanilla, BlockFormsOneEpoch) {
+  VanillaHarness h;
+  std::vector<ElementId> ids;
+  for (int i = 0; i < 3; ++i) {
+    const Element e = h.make_element(0, static_cast<std::uint64_t>(i));
+    ids.push_back(e.id);
+    h.servers[0]->add(e);
+  }
+  h.ledger.seal_block();  // all three elements in one block -> one epoch
+  for (auto& s : h.servers) {
+    EXPECT_EQ(s->epoch(), 1u);
+    const auto snap = s->get();
+    ASSERT_EQ(snap.history->size(), 1u);
+    EXPECT_EQ((*snap.history)[0].count, 3u);
+    for (const auto id : ids) EXPECT_TRUE(snap.the_set->contains(id));
+  }
+}
+
+TEST(Vanilla, ElementsSpreadAcrossBlocksMakeMultipleEpochs) {
+  VanillaHarness h;
+  h.servers[0]->add(h.make_element(0, 1));
+  h.ledger.seal_block();
+  h.servers[1]->add(h.make_element(1, 1));
+  h.ledger.seal_block();
+  EXPECT_EQ(h.servers[2]->epoch(), 2u);  // one epoch per element-carrying block
+}
+
+TEST(Vanilla, EpochProofsReachFPlusOne) {
+  VanillaHarness h;  // n=4, f=1
+  h.servers[0]->add(h.make_element(0, 1));
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    EXPECT_TRUE(s->epoch_proven(1)) << "server " << s->id();  // P8
+    const auto snap = s->get();
+    // All 4 correct servers end up with proofs on the ledger.
+    EXPECT_EQ((*snap.proofs)[0].size(), 4u);
+  }
+}
+
+TEST(Vanilla, AllPropertiesAtQuiescence) {
+  VanillaHarness h;
+  std::vector<ElementId> accepted;
+  std::unordered_set<ElementId> created;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      const Element e = h.make_element(c, i);
+      created.insert(e.id);
+      if (h.servers[c]->add(e)) accepted.push_back(e.id);
+    }
+  }
+  h.seal_rounds();
+
+  const auto servers = h.all_servers();
+  EXPECT_TRUE(check_safety(servers).ok()) << check_safety(servers).to_string();
+  const auto live = check_liveness_quiescent(servers, accepted, h.params, h.pki);
+  EXPECT_TRUE(live.ok()) << live.to_string();
+  const auto p7 = check_add_before_get(servers, created);
+  EXPECT_TRUE(p7.ok()) << p7.to_string();
+}
+
+TEST(Vanilla, DuplicateElementAcrossServersLandsInOneEpochOnly) {
+  VanillaHarness h;
+  const Element e = h.make_element(0, 1);
+  h.servers[0]->add(e);  // a Byzantine-ish client double-submits
+  h.servers[1]->add(e);
+  h.seal_rounds();
+  // P5 Unique-Epoch: despite two ledger appends, one epoch holds the id.
+  for (auto& s : h.servers) {
+    std::size_t occurrences = 0;
+    for (const auto& rec : *s->get().history) {
+      occurrences += static_cast<std::size_t>(
+          std::count(rec.ids.begin(), rec.ids.end(), e.id));
+    }
+    EXPECT_EQ(occurrences, 1u);
+  }
+  EXPECT_TRUE(check_safety(h.all_servers()).ok());
+}
+
+TEST(Vanilla, InvalidElementInLedgerIsFiltered) {
+  // A Byzantine server appends an invalid element directly to the ledger;
+  // correct servers must not epoch it (the "checking if an element is valid
+  // cannot be avoided" note in §3).
+  VanillaHarness h;
+  const Element bad = h.factory.make_invalid(100, 9);
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kElement;
+  codec::Writer w;
+  serialize_element(w, bad);
+  tx.data = w.take();
+  tx.wire_size = static_cast<std::uint32_t>(tx.data.size());
+  h.ledger.append(2, std::move(tx));
+
+  h.servers[0]->add(h.make_element(0, 1));
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    EXPECT_FALSE(s->get().the_set->contains(bad.id));
+    for (const auto& rec : *s->get().history) {
+      EXPECT_EQ(std::count(rec.ids.begin(), rec.ids.end(), bad.id), 0);
+    }
+  }
+}
+
+TEST(Vanilla, GarbageTransactionsAreIgnored) {
+  VanillaHarness h;
+  ledger::Transaction junk;
+  junk.kind = ledger::TxKind::kOpaque;
+  junk.data = codec::to_bytes("\xDE\xAD garbage bytes");
+  junk.wire_size = static_cast<std::uint32_t>(junk.data.size());
+  h.ledger.append(1, std::move(junk));
+  h.servers[0]->add(h.make_element(0, 1));
+  h.seal_rounds();
+  EXPECT_EQ(h.servers[3]->epoch(), 1u);
+  EXPECT_EQ((*h.servers[3]->get().history)[0].count, 1u);
+}
+
+TEST(Vanilla, ProofForUnknownEpochIsDeferredNotDropped) {
+  VanillaHarness h;
+  // Server 0 processes blocks normally; craft a proof for epoch 1 and put it
+  // on the ledger *before* any element (so epoch 1 does not exist yet).
+  const Element e = h.make_element(0, 1);
+  // Compute what epoch 1's hash will be: single element, sorted ids.
+  std::vector<std::pair<ElementId, std::uint64_t>> idd{
+      {e.id, element_digest(e, Fidelity::kFull)}};
+  const EpochHash h1 = epoch_hash(1, idd, Fidelity::kFull);
+  const EpochProof early = make_epoch_proof(h.pki, 3, 1, h1, Fidelity::kFull);
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kEpochProof;
+  codec::Writer w;
+  serialize_epoch_proof(w, early);
+  tx.data = w.take();
+  tx.wire_size = static_cast<std::uint32_t>(tx.data.size());
+  h.ledger.append(3, std::move(tx));
+  h.ledger.seal_block();  // proof lands; epoch 1 does not exist yet
+
+  h.servers[0]->add(e);
+  h.seal_rounds();
+  // The early proof must have been validated after consolidation: server 3
+  // appears among the provers exactly once.
+  const auto snap = h.servers[1]->get();
+  std::size_t from3 = 0;
+  for (const auto& p : (*snap.proofs)[0]) from3 += (p.server == 3);
+  EXPECT_EQ(from3, 1u);
+}
+
+TEST(Vanilla, ConsistentGetsAcrossManyBlocks) {
+  VanillaHarness h;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      h.servers[c]->add(h.make_element(c, seq));
+    }
+    ++seq;
+    h.ledger.seal_block();
+  }
+  h.seal_rounds();
+  const auto report = check_safety(h.all_servers());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(h.servers[0]->epoch(), 10u);
+}
+
+}  // namespace
+}  // namespace setchain::core

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "../core/algo_fixture.hpp"
+#include "exec/executor.hpp"
+
+namespace setchain::exec {
+namespace {
+
+// ----------------------------------------------------------------- TokenTx
+
+TEST(TokenTx, SerializationRoundtrip) {
+  const TokenTx tx{7, 9, 1234, 5};
+  codec::Writer w;
+  serialize_token_tx(w, tx);
+  const auto back = parse_token_tx(w.buffer());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, tx);
+}
+
+TEST(TokenTx, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_token_tx(codec::to_bytes("not a tx")).has_value());
+  codec::Writer w;
+  w.u8(kTokenTxTag);
+  w.u64le(1);  // truncated
+  EXPECT_FALSE(parse_token_tx(w.buffer()).has_value());
+}
+
+TEST(TokenTx, ElementWrapsAndVerifies) {
+  crypto::Pki pki(5);
+  pki.register_process(100);
+  const auto e = make_token_element(pki, 100, 1, TokenTx{1, 2, 50, 0});
+  EXPECT_TRUE(core::valid_element(e, pki, core::Fidelity::kFull));
+  const auto tx = parse_token_tx(e.payload);
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(tx->amount, 50u);
+}
+
+// -------------------------------------------------------------- LedgerState
+
+TEST(LedgerState, GenesisAndTransfer) {
+  LedgerState st;
+  st.genesis(1, 100);
+  st.genesis(2, 50);
+  EXPECT_EQ(st.total_supply(), 150u);
+  EXPECT_EQ(st.apply({1, 2, 30, 0}), VoidReason::kNone);
+  EXPECT_EQ(st.balance(1), 70u);
+  EXPECT_EQ(st.balance(2), 80u);
+  EXPECT_EQ(st.total_supply(), 150u);  // conservation
+}
+
+TEST(LedgerState, VoidReasons) {
+  LedgerState st;
+  st.genesis(1, 100);
+  EXPECT_EQ(st.apply({1, 1, 10, 0}), VoidReason::kSelfTransfer);
+  EXPECT_EQ(st.apply({9, 1, 10, 0}), VoidReason::kUnknownSender);
+  EXPECT_EQ(st.apply({1, 2, 10, 5}), VoidReason::kBadNonce);
+  EXPECT_EQ(st.apply({1, 2, 500, 0}), VoidReason::kInsufficientFunds);
+  // Insufficient funds burned the nonce: a replay with nonce 0 is now stale.
+  EXPECT_EQ(st.apply({1, 2, 10, 0}), VoidReason::kBadNonce);
+  EXPECT_EQ(st.apply({1, 2, 10, 1}), VoidReason::kNone);
+}
+
+TEST(LedgerState, VoidedTxLeavesBalancesUntouched) {
+  LedgerState st;
+  st.genesis(1, 100);
+  const auto root_before = st.state_root();
+  EXPECT_NE(st.apply({1, 2, 500, 0}), VoidReason::kNone);  // burns nonce only
+  EXPECT_EQ(st.balance(1), 100u);
+  EXPECT_EQ(st.balance(2), 0u);
+  EXPECT_NE(st.state_root(), root_before);  // nonce change is state too
+}
+
+TEST(LedgerState, StateRootCanonicalAndContentSensitive) {
+  LedgerState a, b;
+  a.genesis(2, 50);
+  a.genesis(1, 100);
+  b.genesis(1, 100);
+  b.genesis(2, 50);
+  EXPECT_EQ(a.state_root(), b.state_root());  // insertion order irrelevant
+  b.genesis(3, 1);
+  EXPECT_NE(a.state_root(), b.state_root());
+}
+
+TEST(LedgerState, NonceMustBeSequential) {
+  LedgerState st;
+  st.genesis(1, 100);
+  EXPECT_EQ(st.apply({1, 2, 1, 0}), VoidReason::kNone);
+  EXPECT_EQ(st.apply({1, 2, 1, 2}), VoidReason::kBadNonce);  // gap
+  EXPECT_EQ(st.apply({1, 2, 1, 1}), VoidReason::kNone);
+  EXPECT_EQ(st.nonce(1), 2u);
+}
+
+// ------------------------------------------------------------ EpochExecutor
+
+core::EpochRecord record_for(std::uint64_t number, const std::vector<core::Element>& es) {
+  core::EpochRecord rec;
+  rec.number = number;
+  rec.count = es.size();
+  for (const auto& e : es) rec.ids.push_back(e.id);
+  return rec;
+}
+
+struct ExecFixture : ::testing::Test {
+  crypto::Pki pki{5};
+  EpochExecutor exec;
+
+  ExecFixture() {
+    for (crypto::ProcessId c = 100; c < 104; ++c) pki.register_process(c);
+    exec.genesis(1, 1000);
+    exec.genesis(2, 1000);
+  }
+
+  core::Element tx_element(crypto::ProcessId client, std::uint64_t seq,
+                           const TokenTx& tx) {
+    return make_token_element(pki, client, seq, tx);
+  }
+};
+
+TEST_F(ExecFixture, ExecutesEpochSequentially) {
+  std::vector<core::Element> epoch1{
+      tx_element(100, 1, {1, 2, 100, 0}),
+      tx_element(100, 2, {2, 1, 30, 0}),
+  };
+  exec.on_epoch(record_for(1, epoch1), epoch1);
+  EXPECT_EQ(exec.state().balance(1), 930u);
+  EXPECT_EQ(exec.state().balance(2), 1070u);
+  EXPECT_EQ(exec.executed(), 2u);
+  EXPECT_EQ(exec.voided(), 0u);
+  EXPECT_EQ(exec.epoch_roots().size(), 1u);
+}
+
+TEST_F(ExecFixture, DoubleSpendWithinEpochVoidsSecond) {
+  // Account 3 has 50; two transfers of 40 each are both individually valid
+  // against the pre-state (optimistic validation passes both), but the
+  // sequential execution voids the second.
+  exec.genesis(3, 50);
+  std::vector<core::Element> epoch{
+      tx_element(100, 1, {3, 1, 40, 0}),
+      tx_element(100, 2, {3, 2, 40, 1}),
+  };
+  exec.on_epoch(record_for(1, epoch), epoch);
+  EXPECT_EQ(exec.executed(), 1u);
+  EXPECT_EQ(exec.voided(), 1u);
+  EXPECT_EQ(exec.state().balance(3), 10u);
+  EXPECT_EQ(exec.log().back().verdict, VoidReason::kInsufficientFunds);
+}
+
+TEST_F(ExecFixture, MalformedPayloadVoided) {
+  core::Element junk;
+  junk.id = core::make_element_id(100, 9);
+  junk.client = 100;
+  junk.payload = codec::to_bytes("definitely not a token tx");
+  std::vector<core::Element> epoch{junk};
+  exec.on_epoch(record_for(1, epoch), epoch);
+  EXPECT_EQ(exec.voided(), 1u);
+  EXPECT_EQ(exec.log().back().verdict, VoidReason::kMalformedPayload);
+}
+
+TEST_F(ExecFixture, EpochLimitVoidsOverflowDeterministically) {
+  EpochExecutor limited({/*max_txs_per_epoch=*/2});
+  limited.genesis(1, 1000);
+  std::vector<core::Element> epoch{
+      tx_element(100, 1, {1, 2, 1, 0}),
+      tx_element(100, 2, {1, 2, 1, 1}),
+      tx_element(100, 3, {1, 2, 1, 2}),  // over the cap
+  };
+  limited.on_epoch(record_for(1, epoch), epoch);
+  EXPECT_EQ(limited.executed(), 2u);
+  EXPECT_EQ(limited.voided(), 1u);
+  EXPECT_EQ(limited.log().back().verdict, VoidReason::kEpochLimitExceeded);
+}
+
+// --------------------------------------- end-to-end across Setchain servers
+
+TEST(ExecIntegration, AllServersReachIdenticalStateRoots) {
+  using core::testing::AlgoHarness;
+  AlgoHarness<core::HashchainServer> h(4, 8);
+
+  // A wallet submits its nonce-ordered transactions through ONE server so
+  // they share a batch (Setchain orders across epochs, not within; a wallet
+  // that scatters nonces across servers may see them consolidate out of
+  // order and voided — exactly the paper's epoch-barrier semantics).
+  std::vector<core::Element> all_elements;
+  const crypto::ProcessId alice = 100;
+
+  std::uint64_t seq = 1;
+  auto submit = [&](std::uint32_t server, const TokenTx& tx) {
+    const auto e = make_token_element(h.pki, alice, seq++, tx);
+    all_elements.push_back(e);
+    h.servers[server]->add(e);
+  };
+  submit(0, {1, 2, 100, 0});
+  submit(0, {2, 1, 10, 0});
+  submit(0, {1, 2, 900, 1});   // leaves account 1 nearly empty
+  submit(0, {1, 2, 500, 2});   // must void: insufficient funds
+  h.seal_rounds(120);
+
+  // Replay every server's history through its own executor; roots and void
+  // sets must agree everywhere (deterministic execution, Property 6).
+  std::vector<exec::LedgerState::StateRoot> roots;
+  std::vector<std::uint64_t> voided;
+  for (auto& server : h.servers) {
+    exec::EpochExecutor ex;
+    ex.genesis(1, 1000);
+    ex.genesis(2, 1000);
+    const auto snap = server->get();
+    std::unordered_map<core::ElementId, const core::Element*> by_id;
+    for (const auto& e : all_elements) by_id[e.id] = &e;
+    for (const auto& rec : *snap.history) {
+      std::vector<core::Element> elements;
+      for (const auto id : rec.ids) elements.push_back(*by_id.at(id));
+      ex.on_epoch(rec, elements);
+    }
+    roots.push_back(ex.state_root());
+    voided.push_back(ex.voided());
+    EXPECT_EQ(ex.state().total_supply(), 2000u);  // conservation everywhere
+  }
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    EXPECT_EQ(roots[i], roots[0]) << "server " << i;
+    EXPECT_EQ(voided[i], voided[0]);
+  }
+  EXPECT_EQ(voided[0], 1u);  // exactly the double spend voided
+}
+
+TEST_F(ExecFixture, UnauthorizedSignerVoided) {
+  EpochExecutor ex;
+  ex.genesis(1, 100);
+  ex.set_owner(1, 100);  // account 1 belongs to client 100
+  // Canonical (id-sorted) order: client 100's element precedes client 101's.
+  std::vector<core::Element> epoch{
+      tx_element(100, 1, {1, 2, 10, 0}),  // the rightful owner
+      tx_element(101, 1, {1, 2, 10, 1}),  // client 101 spends client 100's account
+  };
+  ex.on_epoch(record_for(1, epoch), epoch);
+  ASSERT_EQ(ex.log().size(), 2u);
+  EXPECT_EQ(ex.log()[0].verdict, VoidReason::kNone);
+  EXPECT_EQ(ex.log()[1].verdict, VoidReason::kUnauthorized);
+  EXPECT_EQ(ex.state().balance(2), 10u);
+}
+
+TEST(ExecIntegration, OnEpochHookFiresFromServers) {
+  // Wire the hook directly: a Vanilla server with an executor attached.
+  core::SetchainParams params;
+  params.n = 4;
+  params.f = 1;
+  params.fidelity = core::Fidelity::kFull;
+  crypto::Pki pki(5);
+  for (crypto::ProcessId p = 0; p < 4; ++p) pki.register_process(p);
+  pki.register_process(100);
+  ledger::InstantLedger ledger(4);
+
+  exec::EpochExecutor ex;
+  ex.genesis(1, 100);
+
+  core::ServerContext ctx;
+  ctx.ledger = &ledger;
+  ctx.pki = &pki;
+  ctx.params = &params;
+  ctx.on_epoch = [&ex](const core::EpochRecord& rec,
+                       const std::vector<core::Element>& els) {
+    ex.on_epoch(rec, els);
+  };
+  core::VanillaServer server(ctx, 0);
+  ledger.on_new_block(0, [&server](const ledger::Block& b) { server.on_new_block(b); });
+
+  server.add(make_token_element(pki, 100, 1, {1, 2, 60, 0}));
+  ledger.seal_all();
+  EXPECT_EQ(ex.epochs_executed(), 1u);
+  EXPECT_EQ(ex.state().balance(2), 60u);
+}
+
+}  // namespace
+}  // namespace setchain::exec

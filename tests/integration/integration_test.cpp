@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "metrics/stats.hpp"
+#include "runner/experiment.hpp"
+#include "runner/parallel.hpp"
+
+namespace setchain::runner {
+namespace {
+
+Scenario base_scenario(Algorithm algo) {
+  Scenario s;
+  s.algorithm = algo;
+  s.n = 4;
+  s.sending_rate = 200;
+  s.add_duration = sim::from_seconds(5);
+  s.horizon = sim::from_seconds(120);
+  s.collector_limit = 20;
+  s.fidelity = core::Fidelity::kCalibrated;
+  s.track_ids = true;
+  return s;
+}
+
+// ------------------------------------------------ end-to-end, all algorithms
+
+class EndToEnd : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(EndToEnd, EverythingAddedGetsCommitted) {
+  Experiment e(base_scenario(GetParam()));
+  e.run();
+  const RunResult r = e.result();
+  EXPECT_GT(r.elements_added, 900u);  // ~1000 = 200 el/s * 5 s
+  EXPECT_EQ(r.elements_committed, r.elements_added);
+  EXPECT_GT(r.epochs, 0u);
+  EXPECT_GT(r.blocks, 0u);
+  // Natural quiescence well before the horizon.
+  EXPECT_LT(r.sim_seconds, 100.0);
+}
+
+TEST_P(EndToEnd, SafetyAndLivenessInvariants) {
+  Experiment e(base_scenario(GetParam()));
+  e.run();
+  const auto servers = e.correct_servers();
+  const auto safety = core::check_safety(servers);
+  EXPECT_TRUE(safety.ok()) << safety.to_string();
+  const auto live = core::check_liveness_quiescent(servers, e.accepted_valid_ids(),
+                                                   e.params(), e.pki());
+  EXPECT_TRUE(live.ok()) << live.to_string();
+  const auto p7 = core::check_add_before_get(servers, e.created_ids());
+  EXPECT_TRUE(p7.ok()) << p7.to_string();
+}
+
+TEST_P(EndToEnd, DeterministicAcrossRuns) {
+  const Scenario s = base_scenario(GetParam());
+  Experiment a(s), b(s);
+  a.run();
+  b.run();
+  const RunResult ra = a.result(), rb = b.result();
+  EXPECT_EQ(ra.elements_added, rb.elements_added);
+  EXPECT_EQ(ra.elements_committed, rb.elements_committed);
+  EXPECT_EQ(ra.epochs, rb.epochs);
+  EXPECT_EQ(ra.blocks, rb.blocks);
+  EXPECT_EQ(ra.events, rb.events);
+  EXPECT_DOUBLE_EQ(ra.sim_seconds, rb.sim_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, EndToEnd,
+                         ::testing::Values(Algorithm::kVanilla,
+                                           Algorithm::kCompresschain,
+                                           Algorithm::kHashchain),
+                         [](const auto& info) { return algorithm_name(info.param); });
+
+// ----------------------------------------------------- full-fidelity (small)
+
+TEST(FullFidelity, HashchainEndToEndWithRealCrypto) {
+  Scenario s = base_scenario(Algorithm::kHashchain);
+  s.fidelity = core::Fidelity::kFull;
+  s.sending_rate = 40;  // real Ed25519 signing is costly on the host
+  s.add_duration = sim::from_seconds(3);
+  Experiment e(s);
+  e.run();
+  const RunResult r = e.result();
+  EXPECT_EQ(r.elements_committed, r.elements_added);
+  EXPECT_GT(r.elements_added, 100u);
+
+  const auto servers = e.correct_servers();
+  const auto safety = core::check_safety(servers);
+  EXPECT_TRUE(safety.ok()) << safety.to_string();
+  const auto live = core::check_liveness_quiescent(servers, e.accepted_valid_ids(),
+                                                   e.params(), e.pki());
+  EXPECT_TRUE(live.ok()) << live.to_string();
+
+  // Light-client workflow (§2): verify one element against ONE server.
+  const auto id = e.accepted_valid_ids().front();
+  const auto v = core::SetchainClient::verify(e.server(2), id, e.pki(), e.params());
+  EXPECT_TRUE(v.in_the_set);
+  EXPECT_TRUE(v.in_epoch);
+  EXPECT_TRUE(v.committed);
+  EXPECT_GE(v.valid_proofs, e.params().f + 1);
+}
+
+TEST(FullFidelity, VanillaEndToEndWithRealCrypto) {
+  Scenario s = base_scenario(Algorithm::kVanilla);
+  s.fidelity = core::Fidelity::kFull;
+  s.sending_rate = 40;
+  s.add_duration = sim::from_seconds(3);
+  Experiment e(s);
+  e.run();
+  EXPECT_EQ(e.result().elements_committed, e.result().elements_added);
+}
+
+TEST(FullFidelity, CompresschainEndToEndWithRealCrypto) {
+  Scenario s = base_scenario(Algorithm::kCompresschain);
+  s.fidelity = core::Fidelity::kFull;
+  s.sending_rate = 40;
+  s.add_duration = sim::from_seconds(3);
+  Experiment e(s);
+  e.run();
+  EXPECT_EQ(e.result().elements_committed, e.result().elements_added);
+}
+
+// ------------------------------------------------------------ latency stages
+
+TEST(LatencyStages, OrderedAndBounded) {
+  Scenario s = base_scenario(Algorithm::kCompresschain);
+  s.per_element_metrics = true;
+  s.sending_rate = 125;  // paper's Fig. 4 scenario scaled to n=4
+  Experiment e(s);
+  e.run();
+  auto& rec = e.recorder();
+  const auto first = rec.stage_latencies(metrics::Stage::kMempoolFirst);
+  const auto quorum = rec.stage_latencies(metrics::Stage::kMempoolQuorum);
+  const auto all = rec.stage_latencies(metrics::Stage::kMempoolAll);
+  const auto ledger = rec.stage_latencies(metrics::Stage::kLedger);
+  const auto committed = rec.stage_latencies(metrics::Stage::kCommitted);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(committed.empty());
+  // Stage medians must be monotone along the pipeline.
+  const auto med = [](std::vector<double> v) { return metrics::percentile(v, 0.5); };
+  EXPECT_LE(med(first), med(quorum));
+  EXPECT_LE(med(quorum), med(all));
+  EXPECT_LE(med(all), med(ledger) + 1e-9);
+  EXPECT_LE(med(ledger), med(committed));
+  // Paper: commit latency below ~4 s for the batch algorithms at low rate.
+  EXPECT_LT(med(committed), 6.0);
+}
+
+// ------------------------------------------------------------- stress shapes
+
+TEST(StressShapes, VanillaSaturatesWhereHashchainCopes) {
+  Scenario v = base_scenario(Algorithm::kVanilla);
+  v.sending_rate = 2000;
+  v.add_duration = sim::from_seconds(50);  // the paper's 50 s add window
+  v.horizon = sim::from_seconds(200);
+  v.track_ids = false;
+  const RunResult rv = run_scenario(v);
+
+  Scenario h = v;
+  h.algorithm = Algorithm::kHashchain;
+  h.collector_limit = 100;
+  const RunResult rh = run_scenario(h);
+
+  // Vanilla's ledger-bound throughput (~1k el/s at n=4) cannot keep up with
+  // 2000 el/s; Hashchain finishes comfortably (Fig. 1 shape).
+  EXPECT_LT(rv.efficiency_50, 0.75);
+  EXPECT_GT(rh.efficiency_50, 0.9);
+  EXPECT_DOUBLE_EQ(rh.efficiency_100, 1.0);
+}
+
+TEST(StressShapes, NetworkDelayReducesEfficiency) {
+  Scenario fast = base_scenario(Algorithm::kCompresschain);
+  fast.sending_rate = 1000;
+  fast.add_duration = sim::from_seconds(20);
+  fast.track_ids = false;
+  Scenario slow = fast;
+  slow.network_delay = sim::from_millis(100);
+  const RunResult rf = run_scenario(fast);
+  const RunResult rs = run_scenario(slow);
+  EXPECT_LE(rs.efficiency_50, rf.efficiency_50 + 1e-9);
+  // Both finish eventually (the delay hurts latency, not safety/liveness).
+  EXPECT_EQ(rs.elements_committed, rs.elements_added);
+}
+
+// ------------------------------------------------------- ledger fault cases
+
+TEST(LedgerFaults, SilentProposerDoesNotStopCommits) {
+  Scenario s = base_scenario(Algorithm::kHashchain);
+  s.byz_silent_proposers = {1};
+  s.horizon = sim::from_seconds(240);
+  Experiment e(s);
+  e.run();
+  const RunResult r = e.result();
+  EXPECT_EQ(r.elements_committed, r.elements_added);
+}
+
+TEST(LedgerFaults, HashchainSurvivesBatchRefusal) {
+  Scenario s = base_scenario(Algorithm::kHashchain);
+  s.byz_refuse_batch = {3};
+  s.horizon = sim::from_seconds(240);
+  s.track_ids = false;
+  Experiment e(s);
+  e.run();
+  const RunResult r = e.result();
+  // Elements added via the refusing server are not guaranteed (its batches
+  // cannot be retrieved); everything else must commit. 4 equal-rate clients
+  // -> at least ~3/4 of elements commit.
+  EXPECT_GE(static_cast<double>(r.elements_committed),
+            0.70 * static_cast<double>(r.elements_added));
+  const auto servers = e.correct_servers();
+  const auto safety = core::check_safety(servers);
+  EXPECT_TRUE(safety.ok()) << safety.to_string();
+}
+
+TEST(LedgerFaults, CorruptProofServerDoesNotBlockCommit) {
+  Scenario s = base_scenario(Algorithm::kCompresschain);
+  s.byz_corrupt_proofs = {2};
+  Experiment e(s);
+  e.run();
+  const RunResult r = e.result();
+  EXPECT_EQ(r.elements_committed, r.elements_added);
+}
+
+TEST(LedgerFaults, ByzantineClientsInvalidElementsFiltered) {
+  Scenario s = base_scenario(Algorithm::kHashchain);
+  s.client_invalid_fraction = 0.3;
+  Experiment e(s);
+  e.run();
+  const RunResult r = e.result();
+  // Added counts only accepted (valid) elements; all of them commit.
+  EXPECT_EQ(r.elements_committed, r.elements_added);
+  std::uint64_t rejected = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) rejected += e.client(i).rejected();
+  EXPECT_GT(rejected, 0u);
+}
+
+// ------------------------------------------------------------- client rates
+
+TEST(Clients, RateControlProducesExpectedVolume) {
+  Scenario s = base_scenario(Algorithm::kHashchain);
+  s.sending_rate = 400;  // 100 el/s per client over 5 s => ~500 each
+  Experiment e(s);
+  e.run();
+  for (std::uint32_t i = 0; i < s.n; ++i) {
+    EXPECT_NEAR(static_cast<double>(e.client(i).added()), 500.0, 5.0) << i;
+  }
+}
+
+TEST(Clients, DuplicateToAllStillCountsOnce) {
+  Scenario s = base_scenario(Algorithm::kCompresschain);
+  s.clients_duplicate_to_all = true;
+  s.sending_rate = 100;
+  Experiment e(s);
+  e.run();
+  const RunResult r = e.result();
+  // Every element accepted somewhere commits exactly once despite being
+  // submitted to all four servers.
+  EXPECT_EQ(r.elements_committed, r.elements_added);
+  const auto safety = core::check_safety(e.correct_servers());
+  EXPECT_TRUE(safety.ok()) << safety.to_string();
+}
+
+TEST(Clients, CommitTimesAreMonotoneInFraction) {
+  Scenario s = base_scenario(Algorithm::kHashchain);
+  Experiment e(s);
+  e.run();
+  double prev = 0.0;
+  for (double f = 0.1; f <= 0.51; f += 0.1) {
+    const auto t = e.recorder().commit_time_of_fraction(f);
+    ASSERT_TRUE(t.has_value()) << f;
+    EXPECT_GE(*t, prev);
+    prev = *t;
+  }
+}
+
+// ------------------------------------------------------- parallel sweeps
+
+TEST(ParallelMap, PreservesOrderAndValues) {
+  const auto out = parallel_map<int>(100, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelMap, PropagatesExceptions) {
+  EXPECT_THROW(parallel_map<int>(16,
+                                 [](std::size_t i) -> int {
+                                   if (i == 7) throw std::runtime_error("boom");
+                                   return 0;
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, ConcurrentExperimentsMatchSequential) {
+  // Two simulations running on different threads must produce exactly the
+  // results they produce sequentially (full isolation of Experiment state).
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < 4; ++i) {
+    Scenario s = base_scenario(i % 2 ? Algorithm::kHashchain
+                                     : Algorithm::kCompresschain);
+    s.sending_rate = 100 + 40 * i;
+    s.track_ids = false;
+    scenarios.push_back(s);
+  }
+  const auto parallel = parallel_map<RunResult>(
+      scenarios.size(), [&](std::size_t i) { return run_scenario(scenarios[i]); }, 2);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const RunResult seq = run_scenario(scenarios[i]);
+    EXPECT_EQ(parallel[i].elements_added, seq.elements_added) << i;
+    EXPECT_EQ(parallel[i].elements_committed, seq.elements_committed) << i;
+    EXPECT_EQ(parallel[i].events, seq.events) << i;
+  }
+}
+
+// ------------------------------------------------------- committee variant
+
+TEST(Committee, EndToEndCommitsEverything) {
+  Scenario s = base_scenario(Algorithm::kHashchain);
+  s.n = 7;
+  s.hashchain_committee = 5;  // 2f+1 with f=2
+  Experiment e(s);
+  e.run();
+  const RunResult r = e.result();
+  EXPECT_EQ(r.elements_committed, r.elements_added);
+  const auto safety = core::check_safety(e.correct_servers());
+  EXPECT_TRUE(safety.ok()) << safety.to_string();
+}
+
+// ----------------------------------------------------------- scale sanity
+
+TEST(ScaleSanity, TenServersCalibratedRun) {
+  Scenario s = base_scenario(Algorithm::kHashchain);
+  s.n = 10;
+  s.sending_rate = 1000;
+  s.add_duration = sim::from_seconds(10);
+  s.collector_limit = 100;
+  s.track_ids = false;
+  const RunResult r = run_scenario(s);
+  EXPECT_EQ(r.elements_committed, r.elements_added);
+  EXPECT_GT(r.elements_added, 9000u);
+}
+
+}  // namespace
+}  // namespace setchain::runner

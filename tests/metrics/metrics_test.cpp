@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "metrics/series.hpp"
+#include "metrics/stage_recorder.hpp"
+#include "metrics/stats.hpp"
+
+namespace setchain::metrics {
+namespace {
+
+using sim::from_seconds;
+
+// --------------------------------------------------------------------- stats
+
+TEST(Stats, MeanStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_NEAR(stddev({2, 4, 6}), 1.63299, 1e-4);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  RunningStats rs;
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) {
+    rs.add(i * 0.5);
+    xs.push_back(i * 0.5);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), 0.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 50.0);
+  EXPECT_EQ(rs.count(), 100u);
+}
+
+// ---------------------------------------------------------------- StepSeries
+
+TEST(StepSeries, CountUntil) {
+  StepSeries s;
+  s.add(from_seconds(1), 10);
+  s.add(from_seconds(2), 20);
+  s.add(from_seconds(3), 30);
+  EXPECT_EQ(s.total(), 60u);
+  EXPECT_EQ(s.count_until(from_seconds(0.5)), 0u);
+  EXPECT_EQ(s.count_until(from_seconds(1)), 10u);
+  EXPECT_EQ(s.count_until(from_seconds(2.5)), 30u);
+  EXPECT_EQ(s.count_until(from_seconds(10)), 60u);
+}
+
+TEST(StepSeries, OutOfOrderEventsAreSorted) {
+  StepSeries s;
+  s.add(from_seconds(3), 1);
+  s.add(from_seconds(1), 1);
+  s.add(from_seconds(2), 1);
+  EXPECT_EQ(s.count_until(from_seconds(1.5)), 1u);
+  EXPECT_EQ(s.events().front().t, from_seconds(1));
+}
+
+TEST(StepSeries, TimeOfKth) {
+  StepSeries s;
+  s.add(from_seconds(1), 5);
+  s.add(from_seconds(4), 5);
+  EXPECT_EQ(s.time_of_kth(1), from_seconds(1));
+  EXPECT_EQ(s.time_of_kth(5), from_seconds(1));
+  EXPECT_EQ(s.time_of_kth(6), from_seconds(4));
+  EXPECT_EQ(s.time_of_kth(11), std::numeric_limits<sim::Time>::max());
+}
+
+TEST(StepSeries, RollingRateWindow) {
+  StepSeries s;
+  // 100 el/s for 10 seconds: one event of 100 per second.
+  for (int t = 0; t < 10; ++t) s.add(from_seconds(t + 0.5), 100);
+  const auto pts =
+      s.rolling_rate(from_seconds(2), from_seconds(1), from_seconds(12));
+  // At t=2..10 the 2-second window holds 200 elements -> 100 el/s.
+  for (const auto& p : pts) {
+    if (p.t_seconds >= 2.0 && p.t_seconds <= 10.0) {
+      EXPECT_NEAR(p.rate, 100.0, 1e-6) << p.t_seconds;
+    }
+    if (p.t_seconds >= 12.0) {
+      EXPECT_NEAR(p.rate, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(EmpiricalCdf, MonotoneAndComplete) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0, 2.0, 5.0});
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GE(cdf[i].f, cdf[i - 1].f);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().f, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 5.0);
+}
+
+// ------------------------------------------------------------- StageRecorder
+
+StageRecorder::Config cfg(std::uint32_t n, std::uint32_t f, bool per_element) {
+  return StageRecorder::Config{n, f, per_element};
+}
+
+TEST(StageRecorder, CommitRequiresFPlus1DistinctServers) {
+  StageRecorder r(cfg(4, 1, false));
+  r.on_add(1, from_seconds(0));
+  r.on_add(2, from_seconds(0));
+  r.on_epoch_consolidated(1, 2, {}, from_seconds(1));
+  EXPECT_EQ(r.committed().total(), 0u);
+  r.on_proof_on_ledger(1, 0, from_seconds(2));
+  EXPECT_EQ(r.committed().total(), 0u);
+  r.on_proof_on_ledger(1, 0, from_seconds(2.5));  // duplicate server: no-op
+  EXPECT_EQ(r.committed().total(), 0u);
+  r.on_proof_on_ledger(1, 3, from_seconds(3));
+  EXPECT_EQ(r.committed().total(), 2u);  // f+1 = 2 distinct servers
+  EXPECT_EQ(r.epochs_committed(), 1u);
+  // Extra proofs change nothing.
+  r.on_proof_on_ledger(1, 2, from_seconds(4));
+  EXPECT_EQ(r.committed().total(), 2u);
+}
+
+TEST(StageRecorder, EpochConsolidationFirstCallerWins) {
+  StageRecorder r(cfg(4, 1, false));
+  r.on_epoch_consolidated(1, 10, {}, from_seconds(1));
+  r.on_epoch_consolidated(1, 999, {}, from_seconds(2));  // replica report
+  r.on_proof_on_ledger(1, 0, from_seconds(3));
+  r.on_proof_on_ledger(1, 1, from_seconds(3));
+  EXPECT_EQ(r.committed().total(), 10u);
+}
+
+TEST(StageRecorder, EfficiencyAt) {
+  StageRecorder r(cfg(4, 1, false));
+  for (int i = 0; i < 10; ++i) r.on_add(static_cast<std::uint64_t>(i), from_seconds(i));
+  r.on_epoch_consolidated(1, 5, {}, from_seconds(20));
+  r.on_proof_on_ledger(1, 0, from_seconds(40));
+  r.on_proof_on_ledger(1, 1, from_seconds(45));
+  EXPECT_DOUBLE_EQ(r.efficiency_at(from_seconds(30)), 0.0);
+  EXPECT_DOUBLE_EQ(r.efficiency_at(from_seconds(50)), 0.5);
+}
+
+TEST(StageRecorder, PerElementStageLatencies) {
+  StageRecorder r(cfg(3, 1, true));
+  r.on_add(7, from_seconds(1));
+  r.on_mempool_arrival(7, 0, from_seconds(1.5));
+  r.on_mempool_arrival(7, 1, from_seconds(2.0));  // f+1 = 2nd arrival
+  r.on_mempool_arrival(7, 2, from_seconds(2.5));  // all = 3rd
+  r.on_ledger(7, from_seconds(3.0));
+  r.on_epoch_consolidated(1, 1, {7}, from_seconds(3.0));
+  r.on_proof_on_ledger(1, 0, from_seconds(4.0));
+  r.on_proof_on_ledger(1, 1, from_seconds(5.0));
+
+  const auto first = r.stage_latencies(Stage::kMempoolFirst);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_NEAR(first[0], 0.5, 1e-9);
+  EXPECT_NEAR(r.stage_latencies(Stage::kMempoolQuorum)[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.stage_latencies(Stage::kMempoolAll)[0], 1.5, 1e-9);
+  EXPECT_NEAR(r.stage_latencies(Stage::kLedger)[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.stage_latencies(Stage::kCommitted)[0], 4.0, 1e-9);
+}
+
+TEST(StageRecorder, DuplicateMempoolArrivalFromSameServerStillCountsOnce) {
+  // The mempool layer dedups; the recorder trusts one call per (elem, node).
+  StageRecorder r(cfg(2, 0, true));
+  r.on_add(1, 0);
+  r.on_mempool_arrival(1, 0, from_seconds(1));
+  EXPECT_EQ(r.stage_latencies(Stage::kMempoolQuorum).size(), 1u);  // f+1 == 1
+}
+
+TEST(StageRecorder, CommitTimeOfFraction) {
+  StageRecorder r(cfg(4, 1, false));
+  for (int i = 0; i < 100; ++i) r.on_add(static_cast<std::uint64_t>(i), 0);
+  r.on_epoch_consolidated(1, 50, {}, from_seconds(5));
+  r.on_proof_on_ledger(1, 0, from_seconds(10));
+  r.on_proof_on_ledger(1, 1, from_seconds(10));
+  r.on_epoch_consolidated(2, 50, {}, from_seconds(6));
+  r.on_proof_on_ledger(2, 0, from_seconds(20));
+  r.on_proof_on_ledger(2, 1, from_seconds(20));
+
+  EXPECT_NEAR(*r.commit_time_of_first(), 10.0, 1e-9);
+  EXPECT_NEAR(*r.commit_time_of_fraction(0.10), 10.0, 1e-9);
+  EXPECT_NEAR(*r.commit_time_of_fraction(0.50), 10.0, 1e-9);
+  EXPECT_NEAR(*r.commit_time_of_fraction(0.51), 20.0, 1e-9);
+  EXPECT_FALSE(r.commit_time_of_fraction(1.01).has_value());
+}
+
+TEST(StageRecorder, ProofBeforeConsolidationIsNotLost) {
+  StageRecorder r(cfg(4, 1, false));
+  r.on_add(1, 0);
+  r.on_proof_on_ledger(3, 0, from_seconds(1));
+  r.on_proof_on_ledger(3, 1, from_seconds(2));
+  // Committed with count 0 (consolidation unseen), but no crash and the
+  // epoch is marked committed.
+  EXPECT_EQ(r.epochs_committed(), 1u);
+}
+
+}  // namespace
+}  // namespace setchain::metrics

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace setchain::sim {
+namespace {
+
+// ---------------------------------------------------------------- Simulation
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulation, EqualTimestampsFireInScheduleOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleInPastClampsToNow) {
+  Simulation s;
+  Time fired_at = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_at(5, [&] { fired_at = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation s;
+  int fired = 0;
+  for (Time t = 10; t <= 100; t += 10) s.schedule_at(t, [&] { ++fired; });
+  s.run_until(50);
+  EXPECT_EQ(fired, 5);
+  s.run_until(100);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulation, CancelledEventDoesNotFire) {
+  Simulation s;
+  bool fired = false;
+  auto h = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 50) s.schedule_in(1, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(s.now(), 49);
+}
+
+TEST(Simulation, ClockStaysAtLastEventWhenDrained) {
+  Simulation s;
+  s.schedule_at(5, [] {});
+  s.run_until(1000);
+  EXPECT_EQ(s.now(), 5);  // drained early: clock reflects real activity
+}
+
+// ----------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng r(11);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 100000; ++i) ++buckets[r.uniform_u64(10)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, 9000);
+    EXPECT_LT(b, 11000);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(5);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(9);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(123);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+// -------------------------------------------------------------- BusyResource
+
+TEST(BusyResource, SequentialJobsQueue) {
+  BusyResource r;
+  EXPECT_EQ(r.acquire(0, 10), 10);
+  EXPECT_EQ(r.acquire(0, 10), 20);   // queued behind the first
+  EXPECT_EQ(r.acquire(50, 10), 60);  // idle gap, starts at 50
+  EXPECT_EQ(r.total_busy(), 30);
+}
+
+TEST(BusyResource, NegativeDurationClamped) {
+  BusyResource r;
+  EXPECT_EQ(r.acquire(5, -10), 5);
+}
+
+// ------------------------------------------------------------------- Network
+
+TEST(Network, DeliversWithLatency) {
+  Simulation s;
+  NetworkConfig cfg;
+  cfg.base_latency = from_millis(1);
+  cfg.extra_delay = 0;
+  cfg.jitter_fraction = 0.0;
+  Network net(s, 3, cfg, 1);
+  Time delivered = -1;
+  net.send(0, 1, 100, [&] { delivered = s.now(); });
+  s.run();
+  // 100 bytes at 1 Gb/s is < 1 us serialization; latency dominates.
+  EXPECT_GE(delivered, from_millis(1));
+  EXPECT_LT(delivered, from_millis(1.2));
+}
+
+TEST(Network, ExtraDelayAdds) {
+  Simulation s;
+  NetworkConfig cfg;
+  cfg.base_latency = from_millis(1);
+  cfg.extra_delay = from_millis(30);
+  cfg.jitter_fraction = 0.0;
+  Network net(s, 2, cfg, 1);
+  Time delivered = -1;
+  net.send(0, 1, 10, [&] { delivered = s.now(); });
+  s.run();
+  EXPECT_GE(delivered, from_millis(31));
+  EXPECT_LT(delivered, from_millis(31.5));
+}
+
+TEST(Network, BandwidthSerializationCounts) {
+  Simulation s;
+  NetworkConfig cfg;
+  cfg.base_latency = 0;
+  cfg.jitter_fraction = 0.0;
+  cfg.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s
+  Network net(s, 2, cfg, 1);
+  Time delivered = -1;
+  net.send(0, 1, 500'000, [&] { delivered = s.now(); });  // 0.5 s to serialize
+  s.run();
+  EXPECT_NEAR(to_seconds(delivered), 0.5, 0.01);
+}
+
+TEST(Network, EgressContentionSerializesSends) {
+  Simulation s;
+  NetworkConfig cfg;
+  cfg.base_latency = 0;
+  cfg.jitter_fraction = 0.0;
+  cfg.bandwidth_bytes_per_sec = 1e6;
+  Network net(s, 3, cfg, 1);
+  std::vector<Time> deliveries;
+  net.send(0, 1, 500'000, [&] { deliveries.push_back(s.now()); });
+  net.send(0, 2, 500'000, [&] { deliveries.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // Second message waits for the first to clear the sender's egress link.
+  EXPECT_NEAR(to_seconds(deliveries[0]), 0.5, 0.01);
+  EXPECT_NEAR(to_seconds(deliveries[1]), 1.0, 0.01);
+}
+
+TEST(Network, LoopbackIsFast) {
+  Simulation s;
+  NetworkConfig cfg;
+  cfg.extra_delay = from_millis(100);  // must NOT apply to loopback
+  Network net(s, 2, cfg, 1);
+  Time delivered = -1;
+  net.send(1, 1, 1'000'000, [&] { delivered = s.now(); });
+  s.run();
+  EXPECT_LT(delivered, from_millis(1));
+}
+
+TEST(Network, BroadcastReachesAllPeers) {
+  Simulation s;
+  Network net(s, 5, {}, 1);
+  std::vector<NodeId> seen;
+  net.broadcast(2, 100, [&](NodeId peer) { seen.push_back(peer); });
+  s.run();
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+  Simulation s;
+  Network net(s, 2, {}, 1);
+  net.send(0, 1, 100, [] {});
+  net.send(0, 1, 200, [] {});
+  s.run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 300u);
+}
+
+}  // namespace
+}  // namespace setchain::sim

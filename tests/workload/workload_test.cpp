@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/lz77.hpp"
+#include "metrics/stats.hpp"
+#include "workload/arbitrum_like.hpp"
+
+namespace setchain::workload {
+namespace {
+
+TEST(ArbitrumLike, SizeDistributionMatchesPaperStatistics) {
+  // Paper §4: mean 438 bytes, stddev 753.5 (heavy tail). Our clipped
+  // lognormal must land near that mean with a clearly heavy tail.
+  ArbitrumLikeGenerator gen(1);
+  metrics::RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(gen.sample_size());
+  EXPECT_NEAR(stats.mean(), 438.0, 60.0);
+  EXPECT_GT(stats.stddev(), 350.0);
+  EXPECT_LT(stats.stddev(), 1000.0);
+  EXPECT_GE(stats.min(), 96.0);
+  EXPECT_LE(stats.max(), 8192.0);
+}
+
+TEST(ArbitrumLike, SizesAreDeterministicPerSeed) {
+  ArbitrumLikeGenerator a(7), b(7), c(8);
+  bool all_same_ab = true, any_diff_ac = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto sa = a.sample_size();
+    if (sa != b.sample_size()) all_same_ab = false;
+    if (sa != c.sample_size()) any_diff_ac = true;
+  }
+  EXPECT_TRUE(all_same_ab);
+  EXPECT_TRUE(any_diff_ac);
+}
+
+TEST(ArbitrumLike, PayloadExactSizeAndDeterminism) {
+  ArbitrumLikeGenerator gen(3);
+  for (const std::uint32_t size : {96u, 150u, 438u, 1000u, 4096u}) {
+    const auto p1 = gen.make_payload(12345, size);
+    const auto p2 = gen.make_payload(12345, size);
+    EXPECT_EQ(p1.size(), size);
+    EXPECT_EQ(p1, p2);
+  }
+  EXPECT_NE(gen.make_payload(1, 438), gen.make_payload(2, 438));
+}
+
+TEST(ArbitrumLike, BatchCompressionRatioInPaperBand) {
+  // Paper: Brotli achieves ~2.5-3.5x on batches of 100-500 Arbitrum txs.
+  // Our szx codec on the synthetic trace must land in a comparable band for
+  // the Compresschain model to transfer (checked for both collector sizes).
+  ArbitrumLikeGenerator gen(5);
+  for (const int batch_elems : {100, 500}) {
+    codec::Bytes batch;
+    for (int i = 0; i < batch_elems; ++i) {
+      const auto payload = gen.make_payload(static_cast<std::uint64_t>(i) + 1,
+                                            gen.sample_size());
+      codec::append(batch, payload);
+    }
+    const auto comp = codec::lz77_compress(batch);
+    const double ratio = codec::compression_ratio(batch, comp);
+    EXPECT_GT(ratio, 2.2) << batch_elems;
+    EXPECT_LT(ratio, 4.5) << batch_elems;
+  }
+}
+
+TEST(ArbitrumLike, LognormalFitFormula) {
+  ArbitrumLikeGenerator gen(1);
+  // mean = exp(mu + sigma^2/2) must equal the configured mean.
+  const double implied_mean = std::exp(gen.mu() + gen.sigma() * gen.sigma() / 2.0);
+  EXPECT_NEAR(implied_mean, 438.0, 1e-6);
+}
+
+TEST(ArbitrumLike, SmallPayloadsStillWellFormed) {
+  ArbitrumLikeGenerator gen(9);
+  const auto p = gen.make_payload(1, 96);
+  EXPECT_EQ(p.size(), 96u);
+  // Truncated header is fine, but it must still be the deterministic prefix.
+  const auto full = gen.make_payload(1, 500);
+  EXPECT_TRUE(std::equal(p.begin(), p.begin() + 40, full.begin()));
+}
+
+}  // namespace
+}  // namespace setchain::workload
