@@ -1,6 +1,7 @@
 // Byzantine tolerance demo: runs a 4-server Hashchain deployment (f = 1)
 // with one misbehaving server that (a) refuses to serve batch contents for
-// the hashes it announces and (b) signs corrupted epoch-proofs, plus a
+// the hashes it announces, (b) signs corrupted epoch-proofs, and (c) pairs
+// every batch announcement with a fake hash nobody can reverse, plus a
 // Byzantine client injecting invalid elements. Everything added through
 // correct servers still commits, the faulty server's proofs are discarded,
 // and light clients remain safe even if they happen to query the liar.
@@ -25,6 +26,7 @@ int main() {
   scenario.track_ids = true;
   scenario.byz_refuse_batch = {3};    // server 3 withholds batch contents
   scenario.byz_corrupt_proofs = {3};  // ... and signs wrong epoch hashes
+  scenario.byz_fake_hashes = {3};     // ... and announces hashes with no batch
   scenario.client_invalid_fraction = 0.15;  // Byzantine clients exist too
 
   runner::Experiment experiment(scenario);
@@ -32,7 +34,7 @@ int main() {
   const auto result = experiment.result();
 
   std::printf("servers: 4, Byzantine: server 3 (refuses batch service, corrupts"
-              " proofs)\n");
+              " proofs, fakes hashes)\n");
   std::printf("added (valid, accepted): %llu\n",
               static_cast<unsigned long long>(result.elements_added));
   std::printf("committed               : %llu\n",

@@ -11,6 +11,8 @@
 //   --delay-ms <ms>          --duration <s>      --horizon <s>
 //   --committee <k>          --no-reversal       --no-validate
 //   --full-fidelity          --seed <u64>        --series
+//   --byz-refuse <node>      --byz-corrupt <node> --byz-fake <node>
+//   (fault-injection flags are repeatable, one node index each)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,7 +30,8 @@ using namespace setchain;
                "          [--rate EL_PER_S] [--collector C] [--delay-ms MS]\n"
                "          [--duration S] [--horizon S] [--committee K]\n"
                "          [--no-reversal] [--no-validate] [--full-fidelity]\n"
-               "          [--seed U64] [--series]\n",
+               "          [--seed U64] [--series]\n"
+               "          [--byz-refuse NODE] [--byz-corrupt NODE] [--byz-fake NODE]\n",
                argv0);
   std::exit(2);
 }
@@ -84,11 +87,26 @@ int main(int argc, char** argv) {
       s.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--series") {
       print_series = true;
+    } else if (arg == "--byz-refuse" || arg == "--byz-corrupt" || arg == "--byz-fake") {
+      // Strict parse: atoi would turn a typo'd node into a silent server 0.
+      const char* text = next();
+      char* end = nullptr;
+      const unsigned long node = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0' || node > 0xFFFFFFFFul) usage(argv[0]);
+      auto& faults = arg == "--byz-refuse"    ? s.byz_refuse_batch
+                     : arg == "--byz-corrupt" ? s.byz_corrupt_proofs
+                                              : s.byz_fake_hashes;
+      faults.push_back(static_cast<std::uint32_t>(node));
     } else {
       usage(argv[0]);
     }
   }
   if (s.n < 2 || s.sending_rate <= 0) usage(argv[0]);
+  for (const auto* faults : {&s.byz_refuse_batch, &s.byz_corrupt_proofs, &s.byz_fake_hashes}) {
+    for (const auto node : *faults) {
+      if (node >= s.n) usage(argv[0]);
+    }
+  }
   s.lean_state = s.sending_rate >= 50'000;
 
   runner::Experiment e(s);

@@ -37,6 +37,9 @@ void HashchainServer::on_batch_ready(Batch&& batch) {
   store_.put(h, ptr, std::move(serialized));
   hash_state_[h].own_appended = true;
   append_hash_batch(h);
+  // Byzantine: pair every real announcement with a hash nobody can reverse.
+  // Correct servers must ignore the fakes without stalling on the real batch.
+  if (byz_.fake_hash_batches) byz_announce_fake_hash();
 }
 
 void HashchainServer::append_hash_batch(const EpochHash& h) {

@@ -1,7 +1,9 @@
 #include "core/invariants.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
+#include <utility>
 
 namespace setchain::core {
 
@@ -119,6 +121,61 @@ InvariantReport check_liveness_quiescent(
                             std::to_string(rec.number) + " has only " +
                             std::to_string(provers.size()) + " valid proofs (need " +
                             std::to_string(params.f + 1) + ")");
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_cross_algorithm(const std::vector<AlgoRun>& runs) {
+  InvariantReport report;
+  if (runs.size() < 2) return report;
+
+  // (a) Identical consolidated sets.
+  const auto consolidated = [](const std::vector<EpochRecord>& history) {
+    std::unordered_set<ElementId> ids;
+    for (const auto& rec : history) ids.insert(rec.ids.begin(), rec.ids.end());
+    return ids;
+  };
+  const auto base = consolidated(*runs[0].history);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const auto other = consolidated(*runs[i].history);
+    std::size_t reported = 0;
+    for (const auto id : base) {
+      if (!other.contains(id) && reported++ < 5) {
+        violate(report, "P9 Cross-Algorithm: element " + std::to_string(id) +
+                            " consolidated by " + runs[0].name + " but not by " +
+                            runs[i].name);
+      }
+    }
+    for (const auto id : other) {
+      if (!base.contains(id) && reported++ < 5) {
+        violate(report, "P9 Cross-Algorithm: element " + std::to_string(id) +
+                            " consolidated by " + runs[i].name + " but not by " +
+                            runs[0].name);
+      }
+    }
+    if (reported > 5) {
+      violate(report, "P9 Cross-Algorithm: ... and " + std::to_string(reported - 5) +
+                          " more set differences between " + runs[0].name + " and " +
+                          runs[i].name);
+    }
+  }
+
+  // (b) Hash purity: identical (number, ids) -> identical hash, everywhere.
+  struct Content {
+    EpochHash hash;
+    std::string run;
+  };
+  std::map<std::pair<std::uint64_t, std::vector<ElementId>>, Content> by_content;
+  for (const auto& run : runs) {
+    for (const auto& rec : *run.history) {
+      const auto key = std::make_pair(rec.number, rec.ids);
+      const auto [it, inserted] = by_content.emplace(key, Content{rec.hash, run.name});
+      if (!inserted && it->second.hash != rec.hash) {
+        violate(report, "P9 Cross-Algorithm: epoch " + std::to_string(rec.number) +
+                            " has identical contents in " + it->second.run + " and " +
+                            run.name + " but different canonical hashes");
       }
     }
   }

@@ -38,4 +38,21 @@ InvariantReport check_add_before_get(
     const std::vector<const SetchainServer*>& servers,
     const std::unordered_set<ElementId>& all_created);
 
+/// One algorithm's view of a workload for cross-algorithm conformance: the
+/// epoch chain of a correct server from a quiescent run of that algorithm.
+struct AlgoRun {
+  std::string name;                         ///< label for violation messages
+  const std::vector<EpochRecord>* history;  ///< a correct server's history
+};
+
+/// P9 Cross-Algorithm Conformance: vanilla, hashchain, and compresschain
+/// implement the same abstract Setchain data type, so driving them with the
+/// same workload must give
+///   (a) the same consolidated element set (union over history), and
+///   (b) identical canonical hashes wherever two runs produced an epoch with
+///       the same number and the same element ids — the epoch hash is a pure
+///       function of (number, contents), never of algorithm or server.
+/// Epoch *boundaries* may legitimately differ between algorithms.
+InvariantReport check_cross_algorithm(const std::vector<AlgoRun>& runs);
+
 }  // namespace setchain::core

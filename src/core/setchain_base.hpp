@@ -42,7 +42,9 @@ struct ServerContext {
 struct ServerByzantine {
   bool refuse_batch_service = false;  ///< Hashchain: never serve Request_batch
   bool corrupt_proofs = false;        ///< sign wrong epoch hashes
-  bool fake_hash_batches = false;     ///< announce hashes with no batch behind
+  bool fake_hash_batches = false;     ///< Hashchain: pair every real batch
+                                      ///< announcement with a fake hash that
+                                      ///< has no batch behind it
 };
 
 /// One consolidated epoch as kept in `history`.

@@ -44,19 +44,20 @@ TxIdx CometbftSim::append(sim::NodeId origin, Transaction tx) {
   const sim::Time cost = hooks_.check_tx_cost ? hooks_.check_tx_cost(stored) : 0;
   const sim::Time done = cpus_[origin].acquire(sim_.now(), cost);
   sim_.schedule_at(done, [this, origin, idx] {
-    const Transaction& tx = table_.get(idx);
-    if (hooks_.check_tx && !hooks_.check_tx(tx)) return;  // rejected locally
+    const Transaction& checked = table_.get(idx);
+    if (hooks_.check_tx && !hooks_.check_tx(checked)) return;  // rejected locally
     accept_into_mempool(origin, idx);
     // Disseminate to every peer (see class comment on the gossip model).
     for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
       if (peer == origin) continue;
-      net_.send(origin, peer, tx.wire_size, [this, peer, idx] {
-        const Transaction& tx = table_.get(idx);
-        const sim::Time cost = hooks_.check_tx_cost ? hooks_.check_tx_cost(tx) : 0;
-        const sim::Time done = cpus_[peer].acquire(sim_.now(), cost);
-        sim_.schedule_at(done, [this, peer, idx] {
-          const Transaction& tx = table_.get(idx);
-          if (hooks_.check_tx && !hooks_.check_tx(tx)) return;
+      net_.send(origin, peer, checked.wire_size, [this, peer, idx] {
+        const Transaction& received = table_.get(idx);
+        const sim::Time peer_cost =
+            hooks_.check_tx_cost ? hooks_.check_tx_cost(received) : 0;
+        const sim::Time peer_done = cpus_[peer].acquire(sim_.now(), peer_cost);
+        sim_.schedule_at(peer_done, [this, peer, idx] {
+          const Transaction& accepted = table_.get(idx);
+          if (hooks_.check_tx && !hooks_.check_tx(accepted)) return;
           accept_into_mempool(peer, idx);
         });
       });

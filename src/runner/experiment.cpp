@@ -161,6 +161,11 @@ Experiment::Experiment(Scenario scenario)
     b.corrupt_proofs = true;
     servers_[node]->set_byzantine(b);
   }
+  for (const auto node : scenario_.byz_fake_hashes) {
+    auto b = servers_[node]->byzantine();
+    b.fake_hash_batches = true;
+    servers_[node]->set_byzantine(b);
+  }
 
   // --- clients (one per node, rate split evenly, like the paper) ---
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -188,7 +193,7 @@ bool Experiment::is_byzantine(std::uint32_t node) const {
     return std::find(v.begin(), v.end(), node) != v.end();
   };
   return in(scenario_.byz_silent_proposers) || in(scenario_.byz_refuse_batch) ||
-         in(scenario_.byz_corrupt_proofs);
+         in(scenario_.byz_corrupt_proofs) || in(scenario_.byz_fake_hashes);
 }
 
 std::vector<core::SetchainServer*> Experiment::servers() {

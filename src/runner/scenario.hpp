@@ -53,6 +53,7 @@ struct Scenario {
   std::vector<std::uint32_t> byz_silent_proposers;
   std::vector<std::uint32_t> byz_refuse_batch;
   std::vector<std::uint32_t> byz_corrupt_proofs;
+  std::vector<std::uint32_t> byz_fake_hashes;
   double client_invalid_fraction = 0.0;
   bool clients_duplicate_to_all = false;
 

@@ -67,6 +67,27 @@ TEST(Varint, RandomRoundtripSweep) {
   }
 }
 
+TEST(Varint, PowerOfTwoBoundarySweep) {
+  // Every 2^k - 1 / 2^k / 2^k + 1 for k in [0, 64): the values where the
+  // encoded length changes. Roundtrip plus monotone non-decreasing size.
+  std::size_t prev_size = 1;
+  for (int k = 0; k < 64; ++k) {
+    const std::uint64_t p = 1ULL << k;
+    for (const std::uint64_t v : {p - 1, p, p + 1}) {
+      Bytes b;
+      put_varint(b, v);
+      std::size_t pos = 0;
+      ASSERT_EQ(get_varint(b, pos), v) << "k=" << k << " v=" << v;
+      EXPECT_EQ(pos, b.size());
+      EXPECT_EQ(b.size(), varint_size(v));
+    }
+    Bytes at_p;
+    put_varint(at_p, p);
+    EXPECT_GE(at_p.size(), prev_size) << "size not monotone at 2^" << k;
+    prev_size = at_p.size();
+  }
+}
+
 TEST(Varint, TruncatedInputFails) {
   Bytes b;
   put_varint(b, 1ULL << 40);
@@ -94,6 +115,28 @@ TEST(Hex, RejectsBadInput) {
   EXPECT_FALSE(from_hex("abc").has_value());   // odd length
   EXPECT_FALSE(from_hex("zz").has_value());    // non-hex
   EXPECT_EQ(from_hex("")->size(), 0u);
+}
+
+TEST(Hex, RandomRoundtripProperty) {
+  sim::Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    Bytes raw(rng.next_u64() % 64);
+    for (auto& x : raw) x = static_cast<std::uint8_t>(rng.next_u64());
+    const std::string h = to_hex(raw);
+    EXPECT_EQ(h.size(), raw.size() * 2);
+    EXPECT_EQ(from_hex(h), raw);
+  }
+}
+
+TEST(Hex, RejectsEveryNonHexByte) {
+  // A lone bad character anywhere in an otherwise valid string must fail.
+  for (int c = 0; c < 256; ++c) {
+    const bool is_hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                        (c >= 'A' && c <= 'F');
+    std::string s = "00";
+    s[1] = static_cast<char>(c);
+    EXPECT_EQ(from_hex(s).has_value(), is_hex) << "byte " << c;
+  }
 }
 
 // ------------------------------------------------------------------- byte_io
@@ -199,6 +242,53 @@ TEST_P(Lz77SizeSweep, MixedContentRoundtrips) {
 INSTANTIATE_TEST_SUITE_P(Sizes, Lz77SizeSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 255, 4096,
                                            65535, 65536, 65537, 200'000));
+
+TEST(Lz77, AlmostRepetitiveWithMutationsRoundtrips) {
+  // Adversarial for match-finding: long repeats with single-byte corruptions
+  // sprinkled in, so matches constantly almost-extend past a mismatch.
+  sim::Rng rng(404);
+  Bytes raw;
+  for (int i = 0; i < 2000; ++i) append(raw, "block-of-repeating-payload-data|");
+  for (int i = 0; i < 500; ++i) {
+    raw[rng.next_u64() % raw.size()] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  const Bytes comp = lz77_compress(raw);
+  EXPECT_LT(comp.size(), raw.size() / 2);  // mutations must not kill compression
+  EXPECT_EQ(lz77_decompress(comp), raw);
+}
+
+TEST(Lz77, LongRangeDuplicateRoundtrips) {
+  // Two identical 96 KiB random halves: only long-distance matches can pair
+  // them, and the match distances sit near the window bound.
+  sim::Rng rng(777);
+  Bytes half = random_bytes(rng, 96 * 1024);
+  Bytes raw = half;
+  raw.insert(raw.end(), half.begin(), half.end());
+  const Bytes comp = lz77_compress(raw);
+  EXPECT_EQ(lz77_decompress(comp), raw);
+  EXPECT_LE(comp.size(), raw.size() + raw.size() / 50 + 64);
+}
+
+TEST(Lz77, TwoByteAlternationRoundtrips) {
+  // Minimal-period input: matches of maximal length at distance 1-2.
+  Bytes raw;
+  raw.reserve(50'000);
+  for (int i = 0; i < 25'000; ++i) {
+    raw.push_back('x');
+    raw.push_back('y');
+  }
+  const Bytes comp = lz77_compress(raw);
+  EXPECT_LT(comp.size(), 200u);
+  EXPECT_EQ(lz77_decompress(comp), raw);
+}
+
+TEST(Lz77, AllByteValuesCycleRoundtrips) {
+  Bytes raw;
+  for (int rep = 0; rep < 300; ++rep) {
+    for (int b = 0; b < 256; ++b) raw.push_back(static_cast<std::uint8_t>(b));
+  }
+  EXPECT_EQ(lz77_decompress(lz77_compress(raw)), raw);
+}
 
 TEST(Lz77, DecompressRejectsBadMagic) {
   Bytes bogus = to_bytes("NOPE this is not szx");

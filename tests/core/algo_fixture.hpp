@@ -87,4 +87,120 @@ struct AlgoHarness {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Cross-algorithm conformance scenario matrix.
+//
+// One ConformanceScenario describes a deterministic workload (element rate ×
+// server count × client-fault mix × server-Byzantine setting) that can be
+// replayed identically against all three algorithms; drive_conformance()
+// runs it and returns what the conformance suite compares across runs.
+
+struct ConformanceScenario {
+  const char* name;
+  std::uint32_t n = 4;          ///< server count
+  std::uint32_t collector = 4;  ///< collector limit (vanilla ignores it)
+  int rounds = 4;               ///< seal rounds interleaved with adds
+  int per_round = 10;           ///< adds per round: the element-rate proxy
+  double invalid_fraction = 0.0;    ///< badly signed elements (rejected)
+  double duplicate_fraction = 0.0;  ///< same element offered to every server
+  int corrupt_proofs_server = -1;   ///< index, or -1: signs wrong epoch hashes
+  int refuse_batch_server = -1;     ///< index, or -1: drops Request_batch
+                                    ///< (clients route around it)
+  bool fake_hash_server = false;    ///< server n-1 pairs real announcements
+                                    ///< with fake hashes (Hashchain)
+  std::uint64_t seed = 1;
+};
+
+/// What one algorithm produced for a scenario, read off a correct server
+/// after quiescence.
+struct ConformanceOutcome {
+  std::vector<EpochRecord> history;  ///< correct server's full epoch chain
+  std::uint64_t epochs = 0;
+  std::uint64_t the_set_size = 0;
+};
+
+/// Replay `sc` against algorithm `Server`. Asserts the per-run property set
+/// (P1-P8) on the correct servers and hands back the correct-server view via
+/// `out`. Exposed as the correct SetchainServer so callers can also build
+/// AlgoRun views; keeps the harness alive only for the duration of the call.
+template <typename Server>
+void drive_conformance(const ConformanceScenario& sc, ConformanceOutcome& out) {
+  AlgoHarness<Server> h(sc.n, sc.collector);
+  sim::Rng rng(sc.seed);
+
+  std::vector<bool> byzantine(sc.n, false);
+  if (sc.corrupt_proofs_server >= 0) {
+    ServerByzantine b = h.servers[sc.corrupt_proofs_server]->byzantine();
+    b.corrupt_proofs = true;
+    h.servers[sc.corrupt_proofs_server]->set_byzantine(b);
+    byzantine[sc.corrupt_proofs_server] = true;
+  }
+  if (sc.refuse_batch_server >= 0) {
+    ServerByzantine b = h.servers[sc.refuse_batch_server]->byzantine();
+    b.refuse_batch_service = true;
+    h.servers[sc.refuse_batch_server]->set_byzantine(b);
+    byzantine[sc.refuse_batch_server] = true;
+  }
+  if (sc.fake_hash_server) {
+    ServerByzantine b = h.servers[sc.n - 1]->byzantine();
+    b.fake_hash_batches = true;
+    h.servers[sc.n - 1]->set_byzantine(b);
+    byzantine[sc.n - 1] = true;
+  }
+
+  // Clients route around the batch-withholding server: elements entering only
+  // its collector would consolidate under vanilla but not under hashchain,
+  // which is a client-availability difference, not an algorithm divergence.
+  std::vector<std::uint32_t> routable;
+  for (std::uint32_t s = 0; s < sc.n; ++s) {
+    if (static_cast<int>(s) != sc.refuse_batch_server) routable.push_back(s);
+  }
+
+  std::vector<ElementId> accepted;
+  std::unordered_set<ElementId> created;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < sc.rounds; ++round) {
+    for (int i = 0; i < sc.per_round; ++i) {
+      const auto client = static_cast<std::uint32_t>(rng.uniform_u64(sc.n));
+      const auto target = routable[rng.uniform_u64(routable.size())];
+      const double dice = rng.uniform01();
+      if (dice < sc.invalid_fraction) {
+        const Element bad = h.factory.make_invalid(100 + client, seq++);
+        created.insert(bad.id);
+        EXPECT_FALSE(h.servers[target]->add(bad)) << sc.name;
+      } else if (dice < sc.invalid_fraction + sc.duplicate_fraction) {
+        const Element e = h.make_element(client, seq++);
+        created.insert(e.id);
+        bool any = false;
+        for (const auto s : routable) any = h.servers[s]->add(e) || any;
+        if (any) accepted.push_back(e.id);
+      } else {
+        const Element e = h.make_element(client, seq++);
+        created.insert(e.id);
+        if (h.servers[target]->add(e)) accepted.push_back(e.id);
+      }
+    }
+    // Partial seal between bursts: epochs form while traffic still arrives.
+    h.flush_collectors();
+    h.ledger.seal_block();
+  }
+  h.seal_rounds(400);
+
+  std::vector<const SetchainServer*> correct;
+  for (std::uint32_t s = 0; s < sc.n; ++s) {
+    if (!byzantine[s]) correct.push_back(h.servers[s].get());
+  }
+  const auto safety = check_safety(correct);
+  EXPECT_TRUE(safety.ok()) << sc.name << "\n" << safety.to_string();
+  const auto live = check_liveness_quiescent(correct, accepted, h.params, h.pki);
+  EXPECT_TRUE(live.ok()) << sc.name << "\n" << live.to_string();
+  const auto p7 = check_add_before_get(correct, created);
+  EXPECT_TRUE(p7.ok()) << sc.name << "\n" << p7.to_string();
+
+  const auto snap = correct.front()->get();
+  out.history = *snap.history;
+  out.epochs = snap.epoch;
+  out.the_set_size = correct.front()->the_set_size();
+}
+
 }  // namespace setchain::core::testing

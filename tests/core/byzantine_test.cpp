@@ -66,6 +66,40 @@ TEST(ByzantineHashchain, FakeHashAnnouncementIsHarmless) {
   EXPECT_TRUE(check_safety(correct).ok());
 }
 
+TEST(ByzantineHashchain, FakeHashBatchesFlagDoesNotStallHonestServers) {
+  // The ServerByzantine::fake_hash_batches flag pairs every real batch
+  // announcement with a garbage hash nobody can reverse. Honest servers must
+  // consolidate all real traffic — including the flag-carrier's own batches —
+  // and ignore the fakes without wedging their consolidation queues.
+  HashHarness h(4, 2);
+  ServerByzantine byz;
+  byz.fake_hash_batches = true;
+  h.servers[3]->set_byzantine(byz);
+
+  h.servers[3]->add(h.make_element(3, 1));  // via the Byzantine server
+  h.servers[3]->add(h.make_element(3, 2));
+  h.servers[0]->add(h.make_element(0, 1));  // via a correct server
+  h.servers[0]->add(h.make_element(0, 2));
+  h.seal_rounds(200);
+
+  // Two real batches -> two epochs; the fake announcements never become one.
+  const auto correct = std::vector<const SetchainServer*>{
+      h.servers[0].get(), h.servers[1].get(), h.servers[2].get()};
+  for (const auto* s : correct) {
+    EXPECT_EQ(s->epoch(), 2u) << "server " << s->id();
+    EXPECT_EQ(s->the_set_size(), 4u);
+  }
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(h.servers[s]->consolidation_backlog(), 0u) << "server " << s;
+    EXPECT_TRUE(h.servers[s]->epoch_proven(1));
+    EXPECT_TRUE(h.servers[s]->epoch_proven(2));
+  }
+  // The flag actually fired: the Byzantine server appended more hash-batch
+  // announcements than its two real batches alone would produce.
+  EXPECT_GT(h.servers[3]->hash_batches_appended(), 2u);
+  EXPECT_TRUE(check_safety(correct).ok());
+}
+
 // ----------------------------------------------------------- corrupt proofs
 
 TEST(ByzantineProofs, CorruptProofsAreNotCounted) {

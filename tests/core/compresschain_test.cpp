@@ -24,6 +24,22 @@ TEST(Compresschain, CollectorEmitsAtLimitAndAppendsOneTx) {
   EXPECT_EQ(h.ledger.pending(), 1u);
 }
 
+TEST(Compresschain, PartialManualFlushConsolidatesRemainder) {
+  // A below-limit collector flushed by hand (the timeout path in production)
+  // must still form a full epoch everywhere — the conformance driver relies
+  // on this to drain stragglers at quiescence.
+  CompressHarness h(4, /*collector_limit=*/10);
+  for (std::uint64_t i = 0; i < 3; ++i) h.servers[0]->add(h.make_element(0, i));
+  EXPECT_EQ(h.servers[0]->batches_appended(), 0u);  // under the limit
+  h.servers[0]->collector().flush();
+  EXPECT_EQ(h.servers[0]->batches_appended(), 1u);
+  h.seal_rounds();
+  for (auto& s : h.servers) {
+    EXPECT_EQ(s->epoch(), 1u) << "server " << s->id();
+    EXPECT_EQ(s->the_set_size(), 3u);
+  }
+}
+
 TEST(Compresschain, EachCompressedBatchBecomesOneEpoch) {
   CompressHarness h(4, 2);
   h.servers[0]->add(h.make_element(0, 1));

@@ -1,0 +1,157 @@
+// Cross-algorithm conformance harness: vanilla, hashchain, and compresschain
+// implement the same abstract Setchain data type (§2), so replaying one
+// deterministic workload against all three must give the same consolidated
+// set and content-pure epoch hashes (P9, check_cross_algorithm), on top of
+// each run individually satisfying Properties 1-8. Every scenario-grid point
+// below runs all three algorithms; the grid spans element rates, server
+// counts, client-fault mixes, and server-Byzantine settings, so any future
+// hot-path refactor of one algorithm is checked against the other two.
+#include <gtest/gtest.h>
+
+#include "algo_fixture.hpp"
+
+namespace setchain::core {
+namespace {
+
+using testing::ConformanceOutcome;
+using testing::ConformanceScenario;
+using testing::drive_conformance;
+
+struct AllAlgoOutcomes {
+  ConformanceOutcome vanilla;
+  ConformanceOutcome hashchain;
+  ConformanceOutcome compresschain;
+};
+
+AllAlgoOutcomes run_all(const ConformanceScenario& sc) {
+  AllAlgoOutcomes out;
+  drive_conformance<VanillaServer>(sc, out.vanilla);
+  drive_conformance<HashchainServer>(sc, out.hashchain);
+  drive_conformance<CompresschainServer>(sc, out.compresschain);
+  return out;
+}
+
+std::string scenario_name(const ::testing::TestParamInfo<ConformanceScenario>& info) {
+  return info.param.name;
+}
+
+class Conformance : public ::testing::TestWithParam<ConformanceScenario> {};
+
+TEST_P(Conformance, AlgorithmsAgreeOnConsolidatedSetAndHashes) {
+  const auto& sc = GetParam();
+  const AllAlgoOutcomes out = run_all(sc);
+
+  const std::vector<AlgoRun> runs = {
+      {"vanilla", &out.vanilla.history},
+      {"hashchain", &out.hashchain.history},
+      {"compresschain", &out.compresschain.history},
+  };
+  const auto report = check_cross_algorithm(runs);
+  EXPECT_TRUE(report.ok()) << sc.name << "\n" << report.to_string();
+
+  // The consolidated totals must line up too: the_set at quiescence is
+  // exactly the consolidated set (P4), identically sized in all three runs.
+  EXPECT_EQ(out.vanilla.the_set_size, out.hashchain.the_set_size) << sc.name;
+  EXPECT_EQ(out.vanilla.the_set_size, out.compresschain.the_set_size) << sc.name;
+
+  // Something must actually have consolidated, or the grid point is vacuous.
+  EXPECT_GT(out.vanilla.epochs, 0u) << sc.name;
+  EXPECT_GT(out.hashchain.epochs, 0u) << sc.name;
+  EXPECT_GT(out.compresschain.epochs, 0u) << sc.name;
+}
+
+// The grid: element rates (per_round) × server counts (n) × fault settings.
+// 15 points × 3 algorithms = 45 runs per ctest invocation.
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Conformance,
+    ::testing::Values(
+        // Rate × server-count sweep, no faults.
+        ConformanceScenario{
+            .name = "n4_low_rate", .n = 4, .collector = 4, .rounds = 3, .per_round = 8, .seed = 101},
+        ConformanceScenario{
+            .name = "n4_high_rate", .n = 4, .collector = 6, .rounds = 5, .per_round = 24, .seed = 102},
+        ConformanceScenario{
+            .name = "n7_low_rate", .n = 7, .collector = 5, .rounds = 3, .per_round = 10, .seed = 103},
+        ConformanceScenario{
+            .name = "n7_high_rate", .n = 7, .collector = 8, .rounds = 5, .per_round = 20, .seed = 104},
+        ConformanceScenario{
+            .name = "n10_low_rate", .n = 10, .collector = 4, .rounds = 3, .per_round = 8, .seed = 105},
+        ConformanceScenario{
+            .name = "n10_high_rate", .n = 10, .collector = 10, .rounds = 4, .per_round = 22, .seed = 106},
+        // Collector pressure: every element becomes its own batch.
+        ConformanceScenario{
+            .name = "n4_collector1", .n = 4, .collector = 1, .rounds = 3, .per_round = 8, .seed = 107},
+        // Byzantine clients: invalid signatures and duplicate submissions.
+        ConformanceScenario{.name = "n4_invalid", .n = 4, .collector = 4, .per_round = 12,
+                            .invalid_fraction = 0.25, .seed = 108},
+        ConformanceScenario{.name = "n7_duplicates", .n = 7, .collector = 5, .per_round = 12,
+                            .duplicate_fraction = 0.3, .seed = 109},
+        ConformanceScenario{.name = "n4_invalid_dup", .n = 4, .collector = 4, .per_round = 12,
+                            .invalid_fraction = 0.2, .duplicate_fraction = 0.2, .seed = 110},
+        // Byzantine servers: corrupt proofs, batch withholding, fake hashes.
+        ConformanceScenario{.name = "n4_corrupt_proofs", .n = 4, .collector = 4,
+                            .corrupt_proofs_server = 1, .seed = 111},
+        ConformanceScenario{.name = "n7_corrupt_invalid", .n = 7, .collector = 5, .per_round = 12,
+                            .invalid_fraction = 0.15, .corrupt_proofs_server = 2, .seed = 112},
+        ConformanceScenario{.name = "n4_refuse_batch", .n = 4, .collector = 4,
+                            .refuse_batch_server = 0, .seed = 113},
+        ConformanceScenario{.name = "n4_fake_hashes", .n = 4, .collector = 3,
+                            .fake_hash_server = true, .seed = 114},
+        // Kitchen sink: every fault class at once, f = 2 tolerates both
+        // Byzantine servers (corrupt proofs at 1, fake hashes at n-1).
+        ConformanceScenario{.name = "n7_all_faults", .n = 7, .collector = 5, .per_round = 14,
+                            .invalid_fraction = 0.15, .duplicate_fraction = 0.15,
+                            .corrupt_proofs_server = 1, .fake_hash_server = true, .seed = 115}),
+    scenario_name);
+
+// Consistent epoch hashes also means *reproducible* epoch hashes: replaying
+// the identical scenario must regenerate bit-identical epoch chains for
+// every algorithm (guards against nondeterminism sneaking into the hot
+// path — iteration order, uninitialised state, time-dependent hashing).
+template <typename Server>
+void expect_replay_identical(const ConformanceScenario& sc, const char* algo) {
+  ConformanceOutcome a, b;
+  drive_conformance<Server>(sc, a);
+  drive_conformance<Server>(sc, b);
+  ASSERT_EQ(a.history.size(), b.history.size()) << algo;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].ids, b.history[i].ids) << algo << " epoch " << i + 1;
+    EXPECT_EQ(a.history[i].hash, b.history[i].hash) << algo << " epoch " << i + 1;
+  }
+}
+
+TEST(ConformanceReplay, EpochChainsAreDeterministic) {
+  const ConformanceScenario sc{.name = "replay", .n = 4, .collector = 4, .per_round = 12,
+                               .invalid_fraction = 0.1, .duplicate_fraction = 0.1, .seed = 900};
+  expect_replay_identical<VanillaServer>(sc, "vanilla");
+  expect_replay_identical<HashchainServer>(sc, "hashchain");
+  expect_replay_identical<CompresschainServer>(sc, "compresschain");
+}
+
+// The checker itself must catch divergence (meta-test: a harness that cannot
+// fail proves nothing).
+TEST(ConformanceChecker, FlagsSetDivergenceAndHashImpurity) {
+  EpochRecord r1;
+  r1.number = 1;
+  r1.ids = {1, 2, 3};
+  r1.hash.fill(0xAA);
+  EpochRecord r2 = r1;
+  r2.ids = {1, 2, 4};  // set divergence
+  const std::vector<EpochRecord> ha = {r1}, hb = {r2};
+  const auto diverged =
+      check_cross_algorithm({{"a", &ha}, {"b", &hb}});
+  EXPECT_FALSE(diverged.ok());
+
+  EpochRecord r3 = r1;
+  r3.hash.fill(0xBB);  // same (number, ids), different hash
+  const std::vector<EpochRecord> hc = {r3};
+  const auto impure =
+      check_cross_algorithm({{"a", &ha}, {"c", &hc}});
+  EXPECT_FALSE(impure.ok());
+
+  const std::vector<EpochRecord> hd = {r1};
+  EXPECT_TRUE(check_cross_algorithm({{"a", &ha}, {"d", &hd}}).ok());
+}
+
+}  // namespace
+}  // namespace setchain::core

@@ -144,6 +144,26 @@ TEST_F(CommonFixture, EpochHashIsOrderInvariantViaSortedInput) {
   EXPECT_NE(epoch_hash(6, a, Fidelity::kFull), epoch_hash(5, a, Fidelity::kFull));
 }
 
+TEST_F(CommonFixture, EpochHashIsPureAcrossFidelities) {
+  // The cross-algorithm conformance harness (P9) leans on epoch_hash being a
+  // pure function of (number, contents): repeated evaluation agrees in both
+  // fidelities, and calibrated stays self-consistent the same way full does.
+  const std::vector<std::pair<ElementId, std::uint64_t>> pairs{
+      {7, 70}, {8, 80}, {9, 90}};
+  for (const auto fid : {Fidelity::kFull, Fidelity::kCalibrated}) {
+    const EpochHash h1 = epoch_hash(3, pairs, fid);
+    const EpochHash h2 = epoch_hash(3, pairs, fid);
+    EXPECT_EQ(h1, h2);
+    EXPECT_NE(epoch_hash(4, pairs, fid), h1);
+    auto grown = pairs;
+    grown.emplace_back(10, 100);
+    EXPECT_NE(epoch_hash(3, grown, fid), h1);
+  }
+  // Empty input is well-defined and number-sensitive too.
+  const std::vector<std::pair<ElementId, std::uint64_t>> none;
+  EXPECT_NE(epoch_hash(1, none, Fidelity::kFull), epoch_hash(2, none, Fidelity::kFull));
+}
+
 // ---------------------------------------------------------------- HashBatch
 
 TEST_F(CommonFixture, HashBatchWireSizeIsExactly139) {

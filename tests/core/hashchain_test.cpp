@@ -45,6 +45,21 @@ TEST(Hashchain, PeersFetchBatchAndCoSign) {
   }
 }
 
+TEST(Hashchain, FakeHashCausesFailedFetchesButNoBacklog) {
+  // A hash announcement with no batch behind it sends every correct server
+  // on a doomed fetch; the failure must be accounted (fetches_failed) and
+  // must not leave anything in the consolidation queue.
+  HashHarness h(4, 2);
+  h.servers[3]->byz_announce_fake_hash();
+  h.ledger.seal_block();
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_GE(h.servers[s]->fetches_started(), 1u) << "server " << s;
+    EXPECT_GE(h.servers[s]->fetches_failed(), 1u) << "server " << s;
+    EXPECT_EQ(h.servers[s]->consolidation_backlog(), 0u) << "server " << s;
+    EXPECT_EQ(h.servers[s]->epoch(), 0u) << "server " << s;
+  }
+}
+
 TEST(Hashchain, ConsolidationNeedsFPlusOneSigners) {
   HashHarness h(7, 2);  // f = 2 -> needs 3 signers
   h.servers[0]->add(h.make_element(0, 1));

@@ -48,6 +48,25 @@ TEST(Vanilla, BlockFormsOneEpoch) {
   }
 }
 
+TEST(Vanilla, EpochContentsAreCanonicallySortedRegardlessOfAddOrder) {
+  // The conformance hash is computed over id-sorted contents; the stored
+  // EpochRecord must expose that same canonical order no matter how clients
+  // interleaved their adds.
+  VanillaHarness h;
+  h.servers[0]->add(h.make_element(3, 9));  // high client, high seq first
+  h.servers[0]->add(h.make_element(0, 2));
+  h.servers[0]->add(h.make_element(2, 1));
+  h.servers[0]->add(h.make_element(0, 1));
+  h.ledger.seal_block();
+  for (auto& s : h.servers) {
+    const auto snap = s->get();
+    ASSERT_EQ(snap.history->size(), 1u);
+    const auto& ids = (*snap.history)[0].ids;
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  }
+}
+
 TEST(Vanilla, ElementsSpreadAcrossBlocksMakeMultipleEpochs) {
   VanillaHarness h;
   h.servers[0]->add(h.make_element(0, 1));

@@ -68,7 +68,9 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, EndToEnd,
                          ::testing::Values(Algorithm::kVanilla,
                                            Algorithm::kCompresschain,
                                            Algorithm::kHashchain),
-                         [](const auto& info) { return algorithm_name(info.param); });
+                         [](const auto& param_info) {
+                           return algorithm_name(param_info.param);
+                         });
 
 // ----------------------------------------------------- full-fidelity (small)
 
