@@ -1,0 +1,155 @@
+// Single-signature vs batch Ed25519 verification throughput at batch sizes
+// {1, 8, 64, 512}. Prints a human-readable table plus one machine-readable
+// line prefixed with "BENCH " carrying the results as JSON.
+//
+//   --smoke   reduced workload + correctness self-checks (all-valid batch
+//             accepted, forged culprit identified, agreement with scalar
+//             verify); exit code 0 only if the checks pass. Registered as a
+//             CTest smoke target so the batch path runs on every push.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/ed25519.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using setchain::crypto::Ed25519;
+
+struct Signed {
+  Ed25519::PublicKey pub;
+  setchain::codec::Bytes msg;
+  Ed25519::Signature sig;
+};
+
+/// `n` signed messages from a pool of `n_signers` keypairs — the shape of a
+/// Setchain block, whose signatures come from a bounded signer set (servers
+/// for proofs/hash-batches, a recurring client population for elements).
+std::vector<Signed> make_signed(std::size_t n, std::size_t n_signers,
+                                std::uint64_t seed_tag) {
+  setchain::sim::Rng rng(seed_tag);
+  std::vector<std::pair<Ed25519::Seed, Ed25519::PublicKey>> signers(n_signers);
+  for (auto& [seed, pub] : signers) {
+    for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+    pub = Ed25519::public_key(seed);
+  }
+  std::vector<Signed> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [seed, pub] = signers[i % n_signers];
+    out[i].pub = pub;
+    out[i].msg.resize(64);
+    for (auto& b : out[i].msg) b = static_cast<std::uint8_t>(rng.next_u64());
+    out[i].sig = Ed25519::sign(seed, out[i].pub, out[i].msg);
+  }
+  return out;
+}
+
+std::vector<Ed25519::BatchEntry> entries_of(const std::vector<Signed>& s) {
+  std::vector<Ed25519::BatchEntry> out;
+  out.reserve(s.size());
+  for (const auto& x : s) out.push_back(Ed25519::BatchEntry{&x.pub, x.msg, &x.sig});
+  return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+bool self_check() {
+  bool ok = true;
+  // All-valid batch accepted with every verdict true.
+  auto good = make_signed(16, 16, 7);
+  const auto r1 = Ed25519::verify_batch(entries_of(good));
+  ok = ok && r1.all_valid;
+  // Exactly one forged entry: the bisection must name it.
+  auto forged = make_signed(16, 4, 8);
+  forged[9].sig[3] ^= 0x40;
+  const auto r2 = Ed25519::verify_batch(entries_of(forged));
+  ok = ok && !r2.all_valid;
+  for (std::size_t i = 0; i < forged.size(); ++i) ok = ok && r2.valid[i] == (i != 9);
+  // Verdicts agree with scalar verify.
+  for (std::size_t i = 0; i < forged.size(); ++i) {
+    ok = ok && r2.valid[i] == Ed25519::verify(forged[i].pub, forged[i].msg, forged[i].sig);
+  }
+  if (!ok) std::fprintf(stderr, "ed25519_batch_bench: self-check FAILED\n");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (!self_check()) return 1;
+
+  // Total signatures verified per mode; smoke keeps CI cheap while still
+  // driving every batch size through the real code path.
+  const std::size_t total = smoke ? 512 : 4096;
+  const std::vector<std::size_t> sizes = {1, 8, 64, 512};
+  // Signer-pool size: a Setchain deployment's signature traffic comes from
+  // a bounded set of servers and recurring clients.
+  const std::size_t n_signers = 16;
+
+  std::printf("ed25519 batch verification bench (%zu signatures per mode, %zu signers%s)\n",
+              total, n_signers, smoke ? ", smoke" : "");
+
+  // Baseline: scalar verify, one signature at a time.
+  const auto pool = make_signed(std::min<std::size_t>(total, 512), n_signers, 42);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto& s = pool[i % pool.size()];
+    valid += Ed25519::verify(s.pub, s.msg, s.sig) ? 1 : 0;
+  }
+  const double single_s = seconds_since(t0);
+  if (valid != total) {
+    std::fprintf(stderr, "ed25519_batch_bench: scalar baseline rejected a valid sig\n");
+    return 1;
+  }
+  const double single_rate = static_cast<double>(total) / single_s;
+  std::printf("  %-12s %10.0f verifies/s  (%.1f us/sig)\n", "single", single_rate,
+              1e6 * single_s / static_cast<double>(total));
+
+  std::string json = "{\"name\":\"ed25519_batch\",\"total_sigs\":" + std::to_string(total) +
+                     ",\"smoke\":" + (smoke ? std::string("true") : std::string("false")) +
+                     ",\"single_verifies_per_s\":" + std::to_string(single_rate) +
+                     ",\"batch\":[";
+
+  bool batch64_ok = false;
+  for (std::size_t bi = 0; bi < sizes.size(); ++bi) {
+    const std::size_t bsz = sizes[bi];
+    const auto batch_pool = make_signed(bsz, n_signers, 1000 + bsz);
+    const auto batch_entries = entries_of(batch_pool);
+    const std::size_t rounds = (total + bsz - 1) / bsz;
+    const auto t1 = std::chrono::steady_clock::now();
+    bool all = true;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      all = all && Ed25519::verify_batch(batch_entries).all_valid;
+    }
+    const double batch_s = seconds_since(t1);
+    if (!all) {
+      std::fprintf(stderr, "ed25519_batch_bench: batch-%zu rejected valid sigs\n", bsz);
+      return 1;
+    }
+    const double rate = static_cast<double>(rounds * bsz) / batch_s;
+    const double speedup = rate / single_rate;
+    if (bsz == 64) batch64_ok = speedup >= 2.0;
+    std::printf("  batch-%-6zu %10.0f verifies/s  (%.1f us/sig, %.2fx single)\n", bsz,
+                rate, 1e6 * batch_s / static_cast<double>(rounds * bsz), speedup);
+    json += std::string(bi ? "," : "") + "{\"size\":" + std::to_string(bsz) +
+            ",\"verifies_per_s\":" + std::to_string(rate) +
+            ",\"speedup\":" + std::to_string(speedup) + "}";
+  }
+  json += "]}";
+  std::printf("BENCH %s\n", json.c_str());
+
+  if (!batch64_ok) {
+    // Advisory in smoke mode (shared CI runners have noisy clocks); a hard
+    // failure locally where the measurement is meaningful.
+    std::fprintf(stderr, "ed25519_batch_bench: batch-64 speedup below 2x single\n");
+    if (!smoke) return 1;
+  }
+  return 0;
+}

@@ -68,8 +68,10 @@ SetchainClient::VerifyResult SetchainClient::verify(const SetchainServer& server
       out.in_epoch = true;
       out.epoch = rec.number;
       // Count proofs that verify against the epoch hash we recompute
-      // ourselves — the client trusts no single server.
-      if (rec.number <= snap.proofs->size()) {
+      // ourselves — the client trusts no single server. A Byzantine server
+      // can hand back a record with number == 0, which would underflow the
+      // proofs index below; treat it as having no proofs.
+      if (rec.number >= 1 && rec.number <= snap.proofs->size()) {
         for (const auto& p : (*snap.proofs)[rec.number - 1]) {
           if (valid_proof(p, rec.hash, pki, params.fidelity)) ++out.valid_proofs;
         }

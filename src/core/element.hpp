@@ -54,6 +54,13 @@ std::optional<Element> parse_element(codec::Reader& r);
 /// processed by correct servers; servers cannot forge them).
 bool valid_element(const Element& e, const crypto::Pki& pki, Fidelity fidelity);
 
+/// Batched valid_element over a block's worth of elements: the syntactic
+/// checks run per element, but all client signatures are verified with ONE
+/// Ed25519 batch check (full fidelity), amortizing the curve arithmetic
+/// across the block. result[i] == valid_element(es[i], ...) for every i.
+std::vector<bool> valid_elements(const std::vector<Element>& es, const crypto::Pki& pki,
+                                 Fidelity fidelity);
+
 /// 8-byte content digest used in canonical epoch hashes. Full fidelity:
 /// first bytes of SHA-512(payload); calibrated: splitmix of the id.
 std::uint64_t element_digest(const Element& e, Fidelity fidelity);

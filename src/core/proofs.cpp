@@ -107,9 +107,10 @@ EpochProof make_epoch_proof(const crypto::Pki& pki, crypto::ProcessId server,
 }
 
 bool valid_proof(const EpochProof& p, const EpochHash& expected,
-                 const crypto::Pki& pki, Fidelity fidelity) {
+                 const crypto::Pki& pki, Fidelity fidelity, SigCheck presig) {
   if (p.epoch_hash != expected) return false;
   if (fidelity == Fidelity::kCalibrated) return p.valid_flag;
+  if (presig != SigCheck::kUnchecked) return presig == SigCheck::kValid;
   return pki.verify(p.server, codec::ByteView(p.epoch_hash.data(), p.epoch_hash.size()),
                     p.sig);
 }
@@ -140,9 +141,46 @@ HashBatchMsg make_hash_batch(const crypto::Pki& pki, crypto::ProcessId server,
   return hb;
 }
 
-bool valid_hash_batch(const HashBatchMsg& hb, const crypto::Pki& pki, Fidelity fidelity) {
+bool valid_hash_batch(const HashBatchMsg& hb, const crypto::Pki& pki, Fidelity fidelity,
+                      SigCheck presig) {
   if (fidelity == Fidelity::kCalibrated) return hb.valid_flag;
+  if (presig != SigCheck::kUnchecked) return presig == SigCheck::kValid;
   return pki.verify(hb.server, codec::ByteView(hb.hash.data(), hb.hash.size()), hb.sig);
+}
+
+std::vector<SigCheck> batch_check_proof_sigs(const std::vector<EpochProof>& ps,
+                                             const crypto::Pki& pki, Fidelity fidelity) {
+  std::vector<SigCheck> out(ps.size(), SigCheck::kUnchecked);
+  if (fidelity != Fidelity::kFull || ps.size() < 2) return out;
+  std::vector<crypto::Pki::SignedMessage> items;
+  items.reserve(ps.size());
+  for (const auto& p : ps) {
+    items.push_back(crypto::Pki::SignedMessage{
+        p.server, codec::ByteView(p.epoch_hash.data(), p.epoch_hash.size()), &p.sig});
+  }
+  const auto res = pki.verify_batch(items);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = res.valid[i] ? SigCheck::kValid : SigCheck::kInvalid;
+  }
+  return out;
+}
+
+std::vector<SigCheck> batch_check_hash_batch_sigs(const std::vector<HashBatchMsg>& hbs,
+                                                  const crypto::Pki& pki,
+                                                  Fidelity fidelity) {
+  std::vector<SigCheck> out(hbs.size(), SigCheck::kUnchecked);
+  if (fidelity != Fidelity::kFull || hbs.size() < 2) return out;
+  std::vector<crypto::Pki::SignedMessage> items;
+  items.reserve(hbs.size());
+  for (const auto& hb : hbs) {
+    items.push_back(crypto::Pki::SignedMessage{
+        hb.server, codec::ByteView(hb.hash.data(), hb.hash.size()), &hb.sig});
+  }
+  const auto res = pki.verify_batch(items);
+  for (std::size_t i = 0; i < hbs.size(); ++i) {
+    out[i] = res.valid[i] ? SigCheck::kValid : SigCheck::kInvalid;
+  }
+  return out;
 }
 
 }  // namespace setchain::core

@@ -50,11 +50,19 @@ EpochProof make_epoch_proof(const crypto::Pki& pki, crypto::ProcessId server,
                             std::uint64_t epoch, const EpochHash& hash,
                             Fidelity fidelity);
 
+/// Result of an Ed25519 check performed ahead of time through the batch
+/// path (Pki::verify_batch). kUnchecked means "not pre-verified": the
+/// validator runs the scalar check itself.
+enum class SigCheck : std::uint8_t { kUnchecked, kValid, kInvalid };
+
 /// The paper's valid_proof(j, p, w, history[j]): the proof must reference an
 /// existing epoch whose locally computed hash matches, with a valid server
-/// signature over it.
+/// signature over it. `presig` carries a batch-verified signature verdict so
+/// hot paths that already checked a whole block's signatures in one
+/// multi-scalar multiplication do not re-verify one by one.
 bool valid_proof(const EpochProof& p, const EpochHash& expected,
-                 const crypto::Pki& pki, Fidelity fidelity);
+                 const crypto::Pki& pki, Fidelity fidelity,
+                 SigCheck presig = SigCheck::kUnchecked);
 
 /// Hash-batch <h, s, v> (Hashchain): fixed-size stand-in for a batch on the
 /// ledger. Also 139 bytes on the wire, as measured in §4.
@@ -74,7 +82,20 @@ std::optional<HashBatchMsg> parse_hash_batch(codec::Reader& r);
 HashBatchMsg make_hash_batch(const crypto::Pki& pki, crypto::ProcessId server,
                              const EpochHash& h, Fidelity fidelity);
 
-/// valid_hash(h, s_w, w): signature of w over h.
-bool valid_hash_batch(const HashBatchMsg& hb, const crypto::Pki& pki, Fidelity fidelity);
+/// valid_hash(h, s_w, w): signature of w over h. `presig` as in valid_proof.
+bool valid_hash_batch(const HashBatchMsg& hb, const crypto::Pki& pki, Fidelity fidelity,
+                      SigCheck presig = SigCheck::kUnchecked);
+
+/// Batch-verify the signatures of a block's worth of epoch-proofs with one
+/// Ed25519 batch check. Returns kUnchecked everywhere when batching cannot
+/// help (calibrated fidelity, or fewer than two proofs), so callers always
+/// feed the result straight into valid_proof.
+std::vector<SigCheck> batch_check_proof_sigs(const std::vector<EpochProof>& ps,
+                                             const crypto::Pki& pki, Fidelity fidelity);
+
+/// Same for hash-batch announcements.
+std::vector<SigCheck> batch_check_hash_batch_sigs(const std::vector<HashBatchMsg>& hbs,
+                                                  const crypto::Pki& pki,
+                                                  Fidelity fidelity);
 
 }  // namespace setchain::core

@@ -38,11 +38,13 @@ bool SetchainServer::in_history(ElementId id) const {
 
 std::vector<Element> SetchainServer::extract_new_valid(
     const std::vector<Element>& es) const {
+  const std::vector<bool> valid = valid_elements(es, *ctx_.pki, fidelity());
   std::vector<Element> g;
   g.reserve(es.size());
   std::unordered_set<ElementId> in_g;
-  for (const auto& e : es) {
-    if (!valid_element(e, *ctx_.pki, fidelity())) continue;
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const Element& e = es[i];
+    if (!valid[i]) continue;
     if (in_history(e.id)) continue;
     if (!params().lean_state && !in_g.insert(e.id).second) continue;
     g.push_back(e);
@@ -100,22 +102,29 @@ EpochProof SetchainServer::consolidate(const std::vector<Element>& g,
   return p;
 }
 
-void SetchainServer::absorb_proof(const EpochProof& p, sim::Time ledger_time) {
+void SetchainServer::absorb_proof(const EpochProof& p, sim::Time ledger_time,
+                                  SigCheck presig) {
   if (p.epoch == 0) return;
   if (p.epoch > epoch_) {
     // Not consolidated locally yet: park it (bounded against Byzantine
     // epoch-number bombs).
     if (p.epoch > epoch_ + kMaxPendingEpochAhead) return;
     auto& bucket = pending_proofs_[p.epoch];
-    if (bucket.size() < 2 * params().n) bucket.push_back(p);
+    if (bucket.size() < 2 * params().n) bucket.push_back(PendingProof{p, presig});
     return;
   }
   const EpochRecord& rec = history_[p.epoch - 1];
-  if (!valid_proof(p, rec.hash, *ctx_.pki, fidelity())) return;
+  if (!valid_proof(p, rec.hash, *ctx_.pki, fidelity(), presig)) return;
   auto& servers = proof_servers_[p.epoch - 1];
   if (!servers.insert(p.server).second) return;  // duplicate
   proofs_[p.epoch - 1].push_back(p);
   if (ctx_.recorder) ctx_.recorder->on_proof_on_ledger(p.epoch, p.server, ledger_time);
+}
+
+void SetchainServer::absorb_proofs(const std::vector<EpochProof>& ps,
+                                   sim::Time ledger_time) {
+  const std::vector<SigCheck> sigs = batch_check_proof_sigs(ps, *ctx_.pki, fidelity());
+  for (std::size_t i = 0; i < ps.size(); ++i) absorb_proof(ps[i], ledger_time, sigs[i]);
 }
 
 void SetchainServer::try_flush_pending_proofs(sim::Time ledger_time) {
@@ -123,7 +132,7 @@ void SetchainServer::try_flush_pending_proofs(sim::Time ledger_time) {
   if (it == pending_proofs_.end()) return;
   const auto bucket = std::move(it->second);
   pending_proofs_.erase(it);
-  for (const auto& p : bucket) absorb_proof(p, ledger_time);
+  for (const auto& pp : bucket) absorb_proof(pp.proof, ledger_time, pp.presig);
 }
 
 sim::Time SetchainServer::cpu_acquire(sim::Time cost) {

@@ -100,7 +100,9 @@ class SetchainServer {
   bool in_history(ElementId id) const;
 
   /// Filter a batch's elements down to the valid, not-yet-epoch'd ones
-  /// (dedup within the input too): the G of the pseudocode.
+  /// (dedup within the input too): the G of the pseudocode. Signature
+  /// checks go through the Ed25519 batch path (one multi-scalar
+  /// multiplication per call in full fidelity).
   std::vector<Element> extract_new_valid(const std::vector<Element>& es) const;
 
   /// Create epoch `epoch_+1` from G (callers guarantee determinism of G
@@ -110,8 +112,15 @@ class SetchainServer {
 
   /// Validate an epoch-proof against local history and store it; proofs for
   /// epochs not yet consolidated locally are parked and retried after each
-  /// consolidation. `ledger_time` feeds the commit metrics.
-  void absorb_proof(const EpochProof& p, sim::Time ledger_time);
+  /// consolidation. `ledger_time` feeds the commit metrics. `presig`
+  /// carries a batch-verified signature verdict (kept with the proof if it
+  /// is parked, so the signature is never re-verified).
+  void absorb_proof(const EpochProof& p, sim::Time ledger_time,
+                    SigCheck presig = SigCheck::kUnchecked);
+
+  /// Absorb a block's worth of proofs, verifying all their signatures with
+  /// one Ed25519 batch check first (full fidelity).
+  void absorb_proofs(const std::vector<EpochProof>& ps, sim::Time ledger_time);
 
   /// Charge `cost` to this node's simulated CPU; returns completion time.
   sim::Time cpu_acquire(sim::Time cost);
@@ -135,8 +144,13 @@ class SetchainServer {
  private:
   void try_flush_pending_proofs(sim::Time ledger_time);
 
-  /// Proofs received ahead of local consolidation of their epoch.
-  std::unordered_map<std::uint64_t, std::vector<EpochProof>> pending_proofs_;
+  /// Proofs received ahead of local consolidation of their epoch, with the
+  /// batch-verified signature verdict they arrived with.
+  struct PendingProof {
+    EpochProof proof;
+    SigCheck presig;
+  };
+  std::unordered_map<std::uint64_t, std::vector<PendingProof>> pending_proofs_;
   static constexpr std::uint64_t kMaxPendingEpochAhead = 100'000;
 };
 

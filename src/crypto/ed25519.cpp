@@ -1,5 +1,7 @@
 #include "crypto/ed25519.hpp"
 
+#include <map>
+
 #include "crypto/bigint.hpp"
 #include "crypto/ge25519.hpp"
 #include "crypto/sha512.hpp"
@@ -21,9 +23,77 @@ const U256& order_l() {
   return kL;
 }
 
+/// Reduction mod L specialized to its sparse shape: L = 2^252 + c with the
+/// 125-bit constant c, so 2^252 == -c (mod L) and x = hi*2^252 + lo == lo -
+/// c*hi. Each step shrinks x by ~127 bits; four steps bring any 512-bit
+/// value under 2^252, with a sign flag tracking the alternating
+/// subtraction. Replaces the generic binary long division (~256 shift/
+/// compare rounds) on the batch-verification hot path.
+U256 reduce_mod_l(U512 x) {
+  static const U512 kC = [] {  // c = L - 2^252
+    U512 c;
+    c.w[0] = 0x5812631A5CF5D3EDULL;
+    c.w[1] = 0x14DEF9DEA2F79CD6ULL;
+    return c;
+  }();
+
+  bool neg = false;
+  for (;;) {
+    // hi = x >> 252 (< 2^260), lo = x mod 2^252.
+    U512 hi;
+    for (std::size_t i = 0; i < 5; ++i) {
+      hi.w[i] = (x.w[i + 3] >> 60) | (i + 4 < 8 ? x.w[i + 4] << 4 : 0);
+    }
+    if (hi.is_zero()) break;
+    U512 lo = x;
+    lo.w[3] &= (std::uint64_t{1} << 60) - 1;
+    for (std::size_t i = 4; i < 8; ++i) lo.w[i] = 0;
+
+    // prod = c * hi: 2 x 5 words, < 2^385 — never overflows 512 bits.
+    U512 prod;
+    for (std::size_t i = 0; i < 2; ++i) {
+      unsigned __int128 carry = 0;
+      for (std::size_t j = 0; j < 6; ++j) {
+        carry += static_cast<unsigned __int128>(kC.w[i]) * hi.w[j] + prod.w[i + j];
+        prod.w[i + j] = static_cast<std::uint64_t>(carry);
+        carry >>= 64;
+      }
+    }
+
+    if (lo >= prod) {
+      lo.sub_in_place(prod);
+      x = lo;
+    } else {
+      prod.sub_in_place(lo);
+      x = prod;
+      neg = !neg;
+    }
+  }
+
+  U256 r;
+  for (std::size_t i = 0; i < 4; ++i) r.w[i] = x.w[i];  // x < 2^252 < L
+  if (neg && !r.is_zero()) {
+    U256 l = order_l();
+    l.sub_in_place(r);
+    r = l;
+  }
+  return r;
+}
+
+/// (a*b + c) mod L through the specialized reduction.
+U256 mul_add_mod_l(const U256& a, const U256& b, const U256& c) {
+  U512 prod = mul_256(a, b);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    carry += static_cast<unsigned __int128>(prod.w[i]) + (i < 4 ? c.w[i] : 0);
+    prod.w[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return reduce_mod_l(prod);
+}
+
 U256 scalar_from_hash512(const Sha512::Digest& h) {
-  const U512 wide = U512::from_bytes_le(codec::ByteView(h.data(), h.size()));
-  return mod_512(wide, order_l());
+  return reduce_mod_l(U512::from_bytes_le(codec::ByteView(h.data(), h.size())));
 }
 
 struct ExpandedSecret {
@@ -46,7 +116,7 @@ ExpandedSecret expand(const Ed25519::Seed& seed) {
 
 Ed25519::PublicKey Ed25519::public_key(const Seed& seed) {
   const auto secret = expand(seed);
-  return Ge::base().scalar_mul(secret.a).compress();
+  return Ge::base_scalar_mul(secret.a).compress();
 }
 
 Ed25519::Signature Ed25519::sign(const Seed& seed, const PublicKey& pub,
@@ -58,7 +128,7 @@ Ed25519::Signature Ed25519::sign(const Seed& seed, const PublicKey& pub,
   r_hash.update(message);
   const U256 r = scalar_from_hash512(r_hash.finalize());
 
-  const auto r_enc = Ge::base().scalar_mul(r).compress();
+  const auto r_enc = Ge::base_scalar_mul(r).compress();
 
   Sha512 k_hash;
   k_hash.update(codec::ByteView(r_enc.data(), r_enc.size()));
@@ -67,7 +137,7 @@ Ed25519::Signature Ed25519::sign(const Seed& seed, const PublicKey& pub,
   const U256 k = scalar_from_hash512(k_hash.finalize());
 
   // S = (r + k*a) mod L
-  const U256 s = muladd_mod(k, secret.a, r, order_l());
+  const U256 s = mul_add_mod_l(k, secret.a, r);
   const auto s_enc = s.to_bytes_le<32>();
 
   Signature sig;
@@ -92,14 +162,178 @@ bool Ed25519::verify(const PublicKey& pub, codec::ByteView message, const Signat
   k_hash.update(message);
   const U256 k = scalar_from_hash512(k_hash.finalize());
 
-  // Check S*B == R + k*A  <=>  S*B + k*(-A) == R.
-  const Ge sb = Ge::base().scalar_mul(s);
-  const Ge ka = a_pt->negate().scalar_mul(k);
-  const auto lhs = sb.add(ka).compress();
+  // Check S*B == R + k*A  <=>  S*B + k*(-A) == R, as one interleaved
+  // double-scalar multiplication.
+  const Ge::ScalarPoint term{k, a_pt->negate()};
+  const auto lhs = Ge::multi_scalar_mul(s, std::span(&term, 1)).compress();
   for (std::size_t i = 0; i < 32; ++i) {
     if (lhs[i] != r_bytes[i]) return false;
   }
   return true;
+}
+
+namespace {
+
+/// Per-entry state shared by the combined check and its bisection: points
+/// decompressed and scalars derived once per batch, reused by every
+/// sub-check.
+struct PreparedEntry {
+  Ge neg_a;   ///< -A
+  Ge neg_r;   ///< -R
+  U256 s;     ///< signature scalar
+  U256 k;     ///< H(R || A || M) mod L
+  bool pre_ok = false;
+};
+
+/// Decompressed (and negated) public keys, shared across the batch: Setchain
+/// blocks carry many signatures from a bounded signer set (n servers, a
+/// recurring client population), so each distinct key pays its two field
+/// exponentiations once per batch instead of once per signature.
+using PubCache = std::map<Ed25519::PublicKey, std::optional<Ge>>;
+
+PreparedEntry prepare_entry(const Ed25519::BatchEntry& e, PubCache& pub_cache) {
+  PreparedEntry out;
+  const codec::ByteView r_bytes(e.sig->data(), 32);
+  out.s = U256::from_bytes_le(codec::ByteView(e.sig->data() + 32, 32));
+  if (!(out.s < order_l())) return out;  // non-canonical S
+
+  auto [cached, inserted] = pub_cache.try_emplace(*e.pub);
+  if (inserted) {
+    const auto a_pt = Ge::decompress(codec::ByteView(e.pub->data(), e.pub->size()));
+    if (a_pt) cached->second = a_pt->negate();
+  }
+  if (!cached->second) return out;  // key not a curve point
+  const auto r_pt = Ge::decompress(r_bytes);
+  if (!r_pt) return out;
+  // Scalar `verify` compares the recomputed point against the R *bytes*, so
+  // a non-canonically encoded R (y >= p) always fails there; reject it here
+  // too, otherwise the batch path (which works on the decompressed point)
+  // would disagree.
+  const auto canonical_y = Fe::from_bytes(r_bytes).to_bytes();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint8_t want = i == 31 ? (canonical_y[i] | (r_bytes[i] & 0x80)) : canonical_y[i];
+    if (r_bytes[i] != want) return out;
+  }
+
+  Sha512 k_hash;
+  k_hash.update(r_bytes);
+  k_hash.update(codec::ByteView(e.pub->data(), e.pub->size()));
+  k_hash.update(e.message);
+  out.k = scalar_from_hash512(k_hash.finalize());
+  out.neg_a = *cached->second;
+  out.neg_r = r_pt->negate();
+  out.pre_ok = true;
+  return out;
+}
+
+/// Combined random-linear-combination check over a subset of the batch:
+///   (sum z_i*S_i)*B + sum z_i*(-R_i) + sum (z_i*k_i)*(-A_i) == identity.
+/// The z_i are 128-bit scalars derived from a SHA-512 transcript of the
+/// subset's full (R, S, A, message) tuples, keyed per entry by its index
+/// within the subset — deterministic, so the same batch always produces the
+/// same combination. The transcript MUST absorb the S halves: if the z_i
+/// depended only on (R, A, M), an adversary could pick them first and then
+/// doctor two valid signatures as S1+z2 / S2-z1, preserving sum z_i*S_i
+/// while making both individually invalid.
+bool combined_check(std::span<const Ed25519::BatchEntry> entries,
+                    const std::vector<PreparedEntry>& prepared,
+                    const std::vector<std::size_t>& subset) {
+  Sha512 transcript;
+  transcript.update(codec::to_bytes("setchain.ed25519.batch.v1"));
+  codec::Bytes count;
+  codec::append_u64le(count, subset.size());
+  transcript.update(count);
+  for (const std::size_t i : subset) {
+    const auto& e = entries[i];
+    transcript.update(codec::ByteView(e.sig->data(), e.sig->size()));  // R and S
+    transcript.update(codec::ByteView(e.pub->data(), e.pub->size()));
+    codec::Bytes len;
+    codec::append_u64le(len, e.message.size());
+    transcript.update(len);
+    transcript.update(e.message);
+  }
+  const auto seed = transcript.finalize();
+
+  U256 base_scalar = U256::zero();
+  std::vector<Ge::ScalarPoint> terms;
+  terms.reserve(2 * subset.size());
+  for (std::size_t j = 0; j < subset.size(); ++j) {
+    const PreparedEntry& p = prepared[subset[j]];
+    Sha512 zh;
+    zh.update(codec::ByteView(seed.data(), seed.size()));
+    codec::Bytes idx;
+    codec::append_u64le(idx, j);
+    zh.update(idx);
+    const auto zd = zh.finalize();
+    // 128-bit randomizers: standard for ed25519 batching (2^-128 soundness)
+    // and half the NAF length of a full scalar for the R_i terms.
+    U256 z = U256::from_bytes_le(codec::ByteView(zd.data(), 16));
+    if (z.is_zero()) z = U256::from_u64(1);
+
+    base_scalar = mul_add_mod_l(z, p.s, base_scalar);
+    terms.push_back(Ge::ScalarPoint{z, p.neg_r});
+    terms.push_back(Ge::ScalarPoint{mul_add_mod_l(z, p.k, U256::zero()), p.neg_a});
+  }
+  return Ge::multi_scalar_mul(base_scalar, terms).is_identity();
+}
+
+/// Bisection fallback: a failing subset is split until the culprits are
+/// pinned down by scalar verification, which keeps the result exactly equal
+/// to per-signature `verify` even in the (negligible-probability) corner
+/// cases a random combination could mask.
+void bisect(std::span<const Ed25519::BatchEntry> entries,
+            const std::vector<PreparedEntry>& prepared, std::vector<std::size_t> subset,
+            std::vector<bool>& valid) {
+  if (subset.empty()) return;
+  if (subset.size() == 1) {
+    const auto& e = entries[subset[0]];
+    valid[subset[0]] = Ed25519::verify(*e.pub, e.message, *e.sig);
+    return;
+  }
+  if (combined_check(entries, prepared, subset)) {
+    for (const std::size_t i : subset) valid[i] = true;
+    return;
+  }
+  const std::size_t mid = subset.size() / 2;
+  bisect(entries, prepared,
+         std::vector<std::size_t>(subset.begin(), subset.begin() + static_cast<std::ptrdiff_t>(mid)),
+         valid);
+  bisect(entries, prepared,
+         std::vector<std::size_t>(subset.begin() + static_cast<std::ptrdiff_t>(mid), subset.end()),
+         valid);
+}
+
+}  // namespace
+
+Ed25519::BatchResult Ed25519::verify_batch(std::span<const BatchEntry> entries) {
+  BatchResult res;
+  res.valid.assign(entries.size(), false);
+  if (entries.empty()) {
+    res.all_valid = true;
+    return res;
+  }
+  if (entries.size() == 1) {
+    res.valid[0] = verify(*entries[0].pub, entries[0].message, *entries[0].sig);
+    res.all_valid = res.valid[0];
+    return res;
+  }
+
+  std::vector<PreparedEntry> prepared;
+  prepared.reserve(entries.size());
+  std::vector<std::size_t> candidates;
+  candidates.reserve(entries.size());
+  PubCache pub_cache;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    prepared.push_back(prepare_entry(entries[i], pub_cache));
+    if (prepared.back().pre_ok) candidates.push_back(i);
+  }
+
+  // One combined check when everything is fine; bisection (inside `bisect`)
+  // takes over only on failure.
+  bisect(entries, prepared, candidates, res.valid);
+  res.all_valid = candidates.size() == entries.size();
+  for (const std::size_t i : candidates) res.all_valid = res.all_valid && res.valid[i];
+  return res;
 }
 
 }  // namespace setchain::crypto

@@ -2,6 +2,8 @@
 
 #include <array>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "codec/bytes.hpp"
 
@@ -28,6 +30,33 @@ struct Ed25519 {
 
   /// Cofactorless verification: S*B == R + k*A with canonical-S check.
   static bool verify(const PublicKey& pub, codec::ByteView message, const Signature& sig);
+
+  /// One signature of a batch. The referenced key/signature/message bytes
+  /// must stay alive for the duration of the verify_batch call.
+  struct BatchEntry {
+    const PublicKey* pub = nullptr;
+    codec::ByteView message;
+    const Signature* sig = nullptr;
+  };
+
+  struct BatchResult {
+    bool all_valid = false;
+    std::vector<bool> valid;  ///< per entry, same order as the input span
+  };
+
+  /// Batch verification via a random linear combination: checks
+  ///   (sum z_i*S_i)*B == sum z_i*R_i + sum z_i*k_i*A_i
+  /// with ONE interleaved multi-scalar multiplication, amortizing the
+  /// doubling chain across the whole batch. The per-entry randomizers z_i
+  /// are derived deterministically from a SHA-512 transcript of all
+  /// (R, S, A, message) tuples — the full signatures, so no part of the
+  /// batch can be chosen after the randomizers; no wall-clock randomness,
+  /// so replays of the same batch are bit-identical. When the combined check fails the batch
+  /// is bisected (each half re-checked with fresh transcript randomizers)
+  /// down to per-signature scalar verification, so the result identifies
+  /// exactly which signatures are bad and agrees entry-by-entry with
+  /// `verify`.
+  static BatchResult verify_batch(std::span<const BatchEntry> entries);
 };
 
 }  // namespace setchain::crypto

@@ -1,6 +1,101 @@
 #include "crypto/ge25519.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace setchain::crypto {
+
+namespace {
+
+/// Width-w NAF: k = sum d[i]*2^i with every nonzero digit odd and
+/// |d[i]| <= 2^(w-1) - 1, so consecutive nonzero digits are at least w
+/// apart. 257 digits suffice for any 256-bit k (the centered-digit carry can
+/// push one bit past the top). Variable time.
+struct Naf {
+  std::array<std::int8_t, 257> d{};
+  int len = 0;  ///< highest nonzero index + 1
+};
+
+Naf wnaf(const U256& k, int w) {
+  Naf out;
+  // One spare word: subtracting a negative digit adds up to 2^(w-1).
+  std::array<std::uint64_t, 5> v{};
+  for (int i = 0; i < 4; ++i) v[i] = k.w[i];
+
+  const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+  const std::int64_t half = std::int64_t{1} << (w - 1);
+  const auto nonzero = [&v] {
+    for (const auto x : v)
+      if (x != 0) return true;
+    return false;
+  };
+
+  int i = 0;
+  while (nonzero()) {
+    if (v[0] & 1) {
+      std::int64_t d = static_cast<std::int64_t>(v[0] & mask);
+      if (d >= half) d -= static_cast<std::int64_t>(mask) + 1;
+      out.d[i] = static_cast<std::int8_t>(d);
+      if (d > 0) {  // v -= d
+        std::uint64_t borrow = static_cast<std::uint64_t>(d);
+        for (std::size_t j = 0; j < v.size() && borrow; ++j) {
+          const std::uint64_t before = v[j];
+          v[j] = before - borrow;
+          borrow = before < borrow ? 1 : 0;
+        }
+      } else {  // v += -d
+        std::uint64_t carry = static_cast<std::uint64_t>(-d);
+        for (std::size_t j = 0; j < v.size() && carry; ++j) {
+          const std::uint64_t before = v[j];
+          v[j] = before + carry;
+          carry = v[j] < before ? 1 : 0;
+        }
+      }
+    }
+    for (std::size_t j = 0; j + 1 < v.size(); ++j) {
+      v[j] = (v[j] >> 1) | (v[j + 1] << 63);
+    }
+    v.back() >>= 1;
+    ++i;
+  }
+  out.len = i;
+  return out;
+}
+
+/// Odd multiples 1P, 3P, ..., 15P for width-5 NAF digits.
+struct OddTable {
+  std::array<Ge, 8> pts;
+};
+
+OddTable make_odd_table(const Ge& p) {
+  OddTable t;
+  t.pts[0] = p;
+  const Ge p2 = p.dbl();
+  for (std::size_t i = 1; i < t.pts.size(); ++i) t.pts[i] = t.pts[i - 1].add(p2);
+  return t;
+}
+
+constexpr int kBaseWindow = 8;  ///< width-8 NAF for the fixed base point
+
+/// 1B, 3B, ..., 127B, built once.
+const std::array<Ge, 64>& base_odd_table() {
+  static const std::array<Ge, 64> kTable = [] {
+    std::array<Ge, 64> out;
+    out[0] = Ge::base();
+    const Ge b2 = Ge::base().dbl();
+    for (std::size_t i = 1; i < out.size(); ++i) out[i] = out[i - 1].add(b2);
+    return out;
+  }();
+  return kTable;
+}
+
+template <std::size_t N>
+Ge add_digit(const Ge& acc, const std::array<Ge, N>& odd, int d) {
+  return d > 0 ? acc.add(odd[static_cast<std::size_t>(d) >> 1])
+               : acc.add(odd[static_cast<std::size_t>(-d) >> 1].negate());
+}
+
+}  // namespace
 
 Ge Ge::identity() {
   return Ge{Fe::zero(), Fe::one(), Fe::one(), Fe::zero()};
@@ -45,12 +140,62 @@ Ge Ge::dbl() const {
 
 Ge Ge::negate() const { return Ge{X.negate(), Y, Z, T.negate()}; }
 
+bool Ge::is_identity() const {
+  // Projectively (0 : Z : Z : 0); the X check excludes the 2-torsion point
+  // (0, -1), which also has X == 0 but Y == -Z.
+  return X.is_zero() && (Y - Z).is_zero();
+}
+
 Ge Ge::scalar_mul(const U256& k) const {
   Ge acc = Ge::identity();
   const std::size_t bits = k.bit_length();
   for (std::size_t i = bits; i-- > 0;) {
     acc = acc.dbl();
     if (k.bit(i)) acc = acc.add(*this);
+  }
+  return acc;
+}
+
+Ge Ge::scalar_mul_vartime(const U256& k) const {
+  const Naf naf = wnaf(k, 5);
+  if (naf.len == 0) return Ge::identity();
+  const OddTable odd = make_odd_table(*this);
+  Ge acc = Ge::identity();
+  for (int i = naf.len; i-- > 0;) {
+    acc = acc.dbl();
+    if (naf.d[i] != 0) acc = add_digit(acc, odd.pts, naf.d[i]);
+  }
+  return acc;
+}
+
+Ge Ge::base_scalar_mul(const U256& k) {
+  return multi_scalar_mul(k, std::span<const ScalarPoint>{});
+}
+
+Ge Ge::multi_scalar_mul(const U256& base_scalar, std::span<const ScalarPoint> terms) {
+  const Naf base_naf = wnaf(base_scalar, kBaseWindow);
+  std::vector<Naf> nafs;
+  std::vector<OddTable> tables;
+  nafs.reserve(terms.size());
+  tables.reserve(terms.size());
+  int top = base_naf.len;
+  for (const auto& t : terms) {
+    nafs.push_back(wnaf(t.scalar, 5));
+    tables.push_back(make_odd_table(t.point));
+    top = std::max(top, nafs.back().len);
+  }
+
+  Ge acc = Ge::identity();
+  for (int i = top; i-- > 0;) {
+    acc = acc.dbl();
+    if (i < base_naf.len && base_naf.d[i] != 0) {
+      acc = add_digit(acc, base_odd_table(), base_naf.d[i]);
+    }
+    for (std::size_t j = 0; j < nafs.size(); ++j) {
+      if (i < nafs[j].len && nafs[j].d[i] != 0) {
+        acc = add_digit(acc, tables[j].pts, nafs[j].d[i]);
+      }
+    }
   }
   return acc;
 }

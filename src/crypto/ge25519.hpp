@@ -1,11 +1,14 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "crypto/bigint.hpp"
 #include "crypto/fe25519.hpp"
 
 namespace setchain::crypto {
+
+struct GeScalarPoint;
 
 /// Point on edwards25519 in extended homogeneous coordinates
 /// (X : Y : Z : T) with x = X/Z, y = Y/Z, x*y = T/Z.
@@ -20,14 +23,41 @@ struct Ge {
   Ge dbl() const;
   Ge negate() const;
 
+  bool is_identity() const;
+
   /// Scalar multiplication, plain double-and-add over 256 bits.
   Ge scalar_mul(const U256& k) const;
+
+  /// Scalar multiplication via signed width-5 windowed NAF. Variable time
+  /// (this library signs simulation traffic, not secrets); ~40% of the
+  /// point operations of plain double-and-add.
+  Ge scalar_mul_vartime(const U256& k) const;
+
+  /// k*B through the precomputed width-8 odd-multiples table of the base
+  /// point: the fast path for signing and the fixed-base half of verify.
+  static Ge base_scalar_mul(const U256& k);
+
+  using ScalarPoint = GeScalarPoint;
+
+  /// Straus/interleaved multi-scalar multiplication:
+  ///   base_scalar*B + sum_i terms[i].scalar * terms[i].point
+  /// One shared doubling chain for all terms (the doublings amortize across
+  /// the whole sum, which is what makes batch signature verification pay
+  /// off). Variable time.
+  static Ge multi_scalar_mul(const U256& base_scalar,
+                             std::span<const GeScalarPoint> terms);
 
   /// Compressed 32-byte encoding: y with the sign of x in the top bit.
   std::array<std::uint8_t, 32> compress() const;
 
   /// Decompress; rejects non-curve points and the x==0/sign==1 encoding.
   static std::optional<Ge> decompress(codec::ByteView bytes32);
+};
+
+/// One term of a multi-scalar multiplication (see Ge::multi_scalar_mul).
+struct GeScalarPoint {
+  U256 scalar;
+  Ge point;
 };
 
 }  // namespace setchain::crypto

@@ -45,6 +45,26 @@ bool Pki::verify(ProcessId id, codec::ByteView message,
   return Ed25519::verify(it->second.pub, message, sig);
 }
 
+Ed25519::BatchResult Pki::verify_batch(std::span<const SignedMessage> items) const {
+  std::vector<Ed25519::BatchEntry> entries;
+  std::vector<std::size_t> positions;  ///< items index of each batch entry
+  entries.reserve(items.size());
+  positions.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto it = keys_.find(items[i].signer);
+    if (it == keys_.end()) continue;  // unknown process: invalid, not batched
+    entries.push_back(Ed25519::BatchEntry{&it->second.pub, items[i].message, items[i].sig});
+    positions.push_back(i);
+  }
+
+  const Ed25519::BatchResult inner = Ed25519::verify_batch(entries);
+  Ed25519::BatchResult out;
+  out.valid.assign(items.size(), false);
+  for (std::size_t j = 0; j < positions.size(); ++j) out.valid[positions[j]] = inner.valid[j];
+  out.all_valid = inner.all_valid && positions.size() == items.size();
+  return out;
+}
+
 std::vector<ProcessId> Pki::processes() const {
   std::vector<ProcessId> out;
   out.reserve(keys_.size());

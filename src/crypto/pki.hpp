@@ -32,6 +32,20 @@ class Pki {
   /// Verify a signature allegedly from `id`. Unknown processes fail.
   bool verify(ProcessId id, codec::ByteView message, const Ed25519::Signature& sig) const;
 
+  /// One (signer, message, signature) triple of a batch. The referenced
+  /// message/signature bytes must outlive the verify_batch call.
+  struct SignedMessage {
+    ProcessId signer = 0;
+    codec::ByteView message;
+    const Ed25519::Signature* sig = nullptr;
+  };
+
+  /// Batch-verify a block's worth of signatures with one Ed25519 batch
+  /// check (see Ed25519::verify_batch). Entries from unknown processes are
+  /// reported invalid without entering the batch. The per-item verdicts
+  /// agree with scalar `verify` entry by entry.
+  Ed25519::BatchResult verify_batch(std::span<const SignedMessage> items) const;
+
   std::vector<ProcessId> processes() const;
 
  private:

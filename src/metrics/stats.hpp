@@ -6,9 +6,14 @@
 namespace setchain::metrics {
 
 /// Small numeric helpers shared by the experiment reports.
+///
+/// Dispersion is reported as SAMPLE statistics (Bessel's n-1 correction):
+/// experiment runs are finite samples of the simulated processes, and the
+/// free function and RunningStats must agree — the guard `size() < 2`
+/// already implied the sample convention.
 
 double mean(const std::vector<double>& xs);
-double stddev(const std::vector<double>& xs);  ///< population stddev
+double stddev(const std::vector<double>& xs);  ///< sample stddev (n-1); <2 values -> 0
 
 /// p in [0,1]; linear interpolation between order statistics. Empty input
 /// returns 0.
@@ -20,7 +25,7 @@ class RunningStats {
   void add(double x);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;
+  double variance() const;  ///< sample variance (n-1); fewer than 2 values -> 0
   double stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "metrics/series.hpp"
 #include "metrics/stage_recorder.hpp"
 #include "metrics/stats.hpp"
@@ -14,7 +16,30 @@ using sim::from_seconds;
 TEST(Stats, MeanStddev) {
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
   EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
-  EXPECT_NEAR(stddev({2, 4, 6}), 1.63299, 1e-4);
+  // Sample (n-1) convention: sum of squared deviations 8, variance 8/2 = 4.
+  EXPECT_DOUBLE_EQ(stddev({2, 4, 6}), 2.0);
+}
+
+TEST(Stats, StddevIsSampleStddevPinnedValues) {
+  // {1,2,3,4}: mean 2.5, sum of squared deviations 5, sample variance 5/3.
+  EXPECT_NEAR(stddev({1, 2, 3, 4}), std::sqrt(5.0 / 3.0), 1e-12);
+  // Degenerate inputs: fewer than two samples have no dispersion estimate.
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({42.0}), 0.0);
+  // Constant data: exactly zero (no catastrophic cancellation).
+  EXPECT_DOUBLE_EQ(stddev({7, 7, 7, 7}), 0.0);
+}
+
+TEST(Stats, RunningStatsUsesSampleVariance) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(2);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);  // one sample: still no estimate
+  rs.add(4);
+  rs.add(6);
+  EXPECT_NEAR(rs.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), 2.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev({2, 4, 6}), 1e-12);  // conventions agree
 }
 
 TEST(Stats, Percentile) {
