@@ -38,7 +38,7 @@ int main() {
   std::vector<std::vector<std::string>> rows;
   for (const Variant& v : variants) {
     Scenario s = paper_scenario(v.algo, 10, v.rate, 500);
-    s.validate = v.validate;
+    s.validate_batches = v.validate;
     s.hash_reversal = v.hash_reversal;
     runner::Experiment e(s);
     e.run();

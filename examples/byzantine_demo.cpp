@@ -57,20 +57,32 @@ int main() {
 
   // The corrupt proofs never count: epochs are proven exclusively by the
   // three correct servers.
-  const auto snap = experiment.server(0).get();
   bool no_proof_from_liar = true;
-  for (const auto& per_epoch : *snap.proofs) {
-    for (const auto& p : per_epoch) no_proof_from_liar &= (p.server != 3);
+  for (std::uint64_t ep = 1; ep <= experiment.server(0).epoch(); ++ep) {
+    for (const auto& p : experiment.server(0).proofs_for_epoch(ep)) {
+      no_proof_from_liar &= (p.server != 3);
+    }
   }
   std::printf("proofs signed by server 3 accepted anywhere: %s\n",
               no_proof_from_liar ? "none" : "SOME (BUG)");
+
+  // A quorum client stays safe even with the liar in its node set: every
+  // adopted epoch needs f+1 matching servers, every commit f+1 valid
+  // proofs from distinct signers.
+  auto client = experiment.make_client();
+  const auto verdict = client.verify(experiment.accepted_valid_ids().front());
+  std::printf("quorum verify of one committed element: epoch %llu, %zu proofs,"
+              " committed %s\n",
+              static_cast<unsigned long long>(verdict.epoch), verdict.valid_proofs,
+              verdict.committed ? "yes" : "NO");
 
   const auto servers = experiment.correct_servers();
   const auto safety = core::check_safety(servers);
   std::printf("safety across correct servers: %s\n",
               safety.ok() ? "OK" : safety.to_string().c_str());
 
-  const bool ok = safety.ok() && no_proof_from_liar && committed_fraction >= 0.70;
+  const bool ok = safety.ok() && no_proof_from_liar && verdict.committed &&
+                  committed_fraction >= 0.70;
   std::printf("\n%s\n", ok ? "Byzantine demo PASSED" : "Byzantine demo FAILED");
   return ok ? 0 : 1;
 }

@@ -1,15 +1,17 @@
 // Digital registry: the paper motivates Setchain with registries like the
 // MIT digital-diploma project, where entries need tamper-evident, ordered-
 // by-epoch storage but no order *within* an epoch. This example runs a
-// credential registry on Compresschain: an issuer publishes diplomas, an
-// independent auditor later verifies a diploma against a single server
-// using epoch-proofs, and tampered/forged entries are rejected.
+// credential registry on Compresschain through the setchain::api facade: an
+// issuer publishes diplomas via a QuorumClient, an independent auditor later
+// verifies each diploma against an f+1 quorum of servers (proofs gathered
+// across the cluster — no single registry server is trusted), and
+// tampered/forged entries are rejected by every server.
 //
 //   $ ./digital_registry
 #include <cstdio>
 #include <string>
 
-#include "core/client.hpp"
+#include "api/quorum_client.hpp"
 #include "core/compresschain.hpp"
 #include "core/invariants.hpp"
 #include "ledger/ledger_node.hpp"
@@ -46,6 +48,11 @@ struct Registry {
     }
   }
 
+  api::QuorumClient make_client(api::WritePolicy policy, std::size_t primary) {
+    return api::make_quorum_client(servers, pki, params.f, params.fidelity, policy,
+                                   primary);
+  }
+
   /// Issue a credential: the issuing institution is a Setchain client with
   /// its own key; the diploma text is the element payload.
   core::Element issue(crypto::ProcessId issuer, std::uint64_t serial,
@@ -64,13 +71,13 @@ struct Registry {
     return e;
   }
 
+  bool pump() {
+    for (auto& s : servers) s->collector().flush();
+    return ledger.seal_block();
+  }
   void settle() {
     for (int round = 0; round < 30; ++round) {
-      for (auto& s : servers) s->collector().flush();
-      if (!ledger.seal_block()) {
-        for (auto& s : servers) s->collector().flush();
-        if (!ledger.seal_block()) return;
-      }
+      if (!pump() && !pump()) return;
     }
   }
 };
@@ -82,7 +89,9 @@ int main() {
   const crypto::ProcessId mit = 500;  // issuing institution
   registry.pki.register_process(mit);
 
-  // Issue a batch of diplomas through server 0.
+  // The issuer submits through server 0 (its quorum client's primary).
+  api::QuorumClient issuer = registry.make_client(api::WritePolicy::kPrimary, 0);
+
   std::vector<core::ElementId> issued;
   const char* students[] = {"ada lovelace, B.Sc. computer science, 2026",
                             "alan turing, Ph.D. mathematics, 2026",
@@ -92,32 +101,35 @@ int main() {
   for (const char* diploma : students) {
     const auto e = registry.issue(mit, serial++, diploma);
     issued.push_back(e.id);
-    if (!registry.servers[0]->add(e)) {
+    if (!issuer.add(e).ok) {
       std::printf("issue failed for: %s\n", diploma);
       return 1;
     }
   }
   std::printf("issued %zu diplomas through server 0\n", issued.size());
 
-  // A forged diploma (signature from the wrong key) must be rejected.
+  // A forged diploma (signature from the wrong key) must be rejected by
+  // every server the client fails over to — the add comes back not-ok.
   core::Element forged = registry.issue(mit, 99, "eve mallory, Ph.D. everything");
   forged.sig[3] ^= 0x10;
-  const bool forged_accepted = registry.servers[2]->add(forged);
-  std::printf("forged diploma accepted? %s\n", forged_accepted ? "YES (BUG)" : "no");
+  const auto forged_result = issuer.add(forged);
+  std::printf("forged diploma accepted? %s (refused by all %zu servers tried)\n",
+              forged_result.ok ? "YES (BUG)" : "no", forged_result.attempted);
 
   registry.settle();
 
-  // The auditor talks to ONE server (possibly a different one than the
-  // issuer used) and verifies each diploma with f+1 epoch-proofs.
+  // The auditor is an independent client: it reconciles the registry from
+  // an f+1 quorum and commits each diploma only on f+1 valid epoch-proofs
+  // from distinct servers, gathered across the cluster.
+  api::QuorumClient auditor = registry.make_client(api::WritePolicy::kPrimary, 3);
   std::size_t verified = 0;
   for (const auto id : issued) {
-    const auto v = core::SetchainClient::verify(*registry.servers[3], id,
-                                                registry.pki, registry.params);
+    const auto v = auditor.wait_committed(id, [&] { return registry.pump(); });
     if (v.committed) ++verified;
   }
-  std::printf("auditor verified %zu/%zu diplomas against server 3 (f+1 = %u proofs"
+  std::printf("auditor verified %zu/%zu diplomas against the quorum (f+1 = %u proofs"
               " each)\n",
-              verified, issued.size(), registry.params.f + 1);
+              verified, issued.size(), auditor.quorum());
 
   // Registry-wide consistency: every server agrees on every epoch.
   std::vector<const core::SetchainServer*> servers;
@@ -126,5 +138,5 @@ int main() {
   std::printf("registry consistency across servers: %s\n",
               safety.ok() ? "OK" : safety.to_string().c_str());
 
-  return (verified == issued.size() && !forged_accepted && safety.ok()) ? 0 : 1;
+  return (verified == issued.size() && !forged_result.ok && safety.ok()) ? 0 : 1;
 }

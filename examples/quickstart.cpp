@@ -1,11 +1,13 @@
 // Quickstart: stand up a 4-server Hashchain Setchain on the simulated
 // CometBFT ledger, add a handful of elements, wait for commits, and verify
-// one element the way a light client would (one get() against one server,
-// f+1 epoch-proof check).
+// one element the way the paper's client does — a quorum read reconciled
+// from f+1 matching servers plus an f+1 epoch-proof commit check gathered
+// across the cluster.
 //
 //   $ ./quickstart
 #include <cstdio>
 
+#include "api/scenario_builder.hpp"
 #include "core/invariants.hpp"
 #include "runner/experiment.hpp"
 
@@ -14,16 +16,19 @@ int main() {
 
   // 1. Describe the deployment: 4 servers (tolerating f=1 Byzantine), full
   //    fidelity (real Ed25519 + SHA-512 + szx compression), clients adding
-  //    120 elements/second for three simulated seconds.
-  runner::Scenario scenario;
-  scenario.algorithm = runner::Algorithm::kHashchain;
-  scenario.n = 4;
-  scenario.sending_rate = 120;
-  scenario.add_duration = sim::from_seconds(3);
-  scenario.horizon = sim::from_seconds(60);
-  scenario.collector_limit = 20;
-  scenario.fidelity = core::Fidelity::kFull;
-  scenario.track_ids = true;
+  //    120 elements/second for three simulated seconds. build() validates
+  //    the parameters (f within the Byzantine bound, positive rates, ...).
+  const runner::Scenario scenario = api::ScenarioBuilder()
+                                        .algorithm(runner::Algorithm::kHashchain)
+                                        .servers(4)
+                                        .faults(1)
+                                        .rate(120)
+                                        .add_seconds(3)
+                                        .horizon_seconds(60)
+                                        .collector(20)
+                                        .full_fidelity()
+                                        .track_ids()
+                                        .build();
 
   // 2. Build and run. The Experiment wires servers, clients, the PKI and the
   //    consensus simulation together exactly like the paper's docker nodes.
@@ -40,19 +45,25 @@ int main() {
   std::printf("sim time   : %.1f s (wall %.0f ms)\n", result.sim_seconds,
               result.wall_ms);
 
-  // 3. Light-client verification (§2 of the paper): talk to ONE server, find
-  //    the element's epoch, recompute the epoch hash, and accept it only
-  //    with f+1 valid signatures from distinct servers.
+  // 3. Client verification (§2 of the paper): a quorum client reads all
+  //    servers, adopts only epochs that f+1 of them agree on, and commits
+  //    an element once f+1 distinct servers signed its epoch — no single
+  //    server is trusted anywhere in this path.
+  api::QuorumClient client = experiment.make_client();
   const core::ElementId some_element = experiment.accepted_valid_ids().front();
-  const auto verdict = core::SetchainClient::verify(
-      experiment.server(1), some_element, experiment.pki(), experiment.params());
-  std::printf("\nlight-client check of element %llu against server 1:\n",
+  const auto view = client.get();
+  const auto verdict = client.verify(some_element);
+  std::printf("\nquorum-client check of element %llu across all 4 servers:\n",
               static_cast<unsigned long long>(some_element));
-  std::printf("  in the_set   : %s\n", verdict.in_the_set ? "yes" : "no");
-  std::printf("  in epoch     : %llu\n", static_cast<unsigned long long>(verdict.epoch));
-  std::printf("  valid proofs : %zu (need f+1 = %u)\n", verdict.valid_proofs,
-              experiment.params().f + 1);
-  std::printf("  committed    : %s\n", verdict.committed ? "yes" : "no");
+  std::printf("  epochs agreed by f+1    : %llu\n",
+              static_cast<unsigned long long>(view.epoch));
+  std::printf("  in the consolidated set : %s\n",
+              view.the_set.contains(some_element) ? "yes" : "no");
+  std::printf("  in epoch                : %llu\n",
+              static_cast<unsigned long long>(verdict.epoch));
+  std::printf("  valid proofs            : %zu from %zu servers (need f+1 = %u)\n",
+              verdict.valid_proofs, verdict.proof_sources, client.quorum());
+  std::printf("  committed               : %s\n", verdict.committed ? "yes" : "no");
 
   // 4. The Setchain properties (1-8) hold at quiescence.
   const auto servers = experiment.correct_servers();

@@ -8,11 +8,16 @@
 // Flags (all optional):
 //   --algo vanilla|compresschain|hashchain   (default hashchain)
 //   --n <servers>            --rate <el/s>       --collector <entries>
-//   --delay-ms <ms>          --duration <s>      --horizon <s>
-//   --committee <k>          --no-reversal       --no-validate
-//   --full-fidelity          --seed <u64>        --series
+//   --f <k>                  --delay-ms <ms>     --duration <s>
+//   --horizon <s>            --committee <k>     --no-reversal
+//   --no-validate            --full-fidelity     --seed <u64>
+//   --series
 //   --byz-refuse <node>      --byz-corrupt <node> --byz-fake <node>
 //   (fault-injection flags are repeatable, one node index each)
+//
+// Parameter sanity (f within the Byzantine bound, fault targets within the
+// cluster, positive rates, ...) is Scenario::validate()'s job; violations
+// are printed verbatim.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +32,7 @@ using namespace setchain;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--algo vanilla|compresschain|hashchain] [--n N]\n"
-               "          [--rate EL_PER_S] [--collector C] [--delay-ms MS]\n"
+               "          [--rate EL_PER_S] [--collector C] [--f K] [--delay-ms MS]\n"
                "          [--duration S] [--horizon S] [--committee K]\n"
                "          [--no-reversal] [--no-validate] [--full-fidelity]\n"
                "          [--seed U64] [--series]\n"
@@ -52,60 +57,71 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
+    // Strict parses: atoi/atof would turn a typo into a silent 0.
+    auto next_u32 = [&]() -> std::uint32_t {
+      const char* text = next();
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0' || v > 0xFFFFFFFFul) usage(argv[0]);
+      return static_cast<std::uint32_t>(v);
+    };
+    auto next_u64 = [&]() -> std::uint64_t {
+      const char* text = next();
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') usage(argv[0]);
+      return v;
+    };
+    auto next_f64 = [&]() -> double {
+      const char* text = next();
+      char* end = nullptr;
+      const double v = std::strtod(text, &end);
+      if (end == text || *end != '\0') usage(argv[0]);
+      return v;
+    };
     if (arg == "--algo") {
-      const std::string a = next();
-      if (a == "vanilla") {
-        s.algorithm = runner::Algorithm::kVanilla;
-      } else if (a == "compresschain") {
-        s.algorithm = runner::Algorithm::kCompresschain;
-      } else if (a == "hashchain") {
-        s.algorithm = runner::Algorithm::kHashchain;
-      } else {
-        usage(argv[0]);
-      }
+      const auto algo = runner::parse_algorithm(next());
+      if (!algo) usage(argv[0]);
+      s.algorithm = *algo;
     } else if (arg == "--n") {
-      s.n = static_cast<std::uint32_t>(std::atoi(next()));
+      s.n = next_u32();
     } else if (arg == "--rate") {
-      s.sending_rate = std::atof(next());
+      s.sending_rate = next_f64();
     } else if (arg == "--collector") {
-      s.collector_limit = static_cast<std::uint32_t>(std::atoi(next()));
+      s.collector_limit = next_u32();
+    } else if (arg == "--f") {
+      s.f = next_u32();
     } else if (arg == "--delay-ms") {
-      s.network_delay = sim::from_millis(std::atof(next()));
+      s.network_delay = sim::from_millis(next_f64());
     } else if (arg == "--duration") {
-      s.add_duration = sim::from_seconds(std::atof(next()));
+      s.add_duration = sim::from_seconds(next_f64());
     } else if (arg == "--horizon") {
-      s.horizon = sim::from_seconds(std::atof(next()));
+      s.horizon = sim::from_seconds(next_f64());
     } else if (arg == "--committee") {
-      s.hashchain_committee = static_cast<std::uint32_t>(std::atoi(next()));
+      s.hashchain_committee = next_u32();
     } else if (arg == "--no-reversal") {
       s.hash_reversal = false;
     } else if (arg == "--no-validate") {
-      s.validate = false;
+      s.validate_batches = false;
     } else if (arg == "--full-fidelity") {
       s.fidelity = core::Fidelity::kFull;
     } else if (arg == "--seed") {
-      s.seed = std::strtoull(next(), nullptr, 10);
+      s.seed = next_u64();
     } else if (arg == "--series") {
       print_series = true;
-    } else if (arg == "--byz-refuse" || arg == "--byz-corrupt" || arg == "--byz-fake") {
-      // Strict parse: atoi would turn a typo'd node into a silent server 0.
-      const char* text = next();
-      char* end = nullptr;
-      const unsigned long node = std::strtoul(text, &end, 10);
-      if (end == text || *end != '\0' || node > 0xFFFFFFFFul) usage(argv[0]);
-      auto& faults = arg == "--byz-refuse"    ? s.byz_refuse_batch
-                     : arg == "--byz-corrupt" ? s.byz_corrupt_proofs
-                                              : s.byz_fake_hashes;
-      faults.push_back(static_cast<std::uint32_t>(node));
+    } else if (arg == "--byz-refuse") {
+      s.byz_refuse_batch.push_back(next_u32());
+    } else if (arg == "--byz-corrupt") {
+      s.byz_corrupt_proofs.push_back(next_u32());
+    } else if (arg == "--byz-fake") {
+      s.byz_fake_hashes.push_back(next_u32());
     } else {
       usage(argv[0]);
     }
   }
-  if (s.n < 2 || s.sending_rate <= 0) usage(argv[0]);
-  for (const auto* faults : {&s.byz_refuse_batch, &s.byz_corrupt_proofs, &s.byz_fake_hashes}) {
-    for (const auto node : *faults) {
-      if (node >= s.n) usage(argv[0]);
-    }
+  if (const auto errors = s.validate(); !errors.empty()) {
+    for (const auto& e : errors) std::fprintf(stderr, "scenario error: %s\n", e.c_str());
+    usage(argv[0]);
   }
   s.lean_state = s.sending_rate >= 50'000;
 
@@ -115,6 +131,8 @@ int main(int argc, char** argv) {
 
   runner::print_title(std::string("Scenario: ") + runner::algorithm_name(s.algorithm));
   runner::print_run_summary(s, r);
+  std::printf("  f (Byzantine bound)     : %u (quorum f+1 = %u)\n", s.f_value(),
+              s.f_value() + 1);
   std::printf("  avg throughput (to 50s) : %.1f el/s\n", r.avg_throughput_50s);
   std::printf("  sustained throughput    : %.1f el/s\n", r.sustained_throughput);
   std::printf("  efficiency 50/75/100 s  : %.2f / %.2f / %.2f\n", r.efficiency_50,

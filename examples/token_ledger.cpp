@@ -3,11 +3,14 @@
 // when added (signatures/syntax only); once an epoch consolidates, every
 // server executes its transactions sequentially in canonical order, voiding
 // the ones that turn out invalid (double spends). All servers reach
-// identical per-epoch state roots.
+// identical per-epoch state roots. Wallets submit through the setchain::api
+// facade (one QuorumClient per wallet), and settlement finality is checked
+// the way the paper's client does: f+1 epoch-proofs gathered across servers.
 //
 //   $ ./token_ledger
 #include <cstdio>
 
+#include "api/quorum_client.hpp"
 #include "core/hashchain.hpp"
 #include "core/invariants.hpp"
 #include "exec/executor.hpp"
@@ -65,13 +68,20 @@ struct Chain {
     for (auto& s : servers) s->connect_peers(peers);
   }
 
+  /// A wallet fronts the cluster through the quorum facade; `primary` is the
+  /// server it submits through (failover past refusals is automatic).
+  api::QuorumClient wallet_client(std::size_t primary) {
+    return api::make_quorum_client(servers, pki, params.f, params.fidelity,
+                                   api::WritePolicy::kPrimary, primary);
+  }
+
+  bool pump() {
+    for (auto& s : servers) s->collector().flush();
+    return ledger.seal_block();
+  }
   void settle() {
     for (int i = 0; i < 60; ++i) {
-      for (auto& s : servers) s->collector().flush();
-      if (!ledger.seal_block()) {
-        for (auto& s : servers) s->collector().flush();
-        if (!ledger.seal_block()) return;
-      }
+      if (!pump() && !pump()) return;
     }
   }
 };
@@ -80,15 +90,21 @@ struct Chain {
 
 int main() {
   Chain chain;
-  // Each wallet keeps its own nonce stream and submits through one server:
-  // Setchain orders *across* epochs only, so a wallet scattering nonces
-  // across servers could see later nonces consolidate first (and voided).
+  // Each wallet keeps its own nonce stream and submits through one server
+  // (its quorum client's primary): Setchain orders *across* epochs only, so
+  // a wallet scattering nonces across servers could see later nonces
+  // consolidate first (and voided).
+  api::QuorumClient alice_wallet = chain.wallet_client(0);
+  api::QuorumClient bob_wallet = chain.wallet_client(1);
   std::uint64_t alice_seq = 1, bob_seq = 1;
+  core::ElementId first_transfer = 0;
   auto alice_sends = [&](exec::TokenTx tx) {
-    chain.servers[0]->add(exec::make_token_element(chain.pki, 100, alice_seq++, tx));
+    const auto e = exec::make_token_element(chain.pki, 100, alice_seq++, tx);
+    if (first_transfer == 0) first_transfer = e.id;
+    alice_wallet.add(e);
   };
   auto bob_sends = [&](exec::TokenTx tx) {
-    chain.servers[1]->add(exec::make_token_element(chain.pki, 101, bob_seq++, tx));
+    bob_wallet.add(exec::make_token_element(chain.pki, 101, bob_seq++, tx));
   };
 
   std::printf("genesis: alice=1000, bob=200, carol=0 (supply 1200)\n\n");
@@ -107,6 +123,16 @@ int main() {
   alice_sends({kAlice, kCarol, 400, 3});
 
   chain.settle();
+
+  // Settlement finality through the facade: alice's first transfer must be
+  // committed — consolidated into an f+1-agreed epoch carrying f+1 valid
+  // proofs from distinct servers, gathered across the cluster.
+  const auto finality =
+      alice_wallet.wait_committed(first_transfer, [&] { return chain.pump(); });
+  std::printf("alice's first transfer: epoch %llu, %zu proofs from %zu servers,"
+              " committed %s\n\n",
+              static_cast<unsigned long long>(finality.epoch), finality.valid_proofs,
+              finality.proof_sources, finality.committed ? "yes" : "NO");
 
   const auto& ex0 = *chain.executors[0];
   std::printf("executed %llu transfers, voided %llu, across %llu epochs\n",
@@ -144,5 +170,8 @@ int main() {
     double_spends += (rec.verdict == exec::VoidReason::kInsufficientFunds);
   }
   std::printf("theft voided: %zu, double spend voided: %zu\n", thefts, double_spends);
-  return (roots_agree && supply_ok && thefts == 1 && double_spends == 1) ? 0 : 1;
+  return (roots_agree && supply_ok && thefts == 1 && double_spends == 1 &&
+          finality.committed)
+             ? 0
+             : 1;
 }

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/element.hpp"
+#include "core/epoch_record.hpp"
+#include "core/proofs.hpp"
+
+namespace setchain::api {
+
+/// S.get_v(): (the_set, history, epoch, proofs) — views into one node's live
+/// state. Pointers stay valid only while the node is alive and unmodified;
+/// quorum-reading clients copy what they adopt.
+struct NodeSnapshot {
+  const std::unordered_set<core::ElementId>* the_set = nullptr;
+  const std::vector<core::EpochRecord>* history = nullptr;  ///< [i] = epoch i+1
+  std::uint64_t epoch = 0;
+  /// Raw per-epoch proof store, indexed epoch-1 like `history`. Prefer the
+  /// bounds-checked ISetchainNode::proofs_for_epoch() accessor, which owns
+  /// the index convention.
+  const std::vector<std::vector<core::EpochProof>>* proofs = nullptr;
+};
+
+/// The client-facing surface of one Setchain server — the datatype API the
+/// paper specifies (add / get / epoch-proofs), abstracted away from concrete
+/// server classes. `SetchainServer` implements it in-process; a future
+/// transport backend implements it over a socket. Everything client-shaped
+/// (QuorumClient, examples, light-client checks) talks to this interface
+/// only, so a node here may equally be a correct server, a Byzantine
+/// wrapper in a test, or a remote stub.
+class ISetchainNode {
+ public:
+  virtual ~ISetchainNode() = default;
+
+  /// S.add_v(e). False when the element is invalid or already known.
+  virtual bool add(core::Element e) = 0;
+
+  /// S.get_v(). Untrusted: a Byzantine node may return anything.
+  virtual NodeSnapshot snapshot() const = 0;
+
+  /// Epoch-proofs this node holds for epoch `epoch_number` (1-based, the
+  /// paper's numbering). Bounds-checked: epoch 0 or an epoch this node has
+  /// not consolidated yet yields an empty list. This accessor is the single
+  /// owner of the "epoch i lives at index i-1" convention.
+  virtual const std::vector<core::EpochProof>& proofs_for_epoch(
+      std::uint64_t epoch_number) const = 0;
+
+  /// Number of epochs this node has consolidated.
+  virtual std::uint64_t epoch() const = 0;
+
+  /// The server's process id in the PKI (who signs its epoch-proofs).
+  virtual crypto::ProcessId node_id() const = 0;
+};
+
+}  // namespace setchain::api

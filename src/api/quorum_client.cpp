@@ -1,0 +1,181 @@
+#include "api/quorum_client.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace setchain::api {
+
+QuorumClient::QuorumClient(std::vector<ISetchainNode*> nodes, const crypto::Pki& pki,
+                           Config cfg)
+    : nodes_(std::move(nodes)),
+      pki_(&pki),
+      cfg_(cfg),
+      status_(nodes_.size(), NodeStatus::kOk) {}
+
+QuorumClient::AddResult QuorumClient::add(core::Element e) {
+  AddResult r;
+  const std::size_t n = nodes_.size();
+  if (n == 0) return r;
+  const std::size_t start = cfg_.primary % n;
+
+  std::vector<std::size_t> refused;
+  // `last` hands the element over by move: no further offer can happen.
+  const auto offer = [&](std::size_t i, bool last) {
+    ++r.attempted;
+    const bool accepted = last ? nodes_[i]->add(std::move(e)) : nodes_[i]->add(e);
+    if (accepted) {
+      ++r.accepted;
+    } else {
+      refused.push_back(i);
+    }
+  };
+
+  switch (cfg_.write_policy) {
+    case WritePolicy::kAll:
+      for (std::size_t k = 0; k < n; ++k) offer((start + k) % n, k + 1 == n);
+      r.ok = r.accepted >= 1;
+      break;
+    case WritePolicy::kQuorum:
+      for (std::size_t k = 0; k < n && r.accepted < quorum(); ++k) {
+        offer((start + k) % n, k + 1 == n);
+      }
+      r.ok = r.accepted >= quorum();
+      break;
+    case WritePolicy::kPrimary: {
+      // Failover: walk past refusing nodes until one accepts. f+1 distinct
+      // nodes always include a correct server, so trying more than that
+      // cannot help — it only lets a flood of invalid elements charge
+      // validation work on the whole cluster instead of f+1 nodes.
+      const std::size_t attempts = std::min<std::size_t>(n, quorum());
+      for (std::size_t k = 0; k < attempts && r.accepted == 0; ++k) {
+        offer((start + k) % n, k + 1 == attempts);
+      }
+      // Refusing a fresh element the next node then accepted is misbehaving
+      // (or unreachable); remember it. Blame is kPrimary-only: broadcast
+      // policies legitimately see "already known" refusals, and when nobody
+      // accepts the element itself was bad.
+      if (r.accepted > 0) {
+        for (const auto i : refused) {
+          if (status_[i] == NodeStatus::kOk) status_[i] = NodeStatus::kRefusing;
+        }
+      }
+      r.ok = r.accepted >= 1;
+      break;
+    }
+  }
+  return r;
+}
+
+QuorumClient::View QuorumClient::get() {
+  View view;
+
+  std::vector<NodeSnapshot> snaps(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (status_[i] != NodeStatus::kEquivocating) snaps[i] = nodes_[i]->snapshot();
+  }
+
+  // Adopt epochs in order while f+1 nodes agree on an identical
+  // (hash, contents) record. At most f nodes are Byzantine, so an f+1
+  // quorum always contains a correct server's word.
+  for (std::uint64_t e = 1;; ++e) {
+    // (hash, ids) -> supporting node indices.
+    std::map<std::pair<core::EpochHash, std::vector<core::ElementId>>,
+             std::vector<std::size_t>>
+        ballots;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (status_[i] == NodeStatus::kEquivocating) continue;
+      if (snaps[i].history == nullptr || snaps[i].history->size() < e) continue;
+      const core::EpochRecord& rec = (*snaps[i].history)[e - 1];
+      if (rec.number != e) {
+        // A history whose i-th record is not epoch i is structurally bogus.
+        status_[i] = NodeStatus::kEquivocating;
+        continue;
+      }
+      ballots[{rec.hash, rec.ids}].push_back(i);
+    }
+
+    const auto winner =
+        std::find_if(ballots.begin(), ballots.end(), [&](const auto& kv) {
+          return kv.second.size() >= quorum();
+        });
+    if (winner == ballots.end()) break;  // no quorum: epoch e is not committed yet
+
+    // Nodes voting against the quorum record are equivocating: their word
+    // contradicts at least one correct server. Mask them from now on.
+    for (const auto& [key, supporters] : ballots) {
+      if (&key == &winner->first) continue;
+      for (const auto i : supporters) status_[i] = NodeStatus::kEquivocating;
+    }
+
+    view.history.push_back((*snaps[winner->second.front()].history)[e - 1]);
+    view.epoch = e;
+  }
+
+  for (const auto& rec : view.history) {
+    view.the_set.insert(rec.ids.begin(), rec.ids.end());
+  }
+  for (const auto s : status_) {
+    if (s == NodeStatus::kEquivocating) ++view.masked_nodes;
+  }
+  return view;
+}
+
+QuorumClient::VerifyResult QuorumClient::verify(core::ElementId id) {
+  VerifyResult out;
+  const View view = get();
+
+  const core::EpochRecord* rec = nullptr;
+  for (const auto& r : view.history) {
+    if (std::binary_search(r.ids.begin(), r.ids.end(), id)) {
+      rec = &r;
+      break;
+    }
+  }
+  if (rec == nullptr) return out;
+  out.in_epoch = true;
+  out.epoch = rec->number;
+
+  // Gather proofs for the agreed epoch hash across EVERY live node: the
+  // f+1 signatures may be spread over the cluster, with no single server
+  // holding a committing set. Each signing server counts once.
+  std::unordered_set<crypto::ProcessId> signers;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (status_[i] == NodeStatus::kEquivocating) continue;
+    bool contributed = false;
+    for (const auto& p : nodes_[i]->proofs_for_epoch(rec->number)) {
+      if (p.epoch != rec->number) continue;  // lying proof store
+      if (!core::valid_proof(p, rec->hash, *pki_, cfg_.fidelity)) continue;
+      if (signers.insert(p.server).second) contributed = true;
+    }
+    if (contributed) ++out.proof_sources;
+  }
+  out.valid_proofs = signers.size();
+  out.committed = out.valid_proofs >= quorum();
+  return out;
+}
+
+QuorumClient::VerifyResult QuorumClient::wait_committed(
+    core::ElementId id, const std::function<bool()>& pump, int max_rounds) {
+  VerifyResult v = verify(id);
+  for (int round = 0; round < max_rounds && !v.committed; ++round) {
+    const bool progressed = pump ? pump() : false;
+    v = verify(id);
+    if (!progressed && !v.committed) break;
+  }
+  return v;
+}
+
+QuorumClient make_quorum_client(std::vector<ISetchainNode*> nodes,
+                                const crypto::Pki& pki, std::uint32_t f,
+                                core::Fidelity fidelity, WritePolicy policy,
+                                std::size_t primary) {
+  QuorumClient::Config cfg;
+  cfg.f = f;
+  cfg.write_policy = policy;
+  cfg.primary = primary;
+  cfg.fidelity = fidelity;
+  return QuorumClient(std::move(nodes), pki, cfg);
+}
+
+}  // namespace setchain::api

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <unordered_set>
+#include <vector>
+
+#include "api/node.hpp"
+#include "crypto/pki.hpp"
+
+namespace setchain::api {
+
+/// How an add() is fanned out across the client's node set.
+enum class WritePolicy : std::uint8_t {
+  kPrimary,  ///< one node (the primary), failing over past refusals
+  kQuorum,   ///< f+1 distinct nodes must accept
+  kAll,      ///< broadcast to every node (the paper's Byzantine-client-proof
+             ///< submission: at least one correct server receives it)
+};
+
+/// Client-side health verdict for one node, learned from its responses.
+enum class NodeStatus : std::uint8_t {
+  kOk,
+  /// Refused a kPrimary add that a failover target then accepted. Only the
+  /// primary walk assigns blame: under kQuorum/kAll broadcast a refusal is
+  /// routinely just "already known" and says nothing about the node.
+  kRefusing,
+  kEquivocating,  ///< reported an epoch that contradicts the f+1 quorum
+};
+
+/// The paper's quorum-based Setchain client (§2: the datatype is defined
+/// through add/get plus epoch-proof commit checks, and a client trusts no
+/// single server). A QuorumClient owns handles to n nodes of which at most
+/// f are Byzantine:
+///
+/// * `add(e)` is fanned out according to the WritePolicy, failing over past
+///   nodes that refuse.
+/// * `get()` reconstructs the consolidated view epoch by epoch, adopting an
+///   epoch only when f+1 nodes report an identical (hash, contents) record —
+///   so at least one correct server vouches for it. Nodes contradicting an
+///   adopted quorum record are masked as equivocating from then on.
+/// * `verify(id)` commits an element only on f+1 valid epoch-proofs from
+///   distinct signing servers, gathered across ALL nodes' proof stores — no
+///   single server needs to hold (or can fake) the committing proof set.
+///
+/// Nodes are accessed through ISetchainNode only: in-process servers today,
+/// remote stubs tomorrow, Byzantine wrappers in tests.
+class QuorumClient {
+ public:
+  struct Config {
+    std::uint32_t f = 1;  ///< Byzantine bound; quorum threshold is f+1
+    WritePolicy write_policy = WritePolicy::kPrimary;
+    std::size_t primary = 0;  ///< first node tried for kPrimary/kQuorum adds
+    core::Fidelity fidelity = core::Fidelity::kFull;
+  };
+
+  /// `pki` must outlive the client. Quorum reads need nodes.size() >= f+1.
+  QuorumClient(std::vector<ISetchainNode*> nodes, const crypto::Pki& pki, Config cfg);
+
+  struct AddResult {
+    std::size_t accepted = 0;   ///< nodes that accepted the element
+    std::size_t attempted = 0;  ///< nodes offered the element
+    bool ok = false;            ///< the write policy's threshold was met
+  };
+  AddResult add(core::Element e);
+
+  /// Client-side consolidated view: exactly the epochs with f+1 agreement.
+  struct View {
+    std::vector<core::EpochRecord> history;  ///< epochs 1..epoch, adopted copies
+    std::unordered_set<core::ElementId> the_set;  ///< union of history contents
+    std::uint64_t epoch = 0;         ///< last epoch with an f+1 quorum
+    std::size_t masked_nodes = 0;    ///< nodes currently masked as equivocating
+  };
+  View get();
+
+  struct VerifyResult {
+    bool in_epoch = false;
+    std::uint64_t epoch = 0;
+    std::size_t valid_proofs = 0;   ///< distinct servers with a valid proof
+    std::size_t proof_sources = 0;  ///< distinct nodes that supplied one
+    bool committed = false;         ///< in_epoch && valid_proofs >= f+1
+  };
+  /// Commit check for one element against the quorum view. Proofs are
+  /// validated against the f+1-agreed epoch hash, so a Byzantine node can
+  /// neither sneak a proof for a fake epoch in nor suppress the quorum.
+  VerifyResult verify(core::ElementId id);
+
+  /// Poll verify(id) until committed, calling `pump` between attempts to
+  /// make progress (seal a ledger block, advance the simulation, ...).
+  /// Stops early when pump() reports no more progress is possible.
+  VerifyResult wait_committed(core::ElementId id, const std::function<bool()>& pump,
+                              int max_rounds = 60);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  NodeStatus node_status(std::size_t i) const { return status_[i]; }
+  std::uint32_t quorum() const { return cfg_.f + 1; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  std::vector<ISetchainNode*> nodes_;
+  const crypto::Pki* pki_;
+  Config cfg_;
+  std::vector<NodeStatus> status_;
+};
+
+/// Assemble a QuorumClient from an explicit node list — the one place that
+/// fills in a Config, shared by Experiment, the examples, and tests.
+QuorumClient make_quorum_client(std::vector<ISetchainNode*> nodes,
+                                const crypto::Pki& pki, std::uint32_t f,
+                                core::Fidelity fidelity,
+                                WritePolicy policy = WritePolicy::kPrimary,
+                                std::size_t primary = 0);
+
+/// Same, over any container of server pointers (raw or smart) whose
+/// pointees implement ISetchainNode.
+template <typename Servers>
+QuorumClient make_quorum_client(const Servers& servers, const crypto::Pki& pki,
+                                std::uint32_t f, core::Fidelity fidelity,
+                                WritePolicy policy = WritePolicy::kPrimary,
+                                std::size_t primary = 0) {
+  std::vector<ISetchainNode*> nodes;
+  nodes.reserve(std::size(servers));
+  for (const auto& s : servers) nodes.push_back(&*s);
+  return make_quorum_client(std::move(nodes), pki, f, fidelity, policy, primary);
+}
+
+}  // namespace setchain::api

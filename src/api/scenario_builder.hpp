@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string_view>
+
+#include "runner/scenario.hpp"
+
+namespace setchain::api {
+
+/// Fluent front end for runner::Scenario — deployment descriptions read as a
+/// sentence instead of brace-initialized field soup, and build() refuses to
+/// hand out a scenario that Scenario::validate() rejects:
+///
+///   auto scenario = api::ScenarioBuilder()
+///                       .algorithm(runner::Algorithm::kHashchain)
+///                       .servers(10)
+///                       .faults(3)
+///                       .rate(10'000)
+///                       .add_seconds(50)
+///                       .build();
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& algorithm(runner::Algorithm a);
+  /// By name ("vanilla" / "compresschain" / "hashchain", case-insensitive);
+  /// unknown names surface as a build() error.
+  ScenarioBuilder& algorithm(std::string_view name);
+
+  ScenarioBuilder& servers(std::uint32_t n);
+  /// Byzantine bound f used for every f+1 threshold. Values above
+  /// floor((n-1)/3) are rejected at build().
+  ScenarioBuilder& faults(std::uint32_t f);
+  ScenarioBuilder& rate(double el_per_s);
+  ScenarioBuilder& collector(std::uint32_t entries);
+  ScenarioBuilder& network_delay_ms(double ms);
+  ScenarioBuilder& add_seconds(double s);
+  ScenarioBuilder& horizon_seconds(double s);
+  ScenarioBuilder& block(double interval_s, std::uint64_t bytes);
+  ScenarioBuilder& committee(std::uint32_t k);
+  ScenarioBuilder& hash_reversal(bool on);
+  ScenarioBuilder& validate_batches(bool on);
+  ScenarioBuilder& fidelity(core::Fidelity f);
+  ScenarioBuilder& full_fidelity() { return fidelity(core::Fidelity::kFull); }
+  ScenarioBuilder& lean_state(bool on = true);
+  ScenarioBuilder& per_element_metrics(bool on = true);
+  ScenarioBuilder& track_ids(bool on = true);
+  ScenarioBuilder& seed(std::uint64_t seed);
+
+  // Fault injection (repeatable; node indices are checked at build()).
+  ScenarioBuilder& byzantine_silent_proposer(std::uint32_t node);
+  ScenarioBuilder& byzantine_refuse_batch(std::uint32_t node);
+  ScenarioBuilder& byzantine_corrupt_proofs(std::uint32_t node);
+  ScenarioBuilder& byzantine_fake_hashes(std::uint32_t node);
+  ScenarioBuilder& client_invalid_fraction(double fraction);
+  ScenarioBuilder& clients_duplicate_to_all(bool on = true);
+
+  /// Validated scenario; throws std::invalid_argument listing every violated
+  /// constraint (f > (n-1)/3, zero rates, committee > n, ...).
+  runner::Scenario build() const;
+
+  /// The scenario as accumulated so far, unvalidated (for introspection).
+  const runner::Scenario& peek() const { return scenario_; }
+
+ private:
+  runner::Scenario scenario_;
+  std::string bad_algorithm_;  ///< unparseable algorithm name, reported at build()
+};
+
+}  // namespace setchain::api

@@ -1,19 +1,17 @@
 #include "core/client.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace setchain::core {
 
 SetchainClient::SetchainClient(sim::Simulation& sim, crypto::ProcessId client_id,
-                               SetchainServer* local_server,
-                               std::vector<SetchainServer*> all_servers,
-                               ElementFactory& factory,
+                               api::QuorumClient quorum, ElementFactory& factory,
                                metrics::StageRecorder* recorder, Config cfg,
                                std::uint64_t seed)
     : sim_(sim),
       id_(client_id),
-      local_(local_server),
-      all_(std::move(all_servers)),
+      quorum_(std::move(quorum)),
       factory_(factory),
       recorder_(recorder),
       cfg_(cfg),
@@ -38,13 +36,8 @@ void SetchainClient::add_one() {
   const ElementId eid = e.id;
   if (cfg_.created_sink) cfg_.created_sink->insert(eid);
 
-  bool accepted = false;
-  if (cfg_.duplicate_to_all) {
-    for (auto* s : all_) accepted = s->add(e) || accepted;
-  } else {
-    accepted = local_->add(std::move(e));
-  }
-  if (accepted) {
+  const api::QuorumClient::AddResult r = quorum_.add(std::move(e));
+  if (r.ok) {
     ++added_;
     if (recorder_) recorder_->on_add(eid, sim_.now());
     if (cfg_.accepted_sink && !make_bad) cfg_.accepted_sink->push_back(eid);
@@ -68,13 +61,11 @@ SetchainClient::VerifyResult SetchainClient::verify(const SetchainServer& server
       out.in_epoch = true;
       out.epoch = rec.number;
       // Count proofs that verify against the epoch hash we recompute
-      // ourselves — the client trusts no single server. A Byzantine server
-      // can hand back a record with number == 0, which would underflow the
-      // proofs index below; treat it as having no proofs.
-      if (rec.number >= 1 && rec.number <= snap.proofs->size()) {
-        for (const auto& p : (*snap.proofs)[rec.number - 1]) {
-          if (valid_proof(p, rec.hash, pki, params.fidelity)) ++out.valid_proofs;
-        }
+      // ourselves — the client trusts no single server. proofs_for_epoch is
+      // bounds-checked, so a Byzantine record numbered 0 (or beyond the
+      // proof store) simply yields no proofs.
+      for (const auto& p : server.proofs_for_epoch(rec.number)) {
+        if (valid_proof(p, rec.hash, pki, params.fidelity)) ++out.valid_proofs;
       }
       break;
     }

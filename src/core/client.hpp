@@ -1,16 +1,19 @@
 #pragma once
 
+#include "api/quorum_client.hpp"
 #include "core/element.hpp"
 #include "core/setchain_base.hpp"
 #include "sim/rng.hpp"
 
 namespace setchain::core {
 
-/// Simulated Setchain client: adds elements to its local server at a fixed
-/// rate (sending_rate / server_count, like the paper's per-container
-/// clients), and offers the light-client verification workflow from §2
-/// ("Setchain Epoch-proofs"): one get() against one server plus f+1 proof
-/// checks suffices to trust a committed epoch.
+/// Simulated Setchain client: a thin rate-driver over api::QuorumClient.
+/// Adds elements at a fixed rate (sending_rate / server_count, like the
+/// paper's per-container clients) through the quorum facade — its primary
+/// node when correct, failing over or broadcasting per the configured
+/// WritePolicy. All Byzantine-tolerant read/verify logic lives in
+/// api::QuorumClient; the single-server light-client check of §2 remains as
+/// the static verify() helper.
 class SetchainClient {
  public:
   struct Config {
@@ -18,7 +21,6 @@ class SetchainClient {
     sim::Time start = 0;
     sim::Time add_duration = sim::from_seconds(50);
     double invalid_fraction = 0.0;  ///< Byzantine: fraction of bad elements
-    bool duplicate_to_all = false;  ///< Byzantine: add the same element everywhere
 
     /// Optional sinks for invariant checking (not owned; may be null):
     /// ids of *valid* elements a server accepted, and ids of everything the
@@ -28,9 +30,8 @@ class SetchainClient {
   };
 
   SetchainClient(sim::Simulation& sim, crypto::ProcessId client_id,
-                 SetchainServer* local_server, std::vector<SetchainServer*> all_servers,
-                 ElementFactory& factory, metrics::StageRecorder* recorder, Config cfg,
-                 std::uint64_t seed);
+                 api::QuorumClient quorum, ElementFactory& factory,
+                 metrics::StageRecorder* recorder, Config cfg, std::uint64_t seed);
 
   /// Arm the add schedule. Elements are spaced 1/rate apart with a small
   /// deterministic phase offset per client so clients do not add in lockstep.
@@ -39,8 +40,13 @@ class SetchainClient {
   std::uint64_t added() const { return added_; }
   std::uint64_t rejected() const { return rejected_; }
 
+  /// The quorum facade this client drives (reads, verification, health).
+  api::QuorumClient& quorum() { return quorum_; }
+  const api::QuorumClient& quorum() const { return quorum_; }
+
   /// Light-client verification against a single server: is the element in
-  /// an epoch, and does that epoch carry >= f+1 valid epoch-proofs?
+  /// an epoch, and does that epoch carry >= f+1 valid epoch-proofs? (The
+  /// trust-no-single-server workflow is api::QuorumClient::verify.)
   struct VerifyResult {
     bool in_the_set = false;
     bool in_epoch = false;
@@ -56,8 +62,7 @@ class SetchainClient {
 
   sim::Simulation& sim_;
   crypto::ProcessId id_;
-  SetchainServer* local_;
-  std::vector<SetchainServer*> all_;
+  api::QuorumClient quorum_;
   ElementFactory& factory_;
   metrics::StageRecorder* recorder_;
   Config cfg_;

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/element.hpp"
+#include "core/proofs.hpp"
+
+namespace setchain::core {
+
+/// One consolidated epoch as kept in `history`. Lives in its own light
+/// header so the client-facing api layer can speak in epochs without
+/// pulling in the server/simulation stack.
+struct EpochRecord {
+  std::uint64_t number = 0;
+  std::vector<ElementId> ids;  ///< sorted; empty under lean_state
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  EpochHash hash{};
+};
+
+}  // namespace setchain::core

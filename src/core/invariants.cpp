@@ -111,10 +111,8 @@ InvariantReport check_liveness_quiescent(
     // P8: f+1 valid proofs per epoch, from distinct servers.
     for (const auto& rec : *snap.history) {
       std::unordered_set<crypto::ProcessId> provers;
-      if (rec.number <= snap.proofs->size()) {
-        for (const auto& p : (*snap.proofs)[rec.number - 1]) {
-          if (valid_proof(p, rec.hash, pki, params.fidelity)) provers.insert(p.server);
-        }
+      for (const auto& p : s->proofs_for_epoch(rec.number)) {
+        if (valid_proof(p, rec.hash, pki, params.fidelity)) provers.insert(p.server);
       }
       if (provers.size() < params.f + 1) {
         violate(report, "P8 Valid-Epoch: " + sid(s) + " epoch " +

@@ -11,6 +11,13 @@ SetchainServer::Snapshot SetchainServer::get() const {
   return Snapshot{&the_set_, &history_, epoch_, &proofs_};
 }
 
+const std::vector<EpochProof>& SetchainServer::proofs_for_epoch(
+    std::uint64_t epoch_number) const {
+  static const std::vector<EpochProof> kNoProofs;
+  if (epoch_number == 0 || epoch_number > proofs_.size()) return kNoProofs;
+  return proofs_[epoch_number - 1];
+}
+
 bool SetchainServer::epoch_proven(std::uint64_t epoch_number) const {
   if (epoch_number == 0 || epoch_number > proof_servers_.size()) return false;
   return proof_servers_[epoch_number - 1].size() >= params().f + 1;

@@ -4,9 +4,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "api/node.hpp"
 #include "core/batch.hpp"
 #include "core/collector.hpp"
 #include "core/config.hpp"
+#include "core/epoch_record.hpp"
 #include "ledger/ledger_node.hpp"
 #include "metrics/stage_recorder.hpp"
 #include "sim/network.hpp"
@@ -14,8 +16,6 @@
 #include "sim/simulation.hpp"
 
 namespace setchain::core {
-
-struct EpochRecord;
 
 /// Wiring a server needs. Optional pieces may be null: `net`/`cpus` are
 /// absent in InstantLedger unit tests, `recorder` when metrics are off.
@@ -47,46 +47,42 @@ struct ServerByzantine {
                                       ///< has no batch behind it
 };
 
-/// One consolidated epoch as kept in `history`.
-struct EpochRecord {
-  std::uint64_t number = 0;
-  std::vector<ElementId> ids;  ///< sorted; empty under lean_state
-  std::uint64_t count = 0;
-  std::uint64_t bytes = 0;
-  EpochHash hash{};
-};
-
 /// Common state and helpers of the three Setchain algorithms (§2):
 /// the_set, history, epoch counter, and the epoch-proof set, plus the
 /// bookkeeping that must be identical across algorithms (canonical epoch
-/// hashing, proof validation/deferral, CPU accounting).
-class SetchainServer {
+/// hashing, proof validation/deferral, CPU accounting). Implements the
+/// client-facing api::ISetchainNode surface, so everything client-shaped
+/// depends on the interface, not on this class.
+class SetchainServer : public api::ISetchainNode {
  public:
   SetchainServer(ServerContext ctx, crypto::ProcessId id);
-  virtual ~SetchainServer() = default;
+  ~SetchainServer() override = default;
 
   SetchainServer(const SetchainServer&) = delete;
   SetchainServer& operator=(const SetchainServer&) = delete;
 
   /// S.add_v(e). Returns false when the element is invalid or already known
   /// (the pseudocode's assert, made total).
-  virtual bool add(Element e) = 0;
+  bool add(Element e) override = 0;
 
   /// S.get_v(): (the_set, history, epoch, proofs) — views into live state.
-  struct Snapshot {
-    const std::unordered_set<ElementId>* the_set;
-    const std::vector<EpochRecord>* history;
-    std::uint64_t epoch;
-    const std::vector<std::vector<EpochProof>>* proofs;  ///< index = epoch-1
-  };
+  using Snapshot = api::NodeSnapshot;
   Snapshot get() const;
+  Snapshot snapshot() const override { return get(); }
+
+  /// Epoch-proofs held locally for 1-based epoch `epoch_number`;
+  /// bounds-checked (epoch 0 / not-yet-consolidated epochs yield an empty
+  /// list). Sole owner of the proofs_[epoch-1] index convention.
+  const std::vector<EpochProof>& proofs_for_epoch(
+      std::uint64_t epoch_number) const override;
 
   crypto::ProcessId id() const { return id_; }
+  crypto::ProcessId node_id() const override { return id_; }
   void set_byzantine(ServerByzantine b) { byz_ = b; }
   const ServerByzantine& byzantine() const { return byz_; }
 
   std::uint64_t the_set_size() const { return the_set_count_; }
-  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t epoch() const override { return epoch_; }
 
   /// f+1 valid proofs present locally for epoch i? (client-side commit
   /// criterion when talking to this single server).

@@ -37,7 +37,7 @@ double Experiment::measure_compress_ratio(const workload::ArbitrumLikeConfig& cf
 }
 
 Experiment::Experiment(Scenario scenario)
-    : scenario_(std::move(scenario)),
+    : scenario_(throw_if_invalid(std::move(scenario))),
       measured_ratio_(measure_compress_ratio(scenario_.workload_cfg,
                                              scenario_.collector_limit, scenario_.seed)),
       params_(scenario_.make_params(measured_ratio_)) {
@@ -168,22 +168,29 @@ Experiment::Experiment(Scenario scenario)
   }
 
   // --- clients (one per node, rate split evenly, like the paper) ---
+  // Each rate-driver fronts the whole cluster through the quorum facade:
+  // primary = its co-located server, broadcasting instead when the scenario
+  // asks for duplicate-to-all Byzantine clients.
+  const auto policy = scenario_.clients_duplicate_to_all ? api::WritePolicy::kAll
+                                                         : api::WritePolicy::kPrimary;
   for (std::uint32_t i = 0; i < n; ++i) {
     core::SetchainClient::Config ccfg;
     ccfg.rate_el_per_s = scenario_.sending_rate / static_cast<double>(n);
     ccfg.add_duration = scenario_.add_duration;
     ccfg.invalid_fraction = scenario_.client_invalid_fraction;
-    ccfg.duplicate_to_all = scenario_.clients_duplicate_to_all;
     if (scenario_.track_ids) {
       ccfg.accepted_sink = &accepted_valid_ids_;
       ccfg.created_sink = &created_ids_;
     }
-    std::vector<core::SetchainServer*> all;
-    for (auto& sp : servers_) all.push_back(sp.get());
     clients_.push_back(std::make_unique<core::SetchainClient>(
-        *sim_, n + i, servers_[i].get(), std::move(all), *factory_, recorder_.get(),
-        ccfg, scenario_.seed));
+        *sim_, n + i, make_client(policy, i), *factory_, recorder_.get(), ccfg,
+        scenario_.seed));
   }
+}
+
+api::QuorumClient Experiment::make_client(api::WritePolicy policy, std::size_t primary) {
+  return api::make_quorum_client(servers_, *pki_, params_.f, params_.fidelity, policy,
+                                 primary);
 }
 
 Experiment::~Experiment() = default;

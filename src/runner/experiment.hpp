@@ -41,6 +41,8 @@ struct RunResult {
 /// client — the paper's evaluation platform (§4) in DES form.
 class Experiment {
  public:
+  /// Throws std::invalid_argument when scenario.validate() rejects the
+  /// parameters (build scenarios through api::ScenarioBuilder to fail early).
   explicit Experiment(Scenario scenario);
   ~Experiment();
 
@@ -65,6 +67,13 @@ class Experiment {
   std::vector<const core::SetchainServer*> correct_servers() const;
   core::SetchainServer& server(std::uint32_t i) { return *servers_[i]; }
   core::SetchainClient& client(std::uint32_t i) { return *clients_[i]; }
+
+  /// A quorum client over all n servers — the paper's client protocol
+  /// (Byzantine-tolerant add/get/verify), with f and fidelity taken from
+  /// the scenario. This is the supported way for examples and tests to talk
+  /// to the deployment; server(i) remains for white-box introspection.
+  api::QuorumClient make_client(api::WritePolicy policy = api::WritePolicy::kPrimary,
+                                std::size_t primary = 0);
 
   /// Ids of valid elements accepted by correct servers (requires
   /// scenario.track_ids); input to the liveness invariant checks.

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
@@ -13,6 +14,11 @@ namespace setchain::runner {
 enum class Algorithm : std::uint8_t { kVanilla, kCompresschain, kHashchain };
 
 const char* algorithm_name(Algorithm a);
+
+/// Inverse of algorithm_name, case-insensitive ("hashchain" == "Hashchain").
+/// Unknown names yield nullopt. parse_algorithm(algorithm_name(a)) == a for
+/// every Algorithm.
+std::optional<Algorithm> parse_algorithm(std::string_view name);
 
 /// Complete description of one experiment run: the Table-1 parameter grid
 /// plus fidelity/measurement knobs. Defaults mirror the paper's base
@@ -36,7 +42,7 @@ struct Scenario {
   sim::Time collector_timeout = sim::from_seconds(1);
 
   core::Fidelity fidelity = core::Fidelity::kCalibrated;
-  bool validate = true;       ///< Compresschain: decompress+validate
+  bool validate_batches = true;  ///< Compresschain: decompress+validate
   bool hash_reversal = true;  ///< Hashchain: reversal service
   std::uint32_t hashchain_committee = 0;  ///< §H ablation: 0 = all sign
   bool lean_state = false;    ///< drop per-element sets (highest rates)
@@ -62,9 +68,21 @@ struct Scenario {
 
   std::uint32_t f_value() const { return f ? *f : (n - 1) / 3; }
 
+  /// Parameter-sanity check: one message per violated constraint, empty when
+  /// the scenario is runnable. Rejects f above the deployment's Byzantine
+  /// bound floor((n-1)/3), non-positive rates/durations, committees larger
+  /// than the cluster, fault injections aimed at nonexistent nodes, ...
+  /// Experiment and api::ScenarioBuilder::build() enforce it.
+  std::vector<std::string> validate() const;
+
   /// Materialize the SetchainParams handed to servers. `measured_ratio` is
   /// the szx compression ratio measured on sample batches at startup.
   core::SetchainParams make_params(double measured_ratio) const;
 };
+
+/// Pass-through gate: returns `s` unchanged, or throws std::invalid_argument
+/// listing every validate() violation. Experiment construction and
+/// api::ScenarioBuilder::build() both go through here.
+Scenario throw_if_invalid(Scenario s);
 
 }  // namespace setchain::runner

@@ -1,0 +1,441 @@
+// setchain::api facade tests: the quorum client protocol under Byzantine
+// nodes (equivocating snapshots, corrupt proofs, refused writes, proofs
+// spread across the cluster), the scenario builder's validation, and the
+// bounds-checked epoch-proof accessor.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/quorum_client.hpp"
+#include "api/scenario_builder.hpp"
+#include "core/algo_fixture.hpp"
+#include "runner/scenario.hpp"
+
+namespace setchain {
+namespace {
+
+using core::testing::AlgoHarness;
+
+// ---------------------------------------------------------------------------
+// Byzantine node wrappers. QuorumClient only sees ISetchainNode, so a test
+// can stand in for a lying server without touching server internals — the
+// same seam a remote transport stub will use.
+
+/// Returns a doctored snapshot: content hashes flipped and ids perturbed
+/// (a server lying about what the epochs contain).
+class EquivocatingNode final : public api::ISetchainNode {
+ public:
+  explicit EquivocatingNode(core::SetchainServer& real) : real_(real) {}
+
+  bool add(core::Element e) override { return real_.add(std::move(e)); }
+
+  api::NodeSnapshot snapshot() const override {
+    const auto s = real_.get();
+    fake_history_ = *s.history;
+    for (auto& rec : fake_history_) {
+      rec.hash[0] ^= 0xFF;
+      if (!rec.ids.empty()) rec.ids.front() ^= 0x1;
+    }
+    api::NodeSnapshot out = s;
+    out.history = &fake_history_;
+    return out;
+  }
+
+  const std::vector<core::EpochProof>& proofs_for_epoch(
+      std::uint64_t e) const override {
+    return real_.proofs_for_epoch(e);
+  }
+  std::uint64_t epoch() const override { return real_.epoch(); }
+  crypto::ProcessId node_id() const override { return real_.node_id(); }
+
+ private:
+  core::SetchainServer& real_;
+  mutable std::vector<core::EpochRecord> fake_history_;
+};
+
+/// Returns a structurally bogus history: record i claims to be epoch i+2.
+class WrongNumberNode final : public api::ISetchainNode {
+ public:
+  explicit WrongNumberNode(core::SetchainServer& real) : real_(real) {}
+
+  bool add(core::Element e) override { return real_.add(std::move(e)); }
+
+  api::NodeSnapshot snapshot() const override {
+    const auto s = real_.get();
+    fake_history_ = *s.history;
+    for (auto& rec : fake_history_) rec.number += 1;
+    api::NodeSnapshot out = s;
+    out.history = &fake_history_;
+    return out;
+  }
+
+  const std::vector<core::EpochProof>& proofs_for_epoch(
+      std::uint64_t e) const override {
+    return real_.proofs_for_epoch(e);
+  }
+  std::uint64_t epoch() const override { return real_.epoch(); }
+  crypto::ProcessId node_id() const override { return real_.node_id(); }
+
+ private:
+  core::SetchainServer& real_;
+  mutable std::vector<core::EpochRecord> fake_history_;
+};
+
+/// Serves reads truthfully but only reveals the epoch-proofs signed by its
+/// own server — so no single node ever holds an f+1 committing proof set
+/// and verify() must gather signatures across the cluster.
+class ProofSliceNode final : public api::ISetchainNode {
+ public:
+  explicit ProofSliceNode(core::SetchainServer& real) : real_(real) {}
+
+  bool add(core::Element e) override { return real_.add(std::move(e)); }
+  api::NodeSnapshot snapshot() const override { return real_.get(); }
+
+  const std::vector<core::EpochProof>& proofs_for_epoch(
+      std::uint64_t e) const override {
+    scratch_.clear();
+    for (const auto& p : real_.proofs_for_epoch(e)) {
+      if (p.server == real_.node_id()) scratch_.push_back(p);
+    }
+    return scratch_;
+  }
+  std::uint64_t epoch() const override { return real_.epoch(); }
+  crypto::ProcessId node_id() const override { return real_.node_id(); }
+
+ private:
+  core::SetchainServer& real_;
+  mutable std::vector<core::EpochProof> scratch_;
+};
+
+/// Refuses every add; reads pass through.
+class RefusingNode final : public api::ISetchainNode {
+ public:
+  explicit RefusingNode(core::SetchainServer& real) : real_(real) {}
+
+  bool add(core::Element) override { return false; }
+  api::NodeSnapshot snapshot() const override { return real_.get(); }
+  const std::vector<core::EpochProof>& proofs_for_epoch(
+      std::uint64_t e) const override {
+    return real_.proofs_for_epoch(e);
+  }
+  std::uint64_t epoch() const override { return real_.epoch(); }
+  crypto::ProcessId node_id() const override { return real_.node_id(); }
+
+ private:
+  core::SetchainServer& real_;
+};
+
+template <typename Server>
+api::QuorumClient make_client(AlgoHarness<Server>& h,
+                              std::vector<api::ISetchainNode*> nodes,
+                              api::WritePolicy policy = api::WritePolicy::kPrimary,
+                              std::size_t primary = 0) {
+  return api::make_quorum_client(std::move(nodes), h.pki, h.params.f,
+                                 h.params.fidelity, policy, primary);
+}
+
+template <typename Server>
+std::vector<api::ISetchainNode*> real_nodes(AlgoHarness<Server>& h) {
+  std::vector<api::ISetchainNode*> nodes;
+  for (auto& s : h.servers) nodes.push_back(s.get());
+  return nodes;
+}
+
+// ------------------------------------------------------- proofs_for_epoch
+
+TEST(ProofsForEpoch, BoundsCheckedAccessor) {
+  AlgoHarness<core::HashchainServer> h(4, 4);
+  auto client = make_client(h, real_nodes(h));
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    EXPECT_TRUE(client.add(h.make_element(0, seq)).ok);
+  }
+  h.seal_rounds();
+
+  const auto& server = *h.servers[0];
+  ASSERT_GE(server.epoch(), 1u);
+  EXPECT_TRUE(server.proofs_for_epoch(0).empty());  // epoch numbering is 1-based
+  EXPECT_GE(server.proofs_for_epoch(1).size(), h.params.f + 1);
+  EXPECT_TRUE(server.proofs_for_epoch(server.epoch() + 5).empty());
+}
+
+// --------------------------------------------------------- write policies
+
+TEST(QuorumAdd, PrimaryWritesToOneNodeAndFailsOverOnRefusal) {
+  AlgoHarness<core::HashchainServer> h(4, 8);
+  auto direct = make_client(h, real_nodes(h));
+  const auto r1 = direct.add(h.make_element(0, 1));
+  EXPECT_TRUE(r1.ok);
+  EXPECT_EQ(r1.accepted, 1u);
+  EXPECT_EQ(r1.attempted, 1u);
+
+  // Node 0 refuses: the client fails over to node 1 and flags node 0.
+  RefusingNode refuser(*h.servers[0]);
+  std::vector<api::ISetchainNode*> nodes = real_nodes(h);
+  nodes[0] = &refuser;
+  auto failover = make_client(h, std::move(nodes));
+  const auto r2 = failover.add(h.make_element(0, 2));
+  EXPECT_TRUE(r2.ok);
+  EXPECT_EQ(r2.accepted, 1u);
+  EXPECT_EQ(r2.attempted, 2u);
+  EXPECT_EQ(failover.node_status(0), api::NodeStatus::kRefusing);
+  EXPECT_EQ(failover.node_status(1), api::NodeStatus::kOk);
+}
+
+TEST(QuorumAdd, QuorumAndBroadcastPolicies) {
+  AlgoHarness<core::HashchainServer> h(4, 8);
+  auto quorum = make_client(h, real_nodes(h), api::WritePolicy::kQuorum);
+  const auto rq = quorum.add(h.make_element(0, 1));
+  EXPECT_TRUE(rq.ok);
+  EXPECT_EQ(rq.accepted, h.params.f + 1);
+
+  auto all = make_client(h, real_nodes(h), api::WritePolicy::kAll);
+  const auto ra = all.add(h.make_element(0, 2));
+  EXPECT_TRUE(ra.ok);
+  EXPECT_EQ(ra.accepted, 4u);
+  EXPECT_EQ(ra.attempted, 4u);
+}
+
+TEST(QuorumAdd, InvalidElementRefusedWithoutBlameAndWithBoundedFailover) {
+  AlgoHarness<core::HashchainServer> h(4, 8);
+  auto client = make_client(h, real_nodes(h));
+  const auto r = client.add(h.factory.make_invalid(100, 1));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.accepted, 0u);
+  // Failover stops after f+1 nodes: that set provably contains a correct
+  // server, so further attempts could only waste cluster-wide validation
+  // work on an element that is simply bad.
+  EXPECT_EQ(r.attempted, h.params.f + 1);
+  for (std::size_t i = 0; i < client.node_count(); ++i) {
+    EXPECT_EQ(client.node_status(i), api::NodeStatus::kOk) << i;
+  }
+}
+
+// ------------------------------------------- quorum reads under equivocation
+
+/// The acceptance scenario: n=10, f=3, three Byzantine servers that both
+/// sign corrupted epoch-proofs and serve fake snapshots. A quorum client
+/// over all ten nodes must reconstruct the correct consolidated view (the
+/// liars are outvoted by f+1 correct servers), mask the liars, and commit
+/// elements via proofs from the correct seven.
+class EquivocationSuite : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 10;
+
+  EquivocationSuite() : h(kN, 4) {
+    for (const std::uint32_t s : {7u, 8u, 9u}) {
+      auto b = h.servers[s]->byzantine();
+      b.corrupt_proofs = true;
+      h.servers[s]->set_byzantine(b);
+    }
+  }
+
+  /// Drive a workload through the facade and quiesce.
+  void run_workload() {
+    auto submit = make_client(h, real_nodes(h), api::WritePolicy::kPrimary, 0);
+    std::uint64_t seq = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < 10; ++i) {
+        const auto e = h.make_element(static_cast<std::uint32_t>(i), ++seq);
+        if (submit.add(e).ok) accepted.push_back(e.id);
+      }
+      h.flush_collectors();
+      h.ledger.seal_block();
+    }
+    h.seal_rounds(400);
+  }
+
+  /// Ten nodes as the client sees them: 7 honest, 2 content liars, 1
+  /// structural liar.
+  std::vector<api::ISetchainNode*> byzantine_nodes() {
+    liars.clear();
+    auto nodes = real_nodes(h);
+    liars.push_back(std::make_unique<EquivocatingNode>(*h.servers[7]));
+    nodes[7] = liars.back().get();
+    liars.push_back(std::make_unique<EquivocatingNode>(*h.servers[8]));
+    nodes[8] = liars.back().get();
+    auto wrong = std::make_unique<WrongNumberNode>(*h.servers[9]);
+    nodes[9] = wrong.get();
+    wrong_number = std::move(wrong);
+    return nodes;
+  }
+
+  AlgoHarness<core::HashchainServer> h;
+  std::vector<core::ElementId> accepted;
+  std::vector<std::unique_ptr<EquivocatingNode>> liars;
+  std::unique_ptr<WrongNumberNode> wrong_number;
+};
+
+TEST_F(EquivocationSuite, GetOutvotesEquivocatingServers) {
+  ASSERT_EQ(h.params.f, 3u);
+  run_workload();
+  ASSERT_GT(accepted.size(), 30u);
+
+  auto client = make_client(h, byzantine_nodes());
+  const auto view = client.get();
+
+  // The reconciled view is exactly a correct server's history.
+  const auto truth = h.servers[0]->get();
+  ASSERT_EQ(view.epoch, truth.epoch);
+  ASSERT_EQ(view.history.size(), truth.history->size());
+  for (std::size_t i = 0; i < view.history.size(); ++i) {
+    EXPECT_EQ(view.history[i].number, (*truth.history)[i].number);
+    EXPECT_EQ(view.history[i].ids, (*truth.history)[i].ids);
+    EXPECT_EQ(view.history[i].hash, (*truth.history)[i].hash);
+  }
+  for (const auto id : accepted) EXPECT_TRUE(view.the_set.contains(id));
+
+  // All three liars are masked; the correct seven are not.
+  EXPECT_EQ(view.masked_nodes, 3u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(client.node_status(i), api::NodeStatus::kOk) << i;
+  }
+  for (std::size_t i = 7; i < 10; ++i) {
+    EXPECT_EQ(client.node_status(i), api::NodeStatus::kEquivocating) << i;
+  }
+}
+
+TEST_F(EquivocationSuite, VerifyCommitsDespiteCorruptProofServers) {
+  run_workload();
+  auto client = make_client(h, byzantine_nodes());
+
+  const auto v = client.verify(accepted.front());
+  EXPECT_TRUE(v.in_epoch);
+  // The three corrupt servers' proofs bind the wrong hash and never count;
+  // the seven correct signers clear the f+1 = 4 threshold.
+  EXPECT_GE(v.valid_proofs, h.params.f + 1);
+  EXPECT_LE(v.valid_proofs, 7u);
+  EXPECT_TRUE(v.committed);
+
+  // Unknown elements do not commit.
+  const auto missing = client.verify(core::make_element_id(99, 12345));
+  EXPECT_FALSE(missing.in_epoch);
+  EXPECT_FALSE(missing.committed);
+}
+
+TEST(QuorumVerify, GathersProofsSpreadAcrossServers) {
+  AlgoHarness<core::HashchainServer> h(10, 4);
+  std::vector<std::unique_ptr<ProofSliceNode>> slices;
+  std::vector<api::ISetchainNode*> nodes;
+  for (auto& s : h.servers) {
+    slices.push_back(std::make_unique<ProofSliceNode>(*s));
+    nodes.push_back(slices.back().get());
+  }
+  auto client = make_client(h, std::move(nodes));
+
+  std::vector<core::ElementId> accepted;
+  for (std::uint64_t seq = 1; seq <= 12; ++seq) {
+    const auto e = h.make_element(0, seq);
+    ASSERT_TRUE(client.add(e).ok);
+    accepted.push_back(e.id);
+  }
+  h.seal_rounds();
+
+  const auto v = client.verify(accepted.front());
+  ASSERT_TRUE(v.in_epoch);
+  // No single node reveals more than its own proof — an f+1 set exists only
+  // across servers — yet the quorum client commits.
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    EXPECT_LE(slices[i]->proofs_for_epoch(v.epoch).size(), 1u) << i;
+  }
+  EXPECT_TRUE(v.committed);
+  EXPECT_GE(v.valid_proofs, h.params.f + 1);
+  EXPECT_GE(v.proof_sources, h.params.f + 1);
+
+  // A client pinned to one such node cannot commit: one proof < f+1.
+  auto lonely = make_client(h, {slices[0].get()});
+  const auto lv = lonely.verify(accepted.front());
+  EXPECT_FALSE(lv.committed);
+}
+
+TEST(QuorumVerify, WaitCommittedPumpsUntilProofsLand) {
+  AlgoHarness<core::HashchainServer> h(4, 4);
+  auto client = make_client(h, real_nodes(h));
+  const auto e = h.make_element(0, 1);
+  ASSERT_TRUE(client.add(e).ok);
+
+  // Nothing sealed yet: not committed.
+  EXPECT_FALSE(client.verify(e.id).committed);
+
+  const auto v = client.wait_committed(e.id, [&h] {
+    h.flush_collectors();
+    return h.ledger.seal_block();
+  });
+  EXPECT_TRUE(v.committed);
+  EXPECT_GE(v.valid_proofs, h.params.f + 1);
+}
+
+// -------------------------------------------------- scenario builder / parse
+
+TEST(ParseAlgorithm, RoundTripsEveryAlgorithmName) {
+  for (const auto a : {runner::Algorithm::kVanilla, runner::Algorithm::kCompresschain,
+                       runner::Algorithm::kHashchain}) {
+    const auto parsed = runner::parse_algorithm(runner::algorithm_name(a));
+    ASSERT_TRUE(parsed.has_value()) << runner::algorithm_name(a);
+    EXPECT_EQ(*parsed, a);
+  }
+  EXPECT_EQ(runner::parse_algorithm("hashchain"), runner::Algorithm::kHashchain);
+  EXPECT_EQ(runner::parse_algorithm("HASHCHAIN"), runner::Algorithm::kHashchain);
+  EXPECT_FALSE(runner::parse_algorithm("merklechain").has_value());
+  EXPECT_FALSE(runner::parse_algorithm("").has_value());
+}
+
+TEST(ScenarioValidate, AcceptsDefaultsAndPaperGrid) {
+  EXPECT_TRUE(runner::Scenario{}.validate().empty());
+  runner::Scenario s;
+  s.n = 10;
+  s.f = 3;
+  EXPECT_TRUE(s.validate().empty());
+}
+
+TEST(ScenarioValidate, RejectsEachBrokenParameter) {
+  const auto broken = [](auto mutate) {
+    runner::Scenario s;
+    mutate(s);
+    return !s.validate().empty();
+  };
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.f = 4; }));  // > (10-1)/3
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.sending_rate = 0; }));
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.collector_limit = 0; }));
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.hashchain_committee = 11; }));
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.add_duration = 0; }));
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.horizon = s.add_duration - 1; }));
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.block_bytes = 0; }));
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.byz_corrupt_proofs = {10}; }));
+  EXPECT_TRUE(broken([](runner::Scenario& s) { s.client_invalid_fraction = 1.5; }));
+}
+
+TEST(ScenarioBuilder, BuildsValidatedScenarios) {
+  const runner::Scenario s = api::ScenarioBuilder()
+                                 .algorithm("compresschain")
+                                 .servers(10)
+                                 .faults(3)
+                                 .rate(5'000)
+                                 .collector(200)
+                                 .add_seconds(10)
+                                 .horizon_seconds(100)
+                                 .byzantine_corrupt_proofs(9)
+                                 .seed(42)
+                                 .build();
+  EXPECT_EQ(s.algorithm, runner::Algorithm::kCompresschain);
+  EXPECT_EQ(s.n, 10u);
+  EXPECT_EQ(s.f_value(), 3u);
+  EXPECT_DOUBLE_EQ(s.sending_rate, 5'000.0);
+  EXPECT_EQ(s.collector_limit, 200u);
+  EXPECT_EQ(s.byz_corrupt_proofs, std::vector<std::uint32_t>{9});
+  EXPECT_EQ(s.seed, 42u);
+}
+
+TEST(ScenarioBuilder, RejectsInvalidCombinations) {
+  EXPECT_THROW(api::ScenarioBuilder().servers(4).faults(3).build(),
+               std::invalid_argument);
+  EXPECT_THROW(api::ScenarioBuilder().rate(0).build(), std::invalid_argument);
+  EXPECT_THROW(api::ScenarioBuilder().servers(4).committee(5).build(),
+               std::invalid_argument);
+  EXPECT_THROW(api::ScenarioBuilder().algorithm("merklechain").build(),
+               std::invalid_argument);
+  EXPECT_THROW(api::ScenarioBuilder().servers(4).byzantine_fake_hashes(4).build(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace setchain
