@@ -15,13 +15,21 @@
 //   --byz-refuse <node>      --byz-corrupt <node> --byz-fake <node>
 //   (fault-injection flags are repeatable, one node index each)
 //
+// Network/process fault schedule (repeatable; times in seconds, * = any
+// node, heal/restart 'never' keeps the fault active to the horizon):
+//   --fault-drop FROM,TO,P,START,END          drop link messages w.p. P
+//   --fault-partition N1+N2+..,START,HEAL[,oneway]   cut group off cluster
+//   --fault-delay MS,START,END                add MS ms to every message
+//   --fault-crash NODE,START,RESTART[,wipe]   crash (RESTART may be 'never')
+//
 // Parameter sanity (f within the Byzantine bound, fault targets within the
-// cluster, positive rates, ...) is Scenario::validate()'s job; violations
-// are printed verbatim.
+// cluster, heal times after starts, drop probabilities in [0,1], ...) is
+// Scenario::validate()'s job; violations are printed verbatim.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "runner/report.hpp"
 
@@ -36,9 +44,47 @@ using namespace setchain;
                "          [--duration S] [--horizon S] [--committee K]\n"
                "          [--no-reversal] [--no-validate] [--full-fidelity]\n"
                "          [--seed U64] [--series]\n"
-               "          [--byz-refuse NODE] [--byz-corrupt NODE] [--byz-fake NODE]\n",
+               "          [--byz-refuse NODE] [--byz-corrupt NODE] [--byz-fake NODE]\n"
+               "          [--fault-drop FROM,TO,P,START,END]\n"
+               "          [--fault-partition N1+N2+..,START,HEAL[,oneway]]\n"
+               "          [--fault-delay MS,START,END]\n"
+               "          [--fault-crash NODE,START,RESTART[,wipe]]\n",
                argv0);
   std::exit(2);
+}
+
+/// Split "a,b,c" on commas (no escaping; empty fields are kept).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t at = text.find(sep, begin);
+    out.push_back(text.substr(begin, at - begin));
+    if (at == std::string::npos) break;
+    begin = at + 1;
+  }
+  return out;
+}
+
+sim::NodeId parse_node(const std::string& text, const char* argv0) {
+  if (text == "*") return sim::kAnyNode;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v >= sim::kAnyNode) usage(argv0);
+  return static_cast<sim::NodeId>(v);
+}
+
+double parse_f64(const std::string& text, const char* argv0) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') usage(argv0);
+  return v;
+}
+
+/// END/HEAL/RESTART field: seconds, or 'never'.
+sim::Time parse_heal(const std::string& text, const char* argv0) {
+  if (text == "never") return sim::kNeverHeals;
+  return sim::from_seconds(parse_f64(text, argv0));
 }
 
 }  // namespace
@@ -115,6 +161,35 @@ int main(int argc, char** argv) {
       s.byz_corrupt_proofs.push_back(next_u32());
     } else if (arg == "--byz-fake") {
       s.byz_fake_hashes.push_back(next_u32());
+    } else if (arg == "--fault-drop") {
+      const auto p = split(next(), ',');
+      if (p.size() != 5) usage(argv[0]);
+      s.faults.faults.push_back(sim::Fault::drop(
+          parse_node(p[0], argv[0]), parse_node(p[1], argv[0]),
+          parse_f64(p[2], argv[0]), sim::from_seconds(parse_f64(p[3], argv[0])),
+          parse_heal(p[4], argv[0])));
+    } else if (arg == "--fault-partition") {
+      const auto p = split(next(), ',');
+      if (p.size() != 3 && p.size() != 4) usage(argv[0]);
+      if (p.size() == 4 && p[3] != "oneway") usage(argv[0]);
+      std::vector<sim::NodeId> group;
+      for (const auto& node : split(p[0], '+')) group.push_back(parse_node(node, argv[0]));
+      s.faults.faults.push_back(sim::Fault::partition(
+          std::move(group), sim::from_seconds(parse_f64(p[1], argv[0])),
+          parse_heal(p[2], argv[0]), /*symmetric=*/p.size() == 3));
+    } else if (arg == "--fault-delay") {
+      const auto p = split(next(), ',');
+      if (p.size() != 3) usage(argv[0]);
+      s.faults.faults.push_back(sim::Fault::delay_spike(
+          sim::from_millis(parse_f64(p[0], argv[0])),
+          sim::from_seconds(parse_f64(p[1], argv[0])), parse_heal(p[2], argv[0])));
+    } else if (arg == "--fault-crash") {
+      const auto p = split(next(), ',');
+      if (p.size() != 3 && p.size() != 4) usage(argv[0]);
+      if (p.size() == 4 && p[3] != "wipe") usage(argv[0]);
+      s.faults.faults.push_back(sim::Fault::crash(
+          parse_node(p[0], argv[0]), sim::from_seconds(parse_f64(p[1], argv[0])),
+          parse_heal(p[2], argv[0]), /*wipe=*/p.size() == 4));
     } else {
       usage(argv[0]);
     }
@@ -143,6 +218,24 @@ int main(int argc, char** argv) {
               runner::fmt_opt_seconds(first).c_str());
   std::printf("  50%% committed by        : %s s\n",
               runner::fmt_opt_seconds(half).c_str());
+
+  if (const auto* inj = e.fault_injector()) {
+    const auto& st = inj->stats();
+    std::printf(
+        "  faults: dropped %llu (random %llu, partition %llu, crash %llu), "
+        "delayed %llu msgs (+%.0f ms total)\n",
+        static_cast<unsigned long long>(st.total_dropped()),
+        static_cast<unsigned long long>(st.dropped_random),
+        static_cast<unsigned long long>(st.dropped_partition),
+        static_cast<unsigned long long>(st.dropped_crash),
+        static_cast<unsigned long long>(st.delayed), sim::to_millis(st.delay_added));
+    std::uint64_t crashes = 0;
+    for (std::uint32_t i = 0; i < s.n; ++i) crashes += e.server(i).crash_count();
+    if (crashes > 0) {
+      std::printf("  faults: server crashes    : %llu\n",
+                  static_cast<unsigned long long>(crashes));
+    }
+  }
 
   if (print_series) {
     const auto series = e.recorder().committed().rolling_rate(

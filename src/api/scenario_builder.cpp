@@ -131,6 +131,39 @@ ScenarioBuilder& ScenarioBuilder::clients_duplicate_to_all(bool on) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::fault(sim::Fault f) {
+  scenario_.faults.faults.push_back(std::move(f));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_drop(sim::NodeId from, sim::NodeId to,
+                                             double probability, double start_s,
+                                             double end_s) {
+  return fault(sim::Fault::drop(from, to, probability, sim::from_seconds(start_s),
+                                sim::from_seconds(end_s)));
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_partition(std::vector<sim::NodeId> group,
+                                                  double start_s, double heal_s,
+                                                  bool symmetric) {
+  return fault(sim::Fault::partition(std::move(group), sim::from_seconds(start_s),
+                                     sim::from_seconds(heal_s), symmetric));
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_delay(double extra_ms, double start_s,
+                                              double end_s) {
+  return fault(sim::Fault::delay_spike(sim::from_millis(extra_ms),
+                                       sim::from_seconds(start_s),
+                                       sim::from_seconds(end_s)));
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_crash(sim::NodeId node, double start_s,
+                                              double restart_s, bool wipe) {
+  const sim::Time restart =
+      restart_s < 0 ? sim::kNeverHeals : sim::from_seconds(restart_s);
+  return fault(sim::Fault::crash(node, sim::from_seconds(start_s), restart, wipe));
+}
+
 runner::Scenario ScenarioBuilder::build() const {
   if (!bad_algorithm_.empty()) {
     throw std::invalid_argument("invalid scenario:\n  - unknown algorithm '" +

@@ -52,6 +52,26 @@ class ScenarioBuilder {
   ScenarioBuilder& client_invalid_fraction(double fraction);
   ScenarioBuilder& clients_duplicate_to_all(bool on = true);
 
+  // Network/process fault schedule (repeatable; validated at build()).
+  // Times are seconds of sim time; `sim::kAnyNode` is the link wildcard.
+  /// Append an arbitrary pre-built fault.
+  ScenarioBuilder& fault(sim::Fault f);
+  /// Drop each from->to message with `probability` during [start_s, end_s).
+  ScenarioBuilder& fault_drop(sim::NodeId from, sim::NodeId to, double probability,
+                              double start_s, double end_s);
+  /// Cut `group` off from the rest of the cluster during [start_s, heal_s);
+  /// `symmetric=false` cuts only the group's outbound direction.
+  ScenarioBuilder& fault_partition(std::vector<sim::NodeId> group, double start_s,
+                                   double heal_s, bool symmetric = true);
+  /// Add `extra_ms` to every message during [start_s, end_s).
+  ScenarioBuilder& fault_delay(double extra_ms, double start_s, double end_s);
+  /// Crash `node` at start_s; restart at restart_s (pass
+  /// `ScenarioBuilder::kNoRestart` to keep it down), optionally wiping its
+  /// consolidated state (rebuilt from the ledger on restart).
+  static constexpr double kNoRestart = -1.0;
+  ScenarioBuilder& fault_crash(sim::NodeId node, double start_s,
+                               double restart_s = kNoRestart, bool wipe = false);
+
   /// Validated scenario; throws std::invalid_argument listing every violated
   /// constraint (f > (n-1)/3, zero rates, committee > n, ...).
   runner::Scenario build() const;

@@ -36,6 +36,12 @@ class BatchStore {
   /// absent.
   void erase(const EpochHash& h);
 
+  /// Lose everything (crash with wiped state).
+  void clear() {
+    batches_.clear();
+    stored_bytes_ = 0;
+  }
+
   /// Total bytes of stored batch content (memory footprint diagnostics).
   std::uint64_t stored_bytes() const { return stored_bytes_; }
 

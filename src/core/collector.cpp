@@ -33,6 +33,11 @@ void Collector::flush() {
   emit();
 }
 
+void Collector::clear() {
+  timer_.cancel();
+  batch_ = Batch{};
+}
+
 void Collector::emit() {
   timer_.cancel();
   Batch out = std::move(batch_);

@@ -24,6 +24,10 @@ class Collector {
   /// Flush regardless of fill level (used at drain time). No-op when empty.
   void flush();
 
+  /// Drop the accumulating batch and cancel the flush timer — a crashing
+  /// server loses its collector contents (volatile memory).
+  void clear();
+
   std::size_t size() const { return batch_.entry_count(); }
   std::uint64_t batches_emitted() const { return batches_; }
 

@@ -13,6 +13,7 @@ CompresschainServer::CompresschainServer(ServerContext ctx, crypto::ProcessId id
 }
 
 bool CompresschainServer::add(Element e) {
+  if (is_down()) return false;
   cpu_acquire(params().costs.validate_element);
   if (!valid_element(e, *ctx_.pki, fidelity())) return false;
   if (in_the_set(e.id)) return false;
@@ -22,6 +23,7 @@ bool CompresschainServer::add(Element e) {
 }
 
 void CompresschainServer::on_batch_ready(Batch&& batch) {
+  if (is_down()) return;  // dying process: the batch never leaves the box
   const std::uint64_t raw_bytes = batch.wire_size();
   cpu_acquire(params().costs.compress_cost(raw_bytes));
 
@@ -48,7 +50,13 @@ void CompresschainServer::on_batch_ready(Batch&& batch) {
   ++batches_appended_;
 }
 
+void CompresschainServer::on_crash(bool wipe) {
+  (void)wipe;  // all algorithm-specific state here is volatile
+  collector_.clear();
+}
+
 void CompresschainServer::on_new_block(const ledger::Block& b) {
+  if (is_down()) return;
   sim::Time cost = 0;
   if (params().validate) {
     const auto& table = ctx_.ledger->txs();
@@ -79,13 +87,16 @@ void CompresschainServer::on_new_block(const ledger::Block& b) {
   }
   const sim::Time done = cpu_acquire(cost);
   if (ctx_.sim) {
-    ctx_.sim->schedule_at(done, [this, &b] { process_block(b); });
+    ctx_.sim->schedule_at(done, [this, &b, inc = incarnation()] {
+      if (inc == incarnation()) process_block(b);
+    });
   } else {
     process_block(b);
   }
 }
 
 void CompresschainServer::process_block(const ledger::Block& b) {
+  note_block_applied(b.height);
   const auto& table = ctx_.ledger->txs();
   for (const auto idx : b.txs) {
     const auto& tx = table.get(idx);
@@ -131,7 +142,7 @@ void CompresschainServer::process_batch(const Batch& batch, const ledger::Block&
   if (!g.empty()) {
     cpu_acquire(params().costs.hash_cost(g_bytes) + params().costs.sign);
     EpochProof p = consolidate(g, b.first_commit_at);
-    collector_.add_proof(std::move(p));
+    if (!proof_already_published(p.epoch)) collector_.add_proof(std::move(p));
   }
 }
 

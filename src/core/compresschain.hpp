@@ -19,6 +19,9 @@ class CompresschainServer final : public SetchainServer {
   Collector& collector() { return collector_; }
   std::uint64_t batches_appended() const { return batches_appended_; }
 
+ protected:
+  void on_crash(bool wipe) override;
+
  private:
   void on_batch_ready(Batch&& batch);
   void process_block(const ledger::Block& b);

@@ -17,6 +17,7 @@ void HashchainServer::connect_peers(std::vector<HashchainServer*> peers) {
 }
 
 bool HashchainServer::add(Element e) {
+  if (is_down()) return false;
   cpu_acquire(params().costs.validate_element);
   if (!valid_element(e, *ctx_.pki, fidelity())) return false;
   if (in_the_set(e.id)) return false;
@@ -25,7 +26,27 @@ bool HashchainServer::add(Element e) {
   return true;
 }
 
+void HashchainServer::on_crash(bool wipe) {
+  collector_.clear();
+  if (wipe) {
+    store_.clear();
+    hash_state_.clear();
+    consolidation_queue_.clear();
+  } else {
+    // In-flight fetch attempts die with the process; retained-state restarts
+    // re-issue them from the consolidation queue (on_restart).
+    for (auto& [h, st] : hash_state_) st.fetching = false;
+  }
+}
+
+void HashchainServer::on_restart() {
+  // Resume head-of-line fetches for anything still queued (retained state);
+  // wiped servers rebuild the queue from the ledger replay instead.
+  try_consolidate();
+}
+
 void HashchainServer::on_batch_ready(Batch&& batch) {
+  if (is_down()) return;  // dying process: the batch never leaves the box
   codec::Bytes serialized;
   if (fidelity() == Fidelity::kFull) serialized = serialize_batch(batch);
   cpu_acquire(params().costs.hash_cost(batch.wire_size()) + params().costs.sign);
@@ -86,6 +107,7 @@ void HashchainServer::byz_announce_fake_hash() {
 }
 
 void HashchainServer::on_new_block(const ledger::Block& b) {
+  if (is_down()) return;  // a crashed node never sees this block (until sync)
   // Hash-batch announcement signatures are verified through the Ed25519
   // batch path: one amortized batch cost per block instead of a standalone
   // verify per announcement.
@@ -107,13 +129,16 @@ void HashchainServer::on_new_block(const ledger::Block& b) {
   }
   const sim::Time done = cpu_acquire(cost);
   if (ctx_.sim) {
-    ctx_.sim->schedule_at(done, [this, &b] { process_block(b); });
+    ctx_.sim->schedule_at(done, [this, &b, inc = incarnation()] {
+      if (inc == incarnation()) process_block(b);
+    });
   } else {
     process_block(b);
   }
 }
 
 void HashchainServer::process_block(const ledger::Block& b) {
+  note_block_applied(b.height);
   const auto& table = ctx_.ledger->txs();
   std::vector<HashBatchMsg> hbs;
   for (const auto idx : b.txs) {
@@ -161,9 +186,11 @@ void HashchainServer::handle_hash_batch(const HashBatchMsg& hb, const ledger::Bl
     // Light mode (Fig. 2 ablation): no reversal service; all servers are
     // assumed correct, so contents are taken straight from the origin's
     // store (zero-copy stand-in for a perfect dissemination layer) and the
-    // server co-signs immediately.
+    // server co-signs immediately. Scenario::validate() refuses to combine
+    // this mode with a fault plan; the down-peer guard covers direct
+    // crash()-hook use in unit tests.
     for (auto* peer : peers_) {
-      if (!peer) continue;
+      if (!peer || peer->is_down()) continue;
       if (const BatchPtr batch = peer->store_.find(hb.hash)) {
         store_.put(hb.hash, batch);
         break;
@@ -212,7 +239,10 @@ void HashchainServer::batch_now_available(const EpochHash& h) {
   const BatchPtr batch = store_.find(h);
   if (!batch) return;
 
-  if (!st.own_appended && in_committee(h)) {
+  // Never co-sign a hash the ledger already shows our signature for: after
+  // a wiped restart the replay re-delivers our own old announcements, and a
+  // slow co-sign path may race its own announcement landing on the ledger.
+  if (!st.own_appended && !st.signers.contains(id_) && in_committee(h)) {
     st.own_appended = true;
     cpu_acquire(params().costs.sign);
     append_hash_batch(h);
@@ -233,6 +263,9 @@ void HashchainServer::start_fetch(const EpochHash& h) {
   HashState& st = hash_state_[h];
   if (st.fetching || store_.contains(h)) return;
   st.fetching = true;
+  // Fresh speculative budget per (re)started fetch: a new signer appearing
+  // after an earlier give-up grants a full round of attempts again.
+  st.give_up_after = st.attempt_seq + kMaxSpeculativeFetchAttempts;
   ++fetches_started_;
   fetch_attempt(h);
 }
@@ -268,6 +301,7 @@ void HashchainServer::fetch_attempt(const EpochHash& h) {
 }
 
 void HashchainServer::serve_batch_request(crypto::ProcessId requester, const EpochHash& h) {
+  if (is_down()) return;               // crashed: silence
   if (byz_.refuse_batch_service) return;  // Byzantine: silence
   const BatchPtr batch = store_.find(h);
   if (!batch) return;  // honest "don't have it" (also silence; requester times out)
@@ -292,6 +326,7 @@ void HashchainServer::serve_batch_request(crypto::ProcessId requester, const Epo
 
 void HashchainServer::on_batch_response(const EpochHash& h, BatchPtr batch,
                                         const codec::Bytes* serialized) {
+  if (is_down()) return;
   HashState& st = hash_state_[h];
   if (store_.contains(h)) return;  // duplicate/late response
 
@@ -322,10 +357,22 @@ void HashchainServer::on_batch_response(const EpochHash& h, BatchPtr batch,
 }
 
 void HashchainServer::on_fetch_timeout(const EpochHash& h, std::uint64_t attempt) {
+  if (is_down()) return;  // stale timer from before the crash
   HashState& st = hash_state_[h];
   if (store_.contains(h)) return;
   if (st.attempt_seq != attempt) return;  // superseded attempt
   ++fetches_failed_;
+  // A hash that is not (yet) blocking consolidation is only fetched
+  // speculatively — give up after a few dead ends instead of polling a
+  // vanished holder forever (a wiped crash can orphan an announced hash for
+  // good). New signers or an actual consolidation need restart the fetch.
+  // Once enqueued, f+1 signers guarantee a correct server holds the batch,
+  // so the head-of-line fetch may retry indefinitely.
+  const bool needed = st.enqueued && !st.consolidated;
+  if (!needed && st.attempt_seq >= st.give_up_after) {
+    st.fetching = false;
+    return;
+  }
   if (ctx_.sim) {
     // Exponential backoff (capped): repeated refusals/overload must not
     // amplify into a request storm against the remaining signers.
@@ -350,7 +397,7 @@ void HashchainServer::try_consolidate() {
       // Light mode: re-pull from any peer still holding the contents (a
       // peer may have pruned after consolidating before we got here).
       for (auto* peer : peers_) {
-        if (!peer) continue;
+        if (!peer || peer->is_down()) continue;
         if ((batch = peer->store_.find(h))) {
           store_.put(h, batch);
           break;
@@ -401,7 +448,7 @@ void HashchainServer::consolidate_hash(const EpochHash& h, const Batch& batch) {
 
   cpu_acquire(params().costs.hash_cost(g_bytes) + params().costs.sign);
   EpochProof p = consolidate(g, st.consolidate_block_time);
-  collector_.add_proof(std::move(p));
+  if (!proof_already_published(p.epoch)) collector_.add_proof(std::move(p));
 }
 
 }  // namespace setchain::core

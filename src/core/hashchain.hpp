@@ -49,12 +49,17 @@ class HashchainServer final : public SetchainServer {
   void on_batch_response(const EpochHash& h, BatchPtr batch,
                          const codec::Bytes* serialized);
 
+ protected:
+  void on_crash(bool wipe) override;
+  void on_restart() override;
+
  private:
   struct HashState {
     std::unordered_set<crypto::ProcessId> signers;
     std::vector<crypto::ProcessId> fetch_candidates;  ///< signers, in order seen
     std::size_t next_candidate = 0;
     std::uint64_t attempt_seq = 0;
+    std::uint64_t give_up_after = 0;  ///< speculative-fetch attempt budget
     bool fetching = false;
     bool own_appended = false;
     bool proofs_absorbed = false;
@@ -91,6 +96,9 @@ class HashchainServer final : public SetchainServer {
   std::uint64_t fetches_failed_ = 0;
 
   static constexpr std::uint32_t kRequestWireSize = 96;
+  /// Fetch attempts granted to a hash nobody needs yet (not enqueued for
+  /// consolidation); a vanished holder must not be polled to the horizon.
+  static constexpr std::uint64_t kMaxSpeculativeFetchAttempts = 8;
 };
 
 }  // namespace setchain::core

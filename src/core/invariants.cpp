@@ -108,10 +108,13 @@ InvariantReport check_liveness_quiescent(
                             " not in history of " + sid(s));
       }
     }
-    // P8: f+1 valid proofs per epoch, from distinct servers.
+    // P8: f+1 valid proofs per epoch, from distinct servers. Reads the raw
+    // proof store from the same white-box snapshot as the history — the
+    // client-facing proofs_for_epoch() accessor goes dark on a down server
+    // while get() keeps exposing the real state for inspection.
     for (const auto& rec : *snap.history) {
       std::unordered_set<crypto::ProcessId> provers;
-      for (const auto& p : s->proofs_for_epoch(rec.number)) {
+      for (const auto& p : (*snap.proofs)[rec.number - 1]) {
         if (valid_proof(p, rec.hash, pki, params.fidelity)) provers.insert(p.server);
       }
       if (provers.size() < params.f + 1) {

@@ -14,11 +14,49 @@ SetchainServer::Snapshot SetchainServer::get() const {
 const std::vector<EpochProof>& SetchainServer::proofs_for_epoch(
     std::uint64_t epoch_number) const {
   static const std::vector<EpochProof> kNoProofs;
+  if (down_) return kNoProofs;  // unreachable process serves nothing
   if (epoch_number == 0 || epoch_number > proofs_.size()) return kNoProofs;
   return proofs_[epoch_number - 1];
 }
 
+void SetchainServer::crash(bool wipe) {
+  if (down_) return;
+  down_ = true;
+  ++crashes_;
+  ++incarnation_;  // kill CPU-queued continuations of the previous life
+  if (wipe) {
+    // Parked pending proofs are derived purely from blocks <= applied_height,
+    // so they survive a retained crash with the rest of the persisted state;
+    // only a wipe loses them (and the replay from genesis re-parks them).
+    pending_proofs_.clear();
+    applied_height_ = 0;
+    // The replay must not re-append proof transactions for epochs the
+    // previous life consolidated: most were already published (duplicates
+    // would bloat the ledger), and the few still buffered in the collector
+    // at crash time died with it — for those this server simply never
+    // contributes a proof, which the f bound absorbs (P8 needs f+1 of n).
+    // max(): a second wipe mid-recovery must not lower the boundary an
+    // earlier life established.
+    republish_boundary_ = std::max(republish_boundary_, epoch_);
+    the_set_.clear();
+    the_set_count_ = 0;
+    history_members_.clear();
+    history_.clear();
+    proofs_.clear();
+    proof_servers_.clear();
+    epoch_ = 0;
+  }
+  on_crash(wipe);
+}
+
+void SetchainServer::restart() {
+  if (!down_) return;
+  down_ = false;
+  on_restart();
+}
+
 bool SetchainServer::epoch_proven(std::uint64_t epoch_number) const {
+  if (down_) return false;  // unreachable process answers nothing
   if (epoch_number == 0 || epoch_number > proof_servers_.size()) return false;
   return proof_servers_[epoch_number - 1].size() >= params().f + 1;
 }

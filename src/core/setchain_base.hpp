@@ -66,9 +66,13 @@ class SetchainServer : public api::ISetchainNode {
   bool add(Element e) override = 0;
 
   /// S.get_v(): (the_set, history, epoch, proofs) — views into live state.
+  /// White-box accessor: always reflects the real state, even while down
+  /// (invariant checkers inspect crashed servers through it).
   using Snapshot = api::NodeSnapshot;
   Snapshot get() const;
-  Snapshot snapshot() const override { return get(); }
+  /// Client-facing read: a down server serves nothing (null views), exactly
+  /// like an unreachable process.
+  Snapshot snapshot() const override { return down_ ? Snapshot{} : get(); }
 
   /// Epoch-proofs held locally for 1-based epoch `epoch_number`;
   /// bounds-checked (epoch 0 / not-yet-consolidated epochs yield an empty
@@ -81,14 +85,41 @@ class SetchainServer : public api::ISetchainNode {
   void set_byzantine(ServerByzantine b) { byz_ = b; }
   const ServerByzantine& byzantine() const { return byz_; }
 
+  /// Crash-fault hooks (sim::FaultKind::kCrash drives these through the
+  /// Experiment). While down the server refuses adds, serves empty client
+  /// reads, ignores block deliveries, and drops its volatile collector
+  /// contents. `wipe` additionally loses the consolidated state (the_set,
+  /// history, proofs) — callers then rebuild it by replaying the ledger
+  /// (CometbftSim::replay_delivered), the recovery the paper's persistence
+  /// model implies. Idempotent: crashing a down server / restarting an up
+  /// one is a no-op.
+  void crash(bool wipe);
+  void restart();
+  bool is_down() const { return down_; }
+  std::uint64_t crash_count() const { return crashes_; }
+  /// Highest ledger height this server fully processed (its WAL position).
+  /// Recovery re-delivers blocks from applied_height()+1 — a block that was
+  /// delivered but still sitting in the CPU queue when the process died is
+  /// covered by the replay, never applied twice (incarnation-guarded).
+  std::uint64_t applied_height() const { return applied_height_; }
+
   std::uint64_t the_set_size() const { return the_set_count_; }
-  std::uint64_t epoch() const override { return epoch_; }
+  /// Client-facing like snapshot(): an unreachable (down) server reports
+  /// nothing. White-box inspection goes through get().epoch.
+  std::uint64_t epoch() const override { return down_ ? 0 : epoch_; }
 
   /// f+1 valid proofs present locally for epoch i? (client-side commit
   /// criterion when talking to this single server).
   bool epoch_proven(std::uint64_t epoch_number) const;
 
  protected:
+  /// Subclass crash hooks: drop volatile per-algorithm state (collectors,
+  /// fetch bookkeeping); `wipe` also clears ledger-derived stores. Called
+  /// after the base class has handled the shared state.
+  virtual void on_crash(bool wipe) { (void)wipe; }
+  /// Called when the server comes back up (kick stalled work back to life).
+  virtual void on_restart() {}
+
   bool in_the_set(ElementId id) const;
   /// Insert into the_set; false if already present. Under lean_state only a
   /// counter is kept (workload ids are unique by construction).
@@ -121,6 +152,20 @@ class SetchainServer : public api::ISetchainNode {
   /// Charge `cost` to this node's simulated CPU; returns completion time.
   sim::Time cpu_acquire(sim::Time cost);
 
+  /// Mark `height` applied (call at the top of process_block).
+  void note_block_applied(std::uint64_t height) { applied_height_ = height; }
+  /// During a wiped-restart replay, epochs up to the pre-crash count are
+  /// re-consolidated from the ledger — their proofs were already published
+  /// by the previous life of this process and must not be appended again.
+  bool proof_already_published(std::uint64_t epoch_number) const {
+    return epoch_number <= republish_boundary_;
+  }
+  /// Monotonic process-lifetime counter, bumped by crash(). Deferred
+  /// continuations (CPU-queued block processing) capture it and bail out
+  /// when the incarnation changed underneath them — work scheduled by a
+  /// previous life of the process dies with it.
+  std::uint64_t incarnation() const { return incarnation_; }
+
   sim::Time now() const;
   const SetchainParams& params() const { return *ctx_.params; }
   Fidelity fidelity() const { return ctx_.params->fidelity; }
@@ -128,6 +173,11 @@ class SetchainServer : public api::ISetchainNode {
   ServerContext ctx_;
   crypto::ProcessId id_;
   ServerByzantine byz_;
+  bool down_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t incarnation_ = 0;
+  std::uint64_t applied_height_ = 0;
+  std::uint64_t republish_boundary_ = 0;  ///< epochs published before a wipe
 
   std::unordered_set<ElementId> the_set_;
   std::uint64_t the_set_count_ = 0;

@@ -6,6 +6,7 @@ VanillaServer::VanillaServer(ServerContext ctx, crypto::ProcessId id)
     : SetchainServer(std::move(ctx), id) {}
 
 bool VanillaServer::add(Element e) {
+  if (is_down()) return false;
   cpu_acquire(params().costs.validate_element);
   if (!valid_element(e, *ctx_.pki, fidelity())) return false;
   if (in_the_set(e.id)) return false;
@@ -30,6 +31,7 @@ bool VanillaServer::add(Element e) {
 }
 
 void VanillaServer::on_new_block(const ledger::Block& b) {
+  if (is_down()) return;  // a crashed node never sees this block (until sync)
   // Charge the block's processing cost to this node's CPU, then apply the
   // effects at completion time. BusyResource keeps per-server block order.
   // Epoch-proof signatures are verified through the batch path, so the
@@ -55,13 +57,16 @@ void VanillaServer::on_new_block(const ledger::Block& b) {
   cost += params().costs.verify_batch_cost(n_proofs);
   const sim::Time done = cpu_acquire(cost);
   if (ctx_.sim) {
-    ctx_.sim->schedule_at(done, [this, &b] { process_block(b); });
+    ctx_.sim->schedule_at(done, [this, &b, inc = incarnation()] {
+      if (inc == incarnation()) process_block(b);
+    });
   } else {
     process_block(b);
   }
 }
 
 void VanillaServer::process_block(const ledger::Block& b) {
+  note_block_applied(b.height);
   const auto& table = ctx_.ledger->txs();
   std::vector<Element> elements;
   std::vector<EpochProof> proofs;
@@ -107,7 +112,7 @@ void VanillaServer::process_block(const ledger::Block& b) {
     // create_empty_blocks=false this makes runs terminate; see DESIGN.md.
     cpu_acquire(params().costs.hash_cost(g_bytes) + params().costs.sign);
     const EpochProof p = consolidate(g, b.first_commit_at);
-    append_proof(p);
+    if (!proof_already_published(p.epoch)) append_proof(p);
   }
 }
 

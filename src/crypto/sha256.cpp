@@ -68,6 +68,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(codec::ByteView data) {
+  if (data.empty()) return;  // empty-message update: data.data() may be null
   total_len_ += data.size();
   std::size_t off = 0;
   if (buffer_len_ > 0) {

@@ -86,6 +86,7 @@ void Sha512::process_block(const std::uint8_t* block) {
 }
 
 void Sha512::update(codec::ByteView data) {
+  if (data.empty()) return;  // empty-message update: data.data() may be null
   const std::uint64_t before = total_lo_;
   total_lo_ += data.size();
   if (total_lo_ < before) ++total_hi_;

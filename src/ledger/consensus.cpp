@@ -1,6 +1,8 @@
 #include "ledger/consensus.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 namespace setchain::ledger {
 
@@ -48,22 +50,29 @@ TxIdx CometbftSim::append(sim::NodeId origin, Transaction tx) {
     if (hooks_.check_tx && !hooks_.check_tx(checked)) return;  // rejected locally
     accept_into_mempool(origin, idx);
     // Disseminate to every peer (see class comment on the gossip model).
-    for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
-      if (peer == origin) continue;
-      net_.send(origin, peer, checked.wire_size, [this, peer, idx] {
-        const Transaction& received = table_.get(idx);
-        const sim::Time peer_cost =
-            hooks_.check_tx_cost ? hooks_.check_tx_cost(received) : 0;
-        const sim::Time peer_done = cpus_[peer].acquire(sim_.now(), peer_cost);
-        sim_.schedule_at(peer_done, [this, peer, idx] {
-          const Transaction& accepted = table_.get(idx);
-          if (hooks_.check_tx && !hooks_.check_tx(accepted)) return;
-          accept_into_mempool(peer, idx);
-        });
-      });
-    }
+    gossip_tx(origin, idx);
   });
   return idx;
+}
+
+void CometbftSim::gossip_tx(sim::NodeId origin, TxIdx idx) {
+  const Transaction& tx = table_.get(idx);
+  for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
+    if (peer == origin) continue;
+    if (mempools_[peer].seen(idx)) continue;  // re-gossip: peer already has it
+    if (net_.node_down(peer)) continue;  // doomed send; re-gossip covers heals
+    net_.send(origin, peer, tx.wire_size, [this, peer, idx] {
+      const Transaction& received = table_.get(idx);
+      const sim::Time peer_cost =
+          hooks_.check_tx_cost ? hooks_.check_tx_cost(received) : 0;
+      const sim::Time peer_done = cpus_[peer].acquire(sim_.now(), peer_cost);
+      sim_.schedule_at(peer_done, [this, peer, idx] {
+        const Transaction& accepted = table_.get(idx);
+        if (hooks_.check_tx && !hooks_.check_tx(accepted)) return;
+        accept_into_mempool(peer, idx);
+      });
+    });
+  }
 }
 
 void CometbftSim::accept_into_mempool(sim::NodeId node, TxIdx idx) {
@@ -75,6 +84,11 @@ void CometbftSim::accept_into_mempool(sim::NodeId node, TxIdx idx) {
     waiting_for_txs_ = false;
     schedule_propose(next_height_, current_round_,
                      std::max(sim_.now(), earliest_propose_));
+  } else if (waiting_for_txs_) {
+    // Landed at a non-proposer while the proposer starves — on a lossy
+    // network the gossip hop to the proposer may have been lost, so make
+    // sure the re-gossip chain is alive to hand it over.
+    schedule_regossip();
   }
 }
 
@@ -91,6 +105,8 @@ CometbftSim::HeightState& CometbftSim::height_state(std::uint64_t height) {
     st.has_proposal.assign(cfg_.n, 0);
     st.prevotes.assign(cfg_.n, 0);
     st.precommits.assign(cfg_.n, 0);
+    st.prevote_from.assign(std::size_t{cfg_.n} * cfg_.n, 0);
+    st.precommit_from.assign(std::size_t{cfg_.n} * cfg_.n, 0);
     st.sent_prevote.assign(cfg_.n, 0);
     st.sent_precommit.assign(cfg_.n, 0);
     st.committed.assign(cfg_.n, 0);
@@ -103,9 +119,10 @@ void CometbftSim::try_propose(std::uint64_t height, std::uint32_t round) {
   if (height != next_height_ || round != current_round_) return;  // stale event
   const sim::NodeId proposer = proposer_for(height, round);
 
-  if (byzantine_[proposer].silent_proposer) {
+  if (byzantine_[proposer].silent_proposer || net_.node_down(proposer)) {
     // Correct nodes time out waiting for the proposal and move to the next
-    // round with the next proposer (Tendermint round skip).
+    // round with the next proposer (Tendermint round skip). A crashed
+    // proposer looks exactly like a silent one from the outside.
     current_round_ = round + 1;
     schedule_propose(height, current_round_, sim_.now() + cfg_.timeout_propose);
     return;
@@ -116,6 +133,11 @@ void CometbftSim::try_propose(std::uint64_t height, std::uint32_t round) {
   if (txs.empty() && !cfg_.create_empty_blocks &&
       byzantine_[proposer].garbage_txs_per_block == 0) {
     waiting_for_txs_ = true;  // woken by accept_into_mempool
+    // On a lossy network the wake-up gossip may itself be lost (or the
+    // transactions may be stranded in other nodes' mempools): keep nudging,
+    // starting each waiting episode at the base cadence.
+    regossip_attempt_ = 0;
+    schedule_regossip();
     return;
   }
 
@@ -156,41 +178,58 @@ void CometbftSim::try_propose(std::uint64_t height, std::uint32_t round) {
       deliver_proposal(peer, height);
     });
   }
+  schedule_retry(height);
 }
 
 void CometbftSim::deliver_proposal(sim::NodeId node, std::uint64_t height) {
-  HeightState& st = height_state(height);
+  // A height leaves inflight_ once committed everywhere; consensus traffic
+  // still in flight then (retransmissions, slow links) must not resurrect it.
+  const auto it = inflight_.find(height);
+  if (it == inflight_.end()) return;
+  HeightState& st = it->second;
   if (st.has_proposal[node]) return;
   st.has_proposal[node] = 1;
   if (st.sent_prevote[node]) return;
   st.sent_prevote[node] = 1;
-  deliver_prevote(node, height);  // own vote counts immediately
+  deliver_prevote(node, node, height);  // own vote counts immediately
   for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
     if (peer == node) continue;
     net_.send(node, peer, cfg_.vote_size,
-              [this, peer, height] { deliver_prevote(peer, height); });
+              [this, node, peer, height] { deliver_prevote(node, peer, height); });
   }
 }
 
-void CometbftSim::deliver_prevote(sim::NodeId node, std::uint64_t height) {
-  HeightState& st = height_state(height);
-  ++st.prevotes[node];
-  if (st.prevotes[node] >= quorum_ && st.has_proposal[node] && !st.sent_precommit[node]) {
-    st.sent_precommit[node] = 1;
-    deliver_precommit(node, height);
+void CometbftSim::deliver_prevote(sim::NodeId from, sim::NodeId at,
+                                  std::uint64_t height) {
+  const auto it = inflight_.find(height);
+  if (it == inflight_.end()) return;  // committed everywhere; stale vote
+  HeightState& st = it->second;
+  auto& seen = st.prevote_from[std::size_t{at} * cfg_.n + from];
+  if (seen) return;  // retransmitted vote: already counted
+  seen = 1;
+  ++st.prevotes[at];
+  if (st.prevotes[at] >= quorum_ && st.has_proposal[at] && !st.sent_precommit[at]) {
+    st.sent_precommit[at] = 1;
+    deliver_precommit(at, at, height);
     for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
-      if (peer == node) continue;
-      net_.send(node, peer, cfg_.vote_size,
-                [this, peer, height] { deliver_precommit(peer, height); });
+      if (peer == at) continue;
+      net_.send(at, peer, cfg_.vote_size,
+                [this, at, peer, height] { deliver_precommit(at, peer, height); });
     }
   }
 }
 
-void CometbftSim::deliver_precommit(sim::NodeId node, std::uint64_t height) {
-  HeightState& st = height_state(height);
-  ++st.precommits[node];
-  if (st.precommits[node] >= quorum_ && st.has_proposal[node] && !st.committed[node]) {
-    commit_at(node, height);
+void CometbftSim::deliver_precommit(sim::NodeId from, sim::NodeId at,
+                                    std::uint64_t height) {
+  const auto it = inflight_.find(height);
+  if (it == inflight_.end()) return;  // committed everywhere; stale vote
+  HeightState& st = it->second;
+  auto& seen = st.precommit_from[std::size_t{at} * cfg_.n + from];
+  if (seen) return;
+  seen = 1;
+  ++st.precommits[at];
+  if (st.precommits[at] >= quorum_ && st.has_proposal[at] && !st.committed[at]) {
+    commit_at(at, height);
   }
 }
 
@@ -239,6 +278,128 @@ void CometbftSim::commit_at(sim::NodeId node, std::uint64_t height) {
   }
 
   if (st.commit_count == cfg_.n) inflight_.erase(height);
+}
+
+void CometbftSim::schedule_retry(std::uint64_t height) {
+  if (!net_.lossy()) return;
+  HeightState& st = height_state(height);
+  // Capped exponential backoff: a height stuck behind an unhealed fault must
+  // not turn the retransmission path into a message storm.
+  const sim::Time backoff =
+      cfg_.retry_interval *
+      static_cast<sim::Time>(1u << std::min<std::uint32_t>(st.retry_attempt, 3));
+  ++st.retry_attempt;
+  sim_.schedule_in(backoff, [this, height] { retry_height(height); });
+}
+
+void CometbftSim::retry_height(std::uint64_t height) {
+  const auto it = inflight_.find(height);
+  if (it == inflight_.end()) return;  // committed everywhere: retries stop
+  HeightState& st = it->second;
+  if (!st.block) return;
+
+  // Chain-progress fallback: height h+1 is normally scheduled when its
+  // proposer commits h; if that proposer is crashed it never commits, so
+  // schedule anyway (try_propose round-skips past down proposers).
+  if (st.first_commit_done && height + 1 == next_height_ &&
+      last_scheduled_height_ < next_height_) {
+    last_scheduled_height_ = next_height_;
+    schedule_propose(next_height_, 0, sim_.now() + cfg_.timeout_commit);
+  }
+
+  // Forward the proposal from ANY live holder (CometBFT gossips proposals
+  // peer-to-peer, so a dead original proposer does not strand the block).
+  sim::NodeId holder = cfg_.n;
+  for (sim::NodeId node = 0; node < cfg_.n; ++node) {
+    if (st.has_proposal[node] && !net_.node_down(node)) {
+      holder = node;
+      break;
+    }
+  }
+  if (holder < cfg_.n) {
+    for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
+      if (st.has_proposal[peer] || net_.node_down(peer)) continue;
+      net_.send(holder, peer, st.block->bytes,
+                [this, peer, height] { deliver_proposal(peer, height); });
+    }
+  }
+
+  // Retransmit recorded votes to exactly the peers still missing them;
+  // sender-deduplicated receipt makes duplicates harmless. Known-down
+  // senders and receivers are skipped — the post-heal pass covers them.
+  for (sim::NodeId voter = 0; voter < cfg_.n; ++voter) {
+    if (net_.node_down(voter)) continue;
+    for (sim::NodeId peer = 0; peer < cfg_.n; ++peer) {
+      if (peer == voter || net_.node_down(peer)) continue;
+      if (st.sent_prevote[voter] &&
+          !st.prevote_from[std::size_t{peer} * cfg_.n + voter]) {
+        net_.send(voter, peer, cfg_.vote_size, [this, voter, peer, height] {
+          deliver_prevote(voter, peer, height);
+        });
+      }
+      if (st.sent_precommit[voter] &&
+          !st.precommit_from[std::size_t{peer} * cfg_.n + voter]) {
+        net_.send(voter, peer, cfg_.vote_size, [this, voter, peer, height] {
+          deliver_precommit(voter, peer, height);
+        });
+      }
+    }
+  }
+  schedule_retry(height);
+}
+
+void CometbftSim::schedule_regossip() {
+  if (!net_.lossy() || regossip_scheduled_) return;
+  regossip_scheduled_ = true;
+  // Same capped backoff as retry_height: transactions stranded at a
+  // never-healing node must not busy-poll the scheduler to the horizon.
+  const sim::Time backoff =
+      cfg_.retry_interval *
+      static_cast<sim::Time>(1u << std::min<std::uint32_t>(regossip_attempt_, 3));
+  ++regossip_attempt_;
+  sim_.schedule_in(backoff, [this] { regossip_pending(); });
+}
+
+void CometbftSim::regossip_pending() {
+  regossip_scheduled_ = false;
+  if (!waiting_for_txs_) return;
+  // A down proposer cannot be woken by arriving transactions: hand the
+  // height to the next proposer in rotation (try_propose does the skip).
+  if (net_.node_down(proposer_for(next_height_, current_round_))) {
+    waiting_for_txs_ = false;
+    schedule_propose(next_height_, current_round_,
+                     std::max(sim_.now(), earliest_propose_));
+    return;
+  }
+  // Re-offer every pending transaction to the peers still missing it, from
+  // its first live holder only (several nodes usually hold the same tx; one
+  // copy per missing peer is enough). The mempool's seen-filter keeps this
+  // quiet once gossip has converged.
+  bool any_pending = false;
+  std::unordered_set<TxIdx> offered;
+  for (sim::NodeId node = 0; node < cfg_.n; ++node) {
+    const bool down = net_.node_down(node);
+    for (const TxIdx idx : mempools_[node].pending_list()) {
+      if (idx < proposed_.size() && proposed_[idx]) continue;
+      // Transactions stranded at a down node still keep the chain ticking —
+      // the holder may heal — but nothing can be gossiped from it now.
+      any_pending = true;
+      if (down) continue;
+      if (!offered.insert(idx).second) continue;
+      gossip_tx(node, idx);
+    }
+  }
+  // Nothing left to hand over: let the chain die so the run can drain (a
+  // future append re-arms it through accept_into_mempool).
+  if (any_pending) schedule_regossip();
+}
+
+void CometbftSim::replay_range(sim::NodeId node, std::uint64_t from_height) {
+  if (!app_cbs_[node]) return;
+  for (std::uint64_t h = std::max<std::uint64_t>(from_height, 1);
+       h < next_deliver_[node]; ++h) {
+    app_cbs_[node](*chain_[h - 1]);
+  }
 }
 
 bool CometbftSim::idle() const {

@@ -31,6 +31,14 @@ struct ConsensusConfig {
   std::uint32_t vote_size = 150;          ///< prevote/precommit wire bytes
   std::uint32_t proposal_overhead = 200;  ///< block header bytes
   bool create_empty_blocks = false;       ///< CometBFT default behaviour
+  /// Retransmission / catch-up cadence on lossy networks (fault injection):
+  /// stuck heights re-disseminate their proposal and recorded votes, and
+  /// waiting proposers trigger a mempool re-gossip, every this often (with
+  /// capped exponential backoff). Real CometBFT gets the same effect from
+  /// its gossip reactors and blocksync; the one-shot dissemination model
+  /// needs it explicitly once messages can be lost. Only armed when the
+  /// Network has a fault plan installed.
+  sim::Time retry_interval = sim::from_seconds(2);
   MempoolConfig mempool;
 };
 
@@ -91,16 +99,29 @@ class CometbftSim final : public IBlockLedger {
   /// True once every inflight height has committed everywhere (drain check).
   bool idle() const;
 
+  /// Crash recovery: re-run FinalizeBlock at `node` for the already-delivered
+  /// heights [from_height, delivered], in order — the recovering server
+  /// rebuilds its derived state from the ledger, which is exactly the
+  /// persistence model the Setchain algorithms assume. A wiped restart
+  /// replays from 1; a retained one from its last applied height + 1 (blocks
+  /// that were delivered but still queued on the CPU when the process died).
+  void replay_range(sim::NodeId node, std::uint64_t from_height);
+
  private:
   struct HeightState {
     std::shared_ptr<Block> block;
     std::vector<std::uint8_t> has_proposal;
-    std::vector<std::uint8_t> prevotes;
-    std::vector<std::uint8_t> precommits;
+    std::vector<std::uint8_t> prevotes;    ///< distinct prevotes seen, per node
+    std::vector<std::uint8_t> precommits;  ///< distinct precommits seen, per node
+    /// Sender-deduplicated vote receipt ([receiver * n + sender]): lossy-mode
+    /// retransmissions must never double-count a vote toward the quorum.
+    std::vector<std::uint8_t> prevote_from;
+    std::vector<std::uint8_t> precommit_from;
     std::vector<std::uint8_t> sent_prevote;
     std::vector<std::uint8_t> sent_precommit;
     std::vector<std::uint8_t> committed;
     std::uint32_t commit_count = 0;
+    std::uint32_t retry_attempt = 0;
     bool first_commit_done = false;
   };
 
@@ -111,11 +132,18 @@ class CometbftSim final : public IBlockLedger {
   void schedule_propose(std::uint64_t height, std::uint32_t round, sim::Time at);
   void try_propose(std::uint64_t height, std::uint32_t round);
   void deliver_proposal(sim::NodeId node, std::uint64_t height);
-  void deliver_prevote(sim::NodeId node, std::uint64_t height);
-  void deliver_precommit(sim::NodeId node, std::uint64_t height);
+  void deliver_prevote(sim::NodeId from, sim::NodeId at, std::uint64_t height);
+  void deliver_precommit(sim::NodeId from, sim::NodeId at, std::uint64_t height);
   void commit_at(sim::NodeId node, std::uint64_t height);
   void accept_into_mempool(sim::NodeId node, TxIdx idx);
+  void gossip_tx(sim::NodeId origin, TxIdx idx);
   HeightState& height_state(std::uint64_t height);
+
+  // Lossy-network recovery (no-ops on a perfect network).
+  void schedule_retry(std::uint64_t height);
+  void retry_height(std::uint64_t height);
+  void schedule_regossip();
+  void regossip_pending();
 
   sim::Simulation& sim_;
   sim::Network& net_;
@@ -136,6 +164,8 @@ class CometbftSim final : public IBlockLedger {
   std::uint64_t last_scheduled_height_ = 0;
   std::uint32_t current_round_ = 0;
   bool waiting_for_txs_ = false;
+  bool regossip_scheduled_ = false;
+  std::uint32_t regossip_attempt_ = 0;  ///< backoff step, reset per episode
   sim::Time earliest_propose_ = 0;
   bool started_ = false;
 

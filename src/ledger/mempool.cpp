@@ -30,6 +30,15 @@ void Mempool::mark_committed(TxIdx idx, const Transaction& tx) {
   }
 }
 
+std::vector<TxIdx> Mempool::pending_list() const {
+  std::vector<TxIdx> out;
+  out.reserve(count_);
+  for (const TxIdx idx : fifo_) {
+    if (idx < pending_.size() && pending_[idx]) out.push_back(idx);
+  }
+  return out;
+}
+
 std::vector<TxIdx> Mempool::reap(const TxTable& table, std::uint64_t max_bytes,
                                  const std::vector<bool>* exclude) {
   // Prune committed entries off the front so repeated reaps stay cheap.

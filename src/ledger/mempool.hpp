@@ -41,6 +41,12 @@ class Mempool {
   std::uint64_t pending_bytes() const { return bytes_; }
   std::uint64_t rejected_capacity() const { return rejected_capacity_; }
 
+  /// Snapshot of the currently-pending transactions in FIFO order. Used by
+  /// the consensus layer's re-gossip path on lossy networks (CometBFT keeps
+  /// retransmitting mempool contents; the one-shot gossip model needs the
+  /// same escape hatch once messages can be lost).
+  std::vector<TxIdx> pending_list() const;
+
  private:
   void ensure(std::size_t idx, std::vector<bool>& v) const {
     if (idx >= v.size()) v.resize(idx + 1, false);

@@ -48,6 +48,9 @@ Experiment::Experiment(Scenario scenario)
   sim::NetworkConfig net_cfg;
   net_cfg.extra_delay = scenario_.network_delay;
   net_ = std::make_unique<sim::Network>(*sim_, n, net_cfg, scenario_.seed ^ 0x4E7ULL);
+  if (!scenario_.faults.empty()) {
+    net_->install_faults(scenario_.faults, scenario_.seed ^ 0xFA017ULL);
+  }
 
   cpus_.resize(n);
 
@@ -186,6 +189,45 @@ Experiment::Experiment(Scenario scenario)
         *sim_, n + i, make_client(policy, i), *factory_, recorder_.get(), ccfg,
         scenario_.seed));
   }
+
+  // --- crash/restart schedule ---
+  // The fault layer handles the *network* face of a crash (messages to and
+  // from a down node are lost); these events drive the *process* face: the
+  // server refuses service, loses its collector, and — on a wiped restart —
+  // rebuilds its consolidated state by replaying the ledger. Events are
+  // sorted chronologically (restart before crash on ties, so back-to-back
+  // windows hand over cleanly) — the plan's list order must not matter.
+  struct CrashEvent {
+    sim::Time at;
+    bool is_restart;
+    std::uint32_t node;
+    bool wipe;
+  };
+  std::vector<CrashEvent> crash_events;
+  for (const auto& flt : scenario_.faults.faults) {
+    if (flt.kind != sim::FaultKind::kCrash) continue;
+    crash_events.push_back({flt.start, false, flt.from, flt.wipe_state});
+    if (flt.heals()) crash_events.push_back({flt.end, true, flt.from, flt.wipe_state});
+  }
+  std::stable_sort(crash_events.begin(), crash_events.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.is_restart && !b.is_restart;
+                   });
+  for (const auto& ev : crash_events) {
+    if (ev.is_restart) {
+      sim_->schedule_at(ev.at, [this, node = ev.node, wipe = ev.wipe] {
+        const std::uint64_t resume =
+            wipe ? 1 : servers_[node]->applied_height() + 1;
+        servers_[node]->restart();
+        ledger_->replay_range(node, resume);
+      });
+    } else {
+      sim_->schedule_at(ev.at, [this, node = ev.node, wipe = ev.wipe] {
+        servers_[node]->crash(wipe);
+      });
+    }
+  }
 }
 
 api::QuorumClient Experiment::make_client(api::WritePolicy policy, std::size_t primary) {
@@ -199,8 +241,16 @@ bool Experiment::is_byzantine(std::uint32_t node) const {
   const auto in = [node](const std::vector<std::uint32_t>& v) {
     return std::find(v.begin(), v.end(), node) != v.end();
   };
-  return in(scenario_.byz_silent_proposers) || in(scenario_.byz_refuse_batch) ||
-         in(scenario_.byz_corrupt_proofs) || in(scenario_.byz_fake_hashes);
+  if (in(scenario_.byz_silent_proposers) || in(scenario_.byz_refuse_batch) ||
+      in(scenario_.byz_corrupt_proofs) || in(scenario_.byz_fake_hashes)) {
+    return true;
+  }
+  // Crash-faulted servers give no guarantees either (a healed crash usually
+  // recovers fully — tests wanting to assert that inspect servers() direct).
+  for (const auto& flt : scenario_.faults.faults) {
+    if (flt.kind == sim::FaultKind::kCrash && flt.from == node) return true;
+  }
+  return false;
 }
 
 std::vector<core::SetchainServer*> Experiment::servers() {
@@ -255,6 +305,7 @@ RunResult Experiment::result() const {
   r.events = sim_->executed_events();
   r.net_messages = net_->messages_sent();
   r.net_bytes = net_->bytes_sent();
+  r.net_dropped = net_->messages_dropped();
   return r;
 }
 

@@ -34,6 +34,7 @@ struct RunResult {
   std::uint64_t events = 0;
   std::uint64_t net_messages = 0;
   std::uint64_t net_bytes = 0;
+  std::uint64_t net_dropped = 0;  ///< messages lost to the fault layer
 };
 
 /// Owns and wires one complete simulated deployment: n docker-style nodes,
@@ -56,14 +57,19 @@ class Experiment {
 
   // Introspection for tests and examples.
   sim::Simulation& simulation() { return *sim_; }
+  sim::Network& network() { return *net_; }
   ledger::CometbftSim& ledger() { return *ledger_; }
   metrics::StageRecorder& recorder() { return *recorder_; }
   crypto::Pki& pki() { return *pki_; }
   const Scenario& scenario() const { return scenario_; }
   const core::SetchainParams& params() const { return params_; }
 
+  /// Message-level fault counters, or null when the scenario has no faults.
+  const sim::FaultInjector* fault_injector() const { return net_->faults(); }
+
   std::vector<core::SetchainServer*> servers();
-  /// Servers not configured with any Byzantine behaviour.
+  /// Servers not configured with any Byzantine behaviour and not targeted by
+  /// a crash fault — the set the Setchain properties are stated over.
   std::vector<const core::SetchainServer*> correct_servers() const;
   core::SetchainServer& server(std::uint32_t i) { return *servers_[i]; }
   core::SetchainClient& client(std::uint32_t i) { return *clients_[i]; }

@@ -111,6 +111,11 @@ void print_run_summary(const Scenario& s, const RunResult& r) {
       static_cast<unsigned long long>(r.epochs),
       static_cast<unsigned long long>(r.blocks), r.measured_compress_ratio,
       r.sim_seconds, r.wall_ms, static_cast<unsigned long long>(r.events));
+  if (r.net_dropped > 0) {
+    std::printf("  [faults] messages dropped in flight: %llu of %llu sent\n",
+                static_cast<unsigned long long>(r.net_dropped),
+                static_cast<unsigned long long>(r.net_messages));
+  }
 }
 
 }  // namespace setchain::runner

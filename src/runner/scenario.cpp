@@ -68,6 +68,13 @@ std::vector<std::string> Scenario::validate() const {
   check_nodes(byz_refuse_batch, "byz_refuse_batch");
   check_nodes(byz_corrupt_proofs, "byz_corrupt_proofs");
   check_nodes(byz_fake_hashes, "byz_fake_hashes");
+
+  if (algorithm == Algorithm::kHashchain && !hash_reversal && !faults.empty()) {
+    reject(
+        "hashchain light mode (hash_reversal=false) assumes a perfect "
+        "dissemination layer and cannot be combined with a fault plan");
+  }
+  for (auto& msg : faults.validate(n)) errors.push_back(std::move(msg));
   return errors;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "sim/fault.hpp"
 #include "workload/arbitrum_like.hpp"
 
 namespace setchain::runner {
@@ -55,13 +56,20 @@ struct Scenario {
   sim::Time block_interval = sim::from_seconds(1.25);
   std::uint64_t block_bytes = 500'000;
 
-  // Fault injection.
+  // Fault injection: application-level Byzantine behaviours...
   std::vector<std::uint32_t> byz_silent_proposers;
   std::vector<std::uint32_t> byz_refuse_batch;
   std::vector<std::uint32_t> byz_corrupt_proofs;
   std::vector<std::uint32_t> byz_fake_hashes;
   double client_invalid_fraction = 0.0;
   bool clients_duplicate_to_all = false;
+  // ... plus the network/process fault schedule (message drops, partitions,
+  // delay spikes, crash/restart), executed by the sim fault layer. NOTE on
+  // liveness: elements accepted only by a server that later crashes can be
+  // lost with its collector — scenarios asserting full liveness under crash
+  // faults should set clients_duplicate_to_all so every element reaches a
+  // correct server (the paper's Byzantine-client-proof submission).
+  sim::FaultPlan faults;
 
   workload::ArbitrumLikeConfig workload_cfg;
   core::CostModel costs;

@@ -1,0 +1,216 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace setchain::sim {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kDelaySpike:
+      return "delay_spike";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+Fault Fault::drop(NodeId from, NodeId to, double probability, Time start, Time end) {
+  Fault f;
+  f.kind = FaultKind::kDrop;
+  f.from = from;
+  f.to = to;
+  f.probability = probability;
+  f.start = start;
+  f.end = end;
+  return f;
+}
+
+Fault Fault::partition(std::vector<NodeId> group, Time start, Time heal,
+                       bool symmetric) {
+  Fault f;
+  f.kind = FaultKind::kPartition;
+  f.group = std::move(group);
+  f.start = start;
+  f.end = heal;
+  f.symmetric = symmetric;
+  return f;
+}
+
+Fault Fault::delay_spike(Time extra, Time start, Time end, NodeId from, NodeId to) {
+  Fault f;
+  f.kind = FaultKind::kDelaySpike;
+  f.extra_delay = extra;
+  f.start = start;
+  f.end = end;
+  f.from = from;
+  f.to = to;
+  return f;
+}
+
+Fault Fault::crash(NodeId node, Time start, Time restart, bool wipe) {
+  Fault f;
+  f.kind = FaultKind::kCrash;
+  f.from = node;
+  f.start = start;
+  f.end = restart;
+  f.wipe_state = wipe;
+  return f;
+}
+
+std::vector<std::string> FaultPlan::validate(std::uint32_t n) const {
+  std::vector<std::string> errors;
+  const auto reject = [&errors](std::size_t i, const std::string& msg) {
+    errors.push_back("fault #" + std::to_string(i) + ": " + msg);
+  };
+  const auto check_node = [&](std::size_t i, NodeId node, const char* what) {
+    if (node != kAnyNode && node >= n) {
+      reject(i, std::string(what) + " targets node " + std::to_string(node) +
+                    " outside 0.." + std::to_string(n == 0 ? 0 : n - 1));
+    }
+  };
+
+  // Crash windows may not overlap per node: a node cannot crash while it is
+  // already down (the Experiment hooks would fire out of order).
+  std::vector<std::pair<NodeId, std::pair<Time, Time>>> crash_windows;
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = faults[i];
+    const char* kind = fault_kind_name(f.kind);
+    if (f.start < 0) reject(i, std::string(kind) + " starts before time 0");
+    if (f.end <= f.start) {
+      reject(i, std::string(kind) + " heals at " + std::to_string(f.end) +
+                    " ns, before (or at) its start " + std::to_string(f.start) + " ns");
+    }
+    switch (f.kind) {
+      case FaultKind::kDrop:
+        if (!(f.probability >= 0.0 && f.probability <= 1.0)) {
+          reject(i, "drop probability " + std::to_string(f.probability) +
+                        " outside [0, 1]");
+        }
+        check_node(i, f.from, "drop 'from'");
+        check_node(i, f.to, "drop 'to'");
+        break;
+      case FaultKind::kPartition: {
+        if (f.group.empty()) reject(i, "partition group is empty");
+        std::unordered_set<NodeId> seen;
+        for (const auto node : f.group) {
+          check_node(i, node, "partition group");
+          if (node == kAnyNode) reject(i, "partition group cannot contain the wildcard");
+          if (!seen.insert(node).second) {
+            reject(i, "partition group lists node " + std::to_string(node) + " twice");
+          }
+        }
+        if (seen.size() >= n && n > 0) {
+          reject(i, "partition group covers the whole cluster (nothing to cut)");
+        }
+        break;
+      }
+      case FaultKind::kDelaySpike:
+        if (f.extra_delay <= 0) reject(i, "delay spike must add a positive delay");
+        check_node(i, f.from, "delay 'from'");
+        check_node(i, f.to, "delay 'to'");
+        break;
+      case FaultKind::kCrash: {
+        if (f.from == kAnyNode) {
+          reject(i, "crash needs a concrete node, not the wildcard");
+        } else {
+          check_node(i, f.from, "crash");
+          for (const auto& [node, window] : crash_windows) {
+            if (node != f.from) continue;
+            if (f.start < window.second && window.first < f.end) {
+              reject(i, "crash of node " + std::to_string(f.from) +
+                            " overlaps another crash window of the same node");
+            }
+          }
+          crash_windows.emplace_back(f.from, std::make_pair(f.start, f.end));
+        }
+        break;
+      }
+    }
+  }
+  return errors;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed ^ 0xFA017D0BULL) {}
+
+bool FaultInjector::in_group(const Fault& f, NodeId node) {
+  return std::find(f.group.begin(), f.group.end(), node) != f.group.end();
+}
+
+bool FaultInjector::link_matches(const Fault& f, NodeId from, NodeId to) {
+  return (f.from == kAnyNode || f.from == from) && (f.to == kAnyNode || f.to == to);
+}
+
+bool FaultInjector::node_down(Time now, NodeId node) const {
+  for (const auto& f : plan_.faults) {
+    if (f.kind == FaultKind::kCrash && f.from == node && f.active(now)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::drop_at_delivery(Time sent_at, Time now, NodeId to) {
+  for (const auto& f : plan_.faults) {
+    if (f.kind != FaultKind::kCrash || f.from != to) continue;
+    // Did a crash window overlap the flight interval (sent_at, now]?
+    if (f.start <= now && sent_at < f.end) {
+      ++stats_.dropped_crash;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::Verdict FaultInjector::on_message(Time now, NodeId from, NodeId to) {
+  Verdict v;
+  if (node_down(now, from) || node_down(now, to)) {
+    ++stats_.dropped_crash;
+    v.deliver = false;
+    return v;
+  }
+  if (from == to) return v;  // loopback never partitions/drops/delays
+
+  for (const auto& f : plan_.faults) {
+    if (!f.active(now)) continue;
+    switch (f.kind) {
+      case FaultKind::kPartition: {
+        const bool from_in = in_group(f, from);
+        const bool to_in = in_group(f, to);
+        const bool cut = f.symmetric ? (from_in != to_in) : (from_in && !to_in);
+        if (cut) {
+          ++stats_.dropped_partition;
+          v.deliver = false;
+          return v;
+        }
+        break;
+      }
+      case FaultKind::kDrop:
+        if (link_matches(f, from, to) && rng_.chance(f.probability)) {
+          ++stats_.dropped_random;
+          v.deliver = false;
+          return v;
+        }
+        break;
+      case FaultKind::kDelaySpike:
+        if (link_matches(f, from, to)) {
+          v.extra_delay += f.extra_delay;
+        }
+        break;
+      case FaultKind::kCrash:
+        break;  // handled by the endpoint check above
+    }
+  }
+  if (v.extra_delay > 0) {
+    ++stats_.delayed;
+    stats_.delay_added += v.extra_delay;
+  }
+  return v;
+}
+
+}  // namespace setchain::sim

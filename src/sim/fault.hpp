@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace setchain::sim {
+
+using NodeId = std::uint32_t;
+
+/// Wildcard node selector: "any node" in a link filter.
+inline constexpr NodeId kAnyNode = 0xFFFFFFFFu;
+
+/// Sentinel heal time for faults that never recover within the run.
+inline constexpr Time kNeverHeals = std::numeric_limits<Time>::max();
+
+/// The adversarial network/process behaviours the Setchain papers assume
+/// away only for *correct* servers: an asynchronous network may lose,
+/// delay, or cut messages, and servers may crash and come back (with or
+/// without their disk). Every fault is active on the half-open sim-time
+/// window [start, end).
+enum class FaultKind : std::uint8_t {
+  kDrop,        ///< drop matching messages with `probability`
+  kPartition,   ///< cut the links between `group` and the rest
+  kDelaySpike,  ///< add `extra_delay` to matching messages
+  kCrash,       ///< node `from` is down; restarts at `end` (state kept or wiped)
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One scheduled fault. Construct through the factories — they fill in the
+/// fields the kind actually uses; everything else keeps its default.
+struct Fault {
+  FaultKind kind = FaultKind::kDrop;
+  Time start = 0;
+  Time end = kNeverHeals;  ///< heal / restart time (exclusive)
+
+  /// kDrop / kDelaySpike: directed link filter (kAnyNode = wildcard).
+  /// kCrash: the crashing node.
+  NodeId from = kAnyNode;
+  NodeId to = kAnyNode;
+
+  double probability = 1.0;    ///< kDrop: per-message loss probability
+  std::vector<NodeId> group;   ///< kPartition: one side of the cut
+  bool symmetric = true;       ///< kPartition: false cuts group->rest only
+  Time extra_delay = 0;        ///< kDelaySpike
+  bool wipe_state = false;     ///< kCrash: lose consolidated state too
+
+  bool active(Time now) const { return now >= start && now < end; }
+  bool heals() const { return end != kNeverHeals; }
+
+  static Fault drop(NodeId from, NodeId to, double probability, Time start, Time end);
+  static Fault partition(std::vector<NodeId> group, Time start, Time heal,
+                         bool symmetric = true);
+  static Fault delay_spike(Time extra, Time start, Time end, NodeId from = kAnyNode,
+                           NodeId to = kAnyNode);
+  static Fault crash(NodeId node, Time start, Time restart, bool wipe = false);
+};
+
+/// The full fault schedule of one run, replayable from (plan, seed).
+struct FaultPlan {
+  std::vector<Fault> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  /// Parameter sanity against a cluster of `n` nodes: one message per
+  /// violated constraint (heal before start, probability outside [0, 1],
+  /// crash of node >= n, ...). Scenario::validate() folds these in.
+  std::vector<std::string> validate(std::uint32_t n) const;
+};
+
+/// What the injector actually did, for tests that must prove a fault path
+/// was exercised (not just configured).
+struct FaultStats {
+  std::uint64_t dropped_random = 0;     ///< lost to kDrop probability
+  std::uint64_t dropped_partition = 0;  ///< lost crossing an active cut
+  std::uint64_t dropped_crash = 0;      ///< lost to a down endpoint
+  std::uint64_t delayed = 0;            ///< messages a spike delayed
+  Time delay_added = 0;                 ///< total spike delay applied
+
+  std::uint64_t total_dropped() const {
+    return dropped_random + dropped_partition + dropped_crash;
+  }
+};
+
+/// Per-message fault oracle consulted by Network::send. Deterministic: the
+/// verdict stream is a pure function of (plan, seed, message sequence), so
+/// a run replays bit-for-bit.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  struct Verdict {
+    bool deliver = true;
+    Time extra_delay = 0;
+  };
+
+  /// Fate of one message sent at `now` on link from->to. Precedence: a down
+  /// endpoint loses the message outright, then partitions, then random
+  /// drops, then delay spikes accumulate. Loopback (from == to) is only
+  /// affected by crashes — a node is never partitioned from itself.
+  Verdict on_message(Time now, NodeId from, NodeId to);
+
+  /// Is `node` inside an active crash window at `now`?
+  bool node_down(Time now, NodeId node) const;
+
+  /// Delivery-time check: a message whose receiver was down at ANY point
+  /// while it was in flight (sent_at, now] is lost with the process — the
+  /// connection died, even if the node is back up by delivery time. Counts
+  /// into dropped_crash when it drops. (The send-time check cannot see
+  /// this — the crash may start after the message left the sender.)
+  bool drop_at_delivery(Time sent_at, Time now, NodeId to);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  static bool in_group(const Fault& f, NodeId node);
+  static bool link_matches(const Fault& f, NodeId from, NodeId to);
+
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace setchain::sim

@@ -7,6 +7,10 @@ namespace setchain::sim {
 Network::Network(Simulation& sim, std::uint32_t n, NetworkConfig cfg, std::uint64_t seed)
     : sim_(sim), n_(n), cfg_(cfg), rng_(seed), egress_(n) {}
 
+void Network::install_faults(FaultPlan plan, std::uint64_t seed) {
+  injector_ = std::make_unique<FaultInjector>(std::move(plan), seed);
+}
+
 Time Network::transfer_delay(NodeId from, NodeId to, std::uint64_t bytes) {
   if (from == to) {
     // Loopback: same-host client -> server traffic in the paper's docker
@@ -34,8 +38,23 @@ Time Network::transfer_delay(NodeId from, NodeId to, std::uint64_t bytes) {
 
 void Network::send(NodeId from, NodeId to, std::uint64_t bytes, std::function<void()> fn) {
   assert(from < n_ && to < n_);
+  // Offered-load accounting happens unconditionally: a dropped message was
+  // still sent (broadcasts count once per receiver either way).
   ++messages_;
   bytes_ += bytes;
+  if (injector_) {
+    const auto verdict = injector_->on_message(sim_.now(), from, to);
+    if (!verdict.deliver) return;  // lost in flight: no delivery, no egress hold
+    // Receiver liveness is re-checked at delivery time: a message whose
+    // destination crashed at any point while it was in flight dies with the
+    // process (the connection broke, even if the node restarted since).
+    sim_.schedule_in(transfer_delay(from, to, bytes) + verdict.extra_delay,
+                     [this, to, sent_at = sim_.now(), fn = std::move(fn)] {
+                       if (injector_->drop_at_delivery(sent_at, sim_.now(), to)) return;
+                       fn();
+                     });
+    return;
+  }
   sim_.schedule_in(transfer_delay(from, to, bytes), std::move(fn));
 }
 

@@ -2,16 +2,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
 namespace setchain::sim {
-
-using NodeId = std::uint32_t;
 
 /// Network configuration mirroring the paper's evaluation platform: a LAN
 /// cluster (sub-millisecond base latency, ~1 Gb/s links) plus an optional
@@ -30,9 +30,19 @@ struct NetworkConfig {
 /// Transfer time = egress serialization (size/bandwidth, FIFO per sender) +
 /// propagation (base + extra + jitter). Local delivery (from == to) is
 /// immediate apart from a fixed loopback cost.
+///
+/// An optional FaultInjector decides the fate of every message: dropped
+/// (crash / partition / random loss) or delayed (spike) before the normal
+/// transfer model applies. `messages_sent()`/`bytes_sent()` count *offered*
+/// load — a message lost in flight was still sent (and is counted once per
+/// receiver for broadcasts); `messages_dropped()` reports the losses.
 class Network {
  public:
   Network(Simulation& sim, std::uint32_t n, NetworkConfig cfg, std::uint64_t seed);
+
+  /// Arm fault injection for this run. Call before any traffic flows; the
+  /// injector's RNG is derived from `seed`, so (plan, seed) replays exactly.
+  void install_faults(FaultPlan plan, std::uint64_t seed);
 
   /// Deliver `fn` at the receiver after the modeled transfer of `bytes`.
   void send(NodeId from, NodeId to, std::uint64_t bytes, std::function<void()> fn);
@@ -45,6 +55,19 @@ class Network {
   const NetworkConfig& config() const { return cfg_; }
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t messages_dropped() const {
+    return injector_ ? injector_->stats().total_dropped() : 0;
+  }
+
+  /// Fault layer, if armed (null on a perfect network).
+  const FaultInjector* faults() const { return injector_.get(); }
+  /// True when a fault plan is armed: consumers (the consensus layer) enable
+  /// their retransmission/catch-up paths only on lossy networks.
+  bool lossy() const { return injector_ != nullptr; }
+  /// Is `node` inside an active crash window right now?
+  bool node_down(NodeId node) const {
+    return injector_ && injector_->node_down(sim_.now(), node);
+  }
 
   /// Per-node egress utilisation bookkeeping (diagnostics).
   Time egress_busy(NodeId node) const { return egress_[node].total_busy(); }
@@ -57,6 +80,7 @@ class Network {
   NetworkConfig cfg_;
   Rng rng_;
   std::vector<BusyResource> egress_;
+  std::unique_ptr<FaultInjector> injector_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
 };

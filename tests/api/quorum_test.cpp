@@ -9,6 +9,7 @@
 #include "api/quorum_client.hpp"
 #include "api/scenario_builder.hpp"
 #include "core/algo_fixture.hpp"
+#include "runner/experiment.hpp"
 #include "runner/scenario.hpp"
 
 namespace setchain {
@@ -364,6 +365,118 @@ TEST(QuorumVerify, WaitCommittedPumpsUntilProofsLand) {
   EXPECT_GE(v.valid_proofs, h.params.f + 1);
 }
 
+// ----------------------------------------------- crashed / isolated primaries
+
+// The facade face of a crash fault: a dead primary refuses adds, so the
+// kPrimary walk must fail over within f+1 attempts, and serves empty reads,
+// so get() reaches its f+1 agreement from the remaining live nodes.
+TEST(QuorumUnderCrash, DeadPrimaryFailsOverWithinQuorumAttemptsAndGetAgrees) {
+  AlgoHarness<core::HashchainServer> h(4, 4);
+  auto client = make_client(h, real_nodes(h));  // kPrimary, primary = node 0
+  std::vector<core::ElementId> accepted;
+
+  // Healthy primary: one attempt per add. Collector limit 4 -> the batch
+  // self-emits, so nothing is sitting in node 0's collector at crash time.
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    const auto e = h.make_element(0, seq);
+    const auto r = client.add(e);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.attempted, 1u);
+    accepted.push_back(e.id);
+  }
+  h.seal_rounds();
+
+  h.servers[0]->crash(/*wipe=*/false);
+  EXPECT_TRUE(h.servers[0]->is_down());
+  EXPECT_EQ(h.servers[0]->snapshot().history, nullptr);  // serves nothing
+  EXPECT_TRUE(h.servers[0]->proofs_for_epoch(1).empty());
+
+  // Adds while the primary is dead: exactly one failover hop (f+1 = 2
+  // attempts bound the walk), and node 0 is flagged as refusing.
+  for (std::uint64_t seq = 5; seq <= 8; ++seq) {
+    const auto e = h.make_element(0, seq);
+    const auto r = client.add(e);
+    ASSERT_TRUE(r.ok) << seq;
+    EXPECT_EQ(r.attempted, 2u);
+    EXPECT_EQ(r.accepted, 1u);
+    accepted.push_back(e.id);
+  }
+  EXPECT_EQ(client.node_status(0), api::NodeStatus::kRefusing);
+
+  // get() still reaches f+1 agreement: the three live nodes carry the view.
+  const auto view = client.get();
+  EXPECT_EQ(view.masked_nodes, 0u);  // dead != equivocating
+  const auto truth = h.servers[1]->get();
+  ASSERT_EQ(view.epoch, truth.history->size());
+  for (const auto id : accepted) {
+    if (view.the_set.contains(id)) continue;
+    // Post-crash adds are still in live collectors until the next seal.
+    EXPECT_GT(id, accepted[3]) << "pre-crash element missing from quorum view";
+  }
+
+  h.servers[0]->restart();
+  EXPECT_FALSE(h.servers[0]->is_down());
+  EXPECT_EQ(h.servers[0]->crash_count(), 1u);
+}
+
+// Full-stack variant (satellite of the fault-injection layer): the primary
+// both crashes and is partitioned mid-run inside the simulation. Its
+// co-located client keeps adding through the facade, so every add during the
+// outage fails over; after heal the cluster reconverges and the quorum view
+// matches the correct servers.
+TEST(QuorumUnderPartition, PrimaryIsolatedMidRunFailsOverAndRecovers) {
+  runner::Scenario s;
+  s.algorithm = runner::Algorithm::kHashchain;
+  s.n = 4;
+  s.sending_rate = 200;
+  s.collector_limit = 20;
+  s.add_duration = sim::from_seconds(5);
+  s.horizon = sim::from_seconds(180);
+  s.track_ids = true;
+  s.faults.faults.push_back(sim::Fault::partition({0}, sim::from_seconds(2.0),
+                                                  sim::from_seconds(3.5)));
+  s.faults.faults.push_back(sim::Fault::crash(0, sim::from_seconds(2.0),
+                                              sim::from_seconds(3.5)));
+
+  runner::Experiment e(s);
+
+  // Mid-outage probe: a fresh kPrimary client pinned to the dead node 0.
+  workload::ArbitrumLikeGenerator probe_gen(77);
+  core::ElementFactory probe_factory(probe_gen, e.pki(), core::Fidelity::kCalibrated);
+  e.pki().register_process(100);
+  auto probe = e.make_client(api::WritePolicy::kPrimary, 0);
+  e.simulation().schedule_at(sim::from_seconds(2.5), [&] {
+    const auto r = probe.add(probe_factory.make(100, 1));
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.attempted, 2u);  // f+1 bounds the failover walk
+    EXPECT_EQ(r.accepted, 1u);
+    EXPECT_EQ(probe.node_status(0), api::NodeStatus::kRefusing);
+  });
+  e.run();
+
+  // The dead primary's collector contents are lost with it; everything else
+  // must commit (clients failed over, the cluster healed).
+  const auto r = e.result();
+  EXPECT_GT(r.net_dropped, 0u);
+  EXPECT_GE(r.elements_committed + s.collector_limit, r.elements_added);
+  EXPECT_GT(r.elements_committed, 0u);
+  EXPECT_EQ(e.server(0).crash_count(), 1u);
+
+  // Safety holds across every server, the recovered node 0 included, and a
+  // quorum client over all four nodes agrees with the correct servers.
+  std::vector<const core::SetchainServer*> all;
+  for (std::uint32_t i = 0; i < s.n; ++i) all.push_back(&e.server(i));
+  const auto safety = core::check_safety(all);
+  EXPECT_TRUE(safety.ok()) << safety.to_string();
+  auto reader = e.make_client();
+  const auto view = reader.get();
+  const auto truth = e.server(1).get();
+  ASSERT_EQ(view.epoch, truth.history->size());
+  for (std::size_t i = 0; i < view.history.size(); ++i) {
+    EXPECT_EQ(view.history[i].hash, (*truth.history)[i].hash);
+  }
+}
+
 // -------------------------------------------------- scenario builder / parse
 
 TEST(ParseAlgorithm, RoundTripsEveryAlgorithmName) {
@@ -402,6 +515,67 @@ TEST(ScenarioValidate, RejectsEachBrokenParameter) {
   EXPECT_TRUE(broken([](runner::Scenario& s) { s.block_bytes = 0; }));
   EXPECT_TRUE(broken([](runner::Scenario& s) { s.byz_corrupt_proofs = {10}; }));
   EXPECT_TRUE(broken([](runner::Scenario& s) { s.client_invalid_fraction = 1.5; }));
+}
+
+TEST(ScenarioValidate, RejectsMalformedFaultPlansOneMessageEach) {
+  runner::Scenario s;  // default n = 10
+  // Three independent violations -> exactly three messages.
+  s.faults.faults.push_back(
+      sim::Fault::drop(0, 1, /*probability=*/1.7, sim::from_seconds(2),
+                       sim::from_seconds(1)));  // heals before start AND p > 1
+  s.faults.faults.push_back(sim::Fault::crash(10, 0, sim::from_seconds(1)));
+  const auto errors = s.validate();
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_NE(errors[0].find("heals"), std::string::npos);
+  EXPECT_NE(errors[1].find("probability"), std::string::npos);
+  EXPECT_NE(errors[2].find("node 10"), std::string::npos);
+
+  // Hashchain light mode models a perfect dissemination layer (peers read
+  // each other's stores directly) — fault plans are rejected with it.
+  runner::Scenario light;
+  light.algorithm = runner::Algorithm::kHashchain;
+  light.hash_reversal = false;
+  EXPECT_TRUE(light.validate().empty());
+  light.faults.faults.push_back(
+      sim::Fault::crash(0, sim::from_seconds(1), sim::from_seconds(2)));
+  const auto light_errors = light.validate();
+  ASSERT_EQ(light_errors.size(), 1u);
+  EXPECT_NE(light_errors[0].find("light mode"), std::string::npos);
+}
+
+TEST(ScenarioValidate, FaultPlanRoundTripsThroughBuilder) {
+  // Valid plan: survives build() and lands in the scenario field-for-field.
+  const runner::Scenario s = api::ScenarioBuilder()
+                                 .servers(7)
+                                 .fault_drop(0, 1, 0.25, 1.0, 2.0)
+                                 .fault_partition({1, 2}, 0.5, 3.0, /*symmetric=*/false)
+                                 .fault_delay(250, 0.0, 4.0)
+                                 .fault_crash(3, 1.0, 2.5, /*wipe=*/true)
+                                 .fault_crash(4, 1.0)  // never restarts
+                                 .build();
+  ASSERT_EQ(s.faults.faults.size(), 5u);
+  EXPECT_EQ(s.faults.faults[0].kind, sim::FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(s.faults.faults[0].probability, 0.25);
+  EXPECT_EQ(s.faults.faults[1].kind, sim::FaultKind::kPartition);
+  EXPECT_EQ(s.faults.faults[1].group, (std::vector<sim::NodeId>{1, 2}));
+  EXPECT_FALSE(s.faults.faults[1].symmetric);
+  EXPECT_EQ(s.faults.faults[2].kind, sim::FaultKind::kDelaySpike);
+  EXPECT_EQ(s.faults.faults[2].extra_delay, sim::from_millis(250));
+  EXPECT_EQ(s.faults.faults[3].kind, sim::FaultKind::kCrash);
+  EXPECT_TRUE(s.faults.faults[3].wipe_state);
+  EXPECT_EQ(s.faults.faults[3].end, sim::from_seconds(2.5));
+  EXPECT_FALSE(s.faults.faults[4].heals());
+
+  // Malformed plans refuse to build.
+  EXPECT_THROW(api::ScenarioBuilder().servers(4).fault_crash(4, 1.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW(api::ScenarioBuilder().fault_drop(0, 1, 2.0, 1.0, 2.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW(api::ScenarioBuilder().fault_delay(100, 3.0, 1.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      api::ScenarioBuilder().servers(4).fault_partition({0, 1, 2, 3}, 0, 1).build(),
+      std::invalid_argument);
 }
 
 TEST(ScenarioBuilder, BuildsValidatedScenarios) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "core/client.hpp"
 #include "core/compresschain.hpp"
@@ -10,6 +11,8 @@
 #include "core/invariants.hpp"
 #include "core/vanilla.hpp"
 #include "ledger/ledger_node.hpp"
+#include "runner/scenario.hpp"
+#include "sim/fault.hpp"
 
 namespace setchain::core::testing {
 
@@ -201,6 +204,134 @@ void drive_conformance(const ConformanceScenario& sc, ConformanceOutcome& out) {
   out.history = *snap.history;
   out.epochs = snap.epoch;
   out.the_set_size = correct.front()->the_set_size();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded scenario fuzzing (tests/fuzz/scenario_fuzz_test.cpp).
+//
+// make_fuzz_case(seed) expands a 64-bit seed into a complete Experiment
+// scenario: algorithm × cluster size × rate × fault plan (message drops,
+// partitions, delay spikes, crash/restart). The expansion is deterministic,
+// so a failing seed IS its reproducer:
+//   ./scenario_fuzz_test --gtest_filter='*OneSeed*' with SETCHAIN_FUZZ_ONE=<seed>
+
+struct FuzzCase {
+  runner::Scenario scenario;
+  /// True when every fault heals inside the add window. The run must then
+  /// recover completely, and the harness asserts the full liveness property
+  /// set on every server — crashed-and-restarted ones included. With an
+  /// unhealed fault only the safety properties are asserted.
+  bool check_liveness = true;
+  /// Fault kinds present in the plan, indexed by sim::FaultKind.
+  bool has_kind[4] = {false, false, false, false};
+  bool has_wipe = false;
+  std::string summary;  ///< one-line description for failure messages
+};
+
+inline FuzzCase make_fuzz_case(std::uint64_t seed) {
+  sim::Rng rng(seed ^ 0x5CE4A71F00DULL);
+  FuzzCase fc;
+  runner::Scenario& s = fc.scenario;
+
+  const std::uint32_t n_choices[] = {4, 4, 5, 7, 10};
+  s.n = n_choices[rng.uniform_u64(5)];
+  const std::uint32_t f = (s.n - 1) / 3;
+  const runner::Algorithm algos[] = {runner::Algorithm::kVanilla,
+                                     runner::Algorithm::kCompresschain,
+                                     runner::Algorithm::kHashchain};
+  s.algorithm = algos[rng.uniform_u64(3)];
+  s.sending_rate = 100.0 + static_cast<double>(rng.uniform_u64(400));
+  const std::uint32_t c_choices[] = {8, 20, 50};
+  s.collector_limit = c_choices[rng.uniform_u64(3)];
+  const double add_s = 3.0 + rng.uniform(0.0, 2.0);
+  s.add_duration = sim::from_seconds(add_s);
+  s.horizon = sim::from_seconds(180);  // generous drain margin for recovery
+  s.fidelity = core::Fidelity::kCalibrated;
+  s.track_ids = true;
+  s.seed = seed ^ 0xF0225EEDULL;
+
+  // Nodes eligible for crashes and partition groups: at most f of them, so
+  // the f+1 correct quorums the Setchain properties rely on always exist.
+  std::vector<sim::NodeId> pool(s.n);
+  for (std::uint32_t i = 0; i < s.n; ++i) pool[i] = i;
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.uniform_u64(i)]);
+  }
+  pool.resize(1 + rng.uniform_u64(std::max<std::uint32_t>(f, 1)));  // 1..f nodes
+  std::vector<sim::NodeId> crashable = pool;  // each node crashes at most once
+
+  auto& faults = s.faults.faults;
+  const int n_faults = rng.chance(0.1) ? 0 : 1 + static_cast<int>(rng.uniform_u64(3));
+  for (int i = 0; i < n_faults; ++i) {
+    // Windows open after traffic exists and close before the add window
+    // ends, so a healed plan leaves the system time to recover in-band.
+    const double start_s = add_s * rng.uniform(0.10, 0.50);
+    const double dur_s = add_s * rng.uniform(0.15, 0.40);
+    const sim::Time start = sim::from_seconds(start_s);
+    const sim::Time end = sim::from_seconds(start_s + dur_s);
+    std::uint64_t kind = rng.uniform_u64(4);
+    if (kind == 3 && crashable.empty()) kind = 2;  // every pool node already crashes
+    switch (kind) {
+      case 0: {  // per-link (or blanket) message loss
+        if (rng.chance(0.5)) {
+          faults.push_back(sim::Fault::drop(sim::kAnyNode, sim::kAnyNode,
+                                            rng.uniform(0.05, 0.35), start, end));
+        } else {
+          const auto a = static_cast<sim::NodeId>(rng.uniform_u64(s.n));
+          auto b = static_cast<sim::NodeId>(rng.uniform_u64(s.n - 1));
+          if (b >= a) ++b;
+          faults.push_back(sim::Fault::drop(a, b, rng.uniform(0.2, 1.0), start, end));
+        }
+        fc.has_kind[static_cast<int>(sim::FaultKind::kDrop)] = true;
+        break;
+      }
+      case 1: {  // partition: a subset of the pool vs the rest
+        std::vector<sim::NodeId> group(pool.begin(),
+                                       pool.begin() + 1 + rng.uniform_u64(pool.size()));
+        faults.push_back(sim::Fault::partition(std::move(group), start, end,
+                                               /*symmetric=*/rng.chance(0.7)));
+        fc.has_kind[static_cast<int>(sim::FaultKind::kPartition)] = true;
+        break;
+      }
+      case 2: {  // latency spike
+        const sim::Time extra = sim::from_millis(50.0 + rng.uniform(0.0, 1150.0));
+        faults.push_back(sim::Fault::delay_spike(extra, start, end));
+        fc.has_kind[static_cast<int>(sim::FaultKind::kDelaySpike)] = true;
+        break;
+      }
+      case 3: {  // crash/restart (state retained or wiped)
+        const sim::NodeId node = crashable.back();
+        crashable.pop_back();
+        const bool wipe = rng.chance(0.5);
+        const bool unhealed = rng.chance(0.15);
+        faults.push_back(
+            sim::Fault::crash(node, start, unhealed ? sim::kNeverHeals : end, wipe));
+        if (unhealed) fc.check_liveness = false;
+        // Crash-proof submission: every element must reach a correct server
+        // even when its primary dies with a full collector.
+        s.clients_duplicate_to_all = true;
+        fc.has_kind[static_cast<int>(sim::FaultKind::kCrash)] = true;
+        fc.has_wipe = fc.has_wipe || wipe;
+        break;
+      }
+    }
+  }
+
+  fc.summary = "seed=" + std::to_string(seed) + " algo=" +
+               runner::algorithm_name(s.algorithm) + " n=" + std::to_string(s.n) +
+               " rate=" + std::to_string(static_cast<int>(s.sending_rate)) +
+               " collector=" + std::to_string(s.collector_limit) + " faults=[";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const auto& flt = faults[i];
+    fc.summary += std::string(i ? " " : "") + sim::fault_kind_name(flt.kind) + "(" +
+                  std::to_string(sim::to_seconds(flt.start)) + "s-" +
+                  (flt.heals() ? std::to_string(sim::to_seconds(flt.end)) + "s"
+                               : std::string("never")) +
+                  (flt.kind == sim::FaultKind::kCrash && flt.wipe_state ? ",wipe" : "") +
+                  ")";
+  }
+  fc.summary += "]";
+  return fc;
 }
 
 }  // namespace setchain::core::testing

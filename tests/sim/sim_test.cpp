@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
@@ -252,6 +253,170 @@ TEST(Network, CountsMessagesAndBytes) {
   s.run();
   EXPECT_EQ(net.messages_sent(), 2u);
   EXPECT_EQ(net.bytes_sent(), 300u);
+}
+
+// Pinned offered-load accounting: a broadcast counts its bytes once per
+// receiver (n-1 sends), and fault-layer drops do not change what was *sent*.
+TEST(Network, BroadcastCountsBytesOncePerReceiver) {
+  Simulation s;
+  Network net(s, 5, {}, 1);
+  net.broadcast(2, 100, [](NodeId) {});
+  s.run();
+  EXPECT_EQ(net.messages_sent(), 4u);  // 5 nodes, everyone but the sender
+  EXPECT_EQ(net.bytes_sent(), 400u);   // 100 bytes, once per receiver
+  EXPECT_EQ(net.messages_dropped(), 0u);
+
+  // Same broadcast under a full partition: identical sent accounting, every
+  // cross-cut copy counted as dropped instead of delivered.
+  Simulation s2;
+  Network lossy(s2, 5, {}, 1);
+  FaultPlan plan;
+  plan.faults.push_back(Fault::partition({2}, 0, kNeverHeals));
+  lossy.install_faults(plan, 7);
+  int delivered = 0;
+  lossy.broadcast(2, 100, [&](NodeId) { ++delivered; });
+  s2.run();
+  EXPECT_EQ(lossy.messages_sent(), 4u);
+  EXPECT_EQ(lossy.bytes_sent(), 400u);
+  EXPECT_EQ(lossy.messages_dropped(), 4u);
+  EXPECT_EQ(delivered, 0);
+}
+
+// ------------------------------------------------------------ fault injection
+
+TEST(FaultInjector, DropWindowLosesOnlyMatchingMessages) {
+  FaultPlan plan;
+  plan.faults.push_back(Fault::drop(0, 1, 1.0, 100, 200));
+  FaultInjector inj(plan, 1);
+  EXPECT_TRUE(inj.on_message(50, 0, 1).deliver);    // before the window
+  EXPECT_FALSE(inj.on_message(150, 0, 1).deliver);  // inside
+  EXPECT_TRUE(inj.on_message(150, 1, 0).deliver);   // reverse direction
+  EXPECT_TRUE(inj.on_message(200, 0, 1).deliver);   // end is exclusive
+  EXPECT_EQ(inj.stats().dropped_random, 1u);
+}
+
+TEST(FaultInjector, DropProbabilityIsRoughlyHonored) {
+  FaultPlan plan;
+  plan.faults.push_back(Fault::drop(kAnyNode, kAnyNode, 0.3, 0, kNeverHeals));
+  FaultInjector inj(plan, 42);
+  int dropped = 0;
+  for (int i = 0; i < 10000; ++i) dropped += inj.on_message(1, 0, 1).deliver ? 0 : 1;
+  EXPECT_GT(dropped, 2700);
+  EXPECT_LT(dropped, 3300);
+}
+
+TEST(FaultInjector, SymmetricAndDirectedPartitions) {
+  FaultPlan plan;
+  plan.faults.push_back(Fault::partition({0, 1}, 0, 1000, /*symmetric=*/true));
+  FaultInjector sym(plan, 1);
+  EXPECT_FALSE(sym.on_message(10, 0, 2).deliver);  // group -> rest
+  EXPECT_FALSE(sym.on_message(10, 2, 1).deliver);  // rest -> group
+  EXPECT_TRUE(sym.on_message(10, 0, 1).deliver);   // inside the group
+  EXPECT_TRUE(sym.on_message(10, 2, 3).deliver);   // outside the group
+  EXPECT_TRUE(sym.on_message(2000, 0, 2).deliver);  // healed
+  EXPECT_EQ(sym.stats().dropped_partition, 2u);
+
+  FaultPlan directed;
+  directed.faults.push_back(Fault::partition({0}, 0, 1000, /*symmetric=*/false));
+  FaultInjector one_way(directed, 1);
+  EXPECT_FALSE(one_way.on_message(10, 0, 2).deliver);  // outbound cut
+  EXPECT_TRUE(one_way.on_message(10, 2, 0).deliver);   // inbound still flows
+}
+
+TEST(FaultInjector, DelaySpikesAccumulate) {
+  FaultPlan plan;
+  plan.faults.push_back(Fault::delay_spike(from_millis(30), 0, 1000));
+  plan.faults.push_back(Fault::delay_spike(from_millis(20), 0, 500, 0, 1));
+  FaultInjector inj(plan, 1);
+  EXPECT_EQ(inj.on_message(10, 0, 1).extra_delay, from_millis(50));  // both match
+  EXPECT_EQ(inj.on_message(10, 1, 0).extra_delay, from_millis(30));  // blanket only
+  EXPECT_EQ(inj.on_message(700, 0, 1).extra_delay, from_millis(30));  // one healed
+  EXPECT_EQ(inj.stats().delayed, 3u);
+}
+
+TEST(FaultInjector, CrashWindowDownsTheNodeBothWays) {
+  FaultPlan plan;
+  plan.faults.push_back(Fault::crash(1, 100, 200));
+  FaultInjector inj(plan, 1);
+  EXPECT_FALSE(inj.node_down(50, 1));
+  EXPECT_TRUE(inj.node_down(150, 1));
+  EXPECT_FALSE(inj.node_down(200, 1));  // restarted
+  EXPECT_FALSE(inj.node_down(150, 0));  // other nodes unaffected
+  EXPECT_FALSE(inj.on_message(150, 1, 0).deliver);  // from the dead node
+  EXPECT_FALSE(inj.on_message(150, 0, 1).deliver);  // to the dead node
+  EXPECT_FALSE(inj.on_message(150, 1, 1).deliver);  // even loopback
+  EXPECT_TRUE(inj.on_message(150, 0, 2).deliver);
+  EXPECT_EQ(inj.stats().dropped_crash, 3u);
+  // A message whose receiver was down at any point in flight is lost at
+  // delivery time — even if the node restarted before it arrived.
+  EXPECT_FALSE(inj.drop_at_delivery(40, 50, 1));    // flight before the crash
+  EXPECT_TRUE(inj.drop_at_delivery(120, 150, 1));   // delivered while down
+  EXPECT_TRUE(inj.drop_at_delivery(50, 250, 1));    // flight spans the window
+  EXPECT_FALSE(inj.drop_at_delivery(210, 250, 1));  // sent after the restart
+  EXPECT_FALSE(inj.drop_at_delivery(50, 250, 0));   // other nodes unaffected
+  EXPECT_EQ(inj.stats().dropped_crash, 5u);
+}
+
+TEST(FaultInjector, VerdictStreamIsDeterministic) {
+  FaultPlan plan;
+  plan.faults.push_back(Fault::drop(kAnyNode, kAnyNode, 0.5, 0, kNeverHeals));
+  FaultInjector a(plan, 99), b(plan, 99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.on_message(i, 0, 1).deliver, b.on_message(i, 0, 1).deliver) << i;
+  }
+}
+
+TEST(FaultInjector, DelayedMessageArrivesLate) {
+  Simulation s;
+  NetworkConfig cfg;
+  cfg.base_latency = from_millis(1);
+  cfg.jitter_fraction = 0.0;
+  Network net(s, 2, cfg, 1);
+  FaultPlan plan;
+  plan.faults.push_back(Fault::delay_spike(from_millis(100), 0, kNeverHeals));
+  net.install_faults(plan, 3);
+  Time delivered = -1;
+  net.send(0, 1, 10, [&] { delivered = s.now(); });
+  s.run();
+  EXPECT_GE(delivered, from_millis(101));
+  EXPECT_LT(delivered, from_millis(102));
+}
+
+TEST(FaultPlanValidate, OneMessagePerViolation) {
+  FaultPlan plan;
+  // Three violations in one plan: heal before start, probability out of
+  // range, crash aimed outside the cluster.
+  plan.faults.push_back(Fault::drop(0, 1, 1.5, 100, 50));
+  plan.faults.push_back(Fault::crash(9, 0, 100));
+  const auto errors = plan.validate(4);
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_NE(errors[0].find("heals"), std::string::npos);
+  EXPECT_NE(errors[1].find("probability"), std::string::npos);
+  EXPECT_NE(errors[2].find("node 9"), std::string::npos);
+}
+
+TEST(FaultPlanValidate, RejectsMalformedPartitionsAndCrashes) {
+  const auto bad = [](Fault f, std::uint32_t n = 4) {
+    FaultPlan plan;
+    plan.faults.push_back(std::move(f));
+    return !plan.validate(n).empty();
+  };
+  EXPECT_TRUE(bad(Fault::partition({}, 0, 100)));            // empty group
+  EXPECT_TRUE(bad(Fault::partition({0, 0}, 0, 100)));        // duplicate member
+  EXPECT_TRUE(bad(Fault::partition({0, 1, 2, 3}, 0, 100)));  // whole cluster
+  EXPECT_TRUE(bad(Fault::partition({7}, 0, 100)));           // outside cluster
+  EXPECT_TRUE(bad(Fault::crash(kAnyNode, 0, 100)));          // wildcard crash
+  EXPECT_TRUE(bad(Fault::delay_spike(0, 0, 100)));           // zero spike
+  EXPECT_TRUE(bad(Fault::drop(0, 1, 0.5, -5, 100)));         // negative start
+  // Overlapping crash windows of one node are rejected; disjoint ones pass.
+  FaultPlan overlap;
+  overlap.faults.push_back(Fault::crash(1, 0, 100));
+  overlap.faults.push_back(Fault::crash(1, 50, 150));
+  EXPECT_FALSE(overlap.validate(4).empty());
+  FaultPlan disjoint;
+  disjoint.faults.push_back(Fault::crash(1, 0, 100));
+  disjoint.faults.push_back(Fault::crash(1, 100, 150));
+  EXPECT_TRUE(disjoint.validate(4).empty());
 }
 
 }  // namespace
