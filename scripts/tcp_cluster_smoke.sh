@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Boot a 4-node Setchain TCP cluster on localhost, run the remote
+# quorum-client example against it, and tear everything down — with a hard
+# timeout so a wedged cluster can never hang CI. Used by the `smoke_tcp_cluster`
+# ctest target and the CI "TCP cluster smoke" step.
+#
+#   usage: tcp_cluster_smoke.sh <setchain_node> <remote_quorum_client> [algo]
+set -euo pipefail
+
+NODE_BIN=${1:?path to setchain_node}
+CLIENT_BIN=${2:?path to remote_quorum_client}
+ALGO=${3:-hashchain}
+
+N=4
+F=1
+SEED=42
+HOST=127.0.0.1
+# Randomized base port keeps parallel ctest invocations off each other.
+PORT_BASE=$(( 21000 + RANDOM % 20000 ))
+LOG_DIR=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  local code=$?
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  if [ "$code" -ne 0 ]; then
+    echo "--- daemon logs (${LOG_DIR}) ---" >&2
+    tail -n 20 "${LOG_DIR}"/node*.log >&2 || true
+  fi
+  rm -rf "${LOG_DIR}"
+  exit "$code"
+}
+trap cleanup EXIT INT TERM
+
+PEER_ARGS=()
+for i in $(seq 0 $((N - 1))); do
+  PEER_ARGS+=(--peer "${HOST}:$((PORT_BASE + i))")
+done
+
+for i in $(seq 0 $((N - 1))); do
+  "$NODE_BIN" --id "$i" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+    --listen "${HOST}:$((PORT_BASE + i))" "${PEER_ARGS[@]}" \
+    --collector 8 --collector-timeout-ms 150 --block-interval-ms 120 \
+    >"${LOG_DIR}/node${i}.log" 2>&1 &
+  PIDS+=($!)
+done
+
+NODE_ARGS=()
+for i in $(seq 0 $((N - 1))); do
+  NODE_ARGS+=(--node "${HOST}:$((PORT_BASE + i))")
+done
+
+# Hard timeout: the client self-checks (adds, quorum get, f+1 commit proof)
+# and exits nonzero on any failure or stall.
+timeout --kill-after=10 90 \
+  "$CLIENT_BIN" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+  --count 24 --wait-seconds 45 "${NODE_ARGS[@]}"
+
+echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N})"

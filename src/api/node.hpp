@@ -25,29 +25,50 @@ struct NodeSnapshot {
 
 /// The client-facing surface of one Setchain server — the datatype API the
 /// paper specifies (add / get / epoch-proofs), abstracted away from concrete
-/// server classes. `SetchainServer` implements it in-process; a future
-/// transport backend implements it over a socket. Everything client-shaped
-/// (QuorumClient, examples, light-client checks) talks to this interface
-/// only, so a node here may equally be a correct server, a Byzantine
-/// wrapper in a test, or a remote stub.
+/// server classes. `SetchainServer` implements it in-process;
+/// `net::RemoteNode` implements it over a socket against a live cluster.
+/// Everything client-shaped (QuorumClient, examples, light-client checks)
+/// talks to this interface only, so a node here may equally be a correct
+/// server, a Byzantine wrapper in a test, or a remote stub.
+///
+/// Failure semantics, uniform across implementations: a node that is down,
+/// crashed, or unreachable (an RPC timeout on a remote stub) REFUSES adds
+/// and serves empty reads — indistinguishable from a silent Byzantine
+/// server, which is exactly why no caller may trust one node. Quorum
+/// callers (QuorumClient) tolerate up to f nodes behaving this way per
+/// operation.
 class ISetchainNode {
  public:
   virtual ~ISetchainNode() = default;
 
-  /// S.add_v(e). False when the element is invalid or already known.
+  /// S.add_v(e). False when the element is invalid (bad signature,
+  /// malformed), already known to this node, or the node is down /
+  /// unreachable — acceptance by ONE node is no commitment (the element
+  /// may still die with that node's collector; broadcast policies and the
+  /// f+1 commit check exist for exactly that reason).
   virtual bool add(core::Element e) = 0;
 
-  /// S.get_v(). Untrusted: a Byzantine node may return anything.
+  /// S.get_v(). Untrusted: a Byzantine node may return anything, so a
+  /// client must reconcile snapshots across f+1 nodes before believing a
+  /// record (QuorumClient::get does). Down/unreachable nodes serve empty
+  /// views (null pointers, epoch 0). Remote stubs return views into their
+  /// own caches, valid until the next snapshot() call on the same stub.
   virtual NodeSnapshot snapshot() const = 0;
 
   /// Epoch-proofs this node holds for epoch `epoch_number` (1-based, the
-  /// paper's numbering). Bounds-checked: epoch 0 or an epoch this node has
-  /// not consolidated yet yields an empty list. This accessor is the single
-  /// owner of the "epoch i lives at index i-1" convention.
+  /// paper's numbering). Bounds-checked: epoch 0, an epoch this node has
+  /// not consolidated yet, or a down/unreachable node yields an empty
+  /// list. This accessor is the single owner of the "epoch i lives at
+  /// index i-1" convention. Any single node's proof store may be partial
+  /// or fake — commit decisions need f+1 VALID proofs from distinct
+  /// signers, validated against the quorum-agreed epoch hash, gathered
+  /// across all nodes (QuorumClient::verify).
   virtual const std::vector<core::EpochProof>& proofs_for_epoch(
       std::uint64_t epoch_number) const = 0;
 
-  /// Number of epochs this node has consolidated.
+  /// Number of epochs this node has consolidated; 0 when down/unreachable.
+  /// An honest-but-slow node legitimately trails the cluster, and a
+  /// Byzantine one may claim anything — never a commit signal by itself.
   virtual std::uint64_t epoch() const = 0;
 
   /// The server's process id in the PKI (who signs its epoch-proofs).

@@ -63,6 +63,14 @@ class QuorumClient {
     std::size_t attempted = 0;  ///< nodes offered the element
     bool ok = false;            ///< the write policy's threshold was met
   };
+  /// S.add(e) under the configured WritePolicy. Threshold for `ok`:
+  /// kPrimary >= 1 accept within f+1 attempts (that set provably contains
+  /// a correct server, so walking further only spreads load from bad
+  /// elements), kQuorum >= f+1 accepts, kAll >= 1 accept after offering
+  /// everyone. A refusal may mean "invalid", "already known", or "node
+  /// down/unreachable" — only the kPrimary failover walk assigns blame
+  /// (kRefusing) since broadcast refusals are routinely just duplicates.
+  /// ok==true is NOT commitment: that is verify()'s f+1-proof check.
   AddResult add(core::Element e);
 
   /// Client-side consolidated view: exactly the epochs with f+1 agreement.
@@ -72,6 +80,16 @@ class QuorumClient {
     std::uint64_t epoch = 0;         ///< last epoch with an f+1 quorum
     std::size_t masked_nodes = 0;    ///< nodes currently masked as equivocating
   };
+  /// Quorum read: snapshots every non-masked node, then adopts epochs in
+  /// order while f+1 nodes report an IDENTICAL (hash, contents) record —
+  /// at most f are Byzantine, so each adopted record carries a correct
+  /// server's word. Stops at the first epoch without such a quorum (a
+  /// trailing epoch still consolidating is simply not visible yet). Nodes
+  /// contradicting an adopted record — or serving a structurally bogus
+  /// history — are masked as equivocating for the lifetime of this client;
+  /// down/unreachable nodes just don't vote and are NOT masked (they may
+  /// recover). With more than f nodes unreachable the view legitimately
+  /// shrinks to the epochs that still muster f+1.
   View get();
 
   struct VerifyResult {
@@ -83,17 +101,31 @@ class QuorumClient {
   };
   /// Commit check for one element against the quorum view. Proofs are
   /// validated against the f+1-agreed epoch hash, so a Byzantine node can
-  /// neither sneak a proof for a fake epoch in nor suppress the quorum.
+  /// neither sneak a proof for a fake epoch in nor suppress the quorum;
+  /// each signing server counts once no matter how many nodes relay its
+  /// proof. committed==true needs f+1 valid proofs from DISTINCT signers,
+  /// gathered across ALL non-masked nodes — correct by the f bound even
+  /// when no single server holds a committing set. in_epoch==false means
+  /// the element has not reached any f+1-agreed epoch yet (or never will:
+  /// a refused/invalid element looks the same — poll wait_committed to
+  /// distinguish "not yet" from "never" within a bounded wait).
   VerifyResult verify(core::ElementId id);
 
   /// Poll verify(id) until committed, calling `pump` between attempts to
-  /// make progress (seal a ledger block, advance the simulation, ...).
-  /// Stops early when pump() reports no more progress is possible.
+  /// make progress (seal a ledger block, advance the simulation, sleep a
+  /// beat of wall time against a live cluster, ...). Stops early when
+  /// pump() reports no more progress is possible, so a dead deployment
+  /// returns promptly instead of burning max_rounds.
   VerifyResult wait_committed(core::ElementId id, const std::function<bool()>& pump,
                               int max_rounds = 60);
 
   std::size_t node_count() const { return nodes_.size(); }
+  /// Health verdict learned from node i's past responses: kRefusing from a
+  /// kPrimary failover walk, kEquivocating once its word contradicted an
+  /// f+1 quorum (permanent for this client's lifetime — an equivocator is
+  /// provably faulty, not slow).
   NodeStatus node_status(std::size_t i) const { return status_[i]; }
+  /// The f+1 threshold every read/commit decision uses.
   std::uint32_t quorum() const { return cfg_.f + 1; }
   const Config& config() const { return cfg_; }
 

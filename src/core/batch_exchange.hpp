@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/batch.hpp"
+#include "core/proofs.hpp"
+#include "sim/time.hpp"
+
+namespace setchain::core {
+
+/// Transport seam for Hashchain's batch-exchange service (Request_batch /
+/// batch response, §3). The algorithm only decides *what* to ask whom; an
+/// IBatchExchange decides *how* the messages travel:
+///
+///  * unset (null in ServerContext): the in-process pointer paths are used —
+///    the simulated Network when sim/net are wired, or the synchronous
+///    direct-call path of the InstantLedger unit tests;
+///  * net::NodeHost implements it over a real transport (wire frames routed
+///    through an ITransport backend — in-process loopback or TCP sockets),
+///    which is how a live cluster resolves hashes it cannot reverse.
+///
+/// Both calls are fire-and-forget: loss is legal (the requester's fetch
+/// timeout and retry/backoff machinery owns recovery), which is exactly the
+/// guarantee a real datagram-or-dropped-connection network gives.
+class IBatchExchange {
+ public:
+  virtual ~IBatchExchange() = default;
+
+  /// Deliver a Request_batch(h) from `requester` to `holder` (a server that
+  /// signed h). The holder answers through its own exchange — or stays
+  /// silent (crashed, Byzantine, or the request got lost in transit).
+  /// `wire_bytes` is the request's modeled wire size (transport accounting).
+  virtual void send_request(crypto::ProcessId requester, crypto::ProcessId holder,
+                            const EpochHash& h, std::uint64_t wire_bytes) = 0;
+
+  /// Deliver the batch behind `h` back to `requester`. `serialized` may be
+  /// null in calibrated fidelity; full-fidelity responses always travel as
+  /// bytes and are re-parsed and re-hashed by the receiver (the responder
+  /// may be Byzantine). `ready_at` is when the serving CPU finishes
+  /// (responses leave no earlier; real-time backends treat it as "now").
+  virtual void send_response(crypto::ProcessId responder, crypto::ProcessId requester,
+                             const EpochHash& h, BatchPtr batch,
+                             const codec::Bytes* serialized, sim::Time ready_at) = 0;
+};
+
+}  // namespace setchain::core

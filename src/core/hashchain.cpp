@@ -1,5 +1,6 @@
 #include "core/hashchain.hpp"
 
+#include "core/batch_exchange.hpp"
 #include "sim/rng.hpp"
 
 namespace setchain::core {
@@ -285,7 +286,18 @@ void HashchainServer::fetch_attempt(const EpochHash& h) {
   ++st.next_candidate;
   const std::uint64_t attempt = ++st.attempt_seq;
 
-  if (ctx_.net && ctx_.sim) {
+  if (ctx_.batch_exchange) {
+    // Transport-backed deployment (loopback or TCP): the exchange routes the
+    // request as a wire frame; the answer (or silence) comes back through
+    // NodeHost -> on_batch_response. Timeout/retry machinery is unchanged.
+    ctx_.batch_exchange->send_request(id_, target, h, kRequestWireSize);
+    if (ctx_.sim) {
+      ctx_.sim->schedule_in(params().request_batch_timeout,
+                            [this, h, attempt] { on_fetch_timeout(h, attempt); });
+    } else if (!store_.contains(h)) {
+      on_fetch_timeout(h, attempt);
+    }
+  } else if (ctx_.net && ctx_.sim) {
     // Request over the wire; answer (or silence) comes back asynchronously.
     HashchainServer* peer = peers_.at(target);
     ctx_.net->send(id_, target, kRequestWireSize,
@@ -306,6 +318,16 @@ void HashchainServer::serve_batch_request(crypto::ProcessId requester, const Epo
   const BatchPtr batch = store_.find(h);
   if (!batch) return;  // honest "don't have it" (also silence; requester times out)
 
+  if (ctx_.batch_exchange) {
+    // Transport-backed deployment: the serialized batch travels as a wire
+    // frame back to the requester; serving still costs CPU first.
+    const codec::Bytes* ser = store_.find_serialized(h);
+    const sim::Time ready = cpu_acquire(params().costs.request_batch_overhead +
+                                        params().costs.hash_cost(batch->wire_size()));
+    ctx_.batch_exchange->send_response(id_, requester, h, batch, ser, ready);
+    return;
+  }
+
   HashchainServer* peer = peers_.at(requester);
   const codec::Bytes* serialized = store_.find_serialized(h);
   // Serving costs CPU (lookup + serialization + RPC overhead); the response
@@ -325,7 +347,8 @@ void HashchainServer::serve_batch_request(crypto::ProcessId requester, const Epo
 }
 
 void HashchainServer::on_batch_response(const EpochHash& h, BatchPtr batch,
-                                        const codec::Bytes* serialized) {
+                                        const codec::Bytes* serialized,
+                                        bool batch_matches_serialized) {
   if (is_down()) return;
   HashState& st = hash_state_[h];
   if (store_.contains(h)) return;  // duplicate/late response
@@ -334,9 +357,14 @@ void HashchainServer::on_batch_response(const EpochHash& h, BatchPtr batch,
   cpu_acquire(params().costs.request_batch_overhead +
               params().costs.hash_cost(batch->wire_size()));
   if (fidelity() == Fidelity::kFull && serialized) {
-    const auto parsed = parse_batch(*serialized);
-    if (!parsed) return;
-    auto owned = std::make_shared<const Batch>(std::move(*parsed));
+    BatchPtr owned;
+    if (batch_matches_serialized) {
+      owned = std::move(batch);  // already the parse of `serialized`
+    } else {
+      auto parsed = parse_batch(*serialized);
+      if (!parsed) return;
+      owned = std::make_shared<const Batch>(std::move(*parsed));
+    }
     if (batch_hash(*owned, fidelity()) != h) return;
     // Element validation cost: the paper validates fetched batch contents.
     cpu_acquire(static_cast<sim::Time>(owned->elements.size()) *

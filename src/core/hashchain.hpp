@@ -46,8 +46,14 @@ class HashchainServer final : public SetchainServer {
 
   // ---- batch-exchange wire protocol (invoked via the network) ----
   void serve_batch_request(crypto::ProcessId requester, const EpochHash& h);
+  /// `batch_matches_serialized`: the caller guarantees `batch` IS the parse
+  /// of `serialized` (a transport host that already decoded the wire bytes
+  /// sets it, skipping the defensive re-parse). The sim path leaves it
+  /// false — there `batch` aliases the responder's store and only the
+  /// serialized bytes are trusted-after-verification.
   void on_batch_response(const EpochHash& h, BatchPtr batch,
-                         const codec::Bytes* serialized);
+                         const codec::Bytes* serialized,
+                         bool batch_matches_serialized = false);
 
  protected:
   void on_crash(bool wipe) override;

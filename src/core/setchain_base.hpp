@@ -17,11 +17,16 @@
 
 namespace setchain::core {
 
+class IBatchExchange;  // core/batch_exchange.hpp — Hashchain transport seam
+
 /// Wiring a server needs. Optional pieces may be null: `net`/`cpus` are
-/// absent in InstantLedger unit tests, `recorder` when metrics are off.
+/// absent in InstantLedger unit tests, `recorder` when metrics are off,
+/// `batch_exchange` everywhere except transport-backed deployments
+/// (net::NodeHost), where it replaces the pointer-based peer paths.
 struct ServerContext {
   sim::Simulation* sim = nullptr;
   sim::Network* net = nullptr;
+  IBatchExchange* batch_exchange = nullptr;
   ledger::IBlockLedger* ledger = nullptr;
   crypto::Pki* pki = nullptr;
   std::vector<sim::BusyResource>* cpus = nullptr;

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace setchain::net {
+
+class LoopbackTransport;
+
+/// In-process message hub: the drop-in stand-in for a TCP deployment that
+/// runs the ENTIRE wire-protocol stack (encode -> frame -> decode) inside
+/// one process on a shared discrete-event simulation. Deliveries are
+/// scheduled with a per-hop latency, and an optional sim::FaultInjector —
+/// the same oracle the pointer-based Network uses — rules on every
+/// server<->server frame, so transport-level fault scenarios replay
+/// deterministically from (plan, seed).
+///
+/// Endpoints: node ids 0..n-1 are the cluster servers (attach a
+/// LoopbackTransport per node); register_client() adds client endpoints
+/// (>= kClientEndpointBase) whose frames bypass fault injection (faults
+/// model the server network; an unreachable client is just a closed test).
+class LoopbackHub {
+ public:
+  LoopbackHub(sim::Simulation& sim, std::uint32_t n,
+              sim::Time latency = sim::from_micros(120));
+
+  /// Arm frame-level fault injection (server<->server hops only).
+  void install_faults(sim::FaultPlan plan, std::uint64_t seed);
+  const sim::FaultInjector* faults() const { return injector_.get(); }
+
+  /// The per-node transport facade for node `id`.
+  LoopbackTransport& transport(std::uint32_t id) { return *transports_[id]; }
+
+  /// Register a client endpoint; its inbound frames go to `handler`.
+  EndpointId register_client(FrameHandler handler);
+  /// Remove a client endpoint. MUST be called before whatever the handler
+  /// captures dies — deliveries already scheduled in the simulation are
+  /// dropped once the endpoint is gone (LoopbackRpcChannel does this in
+  /// its destructor).
+  void unregister_client(EndpointId id) { clients_.erase(id); }
+
+  /// Route one encoded frame from `from` to `to` (delivery is a scheduled
+  /// sim event; the fault injector may drop or delay it). Returns false for
+  /// unknown destinations.
+  bool route(EndpointId from, EndpointId to, wire::MsgType type,
+             codec::ByteView payload);
+
+  sim::Simulation& simulation() { return sim_; }
+  std::uint32_t size() const { return n_; }
+  std::uint64_t frames_dropped() const { return dropped_; }
+
+ private:
+  friend class LoopbackTransport;
+  void deliver(EndpointId from, EndpointId to, codec::Bytes frame_bytes);
+
+  sim::Simulation& sim_;
+  std::uint32_t n_;
+  sim::Time latency_;
+  std::unique_ptr<sim::FaultInjector> injector_;
+  std::vector<std::unique_ptr<LoopbackTransport>> transports_;
+  std::unordered_map<EndpointId, FrameHandler> clients_;
+  EndpointId next_client_ = kClientEndpointBase;
+  std::uint64_t dropped_ = 0;
+};
+
+/// ITransport face of one hub node. send() encodes the frame to real bytes
+/// and the receiving side decodes them through the same FrameReader the TCP
+/// backend uses — loopback runs are a full rehearsal of the wire format.
+class LoopbackTransport final : public ITransport {
+ public:
+  LoopbackTransport(LoopbackHub& hub, std::uint32_t self) : hub_(hub), self_(self) {}
+
+  void set_handler(FrameHandler handler) override { handler_ = std::move(handler); }
+  bool send(EndpointId to, wire::MsgType type, codec::ByteView payload) override;
+  /// Loopback delivers through the hub's simulation; nothing to poll.
+  std::size_t poll(std::chrono::milliseconds) override { return 0; }
+  std::uint32_t self() const override { return self_; }
+  Counters counters() const override { return counters_; }
+
+ private:
+  friend class LoopbackHub;
+  void receive(EndpointId from, codec::ByteView frame_bytes);
+
+  LoopbackHub& hub_;
+  std::uint32_t self_;
+  FrameHandler handler_;
+  Counters counters_;
+};
+
+}  // namespace setchain::net

@@ -1,0 +1,303 @@
+#include "net/node_host.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace setchain::net {
+
+namespace {
+
+ReplicatedLedgerConfig ledger_config(const NodeHostConfig& cfg) {
+  ReplicatedLedgerConfig lc;
+  lc.n = cfg.n;
+  lc.self = cfg.id;
+  lc.block_interval = cfg.block_interval;
+  lc.max_block_bytes = cfg.max_block_bytes;
+  lc.sync_interval = cfg.sync_interval;
+  return lc;
+}
+
+}  // namespace
+
+NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transport)
+    : cfg_(cfg),
+      sim_(sim),
+      transport_(transport),
+      cluster_(cluster_id_of(cfg)),
+      pki_(cfg.seed),
+      cpus_(cfg.n),
+      ledger_(ledger_config(cfg), sim, transport) {
+  // Shared deterministic PKI: servers 0..n-1 plus the advertised client id
+  // range. Every process of the cluster derives the same keys from the seed.
+  for (crypto::ProcessId p = 0; p < cfg_.n + cfg_.client_slots; ++p) {
+    pki_.register_process(p);
+  }
+
+  params_.n = cfg_.n;
+  params_.f = cfg_.f;
+  params_.collector_limit = cfg_.collector_limit;
+  params_.collector_timeout = cfg_.collector_timeout;
+  params_.fidelity = core::Fidelity::kFull;  // real bytes end to end
+  params_.validate = true;
+  params_.hash_reversal = true;  // the transport IS the reversal service
+  params_.lean_state = false;    // snapshots serve real id lists
+  params_.request_batch_timeout = cfg_.request_batch_timeout;
+  params_.request_batch_retry = cfg_.request_batch_retry;
+
+  core::ServerContext ctx;
+  ctx.sim = &sim_;
+  ctx.net = nullptr;  // no pointer network: frames or nothing
+  ctx.batch_exchange = this;
+  ctx.ledger = &ledger_;
+  ctx.pki = &pki_;
+  ctx.cpus = &cpus_;
+  ctx.params = &params_;
+
+  switch (cfg_.algorithm) {
+    case runner::Algorithm::kVanilla: {
+      auto s = std::make_unique<core::VanillaServer>(ctx, cfg_.id);
+      ledger_.on_new_block(cfg_.id,
+                           [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
+      server_ = std::move(s);
+      break;
+    }
+    case runner::Algorithm::kCompresschain: {
+      auto s = std::make_unique<core::CompresschainServer>(ctx, cfg_.id);
+      ledger_.on_new_block(cfg_.id,
+                           [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
+      server_ = std::move(s);
+      break;
+    }
+    case runner::Algorithm::kHashchain: {
+      auto s = std::make_unique<core::HashchainServer>(ctx, cfg_.id);
+      hashchain_ = s.get();
+      ledger_.on_new_block(cfg_.id,
+                           [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
+      server_ = std::move(s);
+      break;
+    }
+  }
+}
+
+void NodeHost::start() {
+  transport_.set_handler(
+      [this](EndpointId from, wire::Frame&& f) { on_frame(from, std::move(f)); });
+  ledger_.start();
+}
+
+void NodeHost::on_frame(EndpointId from, wire::Frame&& frame) {
+  using wire::MsgType;
+  switch (frame.type) {
+    // ---- server <-> server: ledger replication ----
+    case MsgType::kTxSubmit: {
+      if (is_client_endpoint(from)) break;  // clients use kAddRequest
+      if (auto m = wire::parse_tx_submit(frame.payload)) {
+        ledger_.on_tx_submit(std::move(*m));
+        return;
+      }
+      break;
+    }
+    case MsgType::kBlock: {
+      if (is_client_endpoint(from)) break;
+      if (ledger_.on_block_frame(frame.payload)) return;
+      break;
+    }
+    case MsgType::kBlockSyncRequest: {
+      if (is_client_endpoint(from)) break;
+      if (auto m = wire::parse_block_sync_request(frame.payload)) {
+        ledger_.on_sync_request(from, *m);
+        return;
+      }
+      break;
+    }
+    case MsgType::kBlockSyncResponse: {
+      if (is_client_endpoint(from)) break;
+      if (auto m = wire::parse_block_sync_response(frame.payload)) {
+        ledger_.on_sync_response(*m);
+        return;
+      }
+      break;
+    }
+
+    // ---- server <-> server: Hashchain batch exchange ----
+    case MsgType::kBatchRequest: {
+      if (hashchain_ == nullptr || is_client_endpoint(from)) break;
+      const auto m = wire::parse_batch_request(frame.payload);
+      // Anti-spoof: the requester field must name the sending endpoint
+      // (responses are routed to it and it must be a cluster server).
+      if (!m || m->requester != from || m->requester >= cfg_.n) break;
+      hashchain_->serve_batch_request(static_cast<crypto::ProcessId>(m->requester),
+                                      m->hash);
+      return;
+    }
+    case MsgType::kBatchResponse: {
+      if (hashchain_ == nullptr || is_client_endpoint(from)) break;
+      const auto m = wire::parse_batch_response(frame.payload);
+      if (!m) break;
+      auto parsed = core::parse_batch(m->batch);
+      if (!parsed) break;  // Byzantine junk: the fetch timeout retries elsewhere
+      auto batch = std::make_shared<const core::Batch>(std::move(*parsed));
+      // batch IS the parse of m->batch, so on_batch_response skips its
+      // defensive re-parse; it still re-hashes against the requested hash
+      // (the responder is untrusted).
+      hashchain_->on_batch_response(m->hash, std::move(batch), &m->batch,
+                                    /*batch_matches_serialized=*/true);
+      return;
+    }
+
+    // ---- client RPC ----
+    case MsgType::kAddRequest: {
+      if (const auto m = wire::parse_add_request(frame.payload)) {
+        handle_add(from, *m);
+        return;
+      }
+      break;
+    }
+    case MsgType::kSnapshotRequest: {
+      if (const auto m = wire::parse_snapshot_request(frame.payload)) {
+        handle_snapshot(from, *m);
+        return;
+      }
+      break;
+    }
+    case MsgType::kProofsRequest: {
+      if (const auto m = wire::parse_proofs_request(frame.payload)) {
+        handle_proofs(from, *m);
+        return;
+      }
+      break;
+    }
+    case MsgType::kEpochRequest: {
+      if (const auto m = wire::parse_epoch_request(frame.payload)) {
+        handle_epoch(from, *m);
+        return;
+      }
+      break;
+    }
+
+    case MsgType::kHello:  // transports consume hellos; late ones are noise
+    case MsgType::kAddResponse:
+    case MsgType::kSnapshotResponse:
+    case MsgType::kProofsResponse:
+    case MsgType::kEpochResponse:
+      break;
+  }
+  ++bad_frames_;
+}
+
+void NodeHost::handle_add(EndpointId from, const wire::AddRequest& m) {
+  ++rpcs_served_;
+  wire::AddResponse resp;
+  resp.req_id = m.req_id;
+  resp.accepted = server_->add(m.element);
+  transport_.send(from, wire::MsgType::kAddResponse, wire::encode_add_response(resp));
+}
+
+void NodeHost::handle_snapshot(EndpointId from, const wire::SnapshotRequest& m) {
+  ++rpcs_served_;
+  wire::SnapshotResponse resp;
+  resp.req_id = m.req_id;
+  const api::NodeSnapshot snap = server_->snapshot();
+
+  // The response must fit one frame (wire::kMaxPayloadBytes). A node whose
+  // state outgrew the budget serves a consistent PREFIX of its history —
+  // epochs 1..k with the epoch field lowered to k — which clients already
+  // handle: it is exactly what an honest-but-lagging node looks like, and
+  // quorum reads only ever adopt agreed prefixes. the_set is advisory
+  // (quorum logic derives its set from history) and is truncated last.
+  // Worst-case per-entry costs: record header 3 varints + 64-byte hash,
+  // ids/the_set entries one varint delta (<= 10 bytes) each.
+  constexpr std::size_t kBudget = 6u << 20;
+  constexpr std::size_t kPerRecord = 96;
+  constexpr std::size_t kPerId = 10;
+  std::size_t used = 0;
+  resp.epoch = 0;
+  if (snap.history != nullptr) {
+    for (const auto& rec : *snap.history) {
+      const std::size_t cost = kPerRecord + kPerId * rec.ids.size();
+      if (used + cost > kBudget) break;
+      used += cost;
+      resp.history.push_back(rec);
+      resp.epoch = rec.number;
+    }
+    if (resp.history.size() == snap.history->size()) resp.epoch = snap.epoch;
+  }
+  if (snap.the_set != nullptr) {
+    resp.the_set.assign(snap.the_set->begin(), snap.the_set->end());
+    std::sort(resp.the_set.begin(), resp.the_set.end());
+    const std::size_t fit = (kBudget - std::min(used, kBudget)) / kPerId;
+    if (resp.the_set.size() > fit) resp.the_set.resize(fit);
+  }
+  transport_.send(from, wire::MsgType::kSnapshotResponse,
+                  wire::encode_snapshot_response(resp));
+}
+
+void NodeHost::handle_proofs(EndpointId from, const wire::ProofsRequest& m) {
+  ++rpcs_served_;
+  wire::ProofsResponse resp;
+  resp.req_id = m.req_id;
+  resp.proofs = server_->proofs_for_epoch(m.epoch);
+  transport_.send(from, wire::MsgType::kProofsResponse,
+                  wire::encode_proofs_response(resp));
+}
+
+void NodeHost::handle_epoch(EndpointId from, const wire::EpochRequest& m) {
+  ++rpcs_served_;
+  wire::EpochResponse resp;
+  resp.req_id = m.req_id;
+  resp.epoch = server_->epoch();
+  resp.node_id = server_->node_id();
+  transport_.send(from, wire::MsgType::kEpochResponse,
+                  wire::encode_epoch_response(resp));
+}
+
+void NodeHost::send_request(crypto::ProcessId requester, crypto::ProcessId holder,
+                            const core::EpochHash& h, std::uint64_t wire_bytes) {
+  (void)wire_bytes;  // real transports account real bytes
+  wire::BatchRequest m;
+  m.requester = requester;
+  m.hash = h;
+  transport_.send(holder, wire::MsgType::kBatchRequest, wire::encode_batch_request(m));
+}
+
+void NodeHost::send_response(crypto::ProcessId responder, crypto::ProcessId requester,
+                             const core::EpochHash& h, core::BatchPtr batch,
+                             const codec::Bytes* serialized, sim::Time ready_at) {
+  (void)responder;
+  wire::BatchResponse m;
+  m.hash = h;
+  m.batch = serialized != nullptr ? *serialized : core::serialize_batch(*batch);
+  codec::Bytes payload = wire::encode_batch_response(m);
+  // Honor the CPU model's completion time (loopback shares the simulated
+  // clock); under a real-time pump the delay is microseconds of virtual
+  // time and fires on the next loop turn.
+  sim_.schedule_at(std::max(ready_at, sim_.now()),
+                   [this, requester, payload = std::move(payload)] {
+                     transport_.send(requester, wire::MsgType::kBatchResponse, payload);
+                   });
+}
+
+void NodeHost::run_realtime(std::atomic<bool>& stop) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto virtual_now = [&t0] {
+    return static_cast<sim::Time>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+  };
+  while (!stop.load(std::memory_order_relaxed)) {
+    sim_.run_until(virtual_now());
+    const sim::Time next = sim_.next_event_at();
+    const sim::Time now_v = virtual_now();
+    std::int64_t wait_ms = 50;
+    if (next != std::numeric_limits<sim::Time>::max() && next > now_v) {
+      wait_ms = std::min<std::int64_t>(wait_ms, (next - now_v) / 1'000'000 + 1);
+    } else if (next <= now_v) {
+      wait_ms = 0;
+    }
+    transport_.poll(std::chrono::milliseconds(wait_ms));
+  }
+}
+
+}  // namespace setchain::net

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "core/batch_exchange.hpp"
+#include "core/compresschain.hpp"
+#include "core/hashchain.hpp"
+#include "core/vanilla.hpp"
+#include "crypto/pki.hpp"
+#include "net/replicated_ledger.hpp"
+#include "net/transport.hpp"
+#include "runner/scenario.hpp"
+#include "sim/simulation.hpp"
+
+namespace setchain::net {
+
+struct NodeHostConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  std::uint32_t id = 0;
+  runner::Algorithm algorithm = runner::Algorithm::kHashchain;
+  /// PKI master seed — every daemon and client of one cluster shares it, so
+  /// all processes derive identical keys (the paper's PKI assumption; a
+  /// production deployment would distribute real keys instead).
+  std::uint64_t seed = 42;
+  /// Client process ids n .. n+client_slots-1 are pre-registered in the PKI
+  /// so their element signatures verify.
+  std::uint32_t client_slots = 64;
+
+  std::uint32_t collector_limit = 8;
+  sim::Time collector_timeout = sim::from_millis(200);
+  sim::Time block_interval = sim::from_millis(150);
+  std::uint64_t max_block_bytes = 500'000;
+  sim::Time sync_interval = sim::from_millis(400);
+  sim::Time request_batch_timeout = sim::from_millis(500);
+  sim::Time request_batch_retry = sim::from_millis(100);
+};
+
+/// One live Setchain node: a full-fidelity SetchainServer (vanilla /
+/// compresschain / hashchain), the transport-replicated ledger, the
+/// Hashchain batch exchange, and the client RPC service — everything behind
+/// one ITransport. Single-threaded: frames arrive through on_frame (wired
+/// to the transport handler) and timers fire through the simulation used as
+/// a timer queue; with a TcpTransport, run_realtime() pumps both against
+/// the wall clock, with a LoopbackHub the shared simulation drives it.
+///
+/// The identical NodeHost serves both backends, so the loopback conformance
+/// suite exercises byte-for-byte the stack a TCP daemon runs.
+class NodeHost final : public core::IBatchExchange {
+ public:
+  NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transport);
+
+  /// Wire the transport handler and arm the ledger timers. Call once.
+  void start();
+
+  /// Inbound frame dispatch (the transport handler; exposed for tests).
+  void on_frame(EndpointId from, wire::Frame&& frame);
+
+  /// Real-time pump for socket-backed hosts: advances the timer queue along
+  /// the wall clock and polls the transport, until `stop` is set.
+  void run_realtime(std::atomic<bool>& stop);
+
+  // core::IBatchExchange (Hashchain fetch traffic -> wire frames).
+  void send_request(crypto::ProcessId requester, crypto::ProcessId holder,
+                    const core::EpochHash& h, std::uint64_t wire_bytes) override;
+  void send_response(crypto::ProcessId responder, crypto::ProcessId requester,
+                     const core::EpochHash& h, core::BatchPtr batch,
+                     const codec::Bytes* serialized, sim::Time ready_at) override;
+
+  core::SetchainServer& server() { return *server_; }
+  const core::SetchainServer& server() const { return *server_; }
+  ReplicatedLedger& ledger() { return ledger_; }
+  const ReplicatedLedger& ledger() const { return ledger_; }
+  crypto::Pki& pki() { return pki_; }
+  const core::SetchainParams& params() const { return params_; }
+  const NodeHostConfig& config() const { return cfg_; }
+  std::uint64_t cluster() const { return cluster_; }
+
+  std::uint64_t rpcs_served() const { return rpcs_served_; }
+  std::uint64_t bad_frames() const { return bad_frames_; }
+
+  static std::uint64_t cluster_id_of(const NodeHostConfig& cfg) {
+    return wire::cluster_id(cfg.seed, cfg.n, cfg.f,
+                            static_cast<std::uint8_t>(cfg.algorithm));
+  }
+
+ private:
+  void handle_add(EndpointId from, const wire::AddRequest& m);
+  void handle_snapshot(EndpointId from, const wire::SnapshotRequest& m);
+  void handle_proofs(EndpointId from, const wire::ProofsRequest& m);
+  void handle_epoch(EndpointId from, const wire::EpochRequest& m);
+
+  NodeHostConfig cfg_;
+  sim::Simulation& sim_;
+  ITransport& transport_;
+  std::uint64_t cluster_;
+
+  crypto::Pki pki_;
+  core::SetchainParams params_;
+  std::vector<sim::BusyResource> cpus_;
+  ReplicatedLedger ledger_;
+  std::unique_ptr<core::SetchainServer> server_;
+  core::HashchainServer* hashchain_ = nullptr;  ///< set when algorithm is Hashchain
+
+  std::uint64_t rpcs_served_ = 0;
+  std::uint64_t bad_frames_ = 0;
+};
+
+}  // namespace setchain::net

@@ -1,0 +1,165 @@
+#include "net/replicated_ledger.hpp"
+
+#include <algorithm>
+
+namespace setchain::net {
+
+ReplicatedLedger::ReplicatedLedger(ReplicatedLedgerConfig cfg, sim::Simulation& timers,
+                                   ITransport& transport)
+    : cfg_(cfg), timers_(timers), transport_(transport) {
+  // A block must always fit one frame — both as a kBlock broadcast and
+  // alone inside a kBlockSyncResponse — or it could never be delivered and
+  // every replica would stall at its height forever. Clamp to half the
+  // frame cap (leaves room for per-tx and response framing overhead).
+  cfg_.max_block_bytes = std::min(cfg_.max_block_bytes, wire::kMaxPayloadBytes / 2);
+}
+
+void ReplicatedLedger::start() {
+  if (started_) return;
+  started_ = true;
+  if (is_sequencer()) {
+    timers_.schedule_in(cfg_.block_interval, [this] { seal_tick(); });
+  } else {
+    timers_.schedule_in(cfg_.sync_interval, [this] { sync_tick(); });
+  }
+}
+
+ledger::TxIdx ReplicatedLedger::append(sim::NodeId origin, ledger::Transaction tx) {
+  (void)origin;  // every tx of this node funnels through its own transport
+  const auto ordinal = static_cast<ledger::TxIdx>(appended_++);
+  if (is_sequencer()) {
+    pending_.push_back(std::move(tx));
+  } else {
+    const codec::Bytes payload = wire::encode_tx_submit(tx);
+    transport_.send(cfg_.sequencer, wire::MsgType::kTxSubmit, payload);
+  }
+  return ordinal;
+}
+
+void ReplicatedLedger::on_new_block(sim::NodeId node,
+                                    std::function<void(const ledger::Block&)> cb) {
+  (void)node;  // one node per process: only the local callback exists
+  app_cb_ = std::move(cb);
+}
+
+void ReplicatedLedger::on_tx_submit(wire::TxSubmit&& m) {
+  if (!is_sequencer()) return;  // misrouted: only the sequencer orders
+  pending_.push_back(std::move(m.tx));
+}
+
+void ReplicatedLedger::seal_tick() {
+  timers_.schedule_in(cfg_.block_interval, [this] { seal_tick(); });
+  if (pending_.empty()) return;  // create_empty_blocks=false behaviour
+
+  // Pack up to max_block_bytes of submissions, in arrival order.
+  std::vector<const ledger::Transaction*> block_txs;
+  auto block = std::make_shared<ledger::Block>();
+  block->height = delivered_ + 1;
+  block->proposer = cfg_.self;
+  block->proposed_at = timers_.now();
+  block->first_commit_at = timers_.now();
+  while (!pending_.empty()) {
+    const std::uint64_t size = pending_.front().wire_size;
+    if (!block->txs.empty() && block->bytes + size > cfg_.max_block_bytes) break;
+    const ledger::TxIdx idx = table_.add(std::move(pending_.front()));
+    pending_.pop_front();
+    block->txs.push_back(idx);
+    block->bytes += size;
+    block_txs.push_back(&table_.get(idx));
+  }
+
+  const codec::Bytes payload =
+      wire::encode_block(block->height, block->proposer, block_txs);
+  for (std::uint32_t peer = 0; peer < cfg_.n; ++peer) {
+    if (peer == cfg_.self) continue;
+    transport_.send(peer, wire::MsgType::kBlock, payload);
+  }
+  ++blocks_broadcast_;
+
+  chain_.push_back(block);
+  delivered_ = block->height;
+  if (app_cb_) app_cb_(*chain_.back());
+}
+
+void ReplicatedLedger::sync_tick() {
+  timers_.schedule_in(cfg_.sync_interval, [this] { sync_tick(); });
+  const wire::BlockSyncRequest req{delivered_ + 1};
+  transport_.send(cfg_.sequencer, wire::MsgType::kBlockSyncRequest,
+                  wire::encode_block_sync_request(req));
+}
+
+bool ReplicatedLedger::on_block_frame(codec::ByteView payload) {
+  auto m = wire::parse_block(payload);
+  if (!m) return false;  // malformed: drop (a Byzantine sequencer is out of model)
+  ingest(std::move(*m));
+  return true;
+}
+
+void ReplicatedLedger::ingest(wire::BlockMsg&& m) {
+  if (is_sequencer()) return;          // the sequencer never imports blocks
+  if (m.height <= delivered_) return;  // duplicate (sync overlap)
+  buffered_.emplace(m.height, std::move(m));  // no-op when already buffered
+  deliver_ready();
+}
+
+void ReplicatedLedger::deliver_ready() {
+  // Strict height order (the ledger's P10): holes wait for sync to fill.
+  for (auto it = buffered_.begin();
+       it != buffered_.end() && it->first == delivered_ + 1;
+       it = buffered_.erase(it)) {
+    wire::BlockMsg& m = it->second;
+    auto block = std::make_shared<ledger::Block>();
+    block->height = m.height;
+    block->proposer = m.proposer;
+    block->proposed_at = timers_.now();
+    block->first_commit_at = timers_.now();
+    for (auto& tx : m.txs) {
+      const std::uint64_t size = tx.wire_size;
+      block->txs.push_back(table_.add(std::move(tx)));
+      block->bytes += size;
+    }
+    chain_.push_back(block);
+    delivered_ = block->height;
+    if (app_cb_) app_cb_(*chain_.back());
+  }
+}
+
+codec::Bytes ReplicatedLedger::encode_block_at(std::uint64_t height1based) const {
+  const auto& block = *chain_.at(height1based - 1);
+  std::vector<const ledger::Transaction*> txs;
+  txs.reserve(block.txs.size());
+  for (const auto idx : block.txs) txs.push_back(&table_.get(idx));
+  return wire::encode_block(block.height, block.proposer, txs);
+}
+
+void ReplicatedLedger::on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) {
+  if (!is_sequencer()) return;
+  if (m.from_height == 0 || m.from_height > delivered_) return;  // caught up
+  std::vector<codec::Bytes> encoded;
+  std::vector<codec::ByteView> views;
+  std::uint64_t bytes = 0;
+  for (std::uint64_t h = m.from_height;
+       h <= delivered_ && encoded.size() < cfg_.max_sync_blocks; ++h) {
+    codec::Bytes b = encode_block_at(h);
+    // Budget check BEFORE including: the response must stay under the
+    // frame cap. A single block always fits alone (max_block_bytes is
+    // clamped to half the cap), so the requester always makes progress.
+    if (!encoded.empty() && bytes + b.size() > wire::kMaxPayloadBytes / 2) break;
+    bytes += b.size();
+    encoded.push_back(std::move(b));
+  }
+  views.reserve(encoded.size());
+  for (const auto& b : encoded) views.emplace_back(b);
+  transport_.send(from, wire::MsgType::kBlockSyncResponse,
+                  wire::encode_block_sync_response(views));
+}
+
+void ReplicatedLedger::on_sync_response(const wire::BlockSyncResponse& m) {
+  for (const auto& payload : m.blocks) {
+    auto block = wire::parse_block(payload);
+    if (!block) return;
+    ingest(std::move(*block));
+  }
+}
+
+}  // namespace setchain::net

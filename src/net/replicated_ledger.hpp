@@ -1,0 +1,102 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "ledger/ledger_node.hpp"
+#include "net/transport.hpp"
+#include "sim/simulation.hpp"
+
+namespace setchain::net {
+
+struct ReplicatedLedgerConfig {
+  std::uint32_t n = 4;
+  std::uint32_t self = 0;
+  /// Fixed sequencer (node 0 by default): the node that orders transactions
+  /// into blocks. Total order = the sequencer's seal order; every replica
+  /// applies blocks strictly by height. Sequencer fail-over is future work
+  /// (ROADMAP); the conformance oracle for faults stays the DES sim.
+  std::uint32_t sequencer = 0;
+  sim::Time block_interval = sim::from_millis(150);
+  std::uint64_t max_block_bytes = 500'000;
+  /// Replica catch-up cadence: ask the sequencer for blocks above our height
+  /// this often. Recovers anything a dropped connection (or loopback fault
+  /// window) lost, and lets late-starting daemons join mid-stream.
+  sim::Time sync_interval = sim::from_millis(400);
+  std::size_t max_sync_blocks = 64;  ///< blocks per sync response (frame cap)
+};
+
+/// The paper's abstract block ledger (P9/P10/P11) over a real transport:
+/// a sequencer-ordered replicated log of opaque transactions.
+///
+///  * append(tx): local on the sequencer; forwarded as a kTxSubmit frame
+///    otherwise. The tx is serialized bytes end to end — exactly what the
+///    full-fidelity algorithms put in tx.data.
+///  * The sequencer seals pending txs into a block every block_interval and
+///    broadcasts kBlock frames; replicas apply blocks in height order,
+///    buffering holes and filling them via kBlockSyncRequest.
+///  * Every node materializes the same TxTable in the same order, so TxIdx
+///    and uid assignments agree cluster-wide — the same invariant the
+///    simulated CometBFT gives the algorithms.
+///
+/// Liveness under loss: ledger frames may vanish (TCP reconnect, loopback
+/// fault injection). The periodic sync pull is the catch-up path; a replica
+/// is eventually consistent as long as the sequencer stays reachable.
+class ReplicatedLedger final : public ledger::IBlockLedger {
+ public:
+  ReplicatedLedger(ReplicatedLedgerConfig cfg, sim::Simulation& timers,
+                   ITransport& transport);
+
+  /// Arm the seal (sequencer) / sync (replica) timers. Call once, before
+  /// the first frame is dispatched.
+  void start();
+
+  // IBlockLedger. `append` returns the local submission ordinal — NOT a
+  // table index for frames still in flight to the sequencer; live
+  // deployments leave the metrics taps (the only consumers) unwired.
+  ledger::TxIdx append(sim::NodeId origin, ledger::Transaction tx) override;
+  void on_new_block(sim::NodeId node, std::function<void(const ledger::Block&)> cb) override;
+  const ledger::TxTable& txs() const override { return table_; }
+  std::uint64_t height() const override { return delivered_; }
+
+  // Frame entry points (NodeHost routes inbound ledger frames here).
+  void on_tx_submit(wire::TxSubmit&& m);
+  /// False when the payload does not parse as a block (counted upstream).
+  bool on_block_frame(codec::ByteView payload);
+  void on_sync_request(EndpointId from, const wire::BlockSyncRequest& m);
+  void on_sync_response(const wire::BlockSyncResponse& m);
+
+  bool is_sequencer() const { return cfg_.self == cfg_.sequencer; }
+  std::size_t pending_txs() const { return pending_.size(); }
+  /// Quiescence probe: nothing pending locally and no delivery hole.
+  bool idle() const { return pending_.empty() && buffered_.empty(); }
+  std::uint64_t blocks_broadcast() const { return blocks_broadcast_; }
+
+ private:
+  void seal_tick();
+  void sync_tick();
+  void ingest(wire::BlockMsg&& m);
+  void deliver_ready();
+  /// Re-encode block `height1based` from the local table (sync responses).
+  codec::Bytes encode_block_at(std::uint64_t height1based) const;
+
+  ReplicatedLedgerConfig cfg_;
+  sim::Simulation& timers_;
+  ITransport& transport_;
+
+  ledger::TxTable table_;
+  std::deque<ledger::Transaction> pending_;  ///< sequencer: unsealed submissions
+  /// Applied chain; deque gives stable references for the deferred
+  /// process_block continuations the servers schedule.
+  std::deque<std::shared_ptr<ledger::Block>> chain_;
+  std::map<std::uint64_t, wire::BlockMsg> buffered_;  ///< holes ahead of delivered_
+  std::function<void(const ledger::Block&)> app_cb_;
+
+  std::uint64_t delivered_ = 0;  ///< highest height applied locally
+  std::uint64_t appended_ = 0;   ///< local submission ordinal
+  std::uint64_t blocks_broadcast_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace setchain::net

@@ -1,0 +1,399 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace setchain::net {
+
+namespace {
+
+/// Write the whole buffer (handles partial sends). False on any error.
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t w = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    len -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Wait until `fd` is readable (or timeout/stop). Returns -1 on poll error,
+/// 0 on timeout, 1 on readable/hup.
+int wait_readable(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  const int r = ::poll(&p, 1, timeout_ms);
+  if (r < 0) return errno == EINTR ? 0 : -1;
+  return r;
+}
+
+constexpr int kStopCheckMs = 200;
+
+}  // namespace
+
+bool parse_host_port(const std::string& s, std::string& host, std::uint16_t& port) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) return false;
+  host = s.substr(0, colon);
+  const std::string port_str = s.substr(colon + 1);
+  char* end = nullptr;
+  const long p = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) return false;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.listen_port);
+  if (::inet_pton(AF_INET, cfg_.listen_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpTransport: bad listen host " + cfg_.listen_host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpTransport: bind/listen failed on " +
+                             cfg_.listen_host + ":" + std::to_string(cfg_.listen_port));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  listen_port_ = ntohs(bound.sin_port);
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (std::uint32_t j = 0; j < cfg_.self && j < cfg_.peers.size(); ++j) {
+    if (cfg_.peers[j].empty()) continue;
+    dialer_threads_.emplace_back([this, j] { dial_loop(j); });
+  }
+}
+
+void TcpTransport::stop() {
+  if (stop_.exchange(true)) return;
+  // Wake everyone: listener via shutdown, connections via shutdown, writers
+  // and poll() callers via their condition variables.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (auto& [id, conn] : conns_) {
+      std::lock_guard<std::mutex> cl(conn->m);
+      conn->closed = true;
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      conn->cv.notify_all();
+    }
+  }
+  inbox_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : dialer_threads_) {
+    if (t.joinable()) t.join();
+  }
+  std::vector<Session> sessions;
+  {
+    std::lock_guard<std::mutex> lk(sessions_m_);
+    sessions.swap(session_threads_);
+  }
+  for (auto& s : sessions) {
+    if (s.thread.joinable()) s.thread.join();
+  }
+  {
+    // Every owner thread is joined: dropping the map releases the last
+    // references and Conn::~Conn closes the sockets.
+    std::lock_guard<std::mutex> lk(conns_m_);
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool TcpTransport::send_hello(int fd) {
+  wire::Hello h;
+  h.role = wire::kRoleServer;
+  h.sender = cfg_.self;
+  h.cluster = cfg_.cluster;
+  const codec::Bytes frame =
+      wire::encode_frame(wire::MsgType::kHello, wire::encode_hello(h));
+  return write_all(fd, frame.data(), frame.size());
+}
+
+void TcpTransport::accept_loop() {
+  while (!stop_.load()) {
+    const int r = wait_readable(listen_fd_, kStopCheckMs);
+    if (r < 0) return;
+    if (r == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load()) return;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lk(sessions_m_);
+    // Reap finished sessions first: bounded by live connections, not by
+    // the lifetime total of client reconnects.
+    for (auto it = session_threads_.begin(); it != session_threads_.end();) {
+      if (it->done->load()) {
+        it->thread.join();
+        it = session_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    session_threads_.push_back({std::thread([this, conn, done] {
+                                  read_loop(conn, /*inbound=*/true);
+                                  done->store(true);
+                                }),
+                                done});
+  }
+}
+
+void TcpTransport::dial_loop(std::uint32_t peer) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_host_port(cfg_.peers[peer], host, port)) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return;
+
+  int backoff_ms = 50;
+  bool connected_before = false;
+  while (!stop_.load()) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        !send_hello(fd)) {
+      ::close(fd);
+      // Capped exponential backoff: peers come up in any order, and a
+      // crashed peer must not be hammered.
+      for (int waited = 0; waited < backoff_ms && !stop_.load(); waited += 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      backoff_ms = std::min(backoff_ms * 2, 2000);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (connected_before) ++reconnects_;
+    connected_before = true;
+    backoff_ms = 50;
+
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->endpoint = peer;
+    register_conn(peer, conn);
+    read_loop(conn, /*inbound=*/false);  // returns on error/EOF/stop
+    unregister_conn(peer, conn);
+    close_conn(conn);
+  }
+}
+
+void TcpTransport::read_loop(const ConnPtr& conn, bool inbound) {
+  wire::FrameReader reader;
+  bool identified = !inbound;  // outbound conns: we know who we dialed
+  std::uint8_t buf[64 * 1024];
+
+  while (!stop_.load()) {
+    const int r = wait_readable(conn->fd, kStopCheckMs);
+    if (r < 0) break;
+    if (r == 0) continue;
+    const ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (got == 0) break;  // EOF
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bytes_received_ += static_cast<std::uint64_t>(got);
+    reader.feed(codec::ByteView(buf, static_cast<std::size_t>(got)));
+
+    wire::Frame f;
+    wire::DecodeStatus s;
+    bool fatal = false;
+    while ((s = reader.next(f)) == wire::DecodeStatus::kOk) {
+      if (!identified) {
+        // First frame of an inbound connection must be a Hello that names
+        // this cluster; anything else is a stranger and the stream dies.
+        std::optional<wire::Hello> hello;
+        if (f.type == wire::MsgType::kHello) hello = wire::parse_hello(f.payload);
+        if (!hello || hello->cluster != cfg_.cluster ||
+            (hello->role == wire::kRoleServer && hello->sender >= cfg_.n)) {
+          ++decode_errors_;
+          fatal = true;
+          break;
+        }
+        conn->endpoint = hello->role == wire::kRoleServer
+                             ? static_cast<EndpointId>(hello->sender)
+                             : next_client_++;
+        register_conn(conn->endpoint, conn);
+        identified = true;
+        continue;
+      }
+      if (f.type == wire::MsgType::kHello) continue;  // ignore re-hellos
+      ++frames_received_;
+      {
+        std::lock_guard<std::mutex> lk(inbox_m_);
+        inbox_.emplace_back(conn->endpoint, std::move(f));
+      }
+      inbox_cv_.notify_one();
+    }
+    if (fatal) break;
+    if (s != wire::DecodeStatus::kNeedMore) {
+      ++decode_errors_;
+      break;  // framing violation: the stream can never resync
+    }
+  }
+  if (inbound) {
+    if (identified) unregister_conn(conn->endpoint, conn);
+    close_conn(conn);
+  }
+  // Outbound: dial_loop owns unregister/close so it can reconnect.
+}
+
+void TcpTransport::writer_loop(const ConnPtr& conn) {
+  for (;;) {
+    codec::Bytes next;
+    {
+      std::unique_lock<std::mutex> lk(conn->m);
+      conn->cv.wait_for(lk, std::chrono::milliseconds(kStopCheckMs), [&] {
+        return conn->closed || !conn->sendq.empty();
+      });
+      if (conn->sendq.empty()) {
+        if (conn->closed || stop_.load()) return;
+        continue;
+      }
+      next = std::move(conn->sendq.front());
+      conn->sendq.pop_front();
+    }
+    if (!write_all(conn->fd, next.data(), next.size())) {
+      // Peer is gone: the reader will notice too; drain nothing further.
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->closed = true;
+      return;
+    }
+    frames_sent_ += 1;
+    bytes_sent_ += next.size();
+  }
+}
+
+TcpTransport::Conn::~Conn() {
+  // Last reference gone: no thread can touch this connection anymore.
+  if (writer.joinable()) writer.join();
+  if (fd >= 0) ::close(fd);
+}
+
+void TcpTransport::register_conn(EndpointId endpoint, const ConnPtr& conn) {
+  conn->writer = std::thread([this, conn] { writer_loop(conn); });
+  ConnPtr replaced;
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    auto& slot = conns_[endpoint];
+    replaced = slot;
+    slot = conn;
+  }
+  // A reconnect replaces the old (dead) connection for this endpoint. Only
+  // WAKE the old threads here — its owner thread joins the writer, and the
+  // fd closes when the last reference drops (Conn::~Conn), so the old
+  // reader can never race a recycled fd number.
+  if (replaced) retire_conn(replaced);
+}
+
+void TcpTransport::unregister_conn(EndpointId endpoint, const ConnPtr& conn) {
+  std::lock_guard<std::mutex> lk(conns_m_);
+  const auto it = conns_.find(endpoint);
+  if (it != conns_.end() && it->second == conn) conns_.erase(it);
+}
+
+void TcpTransport::retire_conn(const ConnPtr& conn) {
+  std::lock_guard<std::mutex> lk(conn->m);
+  if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  conn->closed = true;
+  conn->cv.notify_all();
+}
+
+void TcpTransport::close_conn(const ConnPtr& conn) {
+  retire_conn(conn);
+  if (conn->writer.joinable()) conn->writer.join();
+}
+
+bool TcpTransport::send(EndpointId to, wire::MsgType type, codec::ByteView payload) {
+  ConnPtr conn;
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    const auto it = conns_.find(to);
+    if (it != conns_.end()) conn = it->second;
+  }
+  if (!conn) {
+    ++send_drops_;
+    return false;
+  }
+  codec::Bytes frame = wire::encode_frame(type, payload);
+  if (frame.empty()) {
+    ++send_drops_;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lk(conn->m);
+    if (conn->closed || conn->sendq.size() >= cfg_.send_queue_limit) {
+      ++send_drops_;
+      return false;
+    }
+    conn->sendq.push_back(std::move(frame));
+  }
+  conn->cv.notify_one();
+  return true;
+}
+
+std::size_t TcpTransport::poll(std::chrono::milliseconds max_wait) {
+  std::deque<std::pair<EndpointId, wire::Frame>> batch;
+  {
+    std::unique_lock<std::mutex> lk(inbox_m_);
+    if (inbox_.empty()) {
+      inbox_cv_.wait_for(lk, max_wait,
+                         [&] { return !inbox_.empty() || stop_.load(); });
+    }
+    batch.swap(inbox_);
+  }
+  for (auto& [from, frame] : batch) {
+    if (handler_) handler_(from, std::move(frame));
+  }
+  return batch.size();
+}
+
+TcpTransport::Counters TcpTransport::counters() const {
+  Counters c;
+  c.frames_sent = frames_sent_;
+  c.bytes_sent = bytes_sent_;
+  c.frames_received = frames_received_;
+  c.bytes_received = bytes_received_;
+  c.send_drops = send_drops_;
+  c.decode_errors = decode_errors_;
+  c.reconnects = reconnects_;
+  return c;
+}
+
+}  // namespace setchain::net

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace setchain::net {
+
+/// "host:port" -> (host, port). Returns false on malformed input.
+bool parse_host_port(const std::string& s, std::string& host, std::uint16_t& port);
+
+struct TcpConfig {
+  std::uint32_t self = 0;
+  std::uint32_t n = 4;
+  std::string listen_host = "127.0.0.1";
+  /// 0 binds an ephemeral port (tests); read the real one via listen_port().
+  std::uint16_t listen_port = 0;
+  /// Peer addresses indexed by node id. Dial rule: node i dials every peer
+  /// j < i and accepts from every peer j > i, so each server pair shares
+  /// exactly one connection (both directions of traffic flow over it).
+  /// Entries for ids >= self may be empty.
+  std::vector<std::string> peers;
+  /// cluster_id() of this deployment; hellos carrying anything else are
+  /// refused (a daemon from another cluster/seed cannot join by accident).
+  std::uint64_t cluster = 0;
+  /// Bounded per-connection send queue (frames). A full queue drops the
+  /// frame (counted): backpressure never blocks the node thread, and the
+  /// ledger sync / fetch retry machinery recovers from the loss.
+  std::size_t send_queue_limit = 4096;
+};
+
+/// Real-socket ITransport: POSIX TCP, one reader and one writer thread per
+/// connection, an accept thread, and dialer threads (with capped exponential
+/// backoff reconnect) for the peers this node initiates to. Inbound frames
+/// land in an inbox the owner drains on its own thread via poll() — node
+/// logic stays single-threaded.
+class TcpTransport final : public ITransport {
+ public:
+  /// Binds and listens immediately (so tests can read listen_port() before
+  /// any peer starts); no threads run until start().
+  explicit TcpTransport(TcpConfig cfg);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint16_t listen_port() const { return listen_port_; }
+
+  // ITransport
+  void set_handler(FrameHandler handler) override { handler_ = std::move(handler); }
+  bool send(EndpointId to, wire::MsgType type, codec::ByteView payload) override;
+  std::size_t poll(std::chrono::milliseconds max_wait) override;
+  std::uint32_t self() const override { return cfg_.self; }
+  Counters counters() const override;
+
+ private:
+  struct Conn {
+    /// Never mutated after construction; closed exactly once, in the
+    /// destructor — i.e. only after every thread touching this connection
+    /// has released its reference, so a recycled fd number can never be
+    /// shut down or read by a stale thread.
+    int fd = -1;
+    EndpointId endpoint = 0;
+    std::deque<codec::Bytes> sendq;
+    std::mutex m;
+    std::condition_variable cv;
+    bool closed = false;
+    std::thread writer;
+    ~Conn();
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  void accept_loop();
+  void dial_loop(std::uint32_t peer);
+  /// Reads frames off `conn` until error/EOF/stop. `expected_endpoint` is
+  /// set for outbound dials (the hello already happened); inbound
+  /// connections are identified by their first frame (a Hello).
+  void read_loop(const ConnPtr& conn, bool inbound);
+  void writer_loop(const ConnPtr& conn);
+  void register_conn(EndpointId endpoint, const ConnPtr& conn);
+  void unregister_conn(EndpointId endpoint, const ConnPtr& conn);
+  /// Wake a connection's threads so they wind down (shutdown + closed
+  /// flag). Callable from ANY thread; never closes the fd (Conn::~Conn
+  /// does) and never joins.
+  static void retire_conn(const ConnPtr& conn);
+  /// Owner-thread epilogue: retire + join the writer. Only the thread that
+  /// ran the connection's read loop may call it (single joiner).
+  static void close_conn(const ConnPtr& conn);
+  bool send_hello(int fd);
+
+  TcpConfig cfg_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  FrameHandler handler_;
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> dialer_threads_;
+  /// Inbound session threads, reaped by the accept loop as they finish so
+  /// a long-lived daemon serving churning clients does not accumulate
+  /// terminated-but-unjoined threads.
+  struct Session {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex sessions_m_;
+  std::vector<Session> session_threads_;
+
+  std::mutex conns_m_;
+  std::unordered_map<EndpointId, ConnPtr> conns_;
+  std::atomic<EndpointId> next_client_{kClientEndpointBase};
+
+  std::mutex inbox_m_;
+  std::condition_variable inbox_cv_;
+  std::deque<std::pair<EndpointId, wire::Frame>> inbox_;
+
+  std::atomic<std::uint64_t> frames_sent_{0}, bytes_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0}, bytes_received_{0};
+  std::atomic<std::uint64_t> send_drops_{0}, decode_errors_{0}, reconnects_{0};
+};
+
+}  // namespace setchain::net

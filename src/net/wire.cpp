@@ -1,0 +1,514 @@
+#include "net/wire.hpp"
+
+#include "sim/rng.hpp"
+
+namespace setchain::net::wire {
+
+// Layouts in this file are NORMATIVE-MIRRORED in docs/WIRE_FORMAT.md: keep
+// the two in lockstep (the wire tests pin the documented examples).
+
+bool known_type(std::uint8_t t) {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::kHello:
+    case MsgType::kAddRequest:
+    case MsgType::kAddResponse:
+    case MsgType::kSnapshotRequest:
+    case MsgType::kSnapshotResponse:
+    case MsgType::kProofsRequest:
+    case MsgType::kProofsResponse:
+    case MsgType::kEpochRequest:
+    case MsgType::kEpochResponse:
+    case MsgType::kTxSubmit:
+    case MsgType::kBlock:
+    case MsgType::kBlockSyncRequest:
+    case MsgType::kBlockSyncResponse:
+    case MsgType::kBatchRequest:
+    case MsgType::kBatchResponse:
+      return true;
+  }
+  return false;
+}
+
+const char* type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kAddRequest: return "ADD_REQ";
+    case MsgType::kAddResponse: return "ADD_RESP";
+    case MsgType::kSnapshotRequest: return "SNAPSHOT_REQ";
+    case MsgType::kSnapshotResponse: return "SNAPSHOT_RESP";
+    case MsgType::kProofsRequest: return "PROOFS_REQ";
+    case MsgType::kProofsResponse: return "PROOFS_RESP";
+    case MsgType::kEpochRequest: return "EPOCH_REQ";
+    case MsgType::kEpochResponse: return "EPOCH_RESP";
+    case MsgType::kTxSubmit: return "TX_SUBMIT";
+    case MsgType::kBlock: return "BLOCK";
+    case MsgType::kBlockSyncRequest: return "BLOCK_SYNC_REQ";
+    case MsgType::kBlockSyncResponse: return "BLOCK_SYNC_RESP";
+    case MsgType::kBatchRequest: return "BATCH_REQ";
+    case MsgType::kBatchResponse: return "BATCH_RESP";
+  }
+  return "?";
+}
+
+const char* decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kOversized: return "oversized";
+  }
+  return "?";
+}
+
+codec::Bytes encode_frame(MsgType type, codec::ByteView payload) {
+  if (payload.size() > kMaxPayloadBytes) return {};  // never legal to build
+  codec::Bytes out;
+  out.reserve(kHeaderSize + payload.size());
+  codec::append(out, codec::ByteView(kMagic.data(), kMagic.size()));
+  codec::append_u8(out, kVersion);
+  codec::append_u8(out, static_cast<std::uint8_t>(type));
+  codec::append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  codec::append(out, payload);
+  return out;
+}
+
+DecodeStatus decode_frame(codec::ByteView in, Frame& out, std::size_t& consumed) {
+  consumed = 0;
+  if (in.size() < kHeaderSize) return DecodeStatus::kNeedMore;
+  for (std::size_t i = 0; i < kMagic.size(); ++i) {
+    if (in[i] != kMagic[i]) return DecodeStatus::kBadMagic;
+  }
+  if (in[4] != kVersion) return DecodeStatus::kBadVersion;
+  const std::uint8_t type = in[5];
+  if (!known_type(type)) return DecodeStatus::kBadType;
+  const std::uint32_t len = codec::read_u32le(in.subspan(6, 4));
+  if (len > kMaxPayloadBytes) return DecodeStatus::kOversized;
+  if (in.size() < kHeaderSize + len) return DecodeStatus::kNeedMore;
+  out.type = static_cast<MsgType>(type);
+  out.payload.assign(in.begin() + kHeaderSize, in.begin() + kHeaderSize + len);
+  consumed = kHeaderSize + len;
+  return DecodeStatus::kOk;
+}
+
+void FrameReader::feed(codec::ByteView bytes) {
+  if (fatal_ != DecodeStatus::kOk) return;
+  // Compact the consumed prefix before growing (bounded memory per peer).
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  codec::append(buf_, bytes);
+}
+
+DecodeStatus FrameReader::next(Frame& out) {
+  if (fatal_ != DecodeStatus::kOk) return fatal_;
+  std::size_t consumed = 0;
+  const DecodeStatus s =
+      decode_frame(codec::ByteView(buf_).subspan(pos_), out, consumed);
+  if (s == DecodeStatus::kOk) {
+    pos_ += consumed;
+    return s;
+  }
+  if (s != DecodeStatus::kNeedMore) fatal_ = s;  // streams cannot resync
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Payloads.
+// ---------------------------------------------------------------------------
+
+std::uint64_t cluster_id(std::uint64_t seed, std::uint32_t n, std::uint32_t f,
+                         std::uint8_t algorithm) {
+  std::uint64_t s = seed ^ 0xC1D57E55ULL;
+  std::uint64_t v = sim::splitmix64(s);
+  s ^= (static_cast<std::uint64_t>(n) << 32) | (static_cast<std::uint64_t>(f) << 8) |
+       algorithm;
+  return v ^ sim::splitmix64(s);
+}
+
+namespace {
+
+/// Shared epilogue of every parser: the payload must be consumed exactly
+/// (trailing garbage is a protocol violation, not padding).
+template <typename T>
+std::optional<T> finish(const codec::Reader& r, T&& value) {
+  if (!r.done()) return std::nullopt;
+  return std::forward<T>(value);
+}
+
+void put_sorted_ids(codec::Writer& w, const std::vector<core::ElementId>& ids) {
+  w.varint(ids.size());
+  core::ElementId prev = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    w.varint(i == 0 ? ids[i] : ids[i] - prev);  // strictly increasing input
+    prev = ids[i];
+  }
+}
+
+/// Bound a list reserve by the bytes actually present: each entry encodes
+/// to at least `min_entry_bytes`, so any count above remaining/min is a lie
+/// and any honest count reserves no more memory than the payload justifies
+/// (a 30-byte frame claiming 8M entries must not allocate gigabytes).
+std::size_t reserve_bound(const codec::Reader& r, std::uint64_t count,
+                          std::size_t min_entry_bytes) {
+  const std::size_t plausible = r.remaining() / std::max<std::size_t>(min_entry_bytes, 1);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(count, plausible));
+}
+
+/// Sorted-delta id list; rejects lists that are not strictly increasing
+/// (delta 0 after the first entry would smuggle duplicates past set logic).
+bool get_sorted_ids(codec::Reader& r, std::vector<core::ElementId>& out,
+                    std::size_t max_count) {
+  const auto count = r.varint();
+  if (!count || *count > max_count) return false;
+  out.clear();
+  out.reserve(reserve_bound(r, *count, 1));
+  core::ElementId prev = 0;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto delta = r.varint();
+    if (!delta) return false;
+    if (i > 0 && *delta == 0) return false;
+    const core::ElementId id = prev + *delta;
+    if (i > 0 && id < prev) return false;  // wraparound
+    out.push_back(id);
+    prev = id;
+  }
+  return true;
+}
+
+/// A snapshot/proof response can legitimately carry many entries, but any
+/// count beyond what fits the frame cap is hostile. Counts are sanity-
+/// checked against this, and every reserve additionally goes through
+/// reserve_bound() so allocation is bounded by the bytes actually present.
+constexpr std::size_t kMaxListCount = kMaxPayloadBytes;
+
+/// Minimum encoded sizes (bytes) of the variable-count entries, for
+/// reserve_bound(): an epoch record is 3 varints + 64-byte hash + id list,
+/// an epoch-proof entry is tag + 138 fixed bytes, a transaction is
+/// kind + wire_size varint + lp_bytes.
+constexpr std::size_t kMinEpochRecordBytes = 68;
+constexpr std::size_t kMinProofEntryBytes = 100;
+constexpr std::size_t kMinTxBytes = 3;
+
+}  // namespace
+
+codec::Bytes encode_hello(const Hello& h) {
+  codec::Writer w;
+  w.u8(h.role).varint(h.sender).u64le(h.cluster);
+  return w.take();
+}
+
+std::optional<Hello> parse_hello(codec::ByteView payload) {
+  codec::Reader r(payload);
+  Hello h;
+  const auto role = r.u8();
+  const auto sender = r.varint();
+  const auto cluster = r.u64le();
+  if (!role || !sender || !cluster) return std::nullopt;
+  if (*role != kRoleServer && *role != kRoleClient) return std::nullopt;
+  h.role = *role;
+  h.sender = *sender;
+  h.cluster = *cluster;
+  return finish(r, std::move(h));
+}
+
+codec::Bytes encode_add_request(const AddRequest& m) {
+  codec::Writer w;
+  w.varint(m.req_id);
+  core::serialize_element(w, m.element);
+  return w.take();
+}
+
+std::optional<AddRequest> parse_add_request(codec::ByteView payload) {
+  codec::Reader r(payload);
+  AddRequest m;
+  const auto req = r.varint();
+  const auto tag = r.u8();
+  if (!req || !tag || *tag != core::kElementTag) return std::nullopt;
+  auto e = core::parse_element(r);
+  if (!e) return std::nullopt;
+  m.req_id = *req;
+  m.element = std::move(*e);
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_add_response(const AddResponse& m) {
+  codec::Writer w;
+  w.varint(m.req_id).u8(m.accepted ? 1 : 0);
+  return w.take();
+}
+
+std::optional<AddResponse> parse_add_response(codec::ByteView payload) {
+  codec::Reader r(payload);
+  AddResponse m;
+  const auto req = r.varint();
+  const auto acc = r.u8();
+  if (!req || !acc || *acc > 1) return std::nullopt;
+  m.req_id = *req;
+  m.accepted = *acc == 1;
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_snapshot_request(const SnapshotRequest& m) {
+  codec::Writer w;
+  w.varint(m.req_id);
+  return w.take();
+}
+
+std::optional<SnapshotRequest> parse_snapshot_request(codec::ByteView payload) {
+  codec::Reader r(payload);
+  const auto req = r.varint();
+  if (!req) return std::nullopt;
+  return finish(r, SnapshotRequest{*req});
+}
+
+codec::Bytes encode_snapshot_response(const SnapshotResponse& m) {
+  codec::Writer w;
+  w.varint(m.req_id).varint(m.epoch).varint(m.history.size());
+  for (const auto& rec : m.history) {
+    w.varint(rec.number).varint(rec.count).varint(rec.bytes);
+    w.bytes(codec::ByteView(rec.hash.data(), rec.hash.size()));
+    put_sorted_ids(w, rec.ids);
+  }
+  put_sorted_ids(w, m.the_set);
+  return w.take();
+}
+
+std::optional<SnapshotResponse> parse_snapshot_response(codec::ByteView payload) {
+  codec::Reader r(payload);
+  SnapshotResponse m;
+  const auto req = r.varint();
+  const auto epoch = r.varint();
+  const auto hist = r.varint();
+  if (!req || !epoch || !hist || *hist > kMaxListCount) return std::nullopt;
+  m.req_id = *req;
+  m.epoch = *epoch;
+  m.history.reserve(reserve_bound(r, *hist, kMinEpochRecordBytes));
+  for (std::uint64_t i = 0; i < *hist; ++i) {
+    core::EpochRecord rec;
+    const auto number = r.varint();
+    const auto count = r.varint();
+    const auto bytes = r.varint();
+    if (!number || !count || !bytes) return std::nullopt;
+    const auto hash = r.bytes(rec.hash.size());
+    if (!hash) return std::nullopt;
+    rec.number = *number;
+    rec.count = *count;
+    rec.bytes = *bytes;
+    std::copy(hash->begin(), hash->end(), rec.hash.begin());
+    if (!get_sorted_ids(r, rec.ids, kMaxListCount)) return std::nullopt;
+    m.history.push_back(std::move(rec));
+  }
+  if (!get_sorted_ids(r, m.the_set, kMaxListCount)) return std::nullopt;
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_proofs_request(const ProofsRequest& m) {
+  codec::Writer w;
+  w.varint(m.req_id).varint(m.epoch);
+  return w.take();
+}
+
+std::optional<ProofsRequest> parse_proofs_request(codec::ByteView payload) {
+  codec::Reader r(payload);
+  const auto req = r.varint();
+  const auto epoch = r.varint();
+  if (!req || !epoch) return std::nullopt;
+  return finish(r, ProofsRequest{*req, *epoch});
+}
+
+codec::Bytes encode_proofs_response(const ProofsResponse& m) {
+  codec::Writer w;
+  w.varint(m.req_id).varint(m.proofs.size());
+  for (const auto& p : m.proofs) core::serialize_epoch_proof(w, p);
+  return w.take();
+}
+
+std::optional<ProofsResponse> parse_proofs_response(codec::ByteView payload) {
+  codec::Reader r(payload);
+  ProofsResponse m;
+  const auto req = r.varint();
+  const auto count = r.varint();
+  if (!req || !count || *count > kMaxListCount) return std::nullopt;
+  m.req_id = *req;
+  m.proofs.reserve(reserve_bound(r, *count, kMinProofEntryBytes));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto tag = r.u8();
+    if (!tag || *tag != core::kEpochProofTag) return std::nullopt;
+    auto p = core::parse_epoch_proof(r);
+    if (!p) return std::nullopt;
+    m.proofs.push_back(std::move(*p));
+  }
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_epoch_request(const EpochRequest& m) {
+  codec::Writer w;
+  w.varint(m.req_id);
+  return w.take();
+}
+
+std::optional<EpochRequest> parse_epoch_request(codec::ByteView payload) {
+  codec::Reader r(payload);
+  const auto req = r.varint();
+  if (!req) return std::nullopt;
+  return finish(r, EpochRequest{*req});
+}
+
+codec::Bytes encode_epoch_response(const EpochResponse& m) {
+  codec::Writer w;
+  w.varint(m.req_id).varint(m.epoch).varint(m.node_id);
+  return w.take();
+}
+
+std::optional<EpochResponse> parse_epoch_response(codec::ByteView payload) {
+  codec::Reader r(payload);
+  const auto req = r.varint();
+  const auto epoch = r.varint();
+  const auto node = r.varint();
+  if (!req || !epoch || !node) return std::nullopt;
+  return finish(r, EpochResponse{*req, *epoch, *node});
+}
+
+namespace {
+
+void put_tx(codec::Writer& w, const ledger::Transaction& tx) {
+  w.u8(static_cast<std::uint8_t>(tx.kind));
+  w.varint(tx.wire_size);
+  w.lp_bytes(tx.data);
+}
+
+std::optional<ledger::Transaction> get_tx(codec::Reader& r) {
+  const auto kind = r.u8();
+  const auto wire = r.varint();
+  if (!kind || !wire) return std::nullopt;
+  if (*kind > static_cast<std::uint8_t>(ledger::TxKind::kHashBatch)) return std::nullopt;
+  if (*wire > kMaxPayloadBytes) return std::nullopt;
+  const auto data = r.lp_bytes();
+  if (!data) return std::nullopt;
+  ledger::Transaction tx;
+  tx.kind = static_cast<ledger::TxKind>(*kind);
+  tx.wire_size = static_cast<std::uint32_t>(*wire);
+  tx.data.assign(data->begin(), data->end());
+  return tx;
+}
+
+}  // namespace
+
+codec::Bytes encode_tx_submit(const ledger::Transaction& tx) {
+  codec::Writer w;
+  put_tx(w, tx);
+  return w.take();
+}
+
+std::optional<TxSubmit> parse_tx_submit(codec::ByteView payload) {
+  codec::Reader r(payload);
+  auto tx = get_tx(r);
+  if (!tx) return std::nullopt;
+  TxSubmit m;
+  m.tx = std::move(*tx);
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_block(std::uint64_t height, std::uint32_t proposer,
+                          const std::vector<const ledger::Transaction*>& txs) {
+  codec::Writer w;
+  w.varint(height).varint(proposer).varint(txs.size());
+  for (const auto* tx : txs) put_tx(w, *tx);
+  return w.take();
+}
+
+std::optional<BlockMsg> parse_block(codec::ByteView payload) {
+  codec::Reader r(payload);
+  BlockMsg m;
+  const auto height = r.varint();
+  const auto proposer = r.varint();
+  const auto count = r.varint();
+  if (!height || *height == 0 || !proposer || !count) return std::nullopt;
+  if (*proposer > 0xFFFFFFFFull || *count > kMaxListCount) return std::nullopt;
+  m.height = *height;
+  m.proposer = static_cast<std::uint32_t>(*proposer);
+  m.txs.reserve(reserve_bound(r, *count, kMinTxBytes));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto tx = get_tx(r);
+    if (!tx) return std::nullopt;
+    m.txs.push_back(std::move(*tx));
+  }
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_block_sync_request(const BlockSyncRequest& m) {
+  codec::Writer w;
+  w.varint(m.from_height);
+  return w.take();
+}
+
+std::optional<BlockSyncRequest> parse_block_sync_request(codec::ByteView payload) {
+  codec::Reader r(payload);
+  const auto from = r.varint();
+  if (!from) return std::nullopt;
+  return finish(r, BlockSyncRequest{*from});
+}
+
+codec::Bytes encode_block_sync_response(const std::vector<codec::ByteView>& blocks) {
+  codec::Writer w;
+  w.varint(blocks.size());
+  for (const auto& b : blocks) w.lp_bytes(b);
+  return w.take();
+}
+
+std::optional<BlockSyncResponse> parse_block_sync_response(codec::ByteView payload) {
+  codec::Reader r(payload);
+  BlockSyncResponse m;
+  const auto count = r.varint();
+  if (!count || *count > kMaxListCount) return std::nullopt;
+  m.blocks.reserve(reserve_bound(r, *count, 1));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto b = r.lp_bytes();
+    if (!b) return std::nullopt;
+    m.blocks.emplace_back(b->begin(), b->end());
+  }
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_batch_request(const BatchRequest& m) {
+  codec::Writer w;
+  w.varint(m.requester);
+  w.bytes(codec::ByteView(m.hash.data(), m.hash.size()));
+  return w.take();
+}
+
+std::optional<BatchRequest> parse_batch_request(codec::ByteView payload) {
+  codec::Reader r(payload);
+  BatchRequest m;
+  const auto requester = r.varint();
+  if (!requester) return std::nullopt;
+  const auto hash = r.bytes(m.hash.size());
+  if (!hash) return std::nullopt;
+  m.requester = *requester;
+  std::copy(hash->begin(), hash->end(), m.hash.begin());
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_batch_response(const BatchResponse& m) {
+  codec::Writer w;
+  w.bytes(codec::ByteView(m.hash.data(), m.hash.size()));
+  w.lp_bytes(m.batch);
+  return w.take();
+}
+
+std::optional<BatchResponse> parse_batch_response(codec::ByteView payload) {
+  codec::Reader r(payload);
+  BatchResponse m;
+  const auto hash = r.bytes(m.hash.size());
+  if (!hash) return std::nullopt;
+  std::copy(hash->begin(), hash->end(), m.hash.begin());
+  const auto batch = r.lp_bytes();
+  if (!batch) return std::nullopt;
+  m.batch.assign(batch->begin(), batch->end());
+  return finish(r, std::move(m));
+}
+
+}  // namespace setchain::net::wire

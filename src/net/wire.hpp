@@ -1,0 +1,260 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/byte_io.hpp"
+#include "codec/bytes.hpp"
+#include "core/element.hpp"
+#include "core/epoch_record.hpp"
+#include "core/proofs.hpp"
+#include "ledger/transaction.hpp"
+
+namespace setchain::net::wire {
+
+// ---------------------------------------------------------------------------
+// Setchain wire protocol v1 — framing.
+//
+// NORMATIVE SPEC: docs/WIRE_FORMAT.md. Every constant, frame type, and field
+// layout in this header is documented there; changes to either file must be
+// mirrored in the other (the wire tests pin both directions).
+//
+// Frame layout (10-byte fixed header + payload):
+//   magic    4 bytes  'S' 'E' 'T' 'C'
+//   version  u8       kVersion (1)
+//   type     u8       MsgType tag
+//   length   u32le    payload byte count, <= kMaxPayloadBytes
+//   payload  `length` bytes (per-type layout below)
+// ---------------------------------------------------------------------------
+
+inline constexpr std::array<std::uint8_t, 4> kMagic = {'S', 'E', 'T', 'C'};
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 10;
+/// Hard payload cap: a length prefix above this is a protocol violation and
+/// the stream is dead (prevents a hostile peer from forcing huge allocations).
+inline constexpr std::size_t kMaxPayloadBytes = 8u << 20;  // 8 MiB
+
+/// Frame type tags (docs/WIRE_FORMAT.md §Frame types).
+enum class MsgType : std::uint8_t {
+  // Connection bring-up (consumed by the transport layer, not the node).
+  kHello = 0x01,
+
+  // Client -> node RPC (request/response, client-chosen req_id correlation).
+  kAddRequest = 0x10,
+  kAddResponse = 0x11,
+  kSnapshotRequest = 0x12,
+  kSnapshotResponse = 0x13,
+  kProofsRequest = 0x14,
+  kProofsResponse = 0x15,
+  kEpochRequest = 0x16,
+  kEpochResponse = 0x17,
+
+  // Server <-> server: replicated-ledger traffic.
+  kTxSubmit = 0x20,
+  kBlock = 0x21,
+  kBlockSyncRequest = 0x22,
+  kBlockSyncResponse = 0x23,
+
+  // Server <-> server: Hashchain batch exchange (Request_batch service).
+  kBatchRequest = 0x30,
+  kBatchResponse = 0x31,
+};
+
+bool known_type(std::uint8_t t);
+const char* type_name(MsgType t);
+
+struct Frame {
+  MsgType type = MsgType::kHello;
+  codec::Bytes payload;
+};
+
+/// Encode one frame (header + payload). Payloads above kMaxPayloadBytes are
+/// a programming error (assert in debug, truncated streams otherwise never
+/// leave this process: the encoder refuses and returns an empty buffer).
+codec::Bytes encode_frame(MsgType type, codec::ByteView payload);
+
+enum class DecodeStatus : std::uint8_t {
+  kOk,
+  kNeedMore,     ///< not enough bytes yet (stream: keep reading)
+  kBadMagic,     ///< stream corrupt / not a Setchain peer
+  kBadVersion,   ///< incompatible protocol version
+  kBadType,      ///< unknown frame type tag
+  kOversized,    ///< length prefix above kMaxPayloadBytes
+};
+const char* decode_status_name(DecodeStatus s);
+
+/// One-shot decode of a frame at the start of `in`. On kOk, `consumed` is
+/// the total frame size (header + payload). Any other status leaves
+/// `consumed` at 0; statuses other than kNeedMore mean the stream can never
+/// recover (close the connection).
+DecodeStatus decode_frame(codec::ByteView in, Frame& out, std::size_t& consumed);
+
+/// Incremental frame reassembly over a byte stream (TCP). Feed received
+/// bytes; poll frames until kNeedMore. A fatal status is sticky: the reader
+/// refuses further frames (the transport closes the connection).
+class FrameReader {
+ public:
+  void feed(codec::ByteView bytes);
+  /// Extract the next complete frame. kOk fills `out`; kNeedMore means feed
+  /// more bytes; anything else is fatal and sticky.
+  DecodeStatus next(Frame& out);
+  bool failed() const { return fatal_ != DecodeStatus::kOk; }
+  DecodeStatus error() const { return fatal_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  codec::Bytes buf_;
+  std::size_t pos_ = 0;
+  DecodeStatus fatal_ = DecodeStatus::kOk;
+};
+
+// ---------------------------------------------------------------------------
+// Payload layouts. Every parse_* is total over untrusted bytes: it returns
+// nullopt on truncation, overlong varints, bad tags, out-of-range values,
+// or trailing garbage (the payload must be consumed exactly).
+// ---------------------------------------------------------------------------
+
+/// Identifies a cluster instance: every process derives the same value from
+/// the shared (seed, n, f, algorithm) deployment parameters, so a daemon
+/// refuses peers/clients configured for a different cluster.
+std::uint64_t cluster_id(std::uint64_t seed, std::uint32_t n, std::uint32_t f,
+                         std::uint8_t algorithm);
+
+inline constexpr std::uint8_t kRoleServer = 0;
+inline constexpr std::uint8_t kRoleClient = 1;
+
+/// kHello: role u8, sender varint, cluster u64le.
+struct Hello {
+  std::uint8_t role = kRoleServer;
+  std::uint64_t sender = 0;   ///< server: node id; client: PKI process id
+  std::uint64_t cluster = 0;  ///< cluster_id() of the sender's configuration
+};
+codec::Bytes encode_hello(const Hello& h);
+std::optional<Hello> parse_hello(codec::ByteView payload);
+
+/// kAddRequest: req_id varint, element (kElementTag + element fields — the
+/// same self-describing entry layout batches and ledger txs use).
+struct AddRequest {
+  std::uint64_t req_id = 0;
+  core::Element element;
+};
+codec::Bytes encode_add_request(const AddRequest& m);
+std::optional<AddRequest> parse_add_request(codec::ByteView payload);
+
+/// kAddResponse: req_id varint, accepted u8 (0/1).
+struct AddResponse {
+  std::uint64_t req_id = 0;
+  bool accepted = false;
+};
+codec::Bytes encode_add_response(const AddResponse& m);
+std::optional<AddResponse> parse_add_response(codec::ByteView payload);
+
+/// kSnapshotRequest / kProofsRequest / kEpochRequest share one shape:
+/// req_id varint [, epoch varint for kProofsRequest].
+struct SnapshotRequest {
+  std::uint64_t req_id = 0;
+};
+codec::Bytes encode_snapshot_request(const SnapshotRequest& m);
+std::optional<SnapshotRequest> parse_snapshot_request(codec::ByteView payload);
+
+/// kSnapshotResponse: req_id varint, epoch varint, history count varint,
+/// records (number varint, count varint, bytes varint, hash 64 raw, id
+/// count varint, ids as sorted varint deltas), the_set count varint + ids
+/// as sorted varint deltas. Delta coding: first id absolute, each later id
+/// stored as (id - previous id); ids are strictly increasing.
+struct SnapshotResponse {
+  std::uint64_t req_id = 0;
+  std::uint64_t epoch = 0;
+  std::vector<core::EpochRecord> history;
+  std::vector<core::ElementId> the_set;  ///< sorted ascending
+};
+codec::Bytes encode_snapshot_response(const SnapshotResponse& m);
+std::optional<SnapshotResponse> parse_snapshot_response(codec::ByteView payload);
+
+struct ProofsRequest {
+  std::uint64_t req_id = 0;
+  std::uint64_t epoch = 0;
+};
+codec::Bytes encode_proofs_request(const ProofsRequest& m);
+std::optional<ProofsRequest> parse_proofs_request(codec::ByteView payload);
+
+/// kProofsResponse: req_id varint, count varint, proofs (kEpochProofTag +
+/// epoch-proof fields each).
+struct ProofsResponse {
+  std::uint64_t req_id = 0;
+  std::vector<core::EpochProof> proofs;
+};
+codec::Bytes encode_proofs_response(const ProofsResponse& m);
+std::optional<ProofsResponse> parse_proofs_response(codec::ByteView payload);
+
+struct EpochRequest {
+  std::uint64_t req_id = 0;
+};
+codec::Bytes encode_epoch_request(const EpochRequest& m);
+std::optional<EpochRequest> parse_epoch_request(codec::ByteView payload);
+
+/// kEpochResponse: req_id varint, epoch varint, node_id varint.
+struct EpochResponse {
+  std::uint64_t req_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t node_id = 0;
+};
+codec::Bytes encode_epoch_response(const EpochResponse& m);
+std::optional<EpochResponse> parse_epoch_response(codec::ByteView payload);
+
+/// kTxSubmit: kind u8, wire_size varint, data lp_bytes — one ledger
+/// transaction forwarded to the sequencer. The same (kind, wire_size, data)
+/// triple encodes each transaction inside kBlock payloads.
+struct TxSubmit {
+  ledger::Transaction tx;  ///< uid unset (the sequencer assigns it)
+};
+codec::Bytes encode_tx_submit(const ledger::Transaction& tx);
+std::optional<TxSubmit> parse_tx_submit(codec::ByteView payload);
+
+/// kBlock: height varint, proposer varint, tx count varint, txs (kTxSubmit
+/// triple each). Heights are 1-based and delivered in order at every node.
+struct BlockMsg {
+  std::uint64_t height = 0;
+  std::uint32_t proposer = 0;
+  std::vector<ledger::Transaction> txs;
+};
+codec::Bytes encode_block(std::uint64_t height, std::uint32_t proposer,
+                          const std::vector<const ledger::Transaction*>& txs);
+std::optional<BlockMsg> parse_block(codec::ByteView payload);
+
+/// kBlockSyncRequest: from_height varint ("send me blocks >= from_height").
+struct BlockSyncRequest {
+  std::uint64_t from_height = 0;
+};
+codec::Bytes encode_block_sync_request(const BlockSyncRequest& m);
+std::optional<BlockSyncRequest> parse_block_sync_request(codec::ByteView payload);
+
+/// kBlockSyncResponse: count varint, blocks (each an lp_bytes-wrapped kBlock
+/// payload). Responses are capped (config) so one reply never exceeds the
+/// frame limit; the requester keeps asking until caught up.
+struct BlockSyncResponse {
+  std::vector<codec::Bytes> blocks;  ///< kBlock payloads, ascending heights
+};
+codec::Bytes encode_block_sync_response(const std::vector<codec::ByteView>& blocks);
+std::optional<BlockSyncResponse> parse_block_sync_response(codec::ByteView payload);
+
+/// kBatchRequest: requester varint, hash 64 raw (Request_batch(h)).
+struct BatchRequest {
+  std::uint64_t requester = 0;
+  core::EpochHash hash{};
+};
+codec::Bytes encode_batch_request(const BatchRequest& m);
+std::optional<BatchRequest> parse_batch_request(codec::ByteView payload);
+
+/// kBatchResponse: hash 64 raw, batch lp_bytes (serialize_batch output;
+/// the receiver re-parses and re-hashes — the responder may be Byzantine).
+struct BatchResponse {
+  core::EpochHash hash{};
+  codec::Bytes batch;
+};
+codec::Bytes encode_batch_response(const BatchResponse& m);
+std::optional<BatchResponse> parse_batch_response(codec::ByteView payload);
+
+}  // namespace setchain::net::wire

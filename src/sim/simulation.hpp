@@ -57,6 +57,13 @@ class Simulation {
 
   bool empty() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
+  /// Timestamp of the earliest queued event (cancelled events may still
+  /// occupy the queue, so this is a lower bound on the next *live* event —
+  /// real-time pumps that sleep until it simply wake up early and re-check).
+  /// Time max when the queue is empty.
+  Time next_event_at() const {
+    return queue_.empty() ? std::numeric_limits<Time>::max() : queue_.top().at;
+  }
   std::uint64_t executed_events() const { return executed_; }
 
  private:

@@ -1,0 +1,163 @@
+// setchain_node — one live Setchain server process.
+//
+// Hosts a full-fidelity Setchain node (vanilla / compresschain / hashchain)
+// behind a TCP transport: the replicated ledger, the Hashchain batch
+// exchange, and the client RPC service all speak the length-prefixed wire
+// protocol of docs/WIRE_FORMAT.md. Spawn n of these (one per --id) with the
+// same --seed/--n/--f/--algo and the full --peer list, then point clients
+// (examples/remote_quorum_client) at them. See README "Run a live cluster".
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/node_host.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --id I --n N --listen HOST:PORT --peer HOST:PORT [xN, id order]\n"
+      "          [--f F] [--algo vanilla|compresschain|hashchain] [--seed S]\n"
+      "          [--collector K] [--collector-timeout-ms T] [--block-interval-ms B]\n"
+      "          [--block-bytes BYTES] [--clients C] [--quiet]\n"
+      "\n"
+      "Every daemon (and client) of one cluster must share --seed, --n, --f\n"
+      "and --algo: the PKI keys and the cluster id derive from them.\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace setchain;
+
+  net::NodeHostConfig cfg;
+  std::string listen;
+  std::vector<std::string> peers;
+  bool quiet = false;
+  bool have_f = false;
+
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      usage(argv[0]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--id") {
+      cfg.id = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+    } else if (arg == "--n") {
+      cfg.n = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+    } else if (arg == "--f") {
+      cfg.f = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+      have_f = true;
+    } else if (arg == "--algo") {
+      const auto a = runner::parse_algorithm(need_value(i));
+      if (!a) {
+        usage(argv[0]);
+        return 2;
+      }
+      cfg.algorithm = *a;
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--listen") {
+      listen = need_value(i);
+    } else if (arg == "--peer") {
+      peers.emplace_back(need_value(i));
+    } else if (arg == "--collector") {
+      cfg.collector_limit = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+    } else if (arg == "--collector-timeout-ms") {
+      cfg.collector_timeout = sim::from_millis(std::atof(need_value(i)));
+    } else if (arg == "--block-interval-ms") {
+      cfg.block_interval = sim::from_millis(std::atof(need_value(i)));
+    } else if (arg == "--block-bytes") {
+      cfg.max_block_bytes = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--clients") {
+      cfg.client_slots = static_cast<std::uint32_t>(std::atoi(need_value(i)));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (!have_f) cfg.f = (cfg.n - 1) / 3;
+  if (cfg.n == 0 || cfg.id >= cfg.n || 3 * cfg.f + 1 > cfg.n) {
+    std::fprintf(stderr, "setchain_node: need 0 <= id < n and 3f+1 <= n\n");
+    return 2;
+  }
+  if (peers.size() != cfg.n) {
+    std::fprintf(stderr, "setchain_node: need exactly n --peer entries (got %zu)\n",
+                 peers.size());
+    return 2;
+  }
+  if (listen.empty()) listen = peers[cfg.id];
+
+  net::TcpConfig tcp;
+  tcp.self = cfg.id;
+  tcp.n = cfg.n;
+  tcp.peers = peers;
+  tcp.cluster = net::NodeHost::cluster_id_of(cfg);
+  if (!net::parse_host_port(listen, tcp.listen_host, tcp.listen_port)) {
+    std::fprintf(stderr, "setchain_node: bad --listen %s\n", listen.c_str());
+    return 2;
+  }
+
+  try {
+    sim::Simulation sim;
+    net::TcpTransport transport(tcp);
+    net::NodeHost host(cfg, sim, transport);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    host.start();
+    transport.start();
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "setchain_node[%u/%u] %s listening on %s:%u (cluster %016llx)\n",
+                   cfg.id, cfg.n, runner::algorithm_name(cfg.algorithm),
+                   tcp.listen_host.c_str(), transport.listen_port(),
+                   static_cast<unsigned long long>(tcp.cluster));
+    }
+    host.run_realtime(g_stop);
+    transport.stop();
+
+    if (!quiet) {
+      const auto c = transport.counters();
+      std::fprintf(stderr,
+                   "setchain_node[%u] stopped: epoch=%llu the_set=%llu blocks=%llu "
+                   "rpcs=%llu frames(tx=%llu rx=%llu drop=%llu)\n",
+                   cfg.id, static_cast<unsigned long long>(host.server().epoch()),
+                   static_cast<unsigned long long>(host.server().the_set_size()),
+                   static_cast<unsigned long long>(host.ledger().height()),
+                   static_cast<unsigned long long>(host.rpcs_served()),
+                   static_cast<unsigned long long>(c.frames_sent),
+                   static_cast<unsigned long long>(c.frames_received),
+                   static_cast<unsigned long long>(c.send_drops));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "setchain_node: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
