@@ -32,9 +32,10 @@ int main(int argc, char** argv) {
   using namespace setchain;
   using namespace std::chrono_literals;
 
-  std::uint32_t n = 4, f = 1, count = 24;
+  std::uint32_t n = 4, f = 1, count = 24, first_seq = 0;
   std::uint64_t seed = 42;
   runner::Algorithm algo = runner::Algorithm::kHashchain;
+  runner::LedgerMode ledger = runner::LedgerMode::kFixedSequencer;
   std::vector<std::string> nodes;
   int wait_seconds = 60;
 
@@ -56,6 +57,14 @@ int main(int argc, char** argv) {
       const auto a = runner::parse_algorithm(value());
       if (!a) return 2;
       algo = *a;
+    } else if (arg == "--ledger") {
+      const auto m = runner::parse_ledger_mode(value());
+      if (!m) return 2;
+      ledger = *m;
+    } else if (arg == "--first-seq") {
+      // Element-sequence offset: a second client run against the same
+      // cluster must mint FRESH element ids (ids are (client, seq) pairs).
+      first_seq = static_cast<std::uint32_t>(std::atoi(value()));
     } else if (arg == "--node") {
       nodes.emplace_back(value());
     } else if (arg == "--wait-seconds") {
@@ -74,7 +83,8 @@ int main(int argc, char** argv) {
   // Shared deterministic PKI: the daemons derive the same keys from the same
   // seed, so elements signed here validate over there.
   const std::uint64_t cluster =
-      net::wire::cluster_id(seed, n, f, static_cast<std::uint8_t>(algo));
+      net::wire::cluster_id(seed, n, f, static_cast<std::uint8_t>(algo),
+                            static_cast<std::uint8_t>(ledger));
   crypto::Pki pki(seed);
   for (crypto::ProcessId p = 0; p < n + 64; ++p) pki.register_process(p);
   const crypto::ProcessId client_id = n;  // first pre-registered client slot
@@ -118,7 +128,7 @@ int main(int argc, char** argv) {
   workload::ArbitrumLikeGenerator gen(seed ^ 0xC11E47ULL);
   core::ElementFactory factory(gen, pki, core::Fidelity::kFull);
   std::vector<core::ElementId> added;
-  for (std::uint32_t s = 0; s < count; ++s) {
+  for (std::uint32_t s = first_seq; s < first_seq + count; ++s) {
     const core::Element e = factory.make(client_id, s);
     const auto r = client.add(e);
     if (r.ok) added.push_back(e.id);

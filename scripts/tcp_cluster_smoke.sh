@@ -61,4 +61,58 @@ timeout --kill-after=10 90 \
   "$CLIENT_BIN" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
   --count 24 --wait-seconds 45 "${NODE_ARGS[@]}"
 
-echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N})"
+echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N}, sequencer)"
+
+# ---- Phase 2: consensus ledger + proposer SIGKILL -------------------------
+# Fresh cluster on fresh ports with --ledger consensus. Commit part of a
+# workload, then SIGKILL the round-0 proposer of the next heights (node 1 =
+# proposer_for(1,0)) and demand a second client run — minting FRESH element
+# ids via --first-seq — still commits end to end. Under the fixed sequencer
+# an equivalent kill of the sequencer stalls the cluster forever; this is
+# the f-tolerance the consensus mode exists to restore.
+for pid in "${PIDS[@]}"; do
+  kill "$pid" 2>/dev/null || true
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
+PORT_BASE=$(( PORT_BASE + 100 ))
+PEER_ARGS=()
+for i in $(seq 0 $((N - 1))); do
+  PEER_ARGS+=(--peer "${HOST}:$((PORT_BASE + i))")
+done
+
+declare -A NODE_PID
+for i in $(seq 0 $((N - 1))); do
+  "$NODE_BIN" --id "$i" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+    --ledger consensus --timeout-propose-ms 800 \
+    --listen "${HOST}:$((PORT_BASE + i))" "${PEER_ARGS[@]}" \
+    --collector 8 --collector-timeout-ms 150 --block-interval-ms 120 \
+    >"${LOG_DIR}/consensus_node${i}.log" 2>&1 &
+  PIDS+=($!)
+  NODE_PID[$i]=$!
+done
+
+NODE_ARGS=()
+for i in $(seq 0 $((N - 1))); do
+  NODE_ARGS+=(--node "${HOST}:$((PORT_BASE + i))")
+done
+
+# First client run against the healthy consensus cluster.
+timeout --kill-after=10 90 \
+  "$CLIENT_BIN" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+  --ledger consensus --count 12 --wait-seconds 45 "${NODE_ARGS[@]}"
+
+# SIGKILL the round-0 proposer mid-cluster — no shutdown handler runs.
+kill -9 "${NODE_PID[1]}" 2>/dev/null || true
+wait "${NODE_PID[1]}" 2>/dev/null || true
+
+# Second run with fresh element ids: the survivors must round-skip past the
+# corpse at every height it would have proposed and still commit everything.
+timeout --kill-after=10 90 \
+  "$CLIENT_BIN" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+  --ledger consensus --count 12 --first-seq 12 --wait-seconds 60 "${NODE_ARGS[@]}"
+
+echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N}, consensus + proposer SIGKILL)"

@@ -1,0 +1,430 @@
+#include "net/consensus_ledger.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace setchain::net {
+
+ConsensusLedger::ConsensusLedger(ConsensusLedgerConfig cfg, sim::Simulation& timers,
+                                 ITransport& transport)
+    : cfg_(cfg), timers_(timers), transport_(transport) {
+  // Same single-frame invariant as the sequencer ledger: a proposal must fit
+  // a kProposal broadcast and ride alone in a kBlockSyncResponse.
+  cfg_.max_block_bytes = std::min(cfg_.max_block_bytes, wire::kMaxPayloadBytes / 2);
+  // One recurring tick drives proposing, deadlines and retransmission; keep
+  // it a few times finer than the shortest timer it serves.
+  tick_interval_ = std::max<sim::Time>(
+      sim::from_millis(10), std::min(cfg_.block_interval, cfg_.timeout_propose) / 3);
+}
+
+void ConsensusLedger::start() {
+  if (started_) return;
+  started_ = true;
+  skip_want_.assign(cfg_.n, 0);
+  const sim::Time now = timers_.now();
+  round_deadline_ = now + cfg_.timeout_propose;
+  retry_at_ = now + cfg_.retry_interval;
+  timers_.schedule_in(tick_interval_, [this] { tick(); });
+  timers_.schedule_in(cfg_.sync_interval, [this] { sync_tick(); });
+}
+
+void ConsensusLedger::broadcast(wire::MsgType type, codec::ByteView payload) {
+  for (std::uint32_t peer = 0; peer < cfg_.n; ++peer) {
+    if (peer == cfg_.self) continue;
+    transport_.send(peer, type, payload);
+  }
+}
+
+void ConsensusLedger::note_work() {
+  if (work_seen_) return;
+  work_seen_ = true;
+  round_deadline_ = timers_.now() + cfg_.timeout_propose;
+}
+
+ledger::TxIdx ConsensusLedger::append(sim::NodeId origin, ledger::Transaction tx) {
+  (void)origin;  // every tx of this node funnels through its own transport
+  const auto ordinal = static_cast<ledger::TxIdx>(appended_++);
+  std::string key = tx_dedup_key(tx);
+  if (committed_keys_.count(key) || mempool_keys_.count(key)) return ordinal;
+  // Gossip to every peer: any of them may end up proposing the block this
+  // tx commits in. Rebroadcast with capped backoff until committed.
+  broadcast(wire::MsgType::kTxSubmit, wire::encode_tx_submit(tx));
+  auto& own = own_pending_[key];
+  own.tx = tx;
+  own.attempt = 0;
+  own.next_send = timers_.now() + cfg_.retry_interval;
+  mempool_keys_.insert(key);
+  mempool_.push_back(MempoolEntry{std::move(key), std::move(tx)});
+  note_work();
+  return ordinal;
+}
+
+void ConsensusLedger::on_new_block(sim::NodeId node,
+                                   std::function<void(const ledger::Block&)> cb) {
+  (void)node;  // one node per process: only the local callback exists
+  app_cb_ = std::move(cb);
+}
+
+void ConsensusLedger::on_tx_submit(EndpointId from, wire::TxSubmit&& m) {
+  (void)from;
+  std::string key = tx_dedup_key(m.tx);
+  // Dedup against history AND mempool: peers retransmit until committed.
+  if (committed_keys_.count(key) || mempool_keys_.count(key)) return;
+  mempool_keys_.insert(key);
+  mempool_.push_back(MempoolEntry{std::move(key), std::move(m.tx)});
+  note_work();
+}
+
+bool ConsensusLedger::on_block_frame(codec::ByteView payload) {
+  (void)payload;  // consensus clusters never speak bare kBlock
+  return false;
+}
+
+bool ConsensusLedger::on_proposal(EndpointId from, codec::ByteView payload) {
+  (void)from;  // any holder may retransmit, so the sender need not be the proposer
+  auto m = wire::parse_proposal(payload);
+  if (!m) return false;
+  if (m->block.proposer >= cfg_.n) return false;
+  if (m->block.height != active_height()) return true;  // stale/ahead: ignore
+  const wire::ProposalHash hash = crypto::Sha256::hash(payload);
+  if (proposals_.emplace(hash, HeldProposal{std::move(m->block), std::move(m->raw)})
+          .second) {
+    note_work();
+    maybe_prevote();
+    check_polka();
+    try_commit();  // precommit quorum may have been waiting on this payload
+  }
+  return true;
+}
+
+bool ConsensusLedger::on_prevote(EndpointId from, const wire::VoteMsg& m) {
+  if (m.voter >= cfg_.n || m.voter != from) return false;
+  if (m.height != active_height()) return true;  // stale/ahead: ignore
+  if (record_vote(prevotes_, m.round, m.hash, m.voter)) {
+    note_work();
+    check_polka();
+  }
+  return true;
+}
+
+bool ConsensusLedger::on_precommit(EndpointId from, const wire::VoteMsg& m) {
+  if (m.voter >= cfg_.n || m.voter != from) return false;
+  if (m.height != active_height()) return true;  // stale/ahead: ignore
+  if (record_vote(precommits_, m.round, m.hash, m.voter)) {
+    note_work();
+    try_commit();
+  }
+  return true;
+}
+
+bool ConsensusLedger::on_round_skip(EndpointId from, const wire::RoundSkipMsg& m) {
+  if (m.voter >= cfg_.n || m.voter != from) return false;
+  if (m.height != active_height()) return true;  // stale/ahead: ignore
+  skip_want_[m.voter] = std::max(skip_want_[m.voter], m.round + 1);
+  note_work();
+  maybe_advance_round();
+  return true;
+}
+
+bool ConsensusLedger::record_vote(
+    std::map<std::uint32_t, std::map<wire::ProposalHash, VoteBits>>& rounds,
+    std::uint32_t round, const wire::ProposalHash& hash, std::uint32_t voter) {
+  VoteBits& bits = rounds[round][hash];
+  if (bits.empty()) bits.assign(cfg_.n, false);
+  if (bits[voter]) return false;
+  bits[voter] = true;
+  return true;
+}
+
+void ConsensusLedger::tick() {
+  timers_.schedule_in(tick_interval_, [this] { tick(); });
+  maybe_propose();
+  maybe_prevote();
+  check_polka();
+  try_commit();
+
+  const sim::Time now = timers_.now();
+  if (work_seen_ && now >= round_deadline_) {
+    // No commit despite pending work: the round proposer looks dead. Ask to
+    // skip (and re-ask every further timeout — skips may be lost too).
+    skip_want_[cfg_.self] = std::max(skip_want_[cfg_.self], cur_round_ + 1);
+    const wire::RoundSkipMsg m{active_height(), cur_round_, cfg_.self};
+    broadcast(wire::MsgType::kRoundSkip, wire::encode_round_skip(m));
+    round_deadline_ = now + cfg_.timeout_propose;
+    maybe_advance_round();
+  }
+
+  // Own submissions: per-entry capped backoff, independent of consensus
+  // retransmission (a lost kTxSubmit must not wait behind a quiet height).
+  for (auto& [key, e] : own_pending_) {
+    if (e.next_send > now) continue;
+    broadcast(wire::MsgType::kTxSubmit, wire::encode_tx_submit(e.tx));
+    e.attempt = std::min<std::uint32_t>(e.attempt + 1, 3);
+    e.next_send = now + cfg_.retry_interval * (sim::Time{1} << e.attempt);
+  }
+
+  if (now >= retry_at_) {
+    retransmit();
+    retry_attempt_ = std::min<std::uint32_t>(retry_attempt_ + 1, 3);
+    retry_at_ = now + cfg_.retry_interval * (sim::Time{1} << retry_attempt_);
+  }
+}
+
+void ConsensusLedger::maybe_propose() {
+  if (proposer_for(active_height(), cur_round_) != cfg_.self) return;
+  if (proposed_rounds_.count(cur_round_)) return;
+  if (lock_hash_) {
+    // Locked: only ever re-offer the locked payload (if held; otherwise the
+    // holders' retransmission will deliver it first).
+    const auto it = proposals_.find(*lock_hash_);
+    if (it == proposals_.end()) return;
+    broadcast(wire::MsgType::kProposal, it->second.raw);
+  } else if (!proposals_.empty()) {
+    // Re-offer the lowest held proposal rather than sealing a competing
+    // one: one height should converge on one payload.
+    broadcast(wire::MsgType::kProposal, proposals_.begin()->second.raw);
+  } else if (!mempool_.empty() && timers_.now() >= next_propose_time_) {
+    seal_and_broadcast_fresh();
+  } else {
+    return;
+  }
+  proposed_rounds_.insert(cur_round_);
+  maybe_prevote();
+}
+
+void ConsensusLedger::seal_and_broadcast_fresh() {
+  // Pack up to max_block_bytes of mempool txs in arrival order. The txs
+  // STAY in the mempool until committed — the proposal may lose its round.
+  std::vector<const ledger::Transaction*> block_txs;
+  wire::BlockMsg block;
+  block.height = active_height();
+  block.proposer = cfg_.self;
+  std::uint64_t bytes = 0;
+  for (const auto& entry : mempool_) {
+    const std::uint64_t size = entry.tx.wire_size;
+    if (!block_txs.empty() && bytes + size > cfg_.max_block_bytes) break;
+    block_txs.push_back(&entry.tx);
+    block.txs.push_back(entry.tx);
+    bytes += size;
+  }
+  codec::Bytes raw =
+      wire::encode_block(block.height, block.proposer, block_txs);
+  const wire::ProposalHash hash = crypto::Sha256::hash(raw);
+  broadcast(wire::MsgType::kProposal, raw);
+  proposals_.emplace(hash, HeldProposal{std::move(block), std::move(raw)});
+  ++blocks_broadcast_;
+  next_propose_time_ = timers_.now() + cfg_.block_interval;
+  note_work();
+}
+
+void ConsensusLedger::maybe_prevote() {
+  if (my_prevotes_.count(cur_round_)) return;
+  wire::ProposalHash hash;
+  if (lock_hash_) {
+    hash = *lock_hash_;  // locked nodes only ever prevote their lock
+  } else if (!proposals_.empty()) {
+    hash = proposals_.begin()->first;  // deterministic leaderless tie-break
+  } else {
+    return;  // nothing to vote on yet
+  }
+  wire::VoteMsg m;
+  m.height = active_height();
+  m.round = cur_round_;
+  m.voter = cfg_.self;
+  m.hash = hash;
+  my_prevotes_[cur_round_] = m;
+  record_vote(prevotes_, m.round, m.hash, m.voter);
+  broadcast(wire::MsgType::kPrevote, wire::encode_vote(m));
+  check_polka();
+}
+
+void ConsensusLedger::check_polka() {
+  // A polka (2f+1 prevotes for one (round, hash)) locks the hash and
+  // triggers our precommit for that round. Late polkas from earlier rounds
+  // still count — commits are valid from any round — but we never vote in
+  // rounds we have not reached.
+  //
+  // Collect first, act after: send_precommit may complete a commit quorum,
+  // and commit_block clears prevotes_ — sending mid-iteration would leave
+  // this loop walking a destroyed map.
+  std::vector<std::pair<std::uint32_t, wire::ProposalHash>> to_precommit;
+  for (const auto& [round, by_hash] : prevotes_) {
+    if (round > cur_round_) break;
+    for (const auto& [hash, bits] : by_hash) {
+      if (static_cast<std::uint32_t>(std::count(bits.begin(), bits.end(), true)) <
+          quorum()) {
+        continue;
+      }
+      if (!lock_hash_ || round >= lock_round_) {
+        lock_hash_ = hash;
+        lock_round_ = round;
+      }
+      if (!my_precommits_.count(round)) to_precommit.emplace_back(round, hash);
+    }
+  }
+  const std::uint64_t height_before = applied_;
+  for (const auto& [round, hash] : to_precommit) {
+    if (applied_ != height_before) break;  // committed: votes are for a closed height
+    if (!my_precommits_.count(round)) send_precommit(round, hash);
+  }
+}
+
+void ConsensusLedger::send_precommit(std::uint32_t round,
+                                     const wire::ProposalHash& hash) {
+  wire::VoteMsg m;
+  m.height = active_height();
+  m.round = round;
+  m.voter = cfg_.self;
+  m.hash = hash;
+  my_precommits_[round] = m;
+  record_vote(precommits_, m.round, m.hash, m.voter);
+  broadcast(wire::MsgType::kPrecommit, wire::encode_vote(m));
+  try_commit();
+}
+
+void ConsensusLedger::try_commit() {
+  for (const auto& [round, by_hash] : precommits_) {
+    for (const auto& [hash, bits] : by_hash) {
+      if (static_cast<std::uint32_t>(std::count(bits.begin(), bits.end(), true)) <
+          quorum()) {
+        continue;
+      }
+      const auto it = proposals_.find(hash);
+      if (it == proposals_.end()) continue;  // retransmission will deliver it
+      // Move the payload out first: commit_block resets proposals_.
+      const HeldProposal held = std::move(it->second);
+      commit_block(held.block, held.raw);
+      return;
+    }
+  }
+}
+
+void ConsensusLedger::maybe_advance_round() {
+  bool advanced = false;
+  for (;;) {
+    std::uint32_t wanting = 0;
+    for (const auto want : skip_want_) {
+      if (want > cur_round_) ++wanting;
+    }
+    if (wanting < skip_quorum()) break;
+    ++cur_round_;
+    advanced = true;
+  }
+  if (!advanced) return;
+  const sim::Time now = timers_.now();
+  round_deadline_ = now + cfg_.timeout_propose;
+  retry_attempt_ = 0;
+  retry_at_ = now + cfg_.retry_interval;
+  maybe_propose();
+  maybe_prevote();
+  check_polka();
+  try_commit();
+}
+
+void ConsensusLedger::retransmit() {
+  // Any holder re-offers the relevant proposal: this is what routes payload
+  // bytes around a crashed proposer (votes name only the hash).
+  if (!proposals_.empty()) {
+    auto it = proposals_.begin();
+    if (lock_hash_) {
+      const auto locked = proposals_.find(*lock_hash_);
+      if (locked != proposals_.end()) it = locked;
+    }
+    broadcast(wire::MsgType::kProposal, it->second.raw);
+  }
+  if (const auto it = my_prevotes_.find(cur_round_); it != my_prevotes_.end()) {
+    broadcast(wire::MsgType::kPrevote, wire::encode_vote(it->second));
+  }
+  if (const auto it = my_precommits_.find(cur_round_); it != my_precommits_.end()) {
+    broadcast(wire::MsgType::kPrecommit, wire::encode_vote(it->second));
+  }
+}
+
+void ConsensusLedger::commit_block(const wire::BlockMsg& block, codec::ByteView raw) {
+  auto applied = std::make_shared<ledger::Block>();
+  applied->height = block.height;
+  applied->proposer = block.proposer;
+  applied->proposed_at = timers_.now();
+  applied->first_commit_at = timers_.now();
+  for (const auto& tx : block.txs) {
+    std::string key = tx_dedup_key(tx);
+    // Deterministic safety net: committed_keys_ is a pure function of the
+    // committed prefix, so every node skips exactly the same duplicates.
+    if (!committed_keys_.insert(key).second) continue;
+    own_pending_.erase(key);
+    mempool_keys_.erase(key);
+    applied->bytes += tx.wire_size;
+    applied->txs.push_back(table_.add(tx));
+  }
+  if (!mempool_.empty()) {
+    std::deque<MempoolEntry> kept;
+    for (auto& entry : mempool_) {
+      if (mempool_keys_.count(entry.key)) kept.push_back(std::move(entry));
+    }
+    mempool_.swap(kept);
+  }
+  raw_blocks_.emplace_back(raw.begin(), raw.end());
+  chain_.push_back(applied);
+  applied_ = applied->height;
+
+  // Fresh height: all consensus state was scoped to the one we just closed.
+  proposals_.clear();
+  prevotes_.clear();
+  precommits_.clear();
+  my_prevotes_.clear();
+  my_precommits_.clear();
+  proposed_rounds_.clear();
+  skip_want_.assign(cfg_.n, 0);
+  lock_hash_.reset();
+  lock_round_ = 0;
+  cur_round_ = 0;
+  work_seen_ = !mempool_.empty();
+  const sim::Time now = timers_.now();
+  round_deadline_ = now + cfg_.timeout_propose;
+  retry_attempt_ = 0;
+  retry_at_ = now + cfg_.retry_interval;
+
+  if (app_cb_) app_cb_(*chain_.back());
+  maybe_propose();
+  maybe_prevote();
+}
+
+void ConsensusLedger::sync_tick() {
+  timers_.schedule_in(cfg_.sync_interval, [this] { sync_tick(); });
+  // Rotate across every peer: any live node serves the committed chain.
+  std::uint32_t target = sync_cursor_++ % cfg_.n;
+  if (target == cfg_.self) target = sync_cursor_++ % cfg_.n;
+  const wire::BlockSyncRequest req{applied_ + 1};
+  transport_.send(target, wire::MsgType::kBlockSyncRequest,
+                  wire::encode_block_sync_request(req));
+}
+
+void ConsensusLedger::on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) {
+  if (m.from_height == 0 || m.from_height > applied_) return;  // caught up
+  std::vector<codec::ByteView> views;
+  std::uint64_t bytes = 0;
+  for (std::uint64_t h = m.from_height;
+       h <= applied_ && views.size() < cfg_.max_sync_blocks; ++h) {
+    const codec::Bytes& b = raw_blocks_[h - 1];  // committed bytes, verbatim
+    if (!views.empty() && bytes + b.size() > wire::kMaxPayloadBytes / 2) break;
+    bytes += b.size();
+    views.emplace_back(b);
+  }
+  transport_.send(from, wire::MsgType::kBlockSyncResponse,
+                  wire::encode_block_sync_response(views));
+}
+
+void ConsensusLedger::on_sync_response(const wire::BlockSyncResponse& m) {
+  for (const auto& payload : m.blocks) {
+    auto b = wire::parse_proposal(payload);
+    if (!b) return;
+    // Sync sources only serve COMMITTED blocks (honest peers, crash model),
+    // so apply directly; any in-flight consensus state for this height is
+    // abandoned by commit_block's reset.
+    if (b->block.height != active_height()) continue;
+    commit_block(b->block, b->raw);
+  }
+}
+
+}  // namespace setchain::net

@@ -1,0 +1,205 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/wire_ledger.hpp"
+#include "sim/simulation.hpp"
+
+namespace setchain::net {
+
+struct ConsensusLedgerConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;  ///< crash-fault tolerance target (n >= 3f+1)
+  std::uint32_t self = 0;
+  /// Pacing for FRESH proposals: a proposer seals a new block from its
+  /// mempool at most this often (same role as the sequencer's seal tick).
+  sim::Time block_interval = sim::from_millis(150);
+  std::uint64_t max_block_bytes = 500'000;
+  /// Round liveness timeout: if a height has work pending and no block
+  /// committed for this long, broadcast a round-skip (the proposer looks
+  /// dead). f+1 skip wishes advance the round to the next proposer.
+  sim::Time timeout_propose = sim::from_millis(3000);
+  /// Base cadence for retransmitting consensus state (held proposal + own
+  /// votes) and own uncommitted submissions; doubles per idle attempt,
+  /// capped at 8x.
+  sim::Time retry_interval = sim::from_millis(400);
+  sim::Time sync_interval = sim::from_millis(400);
+  std::size_t max_sync_blocks = 64;
+};
+
+/// Wire-level consensus block ledger: the CometbftSim state machine
+/// (src/ledger/consensus.hpp) ported onto real frames, replacing the fixed
+/// sequencer so a live cluster keeps the paper's f-tolerance — any f crashed
+/// nodes (including every would-be proposer) and epochs keep committing.
+///
+/// Crash-fault Tendermint-lite, one active height H = applied+1 at a time:
+///
+///  * proposer_for(H, r) = (H + r) % n. The round-r proposer broadcasts a
+///    kProposal (payload layout == kBlock); everyone hashes the payload
+///    bytes (SHA-256) and votes on the hash, so ANY holder can retransmit
+///    the original bytes past a crashed proposer.
+///  * Each node prevotes at most once per round: its locked hash if locked,
+///    else the lowest proposal hash it holds (a deterministic tie-break that
+///    needs no leader), else it waits. 2f+1 prevotes for one (round, hash)
+///    form a polka: the node locks that hash and precommits it, once per
+///    round. 2f+1 precommits for one (round, hash) commit the proposal —
+///    applied when the payload is held (retransmission fetches it if not).
+///  * Locks persist across rounds within a height and are never released
+///    (no unlock rule): a locked node only ever prevotes its lock, which
+///    gives safety under crash faults without vote justifications. A
+///    minority (<= f) stuck locked on a hash the majority abandoned heals
+///    via block sync once the majority commits.
+///  * Dead proposer: when work is pending and timeout_propose elapses with
+///    no commit, a node broadcasts kRoundSkip for its current round and
+///    rebroadcasts it every further timeout. Skip wishes from f+1 distinct
+///    nodes (self included) advance the round; the new proposer rebroadcasts
+///    its locked/held proposal rather than sealing fresh, so one height
+///    converges on one payload.
+///  * Submissions gossip: append() broadcasts kTxSubmit to every peer and
+///    retransmits with capped backoff until the tx's content key lands in a
+///    committed block; receivers dedup against mempool + committed history,
+///    and commits prune the mempool, so every correct proposer eventually
+///    holds (or has committed) every submission — P10 inclusion without a
+///    distinguished node.
+///  * Catch-up: committed proposal payloads are archived verbatim and served
+///    byte-identical via rotating kBlockSyncRequest pulls; sync responses
+///    commit directly (peers are honest in the crash model), which is also
+///    how a lagging or stuck-locked node rejoins the active height.
+///
+/// Single-threaded like everything in src/net: frames and timer ticks run on
+/// the owning NodeHost's simulation loop.
+class ConsensusLedger final : public IWireLedger {
+ public:
+  ConsensusLedger(ConsensusLedgerConfig cfg, sim::Simulation& timers,
+                  ITransport& transport);
+
+  void start() override;
+
+  // IBlockLedger. `append` returns the local submission ordinal (see
+  // ReplicatedLedger::append for why that is enough in live deployments).
+  ledger::TxIdx append(sim::NodeId origin, ledger::Transaction tx) override;
+  void on_new_block(sim::NodeId node, std::function<void(const ledger::Block&)> cb) override;
+  const ledger::TxTable& txs() const override { return table_; }
+  std::uint64_t height() const override { return applied_; }
+
+  // Frame entry points (NodeHost routes inbound frames here).
+  void on_tx_submit(EndpointId from, wire::TxSubmit&& m) override;
+  /// kBlock is not part of the consensus dialect (blocks travel as
+  /// committed kProposal payloads inside sync responses): always false.
+  bool on_block_frame(codec::ByteView payload) override;
+  void on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) override;
+  void on_sync_response(const wire::BlockSyncResponse& m) override;
+  bool on_proposal(EndpointId from, codec::ByteView payload) override;
+  bool on_prevote(EndpointId from, const wire::VoteMsg& m) override;
+  bool on_precommit(EndpointId from, const wire::VoteMsg& m) override;
+  bool on_round_skip(EndpointId from, const wire::RoundSkipMsg& m) override;
+
+  std::size_t pending_txs() const override {
+    return mempool_.size() + own_pending_.size();
+  }
+  /// Quiescence probe: nothing uncommitted anywhere this node can see.
+  bool idle() const override {
+    return mempool_.empty() && own_pending_.empty() && proposals_.empty();
+  }
+  std::uint64_t blocks_broadcast() const override { return blocks_broadcast_; }
+
+  std::uint32_t current_round() const { return cur_round_; }
+  std::uint32_t proposer_for(std::uint64_t height1based, std::uint32_t round) const {
+    return static_cast<std::uint32_t>((height1based + round) % cfg_.n);
+  }
+
+ private:
+  struct MempoolEntry {
+    std::string key;  ///< tx_dedup_key
+    ledger::Transaction tx;
+  };
+  /// One of our own submissions, rebroadcast until committed.
+  struct OwnSubmit {
+    ledger::Transaction tx;
+    std::uint32_t attempt = 0;
+    sim::Time next_send = 0;
+  };
+  struct HeldProposal {
+    wire::BlockMsg block;
+    codec::Bytes raw;  ///< exact payload bytes (hash preimage; sync source)
+  };
+  /// Votes for one (round, hash): one slot per voter.
+  using VoteBits = std::vector<bool>;
+
+  std::uint32_t quorum() const { return 2 * cfg_.f + 1; }
+  std::uint32_t skip_quorum() const { return cfg_.f + 1; }
+  std::uint64_t active_height() const { return applied_ + 1; }
+
+  void tick();
+  void sync_tick();
+  void maybe_propose();
+  void maybe_prevote();
+  void check_polka();
+  void try_commit();
+  void retransmit();
+  void note_work();  ///< first work for this height arms the round deadline
+  void broadcast(wire::MsgType type, codec::ByteView payload);
+  void seal_and_broadcast_fresh();
+  /// Record a (pre)vote; returns true if newly set.
+  bool record_vote(std::map<std::uint32_t, std::map<wire::ProposalHash, VoteBits>>& rounds,
+                   std::uint32_t round, const wire::ProposalHash& hash,
+                   std::uint32_t voter);
+  void send_precommit(std::uint32_t round, const wire::ProposalHash& hash);
+  void maybe_advance_round();
+  /// Apply a committed proposal at active_height() and reset per-height state.
+  void commit_block(const wire::BlockMsg& block, codec::ByteView raw);
+
+  ConsensusLedgerConfig cfg_;
+  sim::Simulation& timers_;
+  ITransport& transport_;
+  sim::Time tick_interval_ = 0;
+
+  // Committed state.
+  ledger::TxTable table_;
+  std::deque<std::shared_ptr<ledger::Block>> chain_;
+  /// Committed proposal payloads, byte-identical to what was voted on;
+  /// raw_blocks_[h-1] is what sync serves for height h.
+  std::deque<codec::Bytes> raw_blocks_;
+  std::function<void(const ledger::Block&)> app_cb_;
+  std::uint64_t applied_ = 0;
+  std::unordered_set<std::string> committed_keys_;
+
+  // Mempool (gossip-fed, pruned at commit).
+  std::deque<MempoolEntry> mempool_;
+  std::unordered_set<std::string> mempool_keys_;
+  std::unordered_map<std::string, OwnSubmit> own_pending_;
+
+  // Per-height consensus state, reset by commit_block.
+  std::map<wire::ProposalHash, HeldProposal> proposals_;  ///< begin() = lowest hash
+  std::map<std::uint32_t, std::map<wire::ProposalHash, VoteBits>> prevotes_;
+  std::map<std::uint32_t, std::map<wire::ProposalHash, VoteBits>> precommits_;
+  std::map<std::uint32_t, wire::VoteMsg> my_prevotes_;    ///< round -> vote sent
+  std::map<std::uint32_t, wire::VoteMsg> my_precommits_;  ///< round -> vote sent
+  std::set<std::uint32_t> proposed_rounds_;
+  /// skip_want_[i] = 1 + highest round node i asked to skip (0 = none):
+  /// f+1 nodes with skip_want_ > cur_round_ advance the round.
+  std::vector<std::uint32_t> skip_want_;
+  std::optional<wire::ProposalHash> lock_hash_;
+  std::uint32_t lock_round_ = 0;
+  std::uint32_t cur_round_ = 0;
+  bool work_seen_ = false;         ///< height has something to commit
+  sim::Time round_deadline_ = 0;   ///< armed while work_seen_
+  sim::Time next_propose_time_ = 0;  ///< fresh-seal pacing
+  sim::Time retry_at_ = 0;
+  std::uint32_t retry_attempt_ = 0;
+
+  std::uint64_t appended_ = 0;
+  std::uint64_t blocks_broadcast_ = 0;  ///< fresh proposals sealed here
+  std::uint32_t sync_cursor_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace setchain::net

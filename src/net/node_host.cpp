@@ -8,14 +8,29 @@ namespace setchain::net {
 
 namespace {
 
-ReplicatedLedgerConfig ledger_config(const NodeHostConfig& cfg) {
+std::unique_ptr<IWireLedger> make_ledger(const NodeHostConfig& cfg,
+                                         sim::Simulation& sim,
+                                         ITransport& transport) {
+  if (cfg.ledger_mode == runner::LedgerMode::kConsensus) {
+    ConsensusLedgerConfig lc;
+    lc.n = cfg.n;
+    lc.f = cfg.f;
+    lc.self = cfg.id;
+    lc.block_interval = cfg.block_interval;
+    lc.max_block_bytes = cfg.max_block_bytes;
+    lc.timeout_propose = cfg.timeout_propose;
+    lc.retry_interval = cfg.retry_interval;
+    lc.sync_interval = cfg.sync_interval;
+    return std::make_unique<ConsensusLedger>(lc, sim, transport);
+  }
   ReplicatedLedgerConfig lc;
   lc.n = cfg.n;
   lc.self = cfg.id;
   lc.block_interval = cfg.block_interval;
   lc.max_block_bytes = cfg.max_block_bytes;
   lc.sync_interval = cfg.sync_interval;
-  return lc;
+  lc.resubmit_interval = cfg.resubmit_interval;
+  return std::make_unique<ReplicatedLedger>(lc, sim, transport);
 }
 
 }  // namespace
@@ -27,7 +42,7 @@ NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transpo
       cluster_(cluster_id_of(cfg)),
       pki_(cfg.seed),
       cpus_(cfg.n),
-      ledger_(ledger_config(cfg), sim, transport) {
+      ledger_(make_ledger(cfg, sim, transport)) {
   // Shared deterministic PKI: servers 0..n-1 plus the advertised client id
   // range. Every process of the cluster derives the same keys from the seed.
   for (crypto::ProcessId p = 0; p < cfg_.n + cfg_.client_slots; ++p) {
@@ -49,7 +64,7 @@ NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transpo
   ctx.sim = &sim_;
   ctx.net = nullptr;  // no pointer network: frames or nothing
   ctx.batch_exchange = this;
-  ctx.ledger = &ledger_;
+  ctx.ledger = ledger_.get();
   ctx.pki = &pki_;
   ctx.cpus = &cpus_;
   ctx.params = &params_;
@@ -57,23 +72,23 @@ NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transpo
   switch (cfg_.algorithm) {
     case runner::Algorithm::kVanilla: {
       auto s = std::make_unique<core::VanillaServer>(ctx, cfg_.id);
-      ledger_.on_new_block(cfg_.id,
-                           [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
+      ledger_->on_new_block(
+          cfg_.id, [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
       server_ = std::move(s);
       break;
     }
     case runner::Algorithm::kCompresschain: {
       auto s = std::make_unique<core::CompresschainServer>(ctx, cfg_.id);
-      ledger_.on_new_block(cfg_.id,
-                           [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
+      ledger_->on_new_block(
+          cfg_.id, [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
       server_ = std::move(s);
       break;
     }
     case runner::Algorithm::kHashchain: {
       auto s = std::make_unique<core::HashchainServer>(ctx, cfg_.id);
       hashchain_ = s.get();
-      ledger_.on_new_block(cfg_.id,
-                           [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
+      ledger_->on_new_block(
+          cfg_.id, [p = s.get()](const ledger::Block& b) { p->on_new_block(b); });
       server_ = std::move(s);
       break;
     }
@@ -83,7 +98,7 @@ NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transpo
 void NodeHost::start() {
   transport_.set_handler(
       [this](EndpointId from, wire::Frame&& f) { on_frame(from, std::move(f)); });
-  ledger_.start();
+  ledger_->start();
 }
 
 void NodeHost::on_frame(EndpointId from, wire::Frame&& frame) {
@@ -93,20 +108,20 @@ void NodeHost::on_frame(EndpointId from, wire::Frame&& frame) {
     case MsgType::kTxSubmit: {
       if (is_client_endpoint(from)) break;  // clients use kAddRequest
       if (auto m = wire::parse_tx_submit(frame.payload)) {
-        ledger_.on_tx_submit(std::move(*m));
+        ledger_->on_tx_submit(from, std::move(*m));
         return;
       }
       break;
     }
     case MsgType::kBlock: {
       if (is_client_endpoint(from)) break;
-      if (ledger_.on_block_frame(frame.payload)) return;
+      if (ledger_->on_block_frame(frame.payload)) return;
       break;
     }
     case MsgType::kBlockSyncRequest: {
       if (is_client_endpoint(from)) break;
       if (auto m = wire::parse_block_sync_request(frame.payload)) {
-        ledger_.on_sync_request(from, *m);
+        ledger_->on_sync_request(from, *m);
         return;
       }
       break;
@@ -114,8 +129,38 @@ void NodeHost::on_frame(EndpointId from, wire::Frame&& frame) {
     case MsgType::kBlockSyncResponse: {
       if (is_client_endpoint(from)) break;
       if (auto m = wire::parse_block_sync_response(frame.payload)) {
-        ledger_.on_sync_response(*m);
+        ledger_->on_sync_response(*m);
         return;
+      }
+      break;
+    }
+
+    // ---- server <-> server: consensus-mode ordering. The sequencer-mode
+    // ledger rejects these (its on_* defaults return false), so they count
+    // as bad frames outside consensus deployments. ----
+    case MsgType::kProposal: {
+      if (is_client_endpoint(from)) break;
+      if (ledger_->on_proposal(from, frame.payload)) return;
+      break;
+    }
+    case MsgType::kPrevote: {
+      if (is_client_endpoint(from)) break;
+      if (const auto m = wire::parse_vote(frame.payload)) {
+        if (ledger_->on_prevote(from, *m)) return;
+      }
+      break;
+    }
+    case MsgType::kPrecommit: {
+      if (is_client_endpoint(from)) break;
+      if (const auto m = wire::parse_vote(frame.payload)) {
+        if (ledger_->on_precommit(from, *m)) return;
+      }
+      break;
+    }
+    case MsgType::kRoundSkip: {
+      if (is_client_endpoint(from)) break;
+      if (const auto m = wire::parse_round_skip(frame.payload)) {
+        if (ledger_->on_round_skip(from, *m)) return;
       }
       break;
     }

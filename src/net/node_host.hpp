@@ -8,8 +8,10 @@
 #include "core/hashchain.hpp"
 #include "core/vanilla.hpp"
 #include "crypto/pki.hpp"
+#include "net/consensus_ledger.hpp"
 #include "net/replicated_ledger.hpp"
 #include "net/transport.hpp"
+#include "net/wire_ledger.hpp"
 #include "runner/scenario.hpp"
 #include "sim/simulation.hpp"
 
@@ -35,6 +37,14 @@ struct NodeHostConfig {
   sim::Time sync_interval = sim::from_millis(400);
   sim::Time request_batch_timeout = sim::from_millis(500);
   sim::Time request_batch_retry = sim::from_millis(100);
+
+  /// How blocks get ordered: a fixed sequencer (fast, no fail-over) or
+  /// wire-level consensus (any f crashed nodes tolerated). Folded into the
+  /// cluster id, so mixed-mode clusters cannot form by accident.
+  runner::LedgerMode ledger_mode = runner::LedgerMode::kFixedSequencer;
+  sim::Time timeout_propose = sim::from_millis(3000);   ///< consensus round timeout
+  sim::Time retry_interval = sim::from_millis(400);     ///< consensus retransmit base
+  sim::Time resubmit_interval = sim::from_millis(300);  ///< sequencer-mode resubmit base
 };
 
 /// One live Setchain node: a full-fidelity SetchainServer (vanilla /
@@ -70,8 +80,8 @@ class NodeHost final : public core::IBatchExchange {
 
   core::SetchainServer& server() { return *server_; }
   const core::SetchainServer& server() const { return *server_; }
-  ReplicatedLedger& ledger() { return ledger_; }
-  const ReplicatedLedger& ledger() const { return ledger_; }
+  IWireLedger& ledger() { return *ledger_; }
+  const IWireLedger& ledger() const { return *ledger_; }
   crypto::Pki& pki() { return pki_; }
   const core::SetchainParams& params() const { return params_; }
   const NodeHostConfig& config() const { return cfg_; }
@@ -82,7 +92,8 @@ class NodeHost final : public core::IBatchExchange {
 
   static std::uint64_t cluster_id_of(const NodeHostConfig& cfg) {
     return wire::cluster_id(cfg.seed, cfg.n, cfg.f,
-                            static_cast<std::uint8_t>(cfg.algorithm));
+                            static_cast<std::uint8_t>(cfg.algorithm),
+                            static_cast<std::uint8_t>(cfg.ledger_mode));
   }
 
  private:
@@ -99,7 +110,7 @@ class NodeHost final : public core::IBatchExchange {
   crypto::Pki pki_;
   core::SetchainParams params_;
   std::vector<sim::BusyResource> cpus_;
-  ReplicatedLedger ledger_;
+  std::unique_ptr<IWireLedger> ledger_;  ///< ReplicatedLedger or ConsensusLedger
   std::unique_ptr<core::SetchainServer> server_;
   core::HashchainServer* hashchain_ = nullptr;  ///< set when algorithm is Hashchain
 

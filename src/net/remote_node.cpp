@@ -1,6 +1,7 @@
 #include "net/remote_node.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,10 +10,50 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 namespace setchain::net {
 
 // ---------------------------------------------------------------------- TCP
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped to >= 0 (poll timeout arg).
+int remaining_ms(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > std::numeric_limits<int>::max()) return std::numeric_limits<int>::max();
+  return static_cast<int>(left.count());
+}
+
+/// Write all of `frame` to a non-blocking socket before `deadline`.
+bool send_all(int fd, const codec::Bytes& frame, Clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t w = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int wait = remaining_ms(deadline);
+      if (wait == 0) return false;  // deadline: a stuck peer must not block us
+      pollfd p{fd, POLLOUT, 0};
+      const int r = ::poll(&p, 1, wait);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 TcpRpcChannel::~TcpRpcChannel() { disconnect(); }
 
@@ -23,17 +64,42 @@ void TcpRpcChannel::disconnect() {
   }
 }
 
-bool TcpRpcChannel::ensure_connected() {
+bool TcpRpcChannel::ensure_connected(Clock::time_point deadline) {
   if (fd_ >= 0) return true;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  // Non-blocking end to end: connect() against a silent or blackholed
+  // address must surface as a clean per-call timeout, never hang the
+  // client for the kernel's minutes-long default.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return false;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(cfg_.port);
-  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
     return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    for (;;) {
+      const int wait = remaining_ms(deadline);
+      pollfd p{fd, POLLOUT, 0};
+      const int r = ::poll(&p, 1, wait);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) {  // timeout (or poll failure): report unreachable
+        ::close(fd);
+        return false;
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return false;
+    }
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -44,15 +110,9 @@ bool TcpRpcChannel::ensure_connected() {
   h.cluster = cfg_.cluster;
   const codec::Bytes frame =
       wire::encode_frame(wire::MsgType::kHello, wire::encode_hello(h));
-  std::size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t w = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return false;
-    }
-    off += static_cast<std::size_t>(w);
+  if (!send_all(fd, frame, deadline)) {
+    ::close(fd);
+    return false;
   }
   fd_ = fd;
   return true;
@@ -61,21 +121,14 @@ bool TcpRpcChannel::ensure_connected() {
 std::optional<wire::Frame> TcpRpcChannel::call(wire::MsgType type,
                                                codec::ByteView payload,
                                                std::chrono::milliseconds timeout) {
-  using clock = std::chrono::steady_clock;
+  using clock = Clock;
   const auto deadline = clock::now() + timeout;
-  if (!ensure_connected()) return std::nullopt;
+  if (!ensure_connected(deadline)) return std::nullopt;
 
   const codec::Bytes frame = wire::encode_frame(type, payload);
-  std::size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t w =
-        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      disconnect();  // stream state unknown: next call reconnects fresh
-      return std::nullopt;
-    }
-    off += static_cast<std::size_t>(w);
+  if (!send_all(fd_, frame, deadline)) {
+    disconnect();  // stream state unknown: next call reconnects fresh
+    return std::nullopt;
   }
 
   wire::FrameReader reader;
@@ -102,6 +155,9 @@ std::optional<wire::Frame> TcpRpcChannel::call(wire::MsgType type,
       return std::nullopt;
     }
     const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;  // spurious wakeup on the non-blocking socket
+    }
     if (got <= 0) {
       disconnect();
       return std::nullopt;

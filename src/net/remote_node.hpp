@@ -47,7 +47,9 @@ class TcpRpcChannel final : public IRpcChannel {
                                   std::chrono::milliseconds timeout) override;
 
  private:
-  bool ensure_connected();
+  /// Non-blocking connect + client Hello, all bounded by `deadline`: a
+  /// silent/blackholed peer costs at most the caller's RPC timeout.
+  bool ensure_connected(std::chrono::steady_clock::time_point deadline);
   void disconnect();
 
   Config cfg_;

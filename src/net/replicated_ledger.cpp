@@ -21,6 +21,7 @@ void ReplicatedLedger::start() {
     timers_.schedule_in(cfg_.block_interval, [this] { seal_tick(); });
   } else {
     timers_.schedule_in(cfg_.sync_interval, [this] { sync_tick(); });
+    timers_.schedule_in(cfg_.resubmit_interval, [this] { resubmit_tick(); });
   }
 }
 
@@ -32,6 +33,16 @@ ledger::TxIdx ReplicatedLedger::append(sim::NodeId origin, ledger::Transaction t
   } else {
     const codec::Bytes payload = wire::encode_tx_submit(tx);
     transport_.send(cfg_.sequencer, wire::MsgType::kTxSubmit, payload);
+    // Track until its key shows up in an applied block: the first send may
+    // ride a connection that drops, and a lost submit would otherwise be
+    // silently gone (the sequencer dedups, so the retries are safe).
+    std::string key = tx_dedup_key(tx);
+    auto [it, inserted] = inflight_.try_emplace(std::move(key));
+    if (inserted) {
+      it->second.tx = std::move(tx);
+      it->second.attempt = 0;
+      it->second.next_send = timers_.now() + cfg_.resubmit_interval;
+    }
   }
   return ordinal;
 }
@@ -42,8 +53,13 @@ void ReplicatedLedger::on_new_block(sim::NodeId node,
   app_cb_ = std::move(cb);
 }
 
-void ReplicatedLedger::on_tx_submit(wire::TxSubmit&& m) {
+void ReplicatedLedger::on_tx_submit(EndpointId from, wire::TxSubmit&& m) {
+  (void)from;
   if (!is_sequencer()) return;  // misrouted: only the sequencer orders
+  // Dedup by content hash: replicas retransmit submissions until committed,
+  // so the same tx may arrive many times. Keys are kept forever — a retry
+  // can land long after its tx was sealed.
+  if (!seen_submits_.insert(tx_dedup_key(m.tx)).second) return;
   pending_.push_back(std::move(m.tx));
 }
 
@@ -83,9 +99,26 @@ void ReplicatedLedger::seal_tick() {
 
 void ReplicatedLedger::sync_tick() {
   timers_.schedule_in(cfg_.sync_interval, [this] { sync_tick(); });
+  // Rotate the pull target across every live peer, not just the sequencer:
+  // all nodes serve sync from their applied chain, so catch-up keeps
+  // working while any one peer is down.
+  std::uint32_t target = sync_cursor_++ % cfg_.n;
+  if (target == cfg_.self) target = sync_cursor_++ % cfg_.n;
   const wire::BlockSyncRequest req{delivered_ + 1};
-  transport_.send(cfg_.sequencer, wire::MsgType::kBlockSyncRequest,
+  transport_.send(target, wire::MsgType::kBlockSyncRequest,
                   wire::encode_block_sync_request(req));
+}
+
+void ReplicatedLedger::resubmit_tick() {
+  timers_.schedule_in(cfg_.resubmit_interval, [this] { resubmit_tick(); });
+  const sim::Time now = timers_.now();
+  for (auto& [key, entry] : inflight_) {
+    if (entry.next_send > now) continue;
+    transport_.send(cfg_.sequencer, wire::MsgType::kTxSubmit,
+                    wire::encode_tx_submit(entry.tx));
+    entry.attempt = std::min<std::uint32_t>(entry.attempt + 1, 3);
+    entry.next_send = now + cfg_.resubmit_interval * (sim::Time{1} << entry.attempt);
+  }
 }
 
 bool ReplicatedLedger::on_block_frame(codec::ByteView payload) {
@@ -115,6 +148,7 @@ void ReplicatedLedger::deliver_ready() {
     block->first_commit_at = timers_.now();
     for (auto& tx : m.txs) {
       const std::uint64_t size = tx.wire_size;
+      if (!inflight_.empty()) inflight_.erase(tx_dedup_key(tx));  // committed
       block->txs.push_back(table_.add(std::move(tx)));
       block->bytes += size;
     }
@@ -133,7 +167,8 @@ codec::Bytes ReplicatedLedger::encode_block_at(std::uint64_t height1based) const
 }
 
 void ReplicatedLedger::on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) {
-  if (!is_sequencer()) return;
+  // Any node serves sync from its applied chain (crash model: peers are
+  // honest, so a replica's copy is as good as the sequencer's).
   if (m.from_height == 0 || m.from_height > delivered_) return;  // caught up
   std::vector<codec::Bytes> encoded;
   std::vector<codec::ByteView> views;

@@ -3,9 +3,11 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 
-#include "ledger/ledger_node.hpp"
-#include "net/transport.hpp"
+#include "net/wire_ledger.hpp"
 #include "sim/simulation.hpp"
 
 namespace setchain::net {
@@ -15,42 +17,51 @@ struct ReplicatedLedgerConfig {
   std::uint32_t self = 0;
   /// Fixed sequencer (node 0 by default): the node that orders transactions
   /// into blocks. Total order = the sequencer's seal order; every replica
-  /// applies blocks strictly by height. Sequencer fail-over is future work
-  /// (ROADMAP); the conformance oracle for faults stays the DES sim.
+  /// applies blocks strictly by height. This mode has NO fail-over — a dead
+  /// sequencer halts epoch progress (deploy ConsensusLedger when the
+  /// paper's f-tolerance matters; this mode is the fast bench default).
   std::uint32_t sequencer = 0;
   sim::Time block_interval = sim::from_millis(150);
   std::uint64_t max_block_bytes = 500'000;
-  /// Replica catch-up cadence: ask the sequencer for blocks above our height
+  /// Replica catch-up cadence: ask a live peer for blocks above our height
   /// this often. Recovers anything a dropped connection (or loopback fault
-  /// window) lost, and lets late-starting daemons join mid-stream.
+  /// window) lost, and lets late-starting daemons join mid-stream. Targets
+  /// rotate round-robin across ALL peers — every node serves sync from its
+  /// applied chain, so healing has no single point of failure.
   sim::Time sync_interval = sim::from_millis(400);
   std::size_t max_sync_blocks = 64;  ///< blocks per sync response (frame cap)
+  /// Base backoff for retransmitting in-flight submissions (doubles per
+  /// attempt, capped at 8x): a kTxSubmit lost on a dropped connection is
+  /// resent until its tx appears in an applied block.
+  sim::Time resubmit_interval = sim::from_millis(300);
 };
 
 /// The paper's abstract block ledger (P9/P10/P11) over a real transport:
 /// a sequencer-ordered replicated log of opaque transactions.
 ///
 ///  * append(tx): local on the sequencer; forwarded as a kTxSubmit frame
-///    otherwise. The tx is serialized bytes end to end — exactly what the
-///    full-fidelity algorithms put in tx.data.
+///    otherwise, and RETRANSMITTED with capped backoff until the tx shows
+///    up in an applied block (the sequencer dedups by content hash, so
+///    retries are safe). The tx is serialized bytes end to end — exactly
+///    what the full-fidelity algorithms put in tx.data.
 ///  * The sequencer seals pending txs into a block every block_interval and
 ///    broadcasts kBlock frames; replicas apply blocks in height order,
-///    buffering holes and filling them via kBlockSyncRequest.
+///    buffering holes and filling them via kBlockSyncRequest — pulled from
+///    peers in rotation, not just the sequencer.
 ///  * Every node materializes the same TxTable in the same order, so TxIdx
 ///    and uid assignments agree cluster-wide — the same invariant the
 ///    simulated CometBFT gives the algorithms.
 ///
 /// Liveness under loss: ledger frames may vanish (TCP reconnect, loopback
-/// fault injection). The periodic sync pull is the catch-up path; a replica
-/// is eventually consistent as long as the sequencer stays reachable.
-class ReplicatedLedger final : public ledger::IBlockLedger {
+/// fault injection). The submit retransmission and the periodic sync pull
+/// are the catch-up paths; a replica is eventually consistent as long as
+/// the sequencer stays reachable.
+class ReplicatedLedger final : public IWireLedger {
  public:
   ReplicatedLedger(ReplicatedLedgerConfig cfg, sim::Simulation& timers,
                    ITransport& transport);
 
-  /// Arm the seal (sequencer) / sync (replica) timers. Call once, before
-  /// the first frame is dispatched.
-  void start();
+  void start() override;
 
   // IBlockLedger. `append` returns the local submission ordinal — NOT a
   // table index for frames still in flight to the sequencer; live
@@ -61,23 +72,36 @@ class ReplicatedLedger final : public ledger::IBlockLedger {
   std::uint64_t height() const override { return delivered_; }
 
   // Frame entry points (NodeHost routes inbound ledger frames here).
-  void on_tx_submit(wire::TxSubmit&& m);
-  /// False when the payload does not parse as a block (counted upstream).
-  bool on_block_frame(codec::ByteView payload);
-  void on_sync_request(EndpointId from, const wire::BlockSyncRequest& m);
-  void on_sync_response(const wire::BlockSyncResponse& m);
+  void on_tx_submit(EndpointId from, wire::TxSubmit&& m) override;
+  bool on_block_frame(codec::ByteView payload) override;
+  void on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) override;
+  void on_sync_response(const wire::BlockSyncResponse& m) override;
 
   bool is_sequencer() const { return cfg_.self == cfg_.sequencer; }
-  std::size_t pending_txs() const { return pending_.size(); }
-  /// Quiescence probe: nothing pending locally and no delivery hole.
-  bool idle() const { return pending_.empty() && buffered_.empty(); }
-  std::uint64_t blocks_broadcast() const { return blocks_broadcast_; }
+  std::size_t pending_txs() const override {
+    return pending_.size() + inflight_.size();
+  }
+  /// Quiescence probe: nothing pending locally, nothing awaiting its block,
+  /// and no delivery hole.
+  bool idle() const override {
+    return pending_.empty() && inflight_.empty() && buffered_.empty();
+  }
+  std::uint64_t blocks_broadcast() const override { return blocks_broadcast_; }
 
  private:
+  /// One submission forwarded to the sequencer and not yet seen in a block.
+  struct InflightSubmit {
+    ledger::Transaction tx;
+    std::uint32_t attempt = 0;
+    sim::Time next_send = 0;
+  };
+
   void seal_tick();
   void sync_tick();
+  void resubmit_tick();
   void ingest(wire::BlockMsg&& m);
   void deliver_ready();
+  void apply_block(std::shared_ptr<ledger::Block> block);
   /// Re-encode block `height1based` from the local table (sync responses).
   codec::Bytes encode_block_at(std::uint64_t height1based) const;
 
@@ -93,9 +117,17 @@ class ReplicatedLedger final : public ledger::IBlockLedger {
   std::map<std::uint64_t, wire::BlockMsg> buffered_;  ///< holes ahead of delivered_
   std::function<void(const ledger::Block&)> app_cb_;
 
+  /// Replica side of lost-submit recovery: everything forwarded and not yet
+  /// committed, keyed by tx_dedup_key, retransmitted with capped backoff.
+  std::unordered_map<std::string, InflightSubmit> inflight_;
+  /// Sequencer side: content keys ever accepted (pending or sealed), so a
+  /// retransmitted submit can never enter a block twice.
+  std::unordered_set<std::string> seen_submits_;
+
   std::uint64_t delivered_ = 0;  ///< highest height applied locally
   std::uint64_t appended_ = 0;   ///< local submission ordinal
   std::uint64_t blocks_broadcast_ = 0;
+  std::uint32_t sync_cursor_ = 0;  ///< round-robin peer cursor for sync pulls
   bool started_ = false;
 };
 

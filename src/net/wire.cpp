@@ -22,6 +22,10 @@ bool known_type(std::uint8_t t) {
     case MsgType::kBlock:
     case MsgType::kBlockSyncRequest:
     case MsgType::kBlockSyncResponse:
+    case MsgType::kProposal:
+    case MsgType::kPrevote:
+    case MsgType::kPrecommit:
+    case MsgType::kRoundSkip:
     case MsgType::kBatchRequest:
     case MsgType::kBatchResponse:
       return true;
@@ -44,6 +48,10 @@ const char* type_name(MsgType t) {
     case MsgType::kBlock: return "BLOCK";
     case MsgType::kBlockSyncRequest: return "BLOCK_SYNC_REQ";
     case MsgType::kBlockSyncResponse: return "BLOCK_SYNC_RESP";
+    case MsgType::kProposal: return "PROPOSAL";
+    case MsgType::kPrevote: return "PREVOTE";
+    case MsgType::kPrecommit: return "PRECOMMIT";
+    case MsgType::kRoundSkip: return "ROUND_SKIP";
     case MsgType::kBatchRequest: return "BATCH_REQ";
     case MsgType::kBatchResponse: return "BATCH_RESP";
   }
@@ -120,12 +128,19 @@ DecodeStatus FrameReader::next(Frame& out) {
 // ---------------------------------------------------------------------------
 
 std::uint64_t cluster_id(std::uint64_t seed, std::uint32_t n, std::uint32_t f,
-                         std::uint8_t algorithm) {
+                         std::uint8_t algorithm, std::uint8_t ledger_mode) {
   std::uint64_t s = seed ^ 0xC1D57E55ULL;
   std::uint64_t v = sim::splitmix64(s);
   s ^= (static_cast<std::uint64_t>(n) << 32) | (static_cast<std::uint64_t>(f) << 8) |
        algorithm;
-  return v ^ sim::splitmix64(s);
+  v ^= sim::splitmix64(s);
+  // Folded as an extra mixing stage so mode-0 (fixed sequencer) ids are
+  // byte-identical to the historical four-parameter derivation.
+  if (ledger_mode != 0) {
+    s ^= static_cast<std::uint64_t>(ledger_mode) << 16;
+    v ^= sim::splitmix64(s);
+  }
+  return v;
 }
 
 namespace {
@@ -470,6 +485,61 @@ std::optional<BlockSyncResponse> parse_block_sync_response(codec::ByteView paylo
     if (!b) return std::nullopt;
     m.blocks.emplace_back(b->begin(), b->end());
   }
+  return finish(r, std::move(m));
+}
+
+std::optional<ProposalMsg> parse_proposal(codec::ByteView payload) {
+  // One layout with kBlock, but the raw bytes are retained: they are the
+  // preimage of the proposal hash and must be retransmittable verbatim.
+  auto block = parse_block(payload);
+  if (!block) return std::nullopt;
+  ProposalMsg m;
+  m.block = std::move(*block);
+  m.raw.assign(payload.begin(), payload.end());
+  return m;
+}
+
+codec::Bytes encode_vote(const VoteMsg& m) {
+  codec::Writer w;
+  w.varint(m.height).varint(m.round).varint(m.voter);
+  w.bytes(codec::ByteView(m.hash.data(), m.hash.size()));
+  return w.take();
+}
+
+std::optional<VoteMsg> parse_vote(codec::ByteView payload) {
+  codec::Reader r(payload);
+  VoteMsg m;
+  const auto height = r.varint();
+  const auto round = r.varint();
+  const auto voter = r.varint();
+  if (!height || *height == 0 || !round || !voter) return std::nullopt;
+  if (*round > 0xFFFFFFFFull || *voter > 0xFFFFFFFFull) return std::nullopt;
+  const auto hash = r.bytes(m.hash.size());
+  if (!hash) return std::nullopt;
+  m.height = *height;
+  m.round = static_cast<std::uint32_t>(*round);
+  m.voter = static_cast<std::uint32_t>(*voter);
+  std::copy(hash->begin(), hash->end(), m.hash.begin());
+  return finish(r, std::move(m));
+}
+
+codec::Bytes encode_round_skip(const RoundSkipMsg& m) {
+  codec::Writer w;
+  w.varint(m.height).varint(m.round).varint(m.voter);
+  return w.take();
+}
+
+std::optional<RoundSkipMsg> parse_round_skip(codec::ByteView payload) {
+  codec::Reader r(payload);
+  RoundSkipMsg m;
+  const auto height = r.varint();
+  const auto round = r.varint();
+  const auto voter = r.varint();
+  if (!height || *height == 0 || !round || !voter) return std::nullopt;
+  if (*round > 0xFFFFFFFFull || *voter > 0xFFFFFFFFull) return std::nullopt;
+  m.height = *height;
+  m.round = static_cast<std::uint32_t>(*round);
+  m.voter = static_cast<std::uint32_t>(*voter);
   return finish(r, std::move(m));
 }
 

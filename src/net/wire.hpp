@@ -57,6 +57,13 @@ enum class MsgType : std::uint8_t {
   kBlockSyncRequest = 0x22,
   kBlockSyncResponse = 0x23,
 
+  // Server <-> server: consensus-mode ordering (proposal voting; only
+  // spoken by clusters deployed with LedgerMode::kConsensus).
+  kProposal = 0x24,
+  kPrevote = 0x25,
+  kPrecommit = 0x26,
+  kRoundSkip = 0x27,
+
   // Server <-> server: Hashchain batch exchange (Request_batch service).
   kBatchRequest = 0x30,
   kBatchResponse = 0x31,
@@ -117,10 +124,14 @@ class FrameReader {
 // ---------------------------------------------------------------------------
 
 /// Identifies a cluster instance: every process derives the same value from
-/// the shared (seed, n, f, algorithm) deployment parameters, so a daemon
-/// refuses peers/clients configured for a different cluster.
+/// the shared (seed, n, f, algorithm, ledger_mode) deployment parameters, so
+/// a daemon refuses peers/clients configured for a different cluster.
+/// `ledger_mode` folds the ordering layer in (0 = fixed sequencer, the
+/// historical value — ids for mode 0 are unchanged from v1 four-parameter
+/// derivations): a consensus-mode daemon and a sequencer-mode daemon can
+/// never join one cluster and deadlock on each other's ledger traffic.
 std::uint64_t cluster_id(std::uint64_t seed, std::uint32_t n, std::uint32_t f,
-                         std::uint8_t algorithm);
+                         std::uint8_t algorithm, std::uint8_t ledger_mode = 0);
 
 inline constexpr std::uint8_t kRoleServer = 0;
 inline constexpr std::uint8_t kRoleClient = 1;
@@ -239,6 +250,45 @@ struct BlockSyncResponse {
 };
 codec::Bytes encode_block_sync_response(const std::vector<codec::ByteView>& blocks);
 std::optional<BlockSyncResponse> parse_block_sync_response(codec::ByteView payload);
+
+/// kProposal: a consensus-mode block proposal. The payload layout is
+/// IDENTICAL to kBlock (height varint, proposer varint, tx count varint,
+/// txs) — a committed proposal IS the block. The 32-byte proposal hash that
+/// every vote carries is SHA-256 of these exact payload bytes, so ANY
+/// holder can retransmit the original bytes past a crashed proposer and
+/// the hash stays stable. No round field: a round-r' re-broadcast of a
+/// round-r proposal is byte-identical (prevote discipline, not the
+/// proposer field, carries the safety argument — see ConsensusLedger).
+struct ProposalMsg {
+  BlockMsg block;
+  codec::Bytes raw;  ///< the exact payload bytes (the vote-hash preimage)
+};
+std::optional<ProposalMsg> parse_proposal(codec::ByteView payload);
+// Encoding a proposal is encode_block(): the payloads are one layout.
+
+inline constexpr std::size_t kProposalHashSize = 32;
+using ProposalHash = std::array<std::uint8_t, kProposalHashSize>;
+
+/// kPrevote / kPrecommit share one layout: height varint, round varint,
+/// voter varint, proposal hash 32 raw (SHA-256 of the kProposal payload).
+struct VoteMsg {
+  std::uint64_t height = 0;
+  std::uint32_t round = 0;
+  std::uint32_t voter = 0;
+  ProposalHash hash{};
+};
+codec::Bytes encode_vote(const VoteMsg& m);
+std::optional<VoteMsg> parse_vote(codec::ByteView payload);
+
+/// kRoundSkip: height varint, round varint, voter varint — "I want to move
+/// past round `round` of `height`" (the proposer looks dead from here).
+struct RoundSkipMsg {
+  std::uint64_t height = 0;
+  std::uint32_t round = 0;
+  std::uint32_t voter = 0;
+};
+codec::Bytes encode_round_skip(const RoundSkipMsg& m);
+std::optional<RoundSkipMsg> parse_round_skip(codec::ByteView payload);
 
 /// kBatchRequest: requester varint, hash 64 raw (Request_batch(h)).
 struct BatchRequest {

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "ledger/ledger_node.hpp"
+#include "net/transport.hpp"
+
+namespace setchain::net {
+
+/// Content hash of one ledger transaction — SHA-256 over (kind byte ‖ data),
+/// the dedup key both live ledger modes use for submit retransmission:
+/// the origin resends a pending tx until this key appears in an applied
+/// block, and receivers drop submits whose key they already hold, so
+/// retries are always safe.
+inline std::string tx_dedup_key(const ledger::Transaction& tx) {
+  crypto::Sha256 h;
+  const std::uint8_t kind = static_cast<std::uint8_t>(tx.kind);
+  h.update(codec::ByteView(&kind, 1));
+  h.update(tx.data);
+  const auto d = h.finalize();
+  return std::string(reinterpret_cast<const char*>(d.data()), d.size());
+}
+
+/// Transport-facing face shared by the two live ledger modes —
+/// ReplicatedLedger (fixed sequencer) and ConsensusLedger (wire-level
+/// consensus fail-over): the paper's IBlockLedger toward the Setchain
+/// algorithms, plus the frame entry points NodeHost routes inbound ledger
+/// traffic to. Every on_* handler that can face a malformed or misrouted
+/// payload returns false so the host counts it as a bad frame.
+class IWireLedger : public ledger::IBlockLedger {
+ public:
+  /// Arm the mode's timers (seal/sync/consensus ticks). Call once, before
+  /// the first frame is dispatched.
+  virtual void start() = 0;
+
+  // Frames both modes speak.
+  virtual void on_tx_submit(EndpointId from, wire::TxSubmit&& m) = 0;
+  /// False when the payload does not parse as a block.
+  virtual bool on_block_frame(codec::ByteView payload) = 0;
+  virtual void on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) = 0;
+  virtual void on_sync_response(const wire::BlockSyncResponse& m) = 0;
+
+  // Consensus-mode frames. The sequencer ledger does not speak them: the
+  // defaults reject, and NodeHost counts the frame as bad (a consensus
+  // frame reaching a sequencer-mode daemon means a misconfigured peer —
+  // normally impossible, the ledger mode is folded into the cluster id).
+  virtual bool on_proposal(EndpointId from, codec::ByteView payload) {
+    (void)from;
+    (void)payload;
+    return false;
+  }
+  virtual bool on_prevote(EndpointId from, const wire::VoteMsg& m) {
+    (void)from;
+    (void)m;
+    return false;
+  }
+  virtual bool on_precommit(EndpointId from, const wire::VoteMsg& m) {
+    (void)from;
+    (void)m;
+    return false;
+  }
+  virtual bool on_round_skip(EndpointId from, const wire::RoundSkipMsg& m) {
+    (void)from;
+    (void)m;
+    return false;
+  }
+
+  /// Locally-originated work not yet committed (mempool + in-flight
+  /// submissions awaiting their block).
+  virtual std::size_t pending_txs() const = 0;
+  /// Quiescence probe: nothing pending locally and no delivery hole.
+  virtual bool idle() const = 0;
+  virtual std::uint64_t blocks_broadcast() const = 0;
+};
+
+}  // namespace setchain::net

@@ -21,6 +21,19 @@ const char* algorithm_name(Algorithm a);
 /// every Algorithm.
 std::optional<Algorithm> parse_algorithm(std::string_view name);
 
+/// Ordering layer of a LIVE deployment (net::NodeHost daemons over a real
+/// transport). kFixedSequencer is the fast single-ordering-node default for
+/// benches; kConsensus runs the wire-level consensus port (rotating
+/// proposers, round skips, vote quorums) and keeps committing with up to f
+/// crashed nodes — the f-tolerance the paper's properties assume. The DES
+/// Experiment always simulates the full CometbftSim and ignores this knob.
+enum class LedgerMode : std::uint8_t { kFixedSequencer, kConsensus };
+
+const char* ledger_mode_name(LedgerMode m);
+
+/// Inverse of ledger_mode_name, case-insensitive ("sequencer"/"consensus").
+std::optional<LedgerMode> parse_ledger_mode(std::string_view name);
+
 /// Complete description of one experiment run: the Table-1 parameter grid
 /// plus fidelity/measurement knobs. Defaults mirror the paper's base
 /// scenario (10 servers, 10,000 el/s, no added delay, 0.5 MB blocks at
@@ -55,6 +68,9 @@ struct Scenario {
   // Ledger configuration (§4: CometBFT, 1.25 s blocks, 0.5 MB).
   sim::Time block_interval = sim::from_seconds(1.25);
   std::uint64_t block_bytes = 500'000;
+  /// Live-deployment ordering layer (see LedgerMode; ignored by the DES
+  /// Experiment, which always simulates the full consensus).
+  LedgerMode ledger_mode = LedgerMode::kFixedSequencer;
 
   // Fault injection: application-level Byzantine behaviours...
   std::vector<std::uint32_t> byz_silent_proposers;

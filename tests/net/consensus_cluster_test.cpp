@@ -1,0 +1,390 @@
+// Consensus-mode live clusters over the loopback transport: the wire-level
+// ConsensusLedger must (a) match the in-process sim reference on P1-P9 in
+// fault-free runs for every algorithm, (b) keep committing epochs with the
+// round-0 proposer crashed — the f-tolerance the fixed sequencer lacks —
+// under the PR-4 fault-injection plans with seeded replays, and (c) reject
+// malformed or mode-mismatched frames without poisoning a node. The fixed
+// sequencer's lost-submit retransmission regression rides along: a submit
+// window cut mid-flight must heal by resubmission, not luck.
+#include "net/consensus_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/quorum_client.hpp"
+#include "net/loopback.hpp"
+#include "net/remote_node.hpp"
+#include "net_fixture.hpp"
+
+namespace setchain::net {
+namespace {
+
+using namespace setchain::net::testing;
+
+struct ConsensusCluster {
+  NodeHostConfig cfg;
+  sim::Simulation sim;
+  LoopbackHub hub;
+  std::vector<std::unique_ptr<NodeHost>> hosts;
+  crypto::Pki pki;
+
+  explicit ConsensusCluster(runner::Algorithm algo, std::uint64_t seed = 42,
+                            std::uint32_t n = 4)
+      : cfg(make_config(algo, seed, n)), hub(sim, n), pki(cfg.seed) {
+    for (crypto::ProcessId p = 0; p < cfg.n + cfg.client_slots; ++p) {
+      pki.register_process(p);
+    }
+  }
+
+  static NodeHostConfig make_config(runner::Algorithm algo, std::uint64_t seed,
+                                    std::uint32_t n) {
+    NodeHostConfig cfg;
+    cfg.n = n;
+    cfg.f = (n - 1) / 3;
+    cfg.algorithm = algo;
+    cfg.seed = seed;
+    cfg.collector_limit = 6;
+    cfg.collector_timeout = sim::from_millis(200);
+    cfg.block_interval = sim::from_millis(150);
+    cfg.sync_interval = sim::from_millis(400);
+    cfg.ledger_mode = runner::LedgerMode::kConsensus;
+    // Rounds must skip past a dead proposer well inside the test budget.
+    cfg.timeout_propose = sim::from_millis(600);
+    cfg.retry_interval = sim::from_millis(200);
+    return cfg;
+  }
+
+  void start() {
+    for (std::uint32_t i = 0; i < cfg.n; ++i) {
+      NodeHostConfig c = cfg;
+      c.id = i;
+      hosts.push_back(std::make_unique<NodeHost>(c, sim, hub.transport(i)));
+      hosts.back()->start();
+    }
+  }
+
+  api::QuorumClient client(std::vector<std::unique_ptr<RemoteNode>>& stubs) {
+    for (std::uint32_t i = 0; i < cfg.n; ++i) {
+      stubs.push_back(std::make_unique<RemoteNode>(
+          std::make_unique<LoopbackRpcChannel>(hub, i), i));
+    }
+    return api::make_quorum_client(stubs, pki, cfg.f, core::Fidelity::kFull,
+                                   api::WritePolicy::kAll);
+  }
+
+  bool pump_until(const std::function<bool()>& pred, double budget_seconds = 120) {
+    const sim::Time deadline = sim.now() + sim::from_seconds(budget_seconds);
+    while (sim.now() < deadline) {
+      if (pred()) return true;
+      sim.run_until(sim.now() + sim::from_millis(250));
+    }
+    return pred();
+  }
+
+  void pump_seconds(double s) { sim.run_until(sim.now() + sim::from_seconds(s)); }
+
+  /// Correct-server views, skipping crashed node indices.
+  std::vector<const core::SetchainServer*> servers(
+      const std::vector<std::uint32_t>& skip = {}) const {
+    std::vector<const core::SetchainServer*> out;
+    for (std::uint32_t i = 0; i < hosts.size(); ++i) {
+      if (std::find(skip.begin(), skip.end(), i) != skip.end()) continue;
+      out.push_back(&hosts[i]->server());
+    }
+    return out;
+  }
+
+  bool consolidated(std::size_t expect,
+                    const std::vector<std::uint32_t>& skip = {}) const {
+    for (std::uint32_t i = 0; i < hosts.size(); ++i) {
+      if (std::find(skip.begin(), skip.end(), i) != skip.end()) continue;
+      const auto snap = hosts[i]->server().get();
+      std::size_t in_history = 0;
+      for (const auto& rec : *snap.history) in_history += rec.ids.size();
+      if (in_history < expect) return false;
+    }
+    return true;
+  }
+
+  bool liveness_green(const std::vector<core::ElementId>& accepted,
+                      const std::vector<std::uint32_t>& skip = {}) const {
+    return core::check_liveness_quiescent(servers(skip), accepted,
+                                          hosts[0]->params(), hosts[0]->pki())
+        .ok();
+  }
+};
+
+std::vector<core::ElementId> drive(api::QuorumClient& client,
+                                   const std::vector<core::Element>& elements) {
+  std::vector<core::ElementId> accepted;
+  for (const auto& e : elements) {
+    const auto r = client.add(e);
+    EXPECT_TRUE(r.ok) << "add refused everywhere, element " << e.id;
+    if (r.ok) accepted.push_back(e.id);
+  }
+  return accepted;
+}
+
+class ConsensusClusterConformance
+    : public ::testing::TestWithParam<runner::Algorithm> {};
+
+// Fault-free consensus run: every algorithm over the voting ledger must
+// produce the exact conformance verdicts (P1-P9 + set equality) of the
+// in-process InstantLedger reference — ordering by consensus, not by a
+// sequencer, must be invisible to the Setchain layer.
+TEST_P(ConsensusClusterConformance, MatchesSimReferenceWithoutSequencer) {
+  ConsensusCluster cl(GetParam());
+  cl.start();
+
+  const auto elements = make_workload(cl.cfg, 30, cl.pki);
+  std::vector<std::unique_ptr<RemoteNode>> stubs;
+  api::QuorumClient client = cl.client(stubs);
+
+  const auto accepted = drive(client, elements);
+  ASSERT_EQ(accepted.size(), elements.size());
+
+  ASSERT_TRUE(cl.pump_until([&] { return cl.consolidated(accepted.size()); }))
+      << "consensus cluster never consolidated the workload";
+  ASSERT_TRUE(cl.pump_until([&] { return cl.liveness_green(accepted); }))
+      << "epoch-proof traffic never reached quiescence";
+
+  const ReferenceRun reference = run_reference(cl.cfg, elements);
+  std::unordered_set<core::ElementId> created(accepted.begin(), accepted.end());
+  assert_cluster_matches_reference(cl.servers(), accepted, created,
+                                   cl.hosts[0]->params(), cl.hosts[0]->pki(),
+                                   reference, runner::algorithm_name(GetParam()));
+
+  // Quorum client protocol unchanged on top of consensus ordering.
+  const auto view = client.get();
+  EXPECT_EQ(view.masked_nodes, 0u);
+  for (const auto id : accepted) {
+    EXPECT_TRUE(view.the_set.contains(id)) << "quorum view missing " << id;
+  }
+  const auto verdict = client.verify(accepted.front());
+  EXPECT_TRUE(verdict.committed);
+  EXPECT_GE(verdict.valid_proofs, cl.cfg.f + 1);
+
+  // Blocks were actually sealed by consensus proposers.
+  std::uint64_t sealed = 0;
+  for (const auto& h : cl.hosts) sealed += h->ledger().blocks_broadcast();
+  EXPECT_GT(sealed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ConsensusClusterConformance,
+                         ::testing::Values(runner::Algorithm::kVanilla,
+                                           runner::Algorithm::kCompresschain,
+                                           runner::Algorithm::kHashchain),
+                         [](const auto& info) {
+                           return std::string(runner::algorithm_name(info.param));
+                         });
+
+// THE bug this ledger exists to fix: crash the node that proposes height 1
+// round 0 (proposer_for(1,0) = 1 % n = node 1) before any work lands, never
+// restart it. The fixed sequencer would stall forever if it were node 1;
+// consensus must round-skip past the corpse at every height it would have
+// proposed and commit the full workload on the survivors.
+TEST(ConsensusFailover, ClusterSurvivesRound0ProposerCrash) {
+  ConsensusCluster cl(runner::Algorithm::kVanilla);
+  sim::FaultPlan plan;
+  plan.faults.push_back(
+      sim::Fault::crash(/*node=*/1, sim::from_millis(10), sim::kNeverHeals));
+  cl.hub.install_faults(plan, /*seed=*/3);
+  cl.start();
+
+  const std::vector<std::uint32_t> dead = {1};
+  const auto elements = make_workload(cl.cfg, 24, cl.pki);
+  std::vector<std::unique_ptr<RemoteNode>> stubs;
+  api::QuorumClient client = cl.client(stubs);
+  // Client frames bypass the injector (kAll still reaches every server);
+  // only the server<->server consensus traffic of node 1 is dead.
+  const auto accepted = drive(client, elements);
+  ASSERT_EQ(accepted.size(), elements.size());
+
+  ASSERT_TRUE(cl.pump_until([&] { return cl.consolidated(accepted.size(), dead); }))
+      << "survivors never consolidated past the crashed round-0 proposer";
+  ASSERT_TRUE(cl.pump_until([&] { return cl.liveness_green(accepted, dead); }))
+      << "survivor epoch-proof traffic never quiesced";
+  ASSERT_NE(cl.hub.faults(), nullptr);
+  EXPECT_GT(cl.hub.faults()->stats().dropped_crash, 0u);
+
+  // Full conformance on the survivors, against the fault-free reference:
+  // the committed set must be exactly the workload, crash or no crash.
+  const ReferenceRun reference = run_reference(cl.cfg, elements);
+  std::unordered_set<core::ElementId> created(accepted.begin(), accepted.end());
+  assert_cluster_matches_reference(cl.servers(dead), accepted, created,
+                                   cl.hosts[0]->params(), cl.hosts[0]->pki(),
+                                   reference, "vanilla/proposer-crash");
+
+  // The quorum client still reads an f+1-agreed view across the survivors.
+  const auto view = client.get();
+  for (const auto id : accepted) {
+    EXPECT_TRUE(view.the_set.contains(id)) << "quorum view missing " << id;
+  }
+}
+
+// Seeded replay oracle (the PR-4 fuzzing discipline on the wire): for each
+// seed, the same crash+drop plan over loopback must land on the same P1-P9
+// verdicts and the same consolidated set as the in-process reference run of
+// that seed's workload.
+TEST(ConsensusFailover, SeededCrashPlansReplayAgainstReference) {
+  for (const std::uint64_t seed : {7ull, 1234ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ConsensusCluster cl(runner::Algorithm::kHashchain, seed);
+    sim::FaultPlan plan;
+    plan.faults.push_back(
+        sim::Fault::crash(/*node=*/1, sim::from_millis(50), sim::kNeverHeals));
+    plan.faults.push_back(sim::Fault::drop(/*from=*/0, /*to=*/2,
+                                           /*probability=*/0.5,
+                                           sim::from_millis(100),
+                                           sim::from_seconds(3)));
+    cl.hub.install_faults(plan, /*seed=*/seed);
+    cl.start();
+
+    const std::vector<std::uint32_t> dead = {1};
+    const auto elements = make_workload(cl.cfg, 18, cl.pki);
+    std::vector<std::unique_ptr<RemoteNode>> stubs;
+    api::QuorumClient client = cl.client(stubs);
+    const auto accepted = drive(client, elements);
+    ASSERT_EQ(accepted.size(), elements.size());
+
+    ASSERT_TRUE(
+        cl.pump_until([&] { return cl.consolidated(accepted.size(), dead); }))
+        << "survivors never consolidated (seed " << seed << ")";
+    ASSERT_TRUE(cl.pump_until([&] { return cl.liveness_green(accepted, dead); }));
+
+    const ReferenceRun reference = run_reference(cl.cfg, elements);
+    std::unordered_set<core::ElementId> created(accepted.begin(), accepted.end());
+    assert_cluster_matches_reference(cl.servers(dead), accepted, created,
+                                     cl.hosts[0]->params(), cl.hosts[0]->pki(),
+                                     reference, "hashchain/seeded-crash");
+  }
+}
+
+// Malformed payloads under every consensus frame type (and a bare kBlock,
+// which the consensus dialect does not speak) are counted and ignored.
+TEST(ConsensusRobustness, MalformedConsensusFramesAreCountedAndIgnored) {
+  ConsensusCluster cl(runner::Algorithm::kVanilla);
+  cl.start();
+
+  for (const auto type : {wire::MsgType::kProposal, wire::MsgType::kPrevote,
+                          wire::MsgType::kPrecommit, wire::MsgType::kRoundSkip,
+                          wire::MsgType::kBlock}) {
+    cl.hub.transport(1).send(0, type, codec::to_bytes("junk payload"));
+  }
+  // Spoofed voter: well-formed vote whose voter field does not match the
+  // sending endpoint must be rejected, not recorded for node 3.
+  wire::VoteMsg spoof;
+  spoof.height = 1;
+  spoof.round = 0;
+  spoof.voter = 3;
+  cl.hub.transport(1).send(0, wire::MsgType::kPrevote, wire::encode_vote(spoof));
+  cl.pump_seconds(1);
+  EXPECT_EQ(cl.hosts[0]->bad_frames(), 6u);
+
+  // The node still commits a normal workload afterwards.
+  const auto elements = make_workload(cl.cfg, 8, cl.pki);
+  std::vector<std::unique_ptr<RemoteNode>> stubs;
+  api::QuorumClient client = cl.client(stubs);
+  const auto accepted = drive(client, elements);
+  ASSERT_TRUE(cl.pump_until([&] { return cl.consolidated(accepted.size()); }));
+}
+
+// Mode mismatch: a sequencer-mode node receiving consensus frames counts
+// them as bad (the ledger-mode byte in the cluster id makes this
+// unreachable for correctly configured deployments — this is the backstop).
+TEST(ConsensusRobustness, SequencerModeRejectsConsensusFrames) {
+  sim::Simulation sim;
+  LoopbackHub hub(sim, 2);
+  NodeHostConfig cfg;
+  cfg.n = 2;
+  cfg.f = 0;
+  cfg.id = 0;
+  cfg.algorithm = runner::Algorithm::kVanilla;
+  NodeHost host(cfg, sim, hub.transport(0));
+  host.start();
+
+  wire::VoteMsg vote;
+  vote.height = 1;
+  vote.round = 0;
+  vote.voter = 1;
+  hub.transport(1).send(0, wire::MsgType::kPrevote, wire::encode_vote(vote));
+  hub.transport(1).send(0, wire::MsgType::kPrecommit, wire::encode_vote(vote));
+  hub.transport(1).send(0, wire::MsgType::kRoundSkip,
+                        wire::encode_round_skip({1, 0, 1}));
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kOpaque;
+  tx.wire_size = 4;
+  tx.data = codec::Bytes{1, 2, 3, 4};
+  hub.transport(1).send(0, wire::MsgType::kProposal, wire::encode_block(1, 1, {&tx}));
+  sim.run_until(sim.now() + sim::from_seconds(1));
+  EXPECT_EQ(host.bad_frames(), 4u);
+}
+
+// Satellite regression for the fixed-sequencer mode: a replica's kTxSubmit
+// stream severed mid-flight (100% drop of replica->sequencer frames for a
+// window) must heal by capped-backoff retransmission — before this fix a
+// lost submit was silently gone and the element never committed.
+TEST(SequencerResubmission, LostSubmitWindowHealsByRetransmission) {
+  sim::Simulation sim;
+  LoopbackHub hub(sim, 4);
+  NodeHostConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.algorithm = runner::Algorithm::kVanilla;
+  cfg.collector_limit = 6;
+  cfg.collector_timeout = sim::from_millis(200);
+  cfg.block_interval = sim::from_millis(150);
+  cfg.sync_interval = sim::from_millis(400);
+  cfg.resubmit_interval = sim::from_millis(300);
+
+  sim::FaultPlan plan;
+  plan.faults.push_back(sim::Fault::drop(/*from=*/2, /*to=*/0,
+                                         /*probability=*/1.0,
+                                         sim::from_millis(100),
+                                         sim::from_millis(2500)));
+  hub.install_faults(plan, /*seed=*/5);
+
+  std::vector<std::unique_ptr<NodeHost>> hosts;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    NodeHostConfig c = cfg;
+    c.id = i;
+    hosts.push_back(std::make_unique<NodeHost>(c, sim, hub.transport(i)));
+    hosts.back()->start();
+  }
+  crypto::Pki pki(cfg.seed);
+  for (crypto::ProcessId p = 0; p < cfg.n + cfg.client_slots; ++p) {
+    pki.register_process(p);
+  }
+
+  // Add ONLY through node 2: every element's path to the ledger is the
+  // droppable 2->0 submit link — commits prove retransmission, not luck.
+  RemoteNode node2(std::make_unique<LoopbackRpcChannel>(hub, 2), 2);
+  const auto elements = make_workload(cfg, 8, pki);
+  sim.run_until(sim.now() + sim::from_millis(150));  // enter the drop window
+  for (const auto& e : elements) EXPECT_TRUE(node2.add(e));
+
+  const auto consolidated = [&] {
+    for (const auto& h : hosts) {
+      const auto snap = h->server().get();
+      std::size_t in_history = 0;
+      for (const auto& rec : *snap.history) in_history += rec.ids.size();
+      if (in_history < elements.size()) return false;
+    }
+    return true;
+  };
+  const sim::Time deadline = sim.now() + sim::from_seconds(60);
+  while (sim.now() < deadline && !consolidated()) {
+    sim.run_until(sim.now() + sim::from_millis(250));
+  }
+  ASSERT_NE(hub.faults(), nullptr);
+  EXPECT_GT(hub.faults()->stats().dropped_random, 0u)
+      << "the drop window never saw a submit — the regression is untested";
+  EXPECT_TRUE(consolidated())
+      << "elements submitted through the severed link never committed";
+  const auto safety = core::check_safety(
+      {&hosts[0]->server(), &hosts[1]->server(), &hosts[2]->server(),
+       &hosts[3]->server()});
+  EXPECT_TRUE(safety.ok()) << safety.to_string();
+}
+
+}  // namespace
+}  // namespace setchain::net

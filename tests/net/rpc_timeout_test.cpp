@@ -1,0 +1,113 @@
+// Per-call deadline behaviour of TcpRpcChannel: a silent server (accepts,
+// never replies), a blackholed address (SYNs vanish), and a refused port
+// must all surface as a clean std::nullopt within the caller's timeout —
+// never hang the client on the kernel's minutes-long connect/send defaults.
+// This is what lets QuorumClient mask a crashed node and carry on, which
+// the consensus fail-over tests lean on.
+#include "net/remote_node.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "net/wire.hpp"
+
+namespace setchain::net {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+/// A TCP listener that accepts connections and then ignores them forever.
+/// port == 0 signals a setup failure.
+struct SilentServer {
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+
+  SilentServer() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    socklen_t len = sizeof(addr);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 4) != 0 ||
+        ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      return;
+    }
+    port = ntohs(addr.sin_port);
+  }
+  ~SilentServer() {
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+};
+
+TcpRpcChannel::Config config_for(const std::string& host, std::uint16_t port) {
+  TcpRpcChannel::Config ch;
+  ch.host = host;
+  ch.port = port;
+  ch.client_id = 4;
+  ch.cluster = 1;
+  return ch;
+}
+
+/// Call epoch() against `ch` and return (answered, elapsed).
+std::pair<bool, std::chrono::milliseconds> timed_call(
+    TcpRpcChannel& ch, std::chrono::milliseconds timeout) {
+  const auto t0 = Clock::now();
+  const auto f =
+      ch.call(wire::MsgType::kEpochRequest, wire::encode_epoch_request({1}), timeout);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0);
+  return {f.has_value(), elapsed};
+}
+
+// A server that accepts the connection but never answers: the call must
+// come back empty close to the requested timeout, not block on recv.
+TEST(RpcTimeout, SilentServerFailsWithinDeadline) {
+  SilentServer srv;
+  ASSERT_GT(srv.port, 0);
+  TcpRpcChannel ch(config_for("127.0.0.1", srv.port));
+  const auto [answered, elapsed] = timed_call(ch, 300ms);
+  EXPECT_FALSE(answered);
+  EXPECT_LT(elapsed, 3000ms) << "silent server blocked the caller";
+}
+
+// A blackholed address (TEST-NET-3, never assigned): connect() cannot
+// complete. Depending on the sandbox this is either a silent SYN drop (the
+// per-call deadline must cut it off) or an immediate unreachable error —
+// both must return std::nullopt quickly instead of the kernel's default
+// minutes-long connect timeout.
+TEST(RpcTimeout, BlackholedConnectFailsWithinDeadline) {
+  TcpRpcChannel ch(config_for("203.0.113.1", 9));
+  const auto [answered, elapsed] = timed_call(ch, 300ms);
+  EXPECT_FALSE(answered);
+  EXPECT_LT(elapsed, 3000ms) << "blackholed connect blocked the caller";
+}
+
+// A refused port (nothing listening) fails fast and cleanly — and the
+// channel retries the connect on the next call rather than staying poisoned.
+TEST(RpcTimeout, RefusedPortFailsCleanlyAndChannelRetries) {
+  std::uint16_t dead_port = 0;
+  {
+    SilentServer probe;  // grab an ephemeral port, then free it
+    dead_port = probe.port;
+  }
+  ASSERT_GT(dead_port, 0);
+  TcpRpcChannel ch(config_for("127.0.0.1", dead_port));
+  for (int i = 0; i < 2; ++i) {
+    const auto [answered, elapsed] = timed_call(ch, 300ms);
+    EXPECT_FALSE(answered);
+    EXPECT_LT(elapsed, 3000ms);
+  }
+}
+
+}  // namespace
+}  // namespace setchain::net

@@ -22,7 +22,8 @@ using namespace setchain::net::testing;
 using namespace std::chrono_literals;
 
 struct Cluster {
-  static NodeHostConfig make_config(runner::Algorithm algo) {
+  static NodeHostConfig make_config(runner::Algorithm algo,
+                                    runner::LedgerMode mode) {
     NodeHostConfig cfg;
     cfg.n = 4;
     cfg.f = 1;
@@ -32,6 +33,12 @@ struct Cluster {
     cfg.collector_timeout = sim::from_millis(100);
     cfg.block_interval = sim::from_millis(80);
     cfg.sync_interval = sim::from_millis(200);
+    cfg.ledger_mode = mode;
+    if (mode == runner::LedgerMode::kConsensus) {
+      // Real-time test: rounds must skip a dead proposer within seconds.
+      cfg.timeout_propose = sim::from_millis(800);
+      cfg.retry_interval = sim::from_millis(200);
+    }
     return cfg;
   }
 
@@ -40,10 +47,14 @@ struct Cluster {
   std::vector<std::unique_ptr<TcpTransport>> transports;
   std::vector<std::unique_ptr<NodeHost>> hosts;
   std::vector<std::thread> pumps;
-  std::atomic<bool> stop{false};
+  // One stop flag per node so a single node can be killed mid-run.
+  std::vector<std::unique_ptr<std::atomic<bool>>> stops;
+  bool stopped = false;
   crypto::Pki pki;
 
-  explicit Cluster(runner::Algorithm algo) : cfg(make_config(algo)), pki(cfg.seed) {
+  explicit Cluster(runner::Algorithm algo,
+                   runner::LedgerMode mode = runner::LedgerMode::kFixedSequencer)
+      : cfg(make_config(algo, mode)), pki(cfg.seed) {
     for (crypto::ProcessId p = 0; p < cfg.n + cfg.client_slots; ++p) {
       pki.register_process(p);
     }
@@ -81,17 +92,27 @@ struct Cluster {
       transports[i]->start();
     }
     for (std::uint32_t i = 0; i < cfg.n; ++i) {
-      pumps.emplace_back([this, i] { hosts[i]->run_realtime(stop); });
+      stops.push_back(std::make_unique<std::atomic<bool>>(false));
+      pumps.emplace_back([this, i] { hosts[i]->run_realtime(*stops[i]); });
     }
   }
 
+  /// Take one node down hard: its pump stops, its sockets close, peers see
+  /// dead connections. The in-process stand-in for SIGKILLing a daemon.
+  void kill_node(std::uint32_t i) {
+    if (stops[i]->exchange(true)) return;
+    if (pumps[i].joinable()) pumps[i].join();
+    transports[i]->stop();
+  }
+
   void shutdown() {
-    if (!stop.exchange(true)) {
-      for (auto& t : pumps) {
-        if (t.joinable()) t.join();
-      }
-      for (auto& t : transports) t->stop();
+    if (stopped) return;
+    stopped = true;
+    for (auto& s : stops) s->store(true);
+    for (auto& t : pumps) {
+      if (t.joinable()) t.join();
     }
+    for (auto& t : transports) t->stop();  // idempotent for killed nodes
   }
 
   ~Cluster() { shutdown(); }
@@ -118,8 +139,10 @@ struct Cluster {
   }
 };
 
-void run_tcp_conformance(runner::Algorithm algo) {
-  Cluster cl(algo);
+void run_tcp_conformance(runner::Algorithm algo,
+                         runner::LedgerMode mode =
+                             runner::LedgerMode::kFixedSequencer) {
+  Cluster cl(algo, mode);
   cl.start();
 
   std::vector<std::unique_ptr<RemoteNode>> stubs;
@@ -184,6 +207,101 @@ TEST(TcpCluster, HashchainConformanceEndToEnd) {
 
 TEST(TcpCluster, VanillaConformanceEndToEnd) {
   run_tcp_conformance(runner::Algorithm::kVanilla);
+}
+
+// The full wire path with --ledger consensus: real sockets, voting ledger,
+// same P1-P9 verdicts as the sim reference.
+TEST(TcpCluster, ConsensusConformanceEndToEnd) {
+  run_tcp_conformance(runner::Algorithm::kHashchain,
+                      runner::LedgerMode::kConsensus);
+}
+
+// The acceptance scenario on real sockets: a consensus cluster keeps
+// committing after the round-0 proposer (node 1 = proposer_for(1,0)) is
+// killed mid-workload — the exact run that stalls forever under the fixed
+// sequencer when its node dies.
+TEST(TcpCluster, ConsensusSurvivesProposerKill) {
+  Cluster cl(runner::Algorithm::kVanilla, runner::LedgerMode::kConsensus);
+  cl.start();
+
+  std::vector<std::unique_ptr<RemoteNode>> stubs;
+  api::QuorumClient client = cl.client(stubs);
+  const auto elements = make_workload(cl.cfg, 24, cl.pki);
+
+  // First half of the workload with all four nodes up.
+  std::vector<core::ElementId> accepted;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto r = client.add(elements[i]);
+    EXPECT_TRUE(r.ok) << "add refused everywhere for " << elements[i].id;
+    if (r.ok) accepted.push_back(elements[i].id);
+  }
+  ASSERT_EQ(accepted.size(), 12u);
+
+  const auto deadline = std::chrono::steady_clock::now() + 90s;
+  const auto wait_for = [&](const std::function<bool()>& pred) {
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(100ms);
+    }
+    return pred();
+  };
+  ASSERT_TRUE(wait_for([&] {
+    const auto view = client.get();
+    for (const auto id : accepted) {
+      if (!view.the_set.contains(id)) return false;
+    }
+    return view.epoch > 0;
+  })) << "cluster never consolidated the pre-kill workload";
+
+  // SIGKILL stand-in: node 1's pump stops and its sockets close. Every
+  // height h with h % 4 == 1 now needs a round skip to commit.
+  cl.kill_node(1);
+
+  // Second half, minted AFTER the kill: adds go through (stub 1 just fails
+  // fast, per-call deadline) and the survivors must commit all of them.
+  for (std::size_t i = 12; i < elements.size(); ++i) {
+    const auto r = client.add(elements[i]);
+    EXPECT_TRUE(r.ok) << "add refused everywhere for " << elements[i].id;
+    if (r.ok) accepted.push_back(elements[i].id);
+  }
+  ASSERT_EQ(accepted.size(), elements.size());
+
+  ASSERT_TRUE(wait_for([&] {
+    const auto view = client.get();
+    for (const auto id : accepted) {
+      if (!view.the_set.contains(id)) return false;
+    }
+    return true;
+  })) << "survivors never consolidated past the killed proposer";
+
+  // Proofs drain to every SURVIVOR; the quorum commit check still clears
+  // f+1 because only one of n=4 nodes is gone.
+  ASSERT_TRUE(wait_for([&] {
+    const auto view = client.get();
+    for (std::uint32_t i = 0; i < stubs.size(); ++i) {
+      if (i == 1) continue;
+      for (std::uint64_t e = 1; e <= view.epoch; ++e) {
+        if (stubs[i]->proofs_for_epoch(e).size() < cl.cfg.f + 1) return false;
+      }
+    }
+    return true;
+  })) << "epoch proofs never drained to the survivors";
+  const auto verdict = client.verify(accepted.front());
+  EXPECT_TRUE(verdict.committed);
+  EXPECT_GE(verdict.valid_proofs, cl.cfg.f + 1);
+
+  // Freeze the survivors and run white-box conformance against the
+  // fault-free reference: the committed set must be exactly the workload.
+  cl.shutdown();
+  const ReferenceRun reference = run_reference(cl.cfg, elements);
+  std::unordered_set<core::ElementId> created(accepted.begin(), accepted.end());
+  std::vector<const core::SetchainServer*> survivors;
+  for (std::uint32_t i = 0; i < cl.cfg.n; ++i) {
+    if (i != 1) survivors.push_back(&cl.hosts[i]->server());
+  }
+  assert_cluster_matches_reference(survivors, accepted, created,
+                                   cl.hosts[0]->params(), cl.hosts[0]->pki(),
+                                   reference, "vanilla/consensus-kill");
 }
 
 // Reconnect-with-backoff: a client channel outlives a node... covered at the

@@ -312,6 +312,59 @@ TEST(WirePayloads, BatchExchangeRoundTrip) {
   EXPECT_EQ(inner->proofs.size(), 1u);
 }
 
+TEST(WirePayloads, ConsensusFramesRoundTrip) {
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kElement;
+  tx.wire_size = 99;
+  tx.data = Bytes{4, 2, 4, 2};
+
+  // A proposal IS a block payload; the parser must hand back the exact
+  // bytes (the vote-hash preimage) alongside the decoded block.
+  const Bytes payload = encode_block(7, 2, {&tx});
+  const auto prop = parse_proposal(payload);
+  ASSERT_TRUE(prop.has_value());
+  EXPECT_EQ(prop->block.height, 7u);
+  EXPECT_EQ(prop->block.proposer, 2u);
+  ASSERT_EQ(prop->block.txs.size(), 1u);
+  EXPECT_EQ(prop->block.txs[0].data, tx.data);
+  EXPECT_EQ(prop->raw, payload);
+  EXPECT_FALSE(parse_proposal(Bytes{0}).has_value());  // height 0 illegal
+
+  VoteMsg v;
+  v.height = 12;
+  v.round = 3;
+  v.voter = 1;
+  for (std::size_t i = 0; i < v.hash.size(); ++i) {
+    v.hash[i] = static_cast<std::uint8_t>(i * 5 + 1);
+  }
+  const auto pv = parse_vote(encode_vote(v));
+  ASSERT_TRUE(pv.has_value());
+  EXPECT_EQ(pv->height, v.height);
+  EXPECT_EQ(pv->round, v.round);
+  EXPECT_EQ(pv->voter, v.voter);
+  EXPECT_EQ(pv->hash, v.hash);
+  VoteMsg zero = v;
+  zero.height = 0;  // heights are 1-based; 0 would vote on nothing
+  EXPECT_FALSE(parse_vote(encode_vote(zero)).has_value());
+
+  const RoundSkipMsg s{9, 4, 2};
+  const auto ps = parse_round_skip(encode_round_skip(s));
+  ASSERT_TRUE(ps.has_value());
+  EXPECT_EQ(ps->height, s.height);
+  EXPECT_EQ(ps->round, s.round);
+  EXPECT_EQ(ps->voter, s.voter);
+}
+
+TEST(WirePayloads, ClusterIdSeparatesLedgerModes) {
+  const auto base = cluster_id(42, 4, 1, 2);
+  // Mode 0 (fixed sequencer) is the default and must not disturb ids minted
+  // before the mode byte existed — old daemons and new ones interoperate.
+  EXPECT_EQ(cluster_id(42, 4, 1, 2, 0), base);
+  // Consensus-mode clusters must never handshake with sequencer-mode ones.
+  EXPECT_NE(cluster_id(42, 4, 1, 2, 1), base);
+  EXPECT_NE(cluster_id(42, 4, 1, 2, 1), cluster_id(42, 4, 1, 2, 2));
+}
+
 // Property sweep: every payload parser must reject (a) any strict prefix
 // and (b) one byte of trailing garbage — totality over truncation and the
 // no-trailing-garbage rule, for every frame type the codec implements.
@@ -347,6 +400,14 @@ TEST(WirePayloads, EveryParserRejectsTruncationAndTrailingGarbage) {
 
   BatchRequest breq;
   breq.requester = 1;
+
+  VoteMsg vote;
+  vote.height = 4;
+  vote.round = 1;
+  vote.voter = 2;
+  for (std::size_t i = 0; i < vote.hash.size(); ++i) {
+    vote.hash[i] = static_cast<std::uint8_t>(i + 1);
+  }
 
   struct Case {
     const char* name;
@@ -384,6 +445,12 @@ TEST(WirePayloads, EveryParserRejectsTruncationAndTrailingGarbage) {
        [](ByteView v) { return parse_batch_request(v).has_value(); }},
       {"batch_resp", encode_batch_response({{}, Bytes{1, 2, 3}}),
        [](ByteView v) { return parse_batch_response(v).has_value(); }},
+      {"proposal", encode_block(2, 1, {&tx}),
+       [](ByteView v) { return parse_proposal(v).has_value(); }},
+      {"vote", encode_vote(vote),
+       [](ByteView v) { return parse_vote(v).has_value(); }},
+      {"round_skip", encode_round_skip({4, 1, 2}),
+       [](ByteView v) { return parse_round_skip(v).has_value(); }},
   };
 
   for (const auto& c : cases) {
@@ -420,6 +487,9 @@ TEST(WirePayloads, RandomBytesNeverCrash) {
     parse_block_sync_response(junk);
     parse_batch_request(junk);
     parse_batch_response(junk);
+    parse_proposal(junk);
+    parse_vote(junk);
+    parse_round_skip(junk);
   }
 }
 

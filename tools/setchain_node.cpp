@@ -29,11 +29,14 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s --id I --n N --listen HOST:PORT --peer HOST:PORT [xN, id order]\n"
       "          [--f F] [--algo vanilla|compresschain|hashchain] [--seed S]\n"
+      "          [--ledger sequencer|consensus] [--timeout-propose-ms T]\n"
       "          [--collector K] [--collector-timeout-ms T] [--block-interval-ms B]\n"
       "          [--block-bytes BYTES] [--clients C] [--quiet]\n"
       "\n"
-      "Every daemon (and client) of one cluster must share --seed, --n, --f\n"
-      "and --algo: the PKI keys and the cluster id derive from them.\n",
+      "Every daemon (and client) of one cluster must share --seed, --n, --f,\n"
+      "--algo and --ledger: the PKI keys and the cluster id derive from them.\n"
+      "--ledger consensus replaces the fixed sequencer with wire-level\n"
+      "consensus: the cluster keeps committing with any f nodes crashed.\n",
       argv0);
 }
 
@@ -74,6 +77,15 @@ int main(int argc, char** argv) {
       cfg.algorithm = *a;
     } else if (arg == "--seed") {
       cfg.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--ledger") {
+      const auto m = runner::parse_ledger_mode(need_value(i));
+      if (!m) {
+        usage(argv[0]);
+        return 2;
+      }
+      cfg.ledger_mode = *m;
+    } else if (arg == "--timeout-propose-ms") {
+      cfg.timeout_propose = sim::from_millis(std::atof(need_value(i)));
     } else if (arg == "--listen") {
       listen = need_value(i);
     } else if (arg == "--peer") {
@@ -133,11 +145,12 @@ int main(int argc, char** argv) {
     host.start();
     transport.start();
     if (!quiet) {
-      std::fprintf(stderr,
-                   "setchain_node[%u/%u] %s listening on %s:%u (cluster %016llx)\n",
-                   cfg.id, cfg.n, runner::algorithm_name(cfg.algorithm),
-                   tcp.listen_host.c_str(), transport.listen_port(),
-                   static_cast<unsigned long long>(tcp.cluster));
+      std::fprintf(
+          stderr,
+          "setchain_node[%u/%u] %s/%s listening on %s:%u (cluster %016llx)\n",
+          cfg.id, cfg.n, runner::algorithm_name(cfg.algorithm),
+          runner::ledger_mode_name(cfg.ledger_mode), tcp.listen_host.c_str(),
+          transport.listen_port(), static_cast<unsigned long long>(tcp.cluster));
     }
     host.run_realtime(g_stop);
     transport.stop();
