@@ -384,6 +384,26 @@ void HashchainServer::on_batch_response(const EpochHash& h, BatchPtr batch,
   try_consolidate();
 }
 
+void HashchainServer::on_batch_response(const EpochHash& h, BatchPtr batch,
+                                        codec::Bytes&& serialized) {
+  if (is_down()) return;
+  HashState& st = hash_state_[h];
+  if (store_.contains(h)) return;  // duplicate/late response
+
+  // Verify the contents actually hash to h (the responder may be Byzantine).
+  cpu_acquire(params().costs.request_batch_overhead +
+              params().costs.hash_cost(batch->wire_size()));
+  if (batch_hash(*batch, fidelity()) != h) return;
+  cpu_acquire(static_cast<sim::Time>(batch->elements.size()) *
+              params().costs.validate_element);
+  if (fidelity() != Fidelity::kFull) serialized.clear();  // bytes not kept
+  store_.put(h, std::move(batch), std::move(serialized));
+
+  st.fetching = false;
+  batch_now_available(h);
+  try_consolidate();
+}
+
 void HashchainServer::on_fetch_timeout(const EpochHash& h, std::uint64_t attempt) {
   if (is_down()) return;  // stale timer from before the crash
   HashState& st = hash_state_[h];

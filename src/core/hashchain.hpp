@@ -54,6 +54,11 @@ class HashchainServer final : public SetchainServer {
   void on_batch_response(const EpochHash& h, BatchPtr batch,
                          const codec::Bytes* serialized,
                          bool batch_matches_serialized = false);
+  /// Wire-path variant: `batch` IS the parse of `serialized` and the bytes
+  /// are surrendered to this server — at kFull fidelity they move straight
+  /// into the store (no copy; the net path hands over its decode buffer).
+  void on_batch_response(const EpochHash& h, BatchPtr batch,
+                         codec::Bytes&& serialized);
 
  protected:
   void on_crash(bool wipe) override;

@@ -1,10 +1,12 @@
 #include "crypto/ed25519.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "crypto/bigint.hpp"
 #include "crypto/ge25519.hpp"
 #include "crypto/sha512.hpp"
+#include "util/thread_pool.hpp"
 
 namespace setchain::crypto {
 
@@ -303,19 +305,14 @@ void bisect(std::span<const Ed25519::BatchEntry> entries,
          valid);
 }
 
-}  // namespace
-
-Ed25519::BatchResult Ed25519::verify_batch(std::span<const BatchEntry> entries) {
-  BatchResult res;
-  res.valid.assign(entries.size(), false);
-  if (entries.empty()) {
-    res.all_valid = true;
-    return res;
-  }
+/// One shard's worth of batch verification (the pre-sharding verify_batch
+/// body). `valid` is sized to the shard and all-false on entry.
+void verify_shard(std::span<const Ed25519::BatchEntry> entries,
+                  std::vector<bool>& valid, bool& all_valid) {
   if (entries.size() == 1) {
-    res.valid[0] = verify(*entries[0].pub, entries[0].message, *entries[0].sig);
-    res.all_valid = res.valid[0];
-    return res;
+    valid[0] = Ed25519::verify(*entries[0].pub, entries[0].message, *entries[0].sig);
+    all_valid = valid[0];
+    return;
   }
 
   std::vector<PreparedEntry> prepared;
@@ -330,9 +327,73 @@ Ed25519::BatchResult Ed25519::verify_batch(std::span<const BatchEntry> entries) 
 
   // One combined check when everything is fine; bisection (inside `bisect`)
   // takes over only on failure.
-  bisect(entries, prepared, candidates, res.valid);
-  res.all_valid = candidates.size() == entries.size();
-  for (const std::size_t i : candidates) res.all_valid = res.all_valid && res.valid[i];
+  bisect(entries, prepared, candidates, valid);
+  all_valid = candidates.size() == entries.size();
+  for (const std::size_t i : candidates) all_valid = all_valid && valid[i];
+}
+
+/// Entries below which a shard is not worth a transcript + MSM of its own:
+/// the MSM's amortization flattens out around this batch size, so slicing
+/// finer just repeats fixed costs.
+constexpr std::size_t kMinShardEntries = 64;
+
+}  // namespace
+
+Ed25519::BatchResult Ed25519::verify_batch(std::span<const BatchEntry> entries) {
+  std::size_t shards = 1;
+  const std::size_t workers = util::ThreadPool::global().workers();
+  if (workers > 0 && entries.size() >= 2 * kMinShardEntries) {
+    shards = std::min(workers + 1, entries.size() / kMinShardEntries);
+  }
+  return verify_batch_sharded(entries, shards);
+}
+
+Ed25519::BatchResult Ed25519::verify_batch_sharded(std::span<const BatchEntry> entries,
+                                                   std::size_t shards) {
+  BatchResult res;
+  res.valid.assign(entries.size(), false);
+  if (entries.empty()) {
+    res.all_valid = true;
+    return res;
+  }
+  shards = std::max<std::size_t>(1, std::min(shards, entries.size()));
+
+  if (shards == 1) {
+    bool all = false;
+    verify_shard(entries, res.valid, all);
+    res.all_valid = all;
+    return res;
+  }
+
+  // Contiguous split. Each shard writes a LOCAL verdict vector (vector<bool>
+  // packs bits — concurrent writes to neighboring indices of a shared one
+  // would race) merged in order after the parallel_for barrier.
+  struct ShardOut {
+    std::vector<bool> valid;
+    bool all_valid = false;
+  };
+  std::vector<ShardOut> outs(shards);
+  const std::size_t base = entries.size() / shards;
+  const std::size_t extra = entries.size() % shards;
+  const auto shard_begin = [&](std::size_t s) {
+    return s * base + std::min(s, extra);
+  };
+  util::ThreadPool::global().parallel_for(shards, [&](std::size_t s) {
+    const std::size_t begin = shard_begin(s);
+    const std::size_t len = shard_begin(s + 1) - begin;
+    ShardOut& o = outs[s];
+    o.valid.assign(len, false);
+    verify_shard(entries.subspan(begin, len), o.valid, o.all_valid);
+  });
+
+  res.all_valid = true;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = shard_begin(s);
+    for (std::size_t i = 0; i < outs[s].valid.size(); ++i) {
+      res.valid[begin + i] = outs[s].valid[i];
+    }
+    res.all_valid = res.all_valid && outs[s].all_valid;
+  }
   return res;
 }
 

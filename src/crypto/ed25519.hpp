@@ -57,6 +57,18 @@ struct Ed25519 {
   /// exactly which signatures are bad and agrees entry-by-entry with
   /// `verify`.
   static BatchResult verify_batch(std::span<const BatchEntry> entries);
+
+  /// verify_batch fanned out over the process thread pool: the batch is cut
+  /// into `shards` contiguous sub-batches, each verified independently (own
+  /// transcript, own MSM, own bisection), and the per-entry verdicts merged
+  /// back in order. Verdicts are EXACTLY those of verify() per entry —
+  /// sharding changes the combination grouping, never the outcome — so any
+  /// shard count (including 1, which is plain verify_batch) agrees with any
+  /// other. verify_batch itself delegates here with a machine-derived shard
+  /// count, so callers normally never pick one; the explicit overload exists
+  /// for tests and tuning.
+  static BatchResult verify_batch_sharded(std::span<const BatchEntry> entries,
+                                          std::size_t shards);
 };
 
 }  // namespace setchain::crypto

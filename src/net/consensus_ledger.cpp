@@ -83,11 +83,17 @@ bool ConsensusLedger::on_block_frame(codec::ByteView payload) {
 
 bool ConsensusLedger::on_proposal(EndpointId from, codec::ByteView payload) {
   (void)from;  // any holder may retransmit, so the sender need not be the proposer
-  auto m = wire::parse_proposal(payload);
-  if (!m) return false;
-  if (m->block.proposer >= cfg_.n) return false;
-  if (m->block.height != active_height()) return true;  // stale/ahead: ignore
+  // Validate and dedup on a zero-copy view first: proposals are rebroadcast
+  // by every holder, so most arrivals are duplicates — those are dropped
+  // after a hash over the payload, without materializing a single tx.
+  const auto v = wire::parse_block_view(payload);
+  if (!v) return false;
+  if (v->proposer >= cfg_.n) return false;
+  if (v->height != active_height()) return true;  // stale/ahead: ignore
   const wire::ProposalHash hash = crypto::Sha256::hash(payload);
+  if (proposals_.contains(hash)) return true;
+  auto m = wire::parse_proposal(payload);  // first sighting: materialize
+  if (!m) return false;
   if (proposals_.emplace(hash, HeldProposal{std::move(m->block), std::move(m->raw)})
           .second) {
     note_work();

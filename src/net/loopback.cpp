@@ -65,6 +65,11 @@ bool LoopbackTransport::send(EndpointId to, wire::MsgType type,
                              codec::ByteView payload) {
   if (!hub_.route(self_, to, type, payload)) {
     ++counters_.send_drops;
+    if (is_client_endpoint(to)) {
+      ++counters_.send_drops_client;
+    } else {
+      ++counters_.send_drops_peer;
+    }
     return false;
   }
   ++counters_.frames_sent;

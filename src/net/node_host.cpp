@@ -178,16 +178,18 @@ void NodeHost::on_frame(EndpointId from, wire::Frame&& frame) {
     }
     case MsgType::kBatchResponse: {
       if (hashchain_ == nullptr || is_client_endpoint(from)) break;
-      const auto m = wire::parse_batch_response(frame.payload);
+      // Zero-copy decode: the batch bytes are viewed in place in the frame
+      // payload and copied exactly once, into the Bytes the store keeps.
+      const auto m = wire::parse_batch_response_view(frame.payload);
       if (!m) break;
       auto parsed = core::parse_batch(m->batch);
       if (!parsed) break;  // Byzantine junk: the fetch timeout retries elsewhere
       auto batch = std::make_shared<const core::Batch>(std::move(*parsed));
-      // batch IS the parse of m->batch, so on_batch_response skips its
+      // batch IS the parse of these bytes, so on_batch_response skips its
       // defensive re-parse; it still re-hashes against the requested hash
       // (the responder is untrusted).
-      hashchain_->on_batch_response(m->hash, std::move(batch), &m->batch,
-                                    /*batch_matches_serialized=*/true);
+      hashchain_->on_batch_response(m->hash, std::move(batch),
+                                    codec::Bytes(m->batch.begin(), m->batch.end()));
       return;
     }
 
@@ -333,13 +335,20 @@ void NodeHost::run_realtime(std::atomic<bool>& stop) {
   };
   while (!stop.load(std::memory_order_relaxed)) {
     sim_.run_until(virtual_now());
+    // Sleep until the next scheduled event, not a fixed granularity: poll()
+    // wakes early the moment a frame arrives, and a timer due in 3ms fires
+    // in ~3ms instead of on a 50ms grid. The 200ms idle cap only bounds how
+    // long a stop request can go unnoticed (the transport has no stop hook
+    // into this loop).
     const sim::Time next = sim_.next_event_at();
     const sim::Time now_v = virtual_now();
-    std::int64_t wait_ms = 50;
-    if (next != std::numeric_limits<sim::Time>::max() && next > now_v) {
-      wait_ms = std::min<std::int64_t>(wait_ms, (next - now_v) / 1'000'000 + 1);
-    } else if (next <= now_v) {
+    std::int64_t wait_ms = 200;
+    if (next <= now_v) {
       wait_ms = 0;
+    } else if (next != std::numeric_limits<sim::Time>::max()) {
+      const sim::Time delta_ns = next - now_v;
+      wait_ms = std::min<std::int64_t>(
+          wait_ms, static_cast<std::int64_t>((delta_ns + 999'999) / 1'000'000));
     }
     transport_.poll(std::chrono::milliseconds(wait_ms));
   }

@@ -1,44 +1,38 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "util/buffer_pool.hpp"
 
 namespace setchain::net {
 
 namespace {
 
-/// Write the whole buffer (handles partial sends). False on any error.
-bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t w = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += w;
-    len -= static_cast<std::size_t>(w);
-  }
-  return true;
+/// Frames coalesced into one sendmsg() call while flushing a send queue.
+constexpr std::size_t kMaxIov = 16;
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-/// Wait until `fd` is readable (or timeout/stop). Returns -1 on poll error,
-/// 0 on timeout, 1 on readable/hup.
-int wait_readable(int fd, int timeout_ms) {
-  pollfd p{fd, POLLIN, 0};
-  const int r = ::poll(&p, 1, timeout_ms);
-  if (r < 0) return errno == EINTR ? 0 : -1;
-  return r;
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
-
-constexpr int kStopCheckMs = 200;
 
 }  // namespace
 
@@ -81,46 +75,73 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
 
 TcpTransport::~TcpTransport() { stop(); }
 
+TcpTransport::Conn::~Conn() {
+  // Backstop only: the loop (or stop()) closes reaped connections itself.
+  if (fd >= 0) ::close(fd);
+}
+
 void TcpTransport::start() {
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (started_) return;
+  started_ = true;
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    throw std::runtime_error("TcpTransport: epoll/eventfd setup failed");
+  }
+  set_nonblocking(listen_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
   for (std::uint32_t j = 0; j < cfg_.self && j < cfg_.peers.size(); ++j) {
     if (cfg_.peers[j].empty()) continue;
-    dialer_threads_.emplace_back([this, j] { dial_loop(j); });
+    DialState d;
+    d.peer = j;
+    d.addr_ok = parse_host_port(cfg_.peers[j], d.host, d.port);
+    d.next_attempt = std::chrono::steady_clock::now();
+    dials_.push_back(std::move(d));
   }
+  loop_thread_ = std::thread([this] { loop_main(); });
 }
 
 void TcpTransport::stop() {
   if (stop_.exchange(true)) return;
-  // Wake everyone: listener via shutdown, connections via shutdown, writers
-  // and poll() callers via their condition variables.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  {
-    std::lock_guard<std::mutex> lk(conns_m_);
-    for (auto& [id, conn] : conns_) {
-      std::lock_guard<std::mutex> cl(conn->m);
-      conn->closed = true;
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-      conn->cv.notify_all();
-    }
-  }
+  wake_loop();
   inbox_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& t : dialer_threads_) {
-    if (t.joinable()) t.join();
-  }
-  std::vector<Session> sessions;
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop is gone: single-threaded teardown from here.
   {
-    std::lock_guard<std::mutex> lk(sessions_m_);
-    sessions.swap(session_threads_);
-  }
-  for (auto& s : sessions) {
-    if (s.thread.joinable()) s.thread.join();
-  }
-  {
-    // Every owner thread is joined: dropping the map releases the last
-    // references and Conn::~Conn closes the sockets.
     std::lock_guard<std::mutex> lk(conns_m_);
     conns_.clear();
+  }
+  auto& pool = util::BufferPool::global();
+  for (auto& [fd, conn] : by_fd_) {
+    std::lock_guard<std::mutex> lk(conn->m);
+    conn->closed = true;
+    for (auto& b : conn->sendq) pool.release(std::move(b));
+    conn->sendq.clear();
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  by_fd_.clear();
+  dials_.clear();
+  reap_.clear();
+  {
+    std::lock_guard<std::mutex> lk(dirty_m_);
+    dirty_.clear();
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -128,186 +149,386 @@ void TcpTransport::stop() {
   }
 }
 
-bool TcpTransport::send_hello(int fd) {
+void TcpTransport::wake_loop() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+}
+
+int TcpTransport::loop_timeout_ms() const {
+  // Only dial deadlines need a timer; everything else wakes the loop via
+  // wake_fd_ (sends, stop) or socket readiness.
+  auto next = std::chrono::steady_clock::time_point::max();
+  for (const auto& d : dials_) {
+    if (!d.addr_ok || d.conn) continue;
+    next = std::min(next, d.next_attempt);
+  }
+  if (next == std::chrono::steady_clock::time_point::max()) return 1000;
+  const auto now = std::chrono::steady_clock::now();
+  if (next <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next - now).count() + 1;
+  return static_cast<int>(std::min<long long>(ms, 1000));
+}
+
+void TcpTransport::loop_main() {
+  epoll_event events[64];
+  while (!stop_.load()) {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& d : dials_) {
+      if (!d.addr_ok || d.conn || now < d.next_attempt) continue;
+      attempt_dial(d);
+    }
+    reap_dead();  // a dial can replace (and retire) a stale connection
+
+    const int n = ::epoll_wait(epoll_fd_, events, 64, loop_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        handle_listen_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        handle_wake();
+        continue;
+      }
+      const auto it = by_fd_.find(fd);
+      if (it == by_fd_.end()) continue;
+      handle_conn_event(it->second, events[i].events);
+    }
+    reap_dead();
+  }
+}
+
+void TcpTransport::handle_listen_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient accept failure
+    }
+    set_nodelay(fd);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      conn->fd = -1;
+      continue;
+    }
+    by_fd_[fd] = conn;  // unidentified until its first frame (a Hello)
+  }
+}
+
+void TcpTransport::attempt_dial(DialState& d) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(d.port);
+  if (::inet_pton(AF_INET, d.host.c_str(), &addr.sin_addr) != 1) {
+    d.addr_ok = false;  // unresolvable forever; stop trying (old behavior)
+    return;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    fail_dial(d);
+    return;
+  }
+  const int r = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (r != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    fail_dial(d);
+    return;
+  }
+  auto conn = std::make_shared<Conn>();
+  conn->fd = fd;
+  conn->outbound = true;
+  conn->dial_peer = d.peer;
+  conn->connecting = (r != 0);
+  d.conn = conn;
+  by_fd_[fd] = conn;
+  epoll_event ev{};
+  ev.events = conn->connecting ? EPOLLOUT : EPOLLIN;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  if (!conn->connecting) finish_connect(d);
+}
+
+void TcpTransport::fail_dial(DialState& d) {
+  // Capped exponential backoff: peers come up in any order, and a crashed
+  // peer must not be hammered.
+  d.next_attempt =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(d.backoff_ms);
+  d.backoff_ms = std::min(d.backoff_ms * 2, 2000);
+}
+
+void TcpTransport::finish_connect(DialState& d) {
+  const ConnPtr conn = d.conn;
+  conn->connecting = false;
+  set_nodelay(conn->fd);
+  if (d.connected_before) ++reconnects_;
+  d.connected_before = true;
+  d.backoff_ms = 50;
+  conn->endpoint = d.peer;
+  conn->identified = true;  // we know who we dialed
+  update_interest(conn);
+  register_conn(d.peer, conn);
+  queue_hello(conn);
+  flush_conn(conn);
+}
+
+void TcpTransport::queue_hello(const ConnPtr& conn) {
   wire::Hello h;
   h.role = wire::kRoleServer;
   h.sender = cfg_.self;
   h.cluster = cfg_.cluster;
-  const codec::Bytes frame =
-      wire::encode_frame(wire::MsgType::kHello, wire::encode_hello(h));
-  return write_all(fd, frame.data(), frame.size());
+  codec::Bytes frame = util::BufferPool::global().acquire(64);
+  wire::encode_frame_into(frame, wire::MsgType::kHello, wire::encode_hello(h));
+  std::lock_guard<std::mutex> lk(conn->m);
+  conn->sendq.push_front(std::move(frame));  // before anything already queued
 }
 
-void TcpTransport::accept_loop() {
-  while (!stop_.load()) {
-    const int r = wait_readable(listen_fd_, kStopCheckMs);
-    if (r < 0) return;
-    if (r == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stop_.load()) return;
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_shared<Conn>();
-    conn->fd = fd;
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::lock_guard<std::mutex> lk(sessions_m_);
-    // Reap finished sessions first: bounded by live connections, not by
-    // the lifetime total of client reconnects.
-    for (auto it = session_threads_.begin(); it != session_threads_.end();) {
-      if (it->done->load()) {
-        it->thread.join();
-        it = session_threads_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    session_threads_.push_back({std::thread([this, conn, done] {
-                                  read_loop(conn, /*inbound=*/true);
-                                  done->store(true);
-                                }),
-                                done});
-  }
+void TcpTransport::update_interest(const ConnPtr& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
-void TcpTransport::dial_loop(std::uint32_t peer) {
-  std::string host;
-  std::uint16_t port = 0;
-  if (!parse_host_port(cfg_.peers[peer], host, port)) return;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return;
-
-  int backoff_ms = 50;
-  bool connected_before = false;
-  while (!stop_.load()) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return;
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        !send_hello(fd)) {
-      ::close(fd);
-      // Capped exponential backoff: peers come up in any order, and a
-      // crashed peer must not be hammered.
-      for (int waited = 0; waited < backoff_ms && !stop_.load(); waited += 10) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      }
-      backoff_ms = std::min(backoff_ms * 2, 2000);
-      continue;
+void TcpTransport::handle_conn_event(const ConnPtr& conn, std::uint32_t ev) {
+  if (conn->dead) return;
+  if (conn->connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(conn->fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      err = errno != 0 ? errno : EIO;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (connected_before) ++reconnects_;
-    connected_before = true;
-    backoff_ms = 50;
-
-    auto conn = std::make_shared<Conn>();
-    conn->fd = fd;
-    conn->endpoint = peer;
-    register_conn(peer, conn);
-    read_loop(conn, /*inbound=*/false);  // returns on error/EOF/stop
-    unregister_conn(peer, conn);
-    close_conn(conn);
-  }
-}
-
-void TcpTransport::read_loop(const ConnPtr& conn, bool inbound) {
-  wire::FrameReader reader;
-  bool identified = !inbound;  // outbound conns: we know who we dialed
-  std::uint8_t buf[64 * 1024];
-
-  while (!stop_.load()) {
-    const int r = wait_readable(conn->fd, kStopCheckMs);
-    if (r < 0) break;
-    if (r == 0) continue;
-    const ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (got == 0) break;  // EOF
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    bytes_received_ += static_cast<std::uint64_t>(got);
-    reader.feed(codec::ByteView(buf, static_cast<std::size_t>(got)));
-
-    wire::Frame f;
-    wire::DecodeStatus s;
-    bool fatal = false;
-    while ((s = reader.next(f)) == wire::DecodeStatus::kOk) {
-      if (!identified) {
-        // First frame of an inbound connection must be a Hello that names
-        // this cluster; anything else is a stranger and the stream dies.
-        std::optional<wire::Hello> hello;
-        if (f.type == wire::MsgType::kHello) hello = wire::parse_hello(f.payload);
-        if (!hello || hello->cluster != cfg_.cluster ||
-            (hello->role == wire::kRoleServer && hello->sender >= cfg_.n)) {
-          ++decode_errors_;
-          fatal = true;
-          break;
-        }
-        conn->endpoint = hello->role == wire::kRoleServer
-                             ? static_cast<EndpointId>(hello->sender)
-                             : next_client_++;
-        register_conn(conn->endpoint, conn);
-        identified = true;
-        continue;
-      }
-      if (f.type == wire::MsgType::kHello) continue;  // ignore re-hellos
-      ++frames_received_;
-      {
-        std::lock_guard<std::mutex> lk(inbox_m_);
-        inbox_.emplace_back(conn->endpoint, std::move(f));
-      }
-      inbox_cv_.notify_one();
-    }
-    if (fatal) break;
-    if (s != wire::DecodeStatus::kNeedMore) {
-      ++decode_errors_;
-      break;  // framing violation: the stream can never resync
-    }
-  }
-  if (inbound) {
-    if (identified) unregister_conn(conn->endpoint, conn);
-    close_conn(conn);
-  }
-  // Outbound: dial_loop owns unregister/close so it can reconnect.
-}
-
-void TcpTransport::writer_loop(const ConnPtr& conn) {
-  for (;;) {
-    codec::Bytes next;
-    {
-      std::unique_lock<std::mutex> lk(conn->m);
-      conn->cv.wait_for(lk, std::chrono::milliseconds(kStopCheckMs), [&] {
-        return conn->closed || !conn->sendq.empty();
-      });
-      if (conn->sendq.empty()) {
-        if (conn->closed || stop_.load()) return;
-        continue;
-      }
-      next = std::move(conn->sendq.front());
-      conn->sendq.pop_front();
-    }
-    if (!write_all(conn->fd, next.data(), next.size())) {
-      // Peer is gone: the reader will notice too; drain nothing further.
-      std::lock_guard<std::mutex> lk(conn->m);
-      conn->closed = true;
+    if (err == 0 && (ev & (EPOLLERR | EPOLLHUP)) != 0) err = EIO;
+    if (err != 0) {
+      mark_dead(conn);  // reap applies the connect backoff
       return;
     }
-    frames_sent_ += 1;
-    bytes_sent_ += next.size();
+    for (auto& d : dials_) {
+      if (d.conn == conn) {
+        finish_connect(d);
+        break;
+      }
+    }
+    return;
+  }
+  if ((ev & EPOLLIN) != 0) handle_readable(conn);
+  if (!conn->dead && (ev & EPOLLOUT) != 0) flush_conn(conn);
+  if (!conn->dead && (ev & (EPOLLERR | EPOLLHUP)) != 0) mark_dead(conn);
+}
+
+void TcpTransport::handle_readable(const ConnPtr& conn) {
+  std::vector<std::pair<EndpointId, wire::Frame>> pending;
+  std::uint8_t buf[64 * 1024];
+  bool dead = false;
+  for (;;) {
+    const ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (got > 0) {
+      bytes_received_ += static_cast<std::uint64_t>(got);
+      if (!process_read(conn, codec::ByteView(buf, static_cast<std::size_t>(got)),
+                        pending)) {
+        dead = true;
+        break;
+      }
+      continue;
+    }
+    if (got == 0) {
+      dead = true;  // EOF
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    dead = true;
+    break;
+  }
+  deliver(std::move(pending));  // frames decoded before any failure still count
+  if (dead) mark_dead(conn);
+}
+
+bool TcpTransport::process_read(const ConnPtr& conn, codec::ByteView data,
+                                std::vector<std::pair<EndpointId, wire::Frame>>& out) {
+  if (conn->reader.failed()) return false;
+  if (conn->reader.buffered() == 0) {
+    // Fast path: frames are parsed straight out of the receive buffer; only
+    // a trailing partial frame is copied into the reassembly buffer.
+    std::size_t off = 0;
+    for (;;) {
+      wire::FrameView v;
+      std::size_t consumed = 0;
+      const auto s = wire::decode_frame_view(data.subspan(off), v, consumed);
+      if (s == wire::DecodeStatus::kOk) {
+        if (!handle_frame_view(conn, v, out)) return false;
+        off += consumed;
+        continue;
+      }
+      if (s == wire::DecodeStatus::kNeedMore) {
+        if (off < data.size()) conn->reader.feed(data.subspan(off));
+        return true;
+      }
+      ++decode_errors_;  // framing violation: the stream can never resync
+      return false;
+    }
+  }
+  conn->reader.feed(data);
+  wire::FrameView v;
+  wire::DecodeStatus s;
+  while ((s = conn->reader.next_view(v)) == wire::DecodeStatus::kOk) {
+    if (!handle_frame_view(conn, v, out)) return false;
+  }
+  if (s != wire::DecodeStatus::kNeedMore) {
+    ++decode_errors_;
+    return false;
+  }
+  return true;
+}
+
+bool TcpTransport::handle_frame_view(
+    const ConnPtr& conn, const wire::FrameView& v,
+    std::vector<std::pair<EndpointId, wire::Frame>>& out) {
+  if (!conn->identified) {
+    // First frame of an inbound connection must be a Hello that names this
+    // cluster; anything else is a stranger and the stream dies.
+    std::optional<wire::Hello> hello;
+    if (v.type == wire::MsgType::kHello) hello = wire::parse_hello(v.payload);
+    if (!hello || hello->cluster != cfg_.cluster ||
+        (hello->role == wire::kRoleServer && hello->sender >= cfg_.n)) {
+      ++decode_errors_;
+      return false;
+    }
+    conn->endpoint = hello->role == wire::kRoleServer
+                         ? static_cast<EndpointId>(hello->sender)
+                         : next_client_++;
+    register_conn(conn->endpoint, conn);
+    conn->identified = true;
+    return true;
+  }
+  if (v.type == wire::MsgType::kHello) return true;  // ignore re-hellos
+  ++frames_received_;
+  wire::Frame f;
+  f.type = v.type;
+  f.payload = util::BufferPool::global().acquire(v.payload.size());
+  f.payload.assign(v.payload.begin(), v.payload.end());
+  out.emplace_back(conn->endpoint, std::move(f));
+  return true;
+}
+
+void TcpTransport::deliver(std::vector<std::pair<EndpointId, wire::Frame>>&& frames) {
+  if (frames.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(inbox_m_);
+    for (auto& f : frames) inbox_.push_back(std::move(f));
+  }
+  inbox_cv_.notify_one();
+}
+
+void TcpTransport::flush_conn(const ConnPtr& conn) {
+  if (conn->dead || conn->connecting) return;
+  auto& pool = util::BufferPool::global();
+  std::lock_guard<std::mutex> lk(conn->m);
+  conn->flush_queued = false;
+  while (!conn->sendq.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t n = 0;
+    for (auto it = conn->sendq.begin(); it != conn->sendq.end() && n < kMaxIov;
+         ++it, ++n) {
+      const std::size_t off = (n == 0) ? conn->front_off : 0;
+      iov[n].iov_base = it->data() + off;
+      iov[n].iov_len = it->size() - off;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = n;
+    const ssize_t w = ::sendmsg(conn->fd, &mh, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: hand off to EPOLLOUT and get out of the way.
+        if (!conn->want_write) {
+          conn->want_write = true;
+          update_interest(conn);
+        }
+        return;
+      }
+      mark_dead(conn);  // peer is gone; reap releases the queue
+      return;
+    }
+    bytes_sent_ += static_cast<std::uint64_t>(w);
+    std::size_t left = static_cast<std::size_t>(w);
+    while (left > 0) {
+      codec::Bytes& front = conn->sendq.front();
+      const std::size_t remain = front.size() - conn->front_off;
+      if (left >= remain) {
+        left -= remain;
+        ++frames_sent_;
+        pool.release(std::move(front));
+        conn->sendq.pop_front();
+        conn->front_off = 0;
+      } else {
+        conn->front_off += left;
+        left = 0;
+      }
+    }
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    update_interest(conn);
   }
 }
 
-TcpTransport::Conn::~Conn() {
-  // Last reference gone: no thread can touch this connection anymore.
-  if (writer.joinable()) writer.join();
-  if (fd >= 0) ::close(fd);
+void TcpTransport::mark_dead(const ConnPtr& conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  reap_.push_back(conn);
+}
+
+void TcpTransport::reap_dead() {
+  if (reap_.empty()) return;
+  std::vector<ConnPtr> reap;
+  reap.swap(reap_);
+  auto& pool = util::BufferPool::global();
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& conn : reap) {
+    if (conn->fd >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+      by_fd_.erase(conn->fd);
+    }
+    {
+      std::lock_guard<std::mutex> lk(conn->m);
+      conn->closed = true;  // send() refuses from here on
+      for (auto& b : conn->sendq) pool.release(std::move(b));
+      conn->sendq.clear();
+      conn->front_off = 0;
+    }
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    if (conn->identified) unregister_conn(conn->endpoint, conn);
+    if (!conn->outbound) continue;
+    for (auto& d : dials_) {
+      if (d.peer != conn->dial_peer || d.conn != conn) continue;
+      d.conn.reset();
+      if (conn->connecting) {
+        fail_dial(d);  // the attempt failed: back off
+      } else {
+        d.backoff_ms = 50;  // an established link dropped: redial now
+        d.next_attempt = now;
+      }
+    }
+  }
 }
 
 void TcpTransport::register_conn(EndpointId endpoint, const ConnPtr& conn) {
-  conn->writer = std::thread([this, conn] { writer_loop(conn); });
   ConnPtr replaced;
   {
     std::lock_guard<std::mutex> lk(conns_m_);
@@ -315,11 +536,9 @@ void TcpTransport::register_conn(EndpointId endpoint, const ConnPtr& conn) {
     replaced = slot;
     slot = conn;
   }
-  // A reconnect replaces the old (dead) connection for this endpoint. Only
-  // WAKE the old threads here — its owner thread joins the writer, and the
-  // fd closes when the last reference drops (Conn::~Conn), so the old
-  // reader can never race a recycled fd number.
-  if (replaced) retire_conn(replaced);
+  // A reconnect replaces the old (dead) connection for this endpoint; the
+  // replaced one is reaped at the end of this loop iteration.
+  if (replaced && replaced != conn) mark_dead(replaced);
 }
 
 void TcpTransport::unregister_conn(EndpointId endpoint, const ConnPtr& conn) {
@@ -328,16 +547,25 @@ void TcpTransport::unregister_conn(EndpointId endpoint, const ConnPtr& conn) {
   if (it != conns_.end() && it->second == conn) conns_.erase(it);
 }
 
-void TcpTransport::retire_conn(const ConnPtr& conn) {
-  std::lock_guard<std::mutex> lk(conn->m);
-  if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-  conn->closed = true;
-  conn->cv.notify_all();
+void TcpTransport::handle_wake() {
+  std::uint64_t tmp = 0;
+  while (::read(wake_fd_, &tmp, sizeof(tmp)) > 0) {
+  }
+  std::vector<ConnPtr> dirty;
+  {
+    std::lock_guard<std::mutex> lk(dirty_m_);
+    dirty.swap(dirty_);
+  }
+  for (const auto& conn : dirty) flush_conn(conn);
 }
 
-void TcpTransport::close_conn(const ConnPtr& conn) {
-  retire_conn(conn);
-  if (conn->writer.joinable()) conn->writer.join();
+void TcpTransport::count_drop(EndpointId to) {
+  ++send_drops_;
+  if (is_client_endpoint(to)) {
+    ++send_drops_client_;
+  } else {
+    ++send_drops_peer_;
+  }
 }
 
 bool TcpTransport::send(EndpointId to, wire::MsgType type, codec::ByteView payload) {
@@ -348,23 +576,46 @@ bool TcpTransport::send(EndpointId to, wire::MsgType type, codec::ByteView paylo
     if (it != conns_.end()) conn = it->second;
   }
   if (!conn) {
-    ++send_drops_;
+    count_drop(to);
     return false;
   }
-  codec::Bytes frame = wire::encode_frame(type, payload);
-  if (frame.empty()) {
-    ++send_drops_;
+  auto& pool = util::BufferPool::global();
+  codec::Bytes frame = pool.acquire(wire::kHeaderSize + payload.size());
+  if (!wire::encode_frame_into(frame, type, payload)) {
+    pool.release(std::move(frame));
+    count_drop(to);
     return false;
   }
+  bool queued = false;
+  bool need_wake = false;
   {
     std::lock_guard<std::mutex> lk(conn->m);
-    if (conn->closed || conn->sendq.size() >= cfg_.send_queue_limit) {
-      ++send_drops_;
-      return false;
+    if (!conn->closed && conn->sendq.size() < cfg_.send_queue_limit) {
+      conn->sendq.push_back(std::move(frame));
+      queued = true;
+      const std::uint64_t depth = conn->sendq.size();
+      auto peak = send_queue_peak_.load(std::memory_order_relaxed);
+      while (depth > peak && !send_queue_peak_.compare_exchange_weak(
+                                 peak, depth, std::memory_order_relaxed)) {
+      }
+      if (!conn->flush_queued) {
+        conn->flush_queued = true;
+        need_wake = true;
+      }
     }
-    conn->sendq.push_back(std::move(frame));
   }
-  conn->cv.notify_one();
+  if (!queued) {
+    pool.release(std::move(frame));
+    count_drop(to);
+    return false;
+  }
+  if (need_wake) {
+    {
+      std::lock_guard<std::mutex> lk(dirty_m_);
+      dirty_.push_back(conn);
+    }
+    wake_loop();
+  }
   return true;
 }
 
@@ -378,8 +629,12 @@ std::size_t TcpTransport::poll(std::chrono::milliseconds max_wait) {
     }
     batch.swap(inbox_);
   }
+  auto& pool = util::BufferPool::global();
   for (auto& [from, frame] : batch) {
     if (handler_) handler_(from, std::move(frame));
+    // The handler may steal the payload (move); recycle only what it left
+    // behind. A moved-from buffer has no capacity and is skipped.
+    if (frame.payload.capacity() != 0) pool.release(std::move(frame.payload));
   }
   return batch.size();
 }
@@ -391,8 +646,11 @@ TcpTransport::Counters TcpTransport::counters() const {
   c.frames_received = frames_received_;
   c.bytes_received = bytes_received_;
   c.send_drops = send_drops_;
+  c.send_drops_peer = send_drops_peer_;
+  c.send_drops_client = send_drops_client_;
   c.decode_errors = decode_errors_;
   c.reconnects = reconnects_;
+  c.send_queue_peak = send_queue_peak_;
   return c;
 }
 

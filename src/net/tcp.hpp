@@ -1,12 +1,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -36,15 +39,22 @@ struct TcpConfig {
   std::size_t send_queue_limit = 4096;
 };
 
-/// Real-socket ITransport: POSIX TCP, one reader and one writer thread per
-/// connection, an accept thread, and dialer threads (with capped exponential
-/// backoff reconnect) for the peers this node initiates to. Inbound frames
-/// land in an inbox the owner drains on its own thread via poll() — node
-/// logic stays single-threaded.
+/// Real-socket ITransport on a single epoll event loop: ONE thread runs
+/// nonblocking accept, connect, read and write for every connection, with
+/// per-connection state machines (identify-by-Hello, FrameReader reassembly,
+/// queued writes flushed via sendmsg/writev coalescing) and capped-backoff
+/// reconnect folded in as timer deadlines. Thread count is constant in the
+/// number of connections — a node serving 64 clients runs one network
+/// thread, not 130.
+///
+/// The owner-thread contract is unchanged from the thread-per-connection
+/// transport this replaces: inbound frames land in an inbox the owner
+/// drains on its own thread via poll(), send() is callable from any thread
+/// and never blocks on the network (bounded queue, drop + count when full).
 class TcpTransport final : public ITransport {
  public:
   /// Binds and listens immediately (so tests can read listen_port() before
-  /// any peer starts); no threads run until start().
+  /// any peer starts); the event loop does not run until start().
   explicit TcpTransport(TcpConfig cfg);
   ~TcpTransport() override;
 
@@ -59,66 +69,101 @@ class TcpTransport final : public ITransport {
   // ITransport
   void set_handler(FrameHandler handler) override { handler_ = std::move(handler); }
   bool send(EndpointId to, wire::MsgType type, codec::ByteView payload) override;
+  /// Drains the inbox to the handler. Frame payload buffers are recycled
+  /// into the process buffer pool after each handler call returns: handlers
+  /// may MOVE the payload out but must not retain views into it.
   std::size_t poll(std::chrono::milliseconds max_wait) override;
   std::uint32_t self() const override { return cfg_.self; }
   Counters counters() const override;
 
  private:
+  /// One connection's state machine. Everything except the send queue is
+  /// owned by the event-loop thread; the send queue (sendq/front_off/
+  /// flush_queued/closed) is shared with send() callers under `m`.
   struct Conn {
-    /// Never mutated after construction; closed exactly once, in the
-    /// destructor — i.e. only after every thread touching this connection
-    /// has released its reference, so a recycled fd number can never be
-    /// shut down or read by a stale thread.
     int fd = -1;
     EndpointId endpoint = 0;
-    std::deque<codec::Bytes> sendq;
+    bool identified = false;  ///< Hello handshake done (inbound) / dialed
+    bool connecting = false;  ///< nonblocking connect() still in flight
+    bool want_write = false;  ///< EPOLLOUT armed (send queue hit EAGAIN)
+    bool dead = false;        ///< queued for reaping this loop iteration
+    bool outbound = false;    ///< we dialed it (reap schedules a redial)
+    std::uint32_t dial_peer = 0;
+    wire::FrameReader reader;
+
     std::mutex m;
-    std::condition_variable cv;
-    bool closed = false;
-    std::thread writer;
+    std::deque<codec::Bytes> sendq;  ///< encoded frames (pooled buffers)
+    std::size_t front_off = 0;       ///< bytes of sendq.front() already sent
+    bool flush_queued = false;       ///< already on the loop's dirty list
+    bool closed = false;             ///< send() must refuse (conn reaped)
     ~Conn();
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
-  void accept_loop();
-  void dial_loop(std::uint32_t peer);
-  /// Reads frames off `conn` until error/EOF/stop. `expected_endpoint` is
-  /// set for outbound dials (the hello already happened); inbound
-  /// connections are identified by their first frame (a Hello).
-  void read_loop(const ConnPtr& conn, bool inbound);
-  void writer_loop(const ConnPtr& conn);
+  /// Reconnect state for one dialed peer: attempts fire as deadlines inside
+  /// the event loop (no dialer threads).
+  struct DialState {
+    std::uint32_t peer = 0;
+    std::string host;
+    std::uint16_t port = 0;
+    bool addr_ok = false;
+    int backoff_ms = 50;
+    bool connected_before = false;
+    std::chrono::steady_clock::time_point next_attempt{};
+    ConnPtr conn;  ///< live (or connecting) connection, null between tries
+  };
+
+  void loop_main();
+  void handle_listen_ready();
+  void handle_wake();
+  void handle_conn_event(const ConnPtr& conn, std::uint32_t events);
+  void handle_readable(const ConnPtr& conn);
+  /// Decode `data` (freshly received bytes) through the connection's frame
+  /// state. Returns false on a fatal framing/identification error.
+  bool process_read(const ConnPtr& conn, codec::ByteView data,
+                    std::vector<std::pair<EndpointId, wire::Frame>>& out);
+  bool handle_frame_view(const ConnPtr& conn, const wire::FrameView& v,
+                         std::vector<std::pair<EndpointId, wire::Frame>>& out);
+  void deliver(std::vector<std::pair<EndpointId, wire::Frame>>&& frames);
+  /// Write queued frames until drained or EAGAIN; arms/disarms EPOLLOUT.
+  void flush_conn(const ConnPtr& conn);
+  void attempt_dial(DialState& d);
+  void finish_connect(DialState& d);
+  void fail_dial(DialState& d);
+  void mark_dead(const ConnPtr& conn);
+  void reap_dead();
   void register_conn(EndpointId endpoint, const ConnPtr& conn);
   void unregister_conn(EndpointId endpoint, const ConnPtr& conn);
-  /// Wake a connection's threads so they wind down (shutdown + closed
-  /// flag). Callable from ANY thread; never closes the fd (Conn::~Conn
-  /// does) and never joins.
-  static void retire_conn(const ConnPtr& conn);
-  /// Owner-thread epilogue: retire + join the writer. Only the thread that
-  /// ran the connection's read loop may call it (single joiner).
-  static void close_conn(const ConnPtr& conn);
-  bool send_hello(int fd);
+  void update_interest(const ConnPtr& conn);
+  void queue_hello(const ConnPtr& conn);
+  int loop_timeout_ms() const;
+  void wake_loop();
+  void count_drop(EndpointId to);
 
   TcpConfig cfg_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   std::uint16_t listen_port_ = 0;
   FrameHandler handler_;
 
   std::atomic<bool> stop_{false};
-  std::thread accept_thread_;
-  std::vector<std::thread> dialer_threads_;
-  /// Inbound session threads, reaped by the accept loop as they finish so
-  /// a long-lived daemon serving churning clients does not accumulate
-  /// terminated-but-unjoined threads.
-  struct Session {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::mutex sessions_m_;
-  std::vector<Session> session_threads_;
+  bool started_ = false;
+  std::thread loop_thread_;
 
-  std::mutex conns_m_;
+  // Event-loop-thread-only state.
+  std::unordered_map<int, ConnPtr> by_fd_;
+  std::vector<DialState> dials_;
+  std::vector<ConnPtr> reap_;
+
+  // send() needs endpoint -> connection; the loop registers/unregisters.
+  mutable std::mutex conns_m_;
   std::unordered_map<EndpointId, ConnPtr> conns_;
   std::atomic<EndpointId> next_client_{kClientEndpointBase};
+
+  // Connections with freshly queued sends, handed to the loop via wake_fd_.
+  std::mutex dirty_m_;
+  std::vector<ConnPtr> dirty_;
 
   std::mutex inbox_m_;
   std::condition_variable inbox_cv_;
@@ -126,7 +171,9 @@ class TcpTransport final : public ITransport {
 
   std::atomic<std::uint64_t> frames_sent_{0}, bytes_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0}, bytes_received_{0};
-  std::atomic<std::uint64_t> send_drops_{0}, decode_errors_{0}, reconnects_{0};
+  std::atomic<std::uint64_t> send_drops_{0}, send_drops_peer_{0}, send_drops_client_{0};
+  std::atomic<std::uint64_t> decode_errors_{0}, reconnects_{0};
+  std::atomic<std::uint64_t> send_queue_peak_{0};
 };
 
 }  // namespace setchain::net

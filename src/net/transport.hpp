@@ -53,9 +53,18 @@ class ITransport {
     std::uint64_t bytes_sent = 0;
     std::uint64_t frames_received = 0;
     std::uint64_t bytes_received = 0;
-    std::uint64_t send_drops = 0;     ///< frames refused by send()
+    std::uint64_t send_drops = 0;     ///< frames refused by send() (total)
+    /// send_drops split by destination class: a peer drop means protocol
+    /// traffic was lost to backpressure (a liveness smell worth alerting
+    /// on); a client drop merely sheds RPC load (clients retry). The two
+    /// always sum to send_drops.
+    std::uint64_t send_drops_peer = 0;
+    std::uint64_t send_drops_client = 0;
     std::uint64_t decode_errors = 0;  ///< streams killed by a framing error
     std::uint64_t reconnects = 0;     ///< successful re-dials after a drop
+    /// High-water mark of any single connection's send queue (frames).
+    /// Hitting send_queue_limit is where drops start.
+    std::uint64_t send_queue_peak = 0;
   };
   virtual Counters counters() const = 0;
 };

@@ -70,19 +70,26 @@ const char* decode_status_name(DecodeStatus s) {
   return "?";
 }
 
-codec::Bytes encode_frame(MsgType type, codec::ByteView payload) {
-  if (payload.size() > kMaxPayloadBytes) return {};  // never legal to build
-  codec::Bytes out;
+bool encode_frame_into(codec::Bytes& out, MsgType type, codec::ByteView payload) {
+  out.clear();
+  if (payload.size() > kMaxPayloadBytes) return false;  // never legal to build
   out.reserve(kHeaderSize + payload.size());
   codec::append(out, codec::ByteView(kMagic.data(), kMagic.size()));
   codec::append_u8(out, kVersion);
   codec::append_u8(out, static_cast<std::uint8_t>(type));
   codec::append_u32le(out, static_cast<std::uint32_t>(payload.size()));
   codec::append(out, payload);
+  return true;
+}
+
+codec::Bytes encode_frame(MsgType type, codec::ByteView payload) {
+  codec::Bytes out;
+  encode_frame_into(out, type, payload);
   return out;
 }
 
-DecodeStatus decode_frame(codec::ByteView in, Frame& out, std::size_t& consumed) {
+DecodeStatus decode_frame_view(codec::ByteView in, FrameView& out,
+                               std::size_t& consumed) {
   consumed = 0;
   if (in.size() < kHeaderSize) return DecodeStatus::kNeedMore;
   for (std::size_t i = 0; i < kMagic.size(); ++i) {
@@ -95,9 +102,18 @@ DecodeStatus decode_frame(codec::ByteView in, Frame& out, std::size_t& consumed)
   if (len > kMaxPayloadBytes) return DecodeStatus::kOversized;
   if (in.size() < kHeaderSize + len) return DecodeStatus::kNeedMore;
   out.type = static_cast<MsgType>(type);
-  out.payload.assign(in.begin() + kHeaderSize, in.begin() + kHeaderSize + len);
+  out.payload = in.subspan(kHeaderSize, len);
   consumed = kHeaderSize + len;
   return DecodeStatus::kOk;
+}
+
+DecodeStatus decode_frame(codec::ByteView in, Frame& out, std::size_t& consumed) {
+  FrameView v;
+  const DecodeStatus s = decode_frame_view(in, v, consumed);
+  if (s != DecodeStatus::kOk) return s;
+  out.type = v.type;
+  out.payload.assign(v.payload.begin(), v.payload.end());
+  return s;
 }
 
 void FrameReader::feed(codec::ByteView bytes) {
@@ -110,16 +126,25 @@ void FrameReader::feed(codec::ByteView bytes) {
   codec::append(buf_, bytes);
 }
 
-DecodeStatus FrameReader::next(Frame& out) {
+DecodeStatus FrameReader::next_view(FrameView& out) {
   if (fatal_ != DecodeStatus::kOk) return fatal_;
   std::size_t consumed = 0;
   const DecodeStatus s =
-      decode_frame(codec::ByteView(buf_).subspan(pos_), out, consumed);
+      decode_frame_view(codec::ByteView(buf_).subspan(pos_), out, consumed);
   if (s == DecodeStatus::kOk) {
     pos_ += consumed;
     return s;
   }
   if (s != DecodeStatus::kNeedMore) fatal_ = s;  // streams cannot resync
+  return s;
+}
+
+DecodeStatus FrameReader::next(Frame& out) {
+  FrameView v;
+  const DecodeStatus s = next_view(v);
+  if (s != DecodeStatus::kOk) return s;
+  out.type = v.type;
+  out.payload.assign(v.payload.begin(), v.payload.end());
   return s;
 }
 
@@ -395,7 +420,7 @@ void put_tx(codec::Writer& w, const ledger::Transaction& tx) {
   w.lp_bytes(tx.data);
 }
 
-std::optional<ledger::Transaction> get_tx(codec::Reader& r) {
+std::optional<TxView> get_tx_view(codec::Reader& r) {
   const auto kind = r.u8();
   const auto wire = r.varint();
   if (!kind || !wire) return std::nullopt;
@@ -403,10 +428,20 @@ std::optional<ledger::Transaction> get_tx(codec::Reader& r) {
   if (*wire > kMaxPayloadBytes) return std::nullopt;
   const auto data = r.lp_bytes();
   if (!data) return std::nullopt;
-  ledger::Transaction tx;
+  TxView tx;
   tx.kind = static_cast<ledger::TxKind>(*kind);
   tx.wire_size = static_cast<std::uint32_t>(*wire);
-  tx.data.assign(data->begin(), data->end());
+  tx.data = *data;
+  return tx;
+}
+
+std::optional<ledger::Transaction> get_tx(codec::Reader& r) {
+  const auto v = get_tx_view(r);
+  if (!v) return std::nullopt;
+  ledger::Transaction tx;
+  tx.kind = v->kind;
+  tx.wire_size = v->wire_size;
+  tx.data.assign(v->data.begin(), v->data.end());
   return tx;
 }
 
@@ -435,9 +470,9 @@ codec::Bytes encode_block(std::uint64_t height, std::uint32_t proposer,
   return w.take();
 }
 
-std::optional<BlockMsg> parse_block(codec::ByteView payload) {
+std::optional<BlockView> parse_block_view(codec::ByteView payload) {
   codec::Reader r(payload);
-  BlockMsg m;
+  BlockView m;
   const auto height = r.varint();
   const auto proposer = r.varint();
   const auto count = r.varint();
@@ -447,11 +482,28 @@ std::optional<BlockMsg> parse_block(codec::ByteView payload) {
   m.proposer = static_cast<std::uint32_t>(*proposer);
   m.txs.reserve(reserve_bound(r, *count, kMinTxBytes));
   for (std::uint64_t i = 0; i < *count; ++i) {
-    auto tx = get_tx(r);
+    auto tx = get_tx_view(r);
     if (!tx) return std::nullopt;
-    m.txs.push_back(std::move(*tx));
+    m.txs.push_back(*tx);
   }
   return finish(r, std::move(m));
+}
+
+std::optional<BlockMsg> parse_block(codec::ByteView payload) {
+  auto v = parse_block_view(payload);
+  if (!v) return std::nullopt;
+  BlockMsg m;
+  m.height = v->height;
+  m.proposer = v->proposer;
+  m.txs.reserve(v->txs.size());
+  for (const auto& t : v->txs) {
+    ledger::Transaction tx;
+    tx.kind = t.kind;
+    tx.wire_size = t.wire_size;
+    tx.data.assign(t.data.begin(), t.data.end());
+    m.txs.push_back(std::move(tx));
+  }
+  return m;
 }
 
 codec::Bytes encode_block_sync_request(const BlockSyncRequest& m) {
@@ -569,16 +621,25 @@ codec::Bytes encode_batch_response(const BatchResponse& m) {
   return w.take();
 }
 
-std::optional<BatchResponse> parse_batch_response(codec::ByteView payload) {
+std::optional<BatchResponseView> parse_batch_response_view(codec::ByteView payload) {
   codec::Reader r(payload);
-  BatchResponse m;
+  BatchResponseView m;
   const auto hash = r.bytes(m.hash.size());
   if (!hash) return std::nullopt;
   std::copy(hash->begin(), hash->end(), m.hash.begin());
   const auto batch = r.lp_bytes();
   if (!batch) return std::nullopt;
-  m.batch.assign(batch->begin(), batch->end());
+  m.batch = *batch;
   return finish(r, std::move(m));
+}
+
+std::optional<BatchResponse> parse_batch_response(codec::ByteView payload) {
+  const auto v = parse_batch_response_view(payload);
+  if (!v) return std::nullopt;
+  BatchResponse m;
+  m.hash = v->hash;
+  m.batch.assign(v->batch.begin(), v->batch.end());
+  return m;
 }
 
 }  // namespace setchain::net::wire

@@ -77,10 +77,24 @@ struct Frame {
   codec::Bytes payload;
 };
 
+/// Non-owning frame: `payload` is a view into the decoder's input buffer.
+/// Lifetime is the caller's problem — see FrameReader::next_view and
+/// docs/WIRE_FORMAT.md "Zero-copy views" for the exact rules.
+struct FrameView {
+  MsgType type = MsgType::kHello;
+  codec::ByteView payload;
+};
+
 /// Encode one frame (header + payload). Payloads above kMaxPayloadBytes are
 /// a programming error (assert in debug, truncated streams otherwise never
 /// leave this process: the encoder refuses and returns an empty buffer).
 codec::Bytes encode_frame(MsgType type, codec::ByteView payload);
+
+/// Same encoding, but into a caller-supplied (typically pooled) buffer:
+/// `out` is cleared and refilled with header + payload. Returns false (and
+/// leaves `out` empty) on an oversized payload. This is the hot-path
+/// encoder — it reuses `out`'s capacity instead of allocating per frame.
+bool encode_frame_into(codec::Bytes& out, MsgType type, codec::ByteView payload);
 
 enum class DecodeStatus : std::uint8_t {
   kOk,
@@ -98,6 +112,11 @@ const char* decode_status_name(DecodeStatus s);
 /// recover (close the connection).
 DecodeStatus decode_frame(codec::ByteView in, Frame& out, std::size_t& consumed);
 
+/// Zero-copy variant: on kOk, `out.payload` views into `in` (no copy). The
+/// view is only valid while the bytes backing `in` stay put.
+DecodeStatus decode_frame_view(codec::ByteView in, FrameView& out,
+                               std::size_t& consumed);
+
 /// Incremental frame reassembly over a byte stream (TCP). Feed received
 /// bytes; poll frames until kNeedMore. A fatal status is sticky: the reader
 /// refuses further frames (the transport closes the connection).
@@ -107,6 +126,12 @@ class FrameReader {
   /// Extract the next complete frame. kOk fills `out`; kNeedMore means feed
   /// more bytes; anything else is fatal and sticky.
   DecodeStatus next(Frame& out);
+  /// Zero-copy variant: on kOk, `out.payload` views into the reader's
+  /// internal buffer. The view is INVALIDATED by the next feed() call
+  /// (feed may compact the buffer); it survives further next_view() calls,
+  /// so a receive loop may drain every buffered frame, hand the views to
+  /// parse_*_view, and only then feed more bytes.
+  DecodeStatus next_view(FrameView& out);
   bool failed() const { return fatal_ != DecodeStatus::kOk; }
   DecodeStatus error() const { return fatal_; }
   std::size_t buffered() const { return buf_.size() - pos_; }
@@ -235,6 +260,23 @@ codec::Bytes encode_block(std::uint64_t height, std::uint32_t proposer,
                           const std::vector<const ledger::Transaction*>& txs);
 std::optional<BlockMsg> parse_block(codec::ByteView payload);
 
+/// Zero-copy forms of the bulky payloads: identical validation to the
+/// owning parsers (they are implemented as wrappers over these), but tx /
+/// batch bytes are views into the input payload instead of copies. Callers
+/// use them to validate-and-hash, or to decide a frame is a duplicate,
+/// BEFORE paying for materialization.
+struct TxView {
+  ledger::TxKind kind = ledger::TxKind::kElement;
+  std::uint32_t wire_size = 0;
+  codec::ByteView data;
+};
+struct BlockView {
+  std::uint64_t height = 0;
+  std::uint32_t proposer = 0;
+  std::vector<TxView> txs;
+};
+std::optional<BlockView> parse_block_view(codec::ByteView payload);
+
 /// kBlockSyncRequest: from_height varint ("send me blocks >= from_height").
 struct BlockSyncRequest {
   std::uint64_t from_height = 0;
@@ -306,5 +348,12 @@ struct BatchResponse {
 };
 codec::Bytes encode_batch_response(const BatchResponse& m);
 std::optional<BatchResponse> parse_batch_response(codec::ByteView payload);
+
+/// Zero-copy kBatchResponse: `batch` views into the payload (see TxView).
+struct BatchResponseView {
+  core::EpochHash hash{};
+  codec::ByteView batch;
+};
+std::optional<BatchResponseView> parse_batch_response_view(codec::ByteView payload);
 
 }  // namespace setchain::net::wire

@@ -1,0 +1,60 @@
+#include "util/buffer_pool.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace setchain::util {
+
+BufferPool::BufferPool(std::size_t max_pooled, std::size_t max_buffer_bytes)
+    : max_pooled_(max_pooled), max_buffer_bytes_(max_buffer_bytes) {
+  free_.reserve(max_pooled_);
+}
+
+codec::Bytes BufferPool::acquire(std::size_t reserve_hint) {
+  codec::Bytes out;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    ++acquires_;
+    if (!free_.empty()) {
+      out = std::move(free_.back());
+      free_.pop_back();
+      ++reuses_;
+    }
+  }
+  out.clear();
+  if (reserve_hint > 0) out.reserve(reserve_hint);
+  return out;
+}
+
+void BufferPool::release(codec::Bytes&& b) {
+  codec::Bytes buf = std::move(b);
+  if constexpr (poison_on_release()) {
+    if (!buf.empty()) std::memset(buf.data(), 0xD5, buf.size());
+  }
+  std::lock_guard<std::mutex> lk(m_);
+  ++releases_;
+  if (buf.capacity() == 0 || buf.capacity() > max_buffer_bytes_ ||
+      free_.size() >= max_pooled_) {
+    ++discards_;
+    return;  // freed on scope exit
+  }
+  free_.push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  Stats s;
+  s.acquires = acquires_;
+  s.reuses = reuses_;
+  s.releases = releases_;
+  s.discards = discards_;
+  s.pooled = free_.size();
+  return s;
+}
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool(/*max_pooled=*/256, /*max_buffer_bytes=*/1u << 20);
+  return pool;
+}
+
+}  // namespace setchain::util

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::util {
+
+/// Thread-safe free list of reusable byte buffers for the hot frame path:
+/// every encoded outbound frame and every inbound frame payload lives in a
+/// pooled buffer, so steady-state traffic recycles capacity instead of
+/// paying the allocator per frame. acquire() hands out an EMPTY buffer
+/// whose capacity is retained from its previous life; release() returns
+/// one. Oversized buffers (above max_buffer_bytes) and overflow beyond
+/// max_pooled are freed rather than hoarded, so a burst of 8 MiB batch
+/// responses cannot pin that memory forever.
+///
+/// Ownership rule (docs/WIRE_FORMAT.md "Zero-copy views"): any ByteView
+/// into a frame payload dies when the frame's buffer is released. Debug and
+/// sanitizer builds enforce it loudly — release() poisons the returned
+/// contents with 0xD5, so a stale view reads obvious garbage instead of
+/// silently stale frame bytes.
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_pooled = 64,
+                      std::size_t max_buffer_bytes = 1u << 20);
+
+  /// An empty buffer, reserve()d to at least `reserve_hint`.
+  codec::Bytes acquire(std::size_t reserve_hint = 0);
+  /// Return a buffer to the pool (or free it: oversized / pool full).
+  void release(codec::Bytes&& b);
+
+  static constexpr bool poison_on_release() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    !defined(NDEBUG)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t reuses = 0;    ///< acquires served from the free list
+    std::uint64_t releases = 0;
+    std::uint64_t discards = 0;  ///< releases freed instead of pooled
+    std::size_t pooled = 0;      ///< buffers currently in the free list
+  };
+  Stats stats() const;
+
+  /// Process-wide pool shared by all transports.
+  static BufferPool& global();
+
+ private:
+  const std::size_t max_pooled_;
+  const std::size_t max_buffer_bytes_;
+  mutable std::mutex m_;
+  std::vector<codec::Bytes> free_;
+  std::uint64_t acquires_ = 0, reuses_ = 0, releases_ = 0, discards_ = 0;
+};
+
+}  // namespace setchain::util

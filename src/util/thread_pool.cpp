@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace setchain::util {
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  // Completion is tracked under its own mutex (not the pool's) so a heavily
+  // used pool never serializes unrelated jobs on one lock.
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::run_some(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    (*job.fn)(i);
+    std::lock_guard<std::mutex> lk(job.m);
+    if (++job.done == job.n) job.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::worker_main() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
+      if (stop_) return;
+      // Front job stays queued while it has unclaimed indices, so every
+      // waking worker piles onto the same batch before later ones.
+      job = jobs_.front();
+    }
+    run_some(*job);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      std::erase(jobs_, job);  // exhausted: stop waking workers for it
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  run_some(*job);  // the caller is a lane too
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    std::erase(jobs_, job);
+  }
+  std::unique_lock<std::mutex> lk(job->m);
+  job->done_cv.wait(lk, [&] { return job->done == job->n; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<std::size_t>(hw - 1) : std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace setchain::util

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace setchain::util {
+
+/// Persistent worker pool for data-parallel batch work. Deliberately tiny:
+/// no futures, no task graph — the one primitive is parallel_for(n, fn),
+/// which runs fn(0) .. fn(n-1) across the workers PLUS the calling thread
+/// and returns when every index has completed. With zero workers (single-
+/// core host, or a pool constructed with 0) it degrades to an inline loop,
+/// so callers never need a fallback path.
+///
+/// Determinism: parallel_for imposes no order on index execution, so
+/// callers must write results into disjoint, index-addressed slots — then
+/// the merged result is independent of scheduling and identical to a
+/// sequential run (see Ed25519::verify_batch for the canonical use).
+///
+/// Concurrent parallel_for calls from different threads are safe: each call
+/// is its own job record and idle workers drain whichever jobs are queued.
+/// fn must not throw (workers have nowhere to deliver an exception).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return workers_.size(); }
+
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized to the machine: hardware_concurrency() - 1
+  /// workers (the caller participates, so all cores stay busy), 0 on a
+  /// single-core host where parallel_for runs inline.
+  static ThreadPool& global();
+
+ private:
+  struct Job;
+  void worker_main();
+  /// Claim and run indices of `job` until none remain. Any thread.
+  static void run_some(Job& job);
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace setchain::util

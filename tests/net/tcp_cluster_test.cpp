@@ -91,9 +91,15 @@ struct Cluster {
       hosts[i]->start();
       transports[i]->start();
     }
+    // All stop flags exist before any pump thread runs: a pump dereferences
+    // its flag through a stable pointer, never through the still-growing
+    // vector (push_back may reallocate under a concurrent reader).
     for (std::uint32_t i = 0; i < cfg.n; ++i) {
       stops.push_back(std::make_unique<std::atomic<bool>>(false));
-      pumps.emplace_back([this, i] { hosts[i]->run_realtime(*stops[i]); });
+    }
+    for (std::uint32_t i = 0; i < cfg.n; ++i) {
+      std::atomic<bool>* stop = stops[i].get();
+      pumps.emplace_back([this, i, stop] { hosts[i]->run_realtime(*stop); });
     }
   }
 

@@ -157,16 +157,25 @@ int main(int argc, char** argv) {
 
     if (!quiet) {
       const auto c = transport.counters();
-      std::fprintf(stderr,
-                   "setchain_node[%u] stopped: epoch=%llu the_set=%llu blocks=%llu "
-                   "rpcs=%llu frames(tx=%llu rx=%llu drop=%llu)\n",
-                   cfg.id, static_cast<unsigned long long>(host.server().epoch()),
-                   static_cast<unsigned long long>(host.server().the_set_size()),
-                   static_cast<unsigned long long>(host.ledger().height()),
-                   static_cast<unsigned long long>(host.rpcs_served()),
-                   static_cast<unsigned long long>(c.frames_sent),
-                   static_cast<unsigned long long>(c.frames_received),
-                   static_cast<unsigned long long>(c.send_drops));
+      std::fprintf(
+          stderr,
+          "setchain_node[%u] stopped: epoch=%llu the_set=%llu blocks=%llu "
+          "rpcs=%llu frames(tx=%llu rx=%llu) bytes(tx=%llu rx=%llu) "
+          "drops(peer=%llu client=%llu) decode_errors=%llu reconnects=%llu "
+          "send_queue_peak=%llu\n",
+          cfg.id, static_cast<unsigned long long>(host.server().epoch()),
+          static_cast<unsigned long long>(host.server().the_set_size()),
+          static_cast<unsigned long long>(host.ledger().height()),
+          static_cast<unsigned long long>(host.rpcs_served()),
+          static_cast<unsigned long long>(c.frames_sent),
+          static_cast<unsigned long long>(c.frames_received),
+          static_cast<unsigned long long>(c.bytes_sent),
+          static_cast<unsigned long long>(c.bytes_received),
+          static_cast<unsigned long long>(c.send_drops_peer),
+          static_cast<unsigned long long>(c.send_drops_client),
+          static_cast<unsigned long long>(c.decode_errors),
+          static_cast<unsigned long long>(c.reconnects),
+          static_cast<unsigned long long>(c.send_queue_peak));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "setchain_node: fatal: %s\n", e.what());
