@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   using namespace std::chrono_literals;
 
   std::uint32_t n = 4, f = 1, count = 24, first_seq = 0;
+  bool have_first_seq = false;
   std::uint64_t seed = 42;
   runner::Algorithm algo = runner::Algorithm::kHashchain;
   runner::LedgerMode ledger = runner::LedgerMode::kFixedSequencer;
@@ -64,7 +65,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--first-seq") {
       // Element-sequence offset: a second client run against the same
       // cluster must mint FRESH element ids (ids are (client, seq) pairs).
+      // Without the flag the client derives it from the cluster's quorum
+      // view, so restarted durable clusters accept fresh runs unattended.
       first_seq = static_cast<std::uint32_t>(std::atoi(value()));
+      have_first_seq = true;
     } else if (arg == "--node") {
       nodes.emplace_back(value());
     } else if (arg == "--wait-seconds") {
@@ -122,6 +126,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::this_thread::sleep_for(200ms);
+  }
+
+  // No --first-seq: scan the quorum view for this client's highest used
+  // sequence so a rerun against a recovered (or long-lived) cluster mints
+  // fresh ids automatically instead of colliding with its own history.
+  if (!have_first_seq) {
+    const auto view0 = client.get();
+    std::uint64_t next = 0;
+    for (const auto id : view0.the_set) {
+      if (core::element_client(id) != client_id) continue;
+      const std::uint64_t s = id & ((std::uint64_t{1} << 40) - 1);
+      if (s + 1 > next) next = s + 1;
+    }
+    first_seq = static_cast<std::uint32_t>(next);
+    if (first_seq != 0) {
+      std::printf("derived --first-seq %u from the cluster's quorum view\n",
+                  first_seq);
+    }
   }
 
   // Add `count` signed elements through the quorum protocol.

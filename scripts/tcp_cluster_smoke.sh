@@ -30,9 +30,9 @@ cleanup() {
   done
   if [ "$code" -ne 0 ]; then
     echo "--- daemon logs (${LOG_DIR}) ---" >&2
-    tail -n 20 "${LOG_DIR}"/node*.log >&2 || true
+    tail -n 20 "${LOG_DIR}"/*node*.log >&2 || true
   fi
-  rm -rf "${LOG_DIR}"
+  rm -rf "${LOG_DIR}" "${DATA_DIR:-}"
   exit "$code"
 }
 trap cleanup EXIT INT TERM
@@ -116,3 +116,85 @@ timeout --kill-after=10 90 \
   --ledger consensus --count 12 --first-seq 12 --wait-seconds 60 "${NODE_ARGS[@]}"
 
 echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N}, consensus + proposer SIGKILL)"
+
+# ---- Phase 3: durable storage + whole-cluster SIGKILL restart -------------
+# Fresh sequencer cluster with per-node --data-dir: commit a workload, then
+# SIGKILL EVERY node (no shutdown handler — the WAL tail is all that
+# survives), restart all four from their data dirs on the same ports, and
+# demand a second client run commit end to end WITHOUT --first-seq: the
+# client must derive fresh element ids from the recovered quorum view, which
+# only works if recovery actually restored the committed set from disk.
+for pid in "${PIDS[@]}"; do
+  kill "$pid" 2>/dev/null || true
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
+PORT_BASE=$(( PORT_BASE + 100 ))
+DATA_DIR=$(mktemp -d)
+PEER_ARGS=()
+for i in $(seq 0 $((N - 1))); do
+  PEER_ARGS+=(--peer "${HOST}:$((PORT_BASE + i))")
+  mkdir -p "${DATA_DIR}/node${i}"
+done
+
+# NODE_PID is the (already declared) pid map from phase 2; reuse it.
+boot_durable() {
+  local phase=$1
+  NODE_PID=()
+  for i in $(seq 0 $((N - 1))); do
+    "$NODE_BIN" --id "$i" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+      --listen "${HOST}:$((PORT_BASE + i))" "${PEER_ARGS[@]}" \
+      --collector 8 --collector-timeout-ms 150 --block-interval-ms 120 \
+      --data-dir "${DATA_DIR}/node${i}" --snapshot-epochs 2 \
+      >"${LOG_DIR}/durable_${phase}_node${i}.log" 2>&1 &
+    PIDS+=($!)
+    NODE_PID[$i]=$!
+  done
+}
+
+boot_durable boot1
+
+NODE_ARGS=()
+for i in $(seq 0 $((N - 1))); do
+  NODE_ARGS+=(--node "${HOST}:$((PORT_BASE + i))")
+done
+
+# First run fills the ledger (and, at --snapshot-epochs 2, the snapshots).
+timeout --kill-after=10 90 \
+  "$CLIENT_BIN" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+  --count 16 --wait-seconds 45 "${NODE_ARGS[@]}"
+
+# SIGKILL the entire cluster: nothing survives but the data dirs.
+for i in $(seq 0 $((N - 1))); do
+  kill -9 "${NODE_PID[$i]}" 2>/dev/null || true
+  wait "${NODE_PID[$i]}" 2>/dev/null || true
+done
+PIDS=()
+
+boot_durable boot2
+
+# Every node must report a recovery with state (snapshot or WAL replay).
+sleep 2
+for i in $(seq 0 $((N - 1))); do
+  if ! grep -q "recovered:" "${LOG_DIR}/durable_boot2_node${i}.log"; then
+    echo "FAIL: node ${i} did not log a recovery line" >&2
+    exit 1
+  fi
+done
+
+# Second run with NO --first-seq: the client derives it from the recovered
+# view — fresh ids mint and commit only if the restart restored everything.
+timeout --kill-after=10 120 \
+  "$CLIENT_BIN" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+  --count 16 --wait-seconds 60 "${NODE_ARGS[@]}" \
+  | tee "${LOG_DIR}/durable_client2.log"
+
+if ! grep -q "derived --first-seq 16" "${LOG_DIR}/durable_client2.log"; then
+  echo "FAIL: client did not derive --first-seq 16 from the recovered view" >&2
+  exit 1
+fi
+
+echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N}, durable whole-cluster restart)"

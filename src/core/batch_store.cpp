@@ -8,6 +8,7 @@ void BatchStore::put(const EpochHash& h, BatchPtr batch, codec::Bytes serialized
   stored_bytes_ += batch->wire_size();
   it->second.batch = std::move(batch);
   it->second.serialized = std::move(serialized);
+  if (on_put_) on_put_(h, *it->second.batch, it->second.serialized);
 }
 
 BatchPtr BatchStore::find(const EpochHash& h) const {

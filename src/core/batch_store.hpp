@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 
 #include "core/batch.hpp"
@@ -45,7 +46,23 @@ class BatchStore {
   /// Total bytes of stored batch content (memory footprint diagnostics).
   std::uint64_t stored_bytes() const { return stored_bytes_; }
 
+  /// Observer fired on every first-time put (idempotent re-puts don't
+  /// fire). The durable-storage layer hooks WAL batch records here —
+  /// installed only after recovery replay so restored batches are not
+  /// re-logged. `serialized` may be empty (sim paths without wire bytes).
+  using OnPut = std::function<void(const EpochHash& h, const Batch& batch,
+                                   const codec::Bytes& serialized)>;
+  void set_on_put(OnPut fn) { on_put_ = std::move(fn); }
+
+  /// Iterate all entries (snapshot serialization). `serialized` may be
+  /// empty for sim-path batches.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [h, entry] : batches_) fn(h, *entry.batch, entry.serialized);
+  }
+
  private:
+  OnPut on_put_;
   struct Entry {
     BatchPtr batch;
     codec::Bytes serialized;

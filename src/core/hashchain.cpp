@@ -474,6 +474,131 @@ void HashchainServer::try_consolidate() {
   }
 }
 
+namespace {
+constexpr std::uint8_t kHashchainStateVersion = 1;
+
+constexpr std::uint8_t kStOwnAppended = 1u << 0;
+constexpr std::uint8_t kStProofsAbsorbed = 1u << 1;
+constexpr std::uint8_t kStElementsMarked = 1u << 2;
+constexpr std::uint8_t kStEnqueued = 1u << 3;
+constexpr std::uint8_t kStConsolidated = 1u << 4;
+}  // namespace
+
+void HashchainServer::serialize_derived(codec::Writer& w) const {
+  w.u8(kHashchainStateVersion);
+
+  w.varint(store_.size());
+  store_.for_each([&](const EpochHash& h, const Batch& batch,
+                      const codec::Bytes& serialized) {
+    w.bytes(codec::ByteView(h.data(), h.size()));
+    if (serialized.empty()) {
+      // Sim-path entry without retained wire bytes: serialize on the fly so
+      // the on-disk form is uniform.
+      w.lp_bytes(serialize_batch(batch));
+    } else {
+      w.lp_bytes(serialized);
+    }
+  });
+
+  w.varint(hash_state_.size());
+  for (const auto& [h, st] : hash_state_) {
+    w.bytes(codec::ByteView(h.data(), h.size()));
+    std::uint8_t flags = 0;
+    if (st.own_appended) flags |= kStOwnAppended;
+    if (st.proofs_absorbed) flags |= kStProofsAbsorbed;
+    if (st.elements_marked) flags |= kStElementsMarked;
+    if (st.enqueued) flags |= kStEnqueued;
+    if (st.consolidated) flags |= kStConsolidated;
+    w.u8(flags);
+    w.varint(st.signers.size());
+    for (crypto::ProcessId s : st.signers) w.varint(s);
+    w.varint(st.fetch_candidates.size());
+    for (crypto::ProcessId s : st.fetch_candidates) w.varint(s);
+  }
+
+  w.varint(consolidation_queue_.size());
+  for (const EpochHash& h : consolidation_queue_) {
+    w.bytes(codec::ByteView(h.data(), h.size()));
+  }
+}
+
+bool HashchainServer::restore_derived(codec::Reader& r) {
+  const auto version = r.u8();
+  if (!version || *version != kHashchainStateVersion) return false;
+
+  store_.clear();
+  hash_state_.clear();
+  consolidation_queue_.clear();
+
+  const auto store_count = r.varint();
+  if (!store_count) return false;
+  for (std::uint64_t i = 0; i < *store_count; ++i) {
+    EpochHash h{};
+    const auto hash = r.bytes(h.size());
+    const auto ser = r.lp_bytes();
+    if (!hash || !ser) return false;
+    std::memcpy(h.data(), hash->data(), h.size());
+    if (!restore_batch(h, codec::Bytes(ser->begin(), ser->end()))) return false;
+  }
+
+  const auto state_count = r.varint();
+  if (!state_count) return false;
+  for (std::uint64_t i = 0; i < *state_count; ++i) {
+    EpochHash h{};
+    const auto hash = r.bytes(h.size());
+    const auto flags = r.u8();
+    const auto signer_count = r.varint();
+    if (!hash || !flags || !signer_count) return false;
+    std::memcpy(h.data(), hash->data(), h.size());
+    HashState& st = hash_state_[h];
+    st.own_appended = (*flags & kStOwnAppended) != 0;
+    st.proofs_absorbed = (*flags & kStProofsAbsorbed) != 0;
+    st.elements_marked = (*flags & kStElementsMarked) != 0;
+    st.enqueued = (*flags & kStEnqueued) != 0;
+    st.consolidated = (*flags & kStConsolidated) != 0;
+    for (std::uint64_t k = 0; k < *signer_count; ++k) {
+      const auto s = r.varint();
+      if (!s) return false;
+      st.signers.insert(static_cast<crypto::ProcessId>(*s));
+    }
+    const auto candidate_count = r.varint();
+    if (!candidate_count) return false;
+    for (std::uint64_t k = 0; k < *candidate_count; ++k) {
+      const auto s = r.varint();
+      if (!s) return false;
+      st.fetch_candidates.push_back(static_cast<crypto::ProcessId>(*s));
+    }
+    // Fetch progress is volatile: in-flight attempts died with the process.
+    // kick_recovery() restarts the head-of-line fetch from a fresh budget.
+  }
+
+  const auto queue_count = r.varint();
+  if (!queue_count) return false;
+  for (std::uint64_t i = 0; i < *queue_count; ++i) {
+    EpochHash h{};
+    const auto hash = r.bytes(h.size());
+    if (!hash) return false;
+    std::memcpy(h.data(), hash->data(), h.size());
+    consolidation_queue_.push_back(h);
+  }
+  return true;
+}
+
+bool HashchainServer::restore_batch(const EpochHash& h, codec::Bytes&& serialized) {
+  if (store_.contains(h)) return true;  // idempotent (snapshot + WAL overlap)
+  auto parsed = parse_batch(serialized);
+  if (!parsed) return false;
+  auto owned = std::make_shared<const Batch>(std::move(*parsed));
+  // Guard against a writer bug pairing the wrong bytes with a hash; the
+  // calibrated-fidelity placeholder hash keys on the non-serialized uid, so
+  // only the full-fidelity content hash is checkable.
+  if (fidelity() == Fidelity::kFull && batch_hash(*owned, fidelity()) != h) {
+    return false;
+  }
+  store_.put(h, std::move(owned), std::move(serialized));
+  return true;
+}
+
 void HashchainServer::consolidate_hash(const EpochHash& h, const Batch& batch) {
   const HashState& st = hash_state_[h];
 

@@ -44,6 +44,19 @@ class HashchainServer final : public SetchainServer {
   std::uint64_t fetches_failed() const { return fetches_failed_; }
   std::size_t consolidation_backlog() const { return consolidation_queue_.size(); }
 
+  // ---- durable storage hooks (net::NodeHost recovery) ----
+  /// Install the batch-store put observer (WAL batch records). Installed
+  /// only after recovery so restored batches are not re-logged.
+  void set_store_on_put(BatchStore::OnPut fn) { store_.set_on_put(std::move(fn)); }
+  /// Replay one WAL batch record: parse `serialized`, check it hashes to
+  /// `h`, and register it in the store. Pure store mutation — no co-sign,
+  /// fetch, or consolidation side effects (kick_recovery() runs those once
+  /// the whole replay is done). False when the bytes don't parse/hash.
+  bool restore_batch(const EpochHash& h, codec::Bytes&& serialized);
+  /// Resume after recovery: retry head-of-line consolidation (and through
+  /// it, any fetch for a still-missing batch).
+  void kick_recovery() { try_consolidate(); }
+
   // ---- batch-exchange wire protocol (invoked via the network) ----
   void serve_batch_request(crypto::ProcessId requester, const EpochHash& h);
   /// `batch_matches_serialized`: the caller guarantees `batch` IS the parse
@@ -63,6 +76,8 @@ class HashchainServer final : public SetchainServer {
  protected:
   void on_crash(bool wipe) override;
   void on_restart() override;
+  void serialize_derived(codec::Writer& w) const override;
+  bool restore_derived(codec::Reader& r) override;
 
  private:
   struct HashState {

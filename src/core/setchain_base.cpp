@@ -180,6 +180,140 @@ void SetchainServer::try_flush_pending_proofs(sim::Time ledger_time) {
   for (const auto& pp : bucket) absorb_proof(pp.proof, ledger_time, pp.presig);
 }
 
+namespace {
+constexpr std::uint8_t kServerStateVersion = 1;
+}
+
+void SetchainServer::serialize_state(codec::Writer& w) const {
+  w.u8(kServerStateVersion);
+  w.varint(epoch_);
+  w.varint(applied_height_);
+
+  w.varint(history_.size());
+  for (const EpochRecord& rec : history_) {
+    w.varint(rec.number);
+    w.varint(rec.count);
+    w.varint(rec.bytes);
+    w.bytes(codec::ByteView(rec.hash.data(), rec.hash.size()));
+    w.varint(rec.ids.size());
+    // ids are sorted ascending: delta-encode so dense id ranges stay small.
+    ElementId prev = 0;
+    for (ElementId id : rec.ids) {
+      w.varint(id - prev);
+      prev = id;
+    }
+  }
+
+  for (const auto& bucket : proofs_) {
+    w.varint(bucket.size());
+    for (const EpochProof& p : bucket) serialize_epoch_proof(w, p);
+  }
+
+  w.varint(pending_proofs_.size());
+  for (const auto& [epoch_number, bucket] : pending_proofs_) {
+    w.varint(epoch_number);
+    w.varint(bucket.size());
+    // The batch-verified presig verdict is dropped: on restore the proofs
+    // re-verify through the normal scalar path (correct, just slower once).
+    for (const PendingProof& pp : bucket) serialize_epoch_proof(w, pp.proof);
+  }
+
+  serialize_derived(w);
+}
+
+bool SetchainServer::restore_state(codec::Reader& r) {
+  const auto version = r.u8();
+  if (!version || *version != kServerStateVersion) return false;
+  const auto epoch = r.varint();
+  const auto applied = r.varint();
+  const auto history_count = r.varint();
+  if (!epoch || !applied || !history_count) return false;
+
+  the_set_.clear();
+  the_set_count_ = 0;
+  history_members_.clear();
+  history_.clear();
+  proofs_.clear();
+  proof_servers_.clear();
+  pending_proofs_.clear();
+  epoch_ = *epoch;
+  applied_height_ = *applied;
+
+  history_.reserve(static_cast<std::size_t>(*history_count));
+  for (std::uint64_t i = 0; i < *history_count; ++i) {
+    EpochRecord rec;
+    const auto number = r.varint();
+    const auto count = r.varint();
+    const auto bytes = r.varint();
+    const auto hash = r.bytes(rec.hash.size());
+    const auto ids_count = r.varint();
+    if (!number || !count || !bytes || !hash || !ids_count) return false;
+    rec.number = *number;
+    rec.count = *count;
+    rec.bytes = *bytes;
+    std::memcpy(rec.hash.data(), hash->data(), rec.hash.size());
+    rec.ids.reserve(static_cast<std::size_t>(*ids_count));
+    ElementId prev = 0;
+    for (std::uint64_t k = 0; k < *ids_count; ++k) {
+      const auto delta = r.varint();
+      if (!delta) return false;
+      prev += *delta;
+      rec.ids.push_back(prev);
+    }
+    // the_set restores as exactly the consolidated membership: elements
+    // add()ed but not yet epoch'd at snapshot time were volatile and are
+    // re-added by clients (in_history dedup makes that idempotent).
+    if (params().lean_state) {
+      the_set_count_ += rec.count;
+    } else {
+      for (ElementId id : rec.ids) {
+        history_members_.insert(id);
+        if (the_set_.insert(id).second) ++the_set_count_;
+      }
+    }
+    history_.push_back(std::move(rec));
+  }
+  if (history_.size() != epoch_) return false;
+
+  proofs_.resize(history_.size());
+  proof_servers_.resize(history_.size());
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const auto count = r.varint();
+    if (!count) return false;
+    for (std::uint64_t k = 0; k < *count; ++k) {
+      // serialize_epoch_proof emits the frame tag; consume it before parsing.
+      const auto tag = r.u8();
+      if (!tag || *tag != kEpochProofTag) return false;
+      auto p = parse_epoch_proof(r);
+      if (!p) return false;
+      if (proof_servers_[i].insert(p->server).second) proofs_[i].push_back(*p);
+    }
+  }
+
+  const auto pending_count = r.varint();
+  if (!pending_count) return false;
+  for (std::uint64_t i = 0; i < *pending_count; ++i) {
+    const auto epoch_number = r.varint();
+    const auto count = r.varint();
+    if (!epoch_number || !count) return false;
+    auto& bucket = pending_proofs_[*epoch_number];
+    for (std::uint64_t k = 0; k < *count; ++k) {
+      const auto tag = r.u8();
+      if (!tag || *tag != kEpochProofTag) return false;
+      auto p = parse_epoch_proof(r);
+      if (!p) return false;
+      bucket.push_back(PendingProof{*p, SigCheck::kUnchecked});
+    }
+  }
+
+  // The WAL-gap replay behind this restore re-consolidates epochs past the
+  // snapshot and must not re-publish proofs for anything at or below it —
+  // the previous life already put those on the ledger.
+  republish_boundary_ = std::max(republish_boundary_, epoch_);
+
+  return restore_derived(r);
+}
+
 sim::Time SetchainServer::cpu_acquire(sim::Time cost) {
   if (!ctx_.cpus || ctx_.cpus->empty()) return now() + cost;
   return (*ctx_.cpus)[id_].acquire(now(), cost);

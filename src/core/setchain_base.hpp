@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "api/node.hpp"
+#include "codec/byte_io.hpp"
 #include "core/batch.hpp"
 #include "core/collector.hpp"
 #include "core/config.hpp"
@@ -117,6 +118,21 @@ class SetchainServer : public api::ISetchainNode {
   /// criterion when talking to this single server).
   bool epoch_proven(std::uint64_t epoch_number) const;
 
+  /// Durable-state serialization (storage snapshots). Writes the shared
+  /// consolidated state — epoch counter, applied height, history records,
+  /// proof store, parked ahead-proofs — then the subclass's
+  /// serialize_derived(). Volatile collector contents are deliberately
+  /// excluded: they die with the process exactly like they die in crash(),
+  /// and clients re-add. Format: docs/STORAGE_FORMAT.md §server-state.
+  void serialize_state(codec::Writer& w) const;
+  /// Inverse of serialize_state onto a freshly constructed server. Restores
+  /// derived indexes (the_set as the history union, history_members,
+  /// proof_servers) and raises republish_boundary_ to the restored epoch so
+  /// WAL-gap replay never re-publishes proofs a previous life already put
+  /// on the ledger. False on malformed input (server state unspecified —
+  /// callers must discard it).
+  bool restore_state(codec::Reader& r);
+
  protected:
   /// Subclass crash hooks: drop volatile per-algorithm state (collectors,
   /// fetch bookkeeping); `wipe` also clears ledger-derived stores. Called
@@ -124,6 +140,13 @@ class SetchainServer : public api::ISetchainNode {
   virtual void on_crash(bool wipe) { (void)wipe; }
   /// Called when the server comes back up (kick stalled work back to life).
   virtual void on_restart() {}
+
+  /// Per-algorithm durable state, appended after the shared state by
+  /// serialize_state. Vanilla/Compresschain have none (their only extra
+  /// state is the volatile collector); Hashchain persists its batch store
+  /// and per-hash progress flags.
+  virtual void serialize_derived(codec::Writer& w) const { (void)w; }
+  virtual bool restore_derived(codec::Reader& r) { (void)r; return true; }
 
   bool in_the_set(ElementId id) const;
   /// Insert into the_set; false if already present. Under lean_state only a

@@ -52,17 +52,26 @@ struct Block {
 };
 
 /// Run-wide transaction arena. Appends only; uids are assigned sequentially
-/// so per-node dedup can use plain bit vectors.
+/// so per-node dedup can use plain bit vectors. A recovered node restores
+/// only the committed suffix of the table: set_base() shifts the index
+/// origin so uids stay continuous with the pre-crash run while the dropped
+/// prefix costs no memory.
 class TxTable {
  public:
   /// Stores `tx`, assigns its uid, returns its index (== uid).
   TxIdx add(Transaction tx);
 
-  const Transaction& get(TxIdx idx) const { return txs_[idx]; }
-  std::size_t size() const { return txs_.size(); }
+  const Transaction& get(TxIdx idx) const { return txs_[idx - base_]; }
+  std::size_t size() const { return base_ + txs_.size(); }
+
+  /// Declare that indices [0, base) are forgotten (snapshot recovery). Only
+  /// valid on an empty table; get() for a forgotten index is undefined.
+  void set_base(TxIdx base) { base_ = base; }
+  TxIdx base() const { return base_; }
 
  private:
   std::deque<Transaction> txs_;
+  TxIdx base_ = 0;
 };
 
 }  // namespace setchain::ledger

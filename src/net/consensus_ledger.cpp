@@ -373,6 +373,10 @@ void ConsensusLedger::commit_block(const wire::BlockMsg& block, codec::ByteView 
   raw_blocks_.emplace_back(raw.begin(), raw.end());
   chain_.push_back(applied);
   applied_ = applied->height;
+  // WAL the exact committed payload (covers both the vote-quorum and the
+  // sync-response commit paths). Unset during recovery replay, so replayed
+  // blocks are never re-logged.
+  if (commit_hook_) commit_hook_(applied->height, raw);
 
   // Fresh height: all consensus state was scoped to the one we just closed.
   proposals_.clear();
@@ -407,12 +411,18 @@ void ConsensusLedger::sync_tick() {
 }
 
 void ConsensusLedger::on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) {
-  if (m.from_height == 0 || m.from_height > applied_) return;  // caught up
+  // Heights at or below raw_base_ were compacted into a snapshot: they
+  // cannot be served, and the requester's rotation finds a peer that still
+  // holds them (or one that recovered from an older snapshot).
+  if (m.from_height == 0 || m.from_height > applied_ ||
+      m.from_height <= raw_base_) {
+    return;
+  }
   std::vector<codec::ByteView> views;
   std::uint64_t bytes = 0;
   for (std::uint64_t h = m.from_height;
        h <= applied_ && views.size() < cfg_.max_sync_blocks; ++h) {
-    const codec::Bytes& b = raw_blocks_[h - 1];  // committed bytes, verbatim
+    const codec::Bytes& b = raw_blocks_[h - 1 - raw_base_];  // committed bytes, verbatim
     if (!views.empty() && bytes + b.size() > wire::kMaxPayloadBytes / 2) break;
     bytes += b.size();
     views.emplace_back(b);
@@ -431,6 +441,57 @@ void ConsensusLedger::on_sync_response(const wire::BlockSyncResponse& m) {
     if (b->block.height != active_height()) continue;
     commit_block(b->block, b->raw);
   }
+}
+
+namespace {
+constexpr std::uint8_t kConsensusStateVersion = 1;
+}
+
+void ConsensusLedger::serialize_state(codec::Writer& w) const {
+  w.u8(kConsensusStateVersion);
+  w.varint(applied_);
+  w.varint(appended_);
+  w.varint(table_.size());
+  w.varint(committed_keys_.size());
+  for (const std::string& key : committed_keys_) {
+    w.lp_bytes(codec::ByteView(reinterpret_cast<const std::uint8_t*>(key.data()),
+                               key.size()));
+  }
+}
+
+bool ConsensusLedger::restore_state(codec::Reader& r) {
+  const auto version = r.u8();
+  if (!version || *version != kConsensusStateVersion) return false;
+  const auto applied = r.varint();
+  const auto appended = r.varint();
+  const auto tx_count = r.varint();
+  const auto key_count = r.varint();
+  if (!applied || !appended || !tx_count || !key_count) return false;
+  applied_ = *applied;
+  raw_base_ = *applied;  // everything below lives only in the snapshot
+  appended_ = *appended;
+  table_.set_base(static_cast<ledger::TxIdx>(*tx_count));
+  committed_keys_.clear();
+  for (std::uint64_t i = 0; i < *key_count; ++i) {
+    const auto key = r.lp_bytes();
+    if (!key) return false;
+    committed_keys_.emplace(reinterpret_cast<const char*>(key->data()), key->size());
+  }
+  return true;
+}
+
+bool ConsensusLedger::restore_block(codec::ByteView payload) {
+  auto b = wire::parse_proposal(payload);
+  if (!b) return false;
+  if (b->block.height != active_height()) return false;
+  // The WAL record IS a committed proposal payload: reuse the sync-response
+  // commit path. The mempool is empty during recovery, so the propose /
+  // prevote kicks at the end of commit_block are no-ops, and the commit
+  // hook is not installed yet, so nothing is re-logged. Not-yet-started:
+  // skip_want_ may be empty, which assign() in commit_block handles.
+  if (skip_want_.size() != cfg_.n) skip_want_.assign(cfg_.n, 0);
+  commit_block(b->block, b->raw);
+  return true;
 }
 
 }  // namespace setchain::net

@@ -111,6 +111,13 @@ class ConsensusLedger final : public IWireLedger {
   }
   std::uint64_t blocks_broadcast() const override { return blocks_broadcast_; }
 
+  // Durable storage (see IWireLedger).
+  void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
+  void serialize_state(codec::Writer& w) const override;
+  bool restore_state(codec::Reader& r) override;
+  bool restore_block(codec::ByteView payload) override;
+  std::uint64_t base_height() const override { return raw_base_; }
+
   std::uint32_t current_round() const { return cur_round_; }
   std::uint32_t proposer_for(std::uint64_t height1based, std::uint32_t round) const {
     return static_cast<std::uint32_t>((height1based + round) % cfg_.n);
@@ -166,11 +173,14 @@ class ConsensusLedger final : public IWireLedger {
   ledger::TxTable table_;
   std::deque<std::shared_ptr<ledger::Block>> chain_;
   /// Committed proposal payloads, byte-identical to what was voted on;
-  /// raw_blocks_[h-1] is what sync serves for height h.
+  /// raw_blocks_[h-1-raw_base_] is what sync serves for height h. Heights
+  /// <= raw_base_ were compacted into a snapshot and are gone.
   std::deque<codec::Bytes> raw_blocks_;
   std::function<void(const ledger::Block&)> app_cb_;
   std::uint64_t applied_ = 0;
+  std::uint64_t raw_base_ = 0;
   std::unordered_set<std::string> committed_keys_;
+  CommitHook commit_hook_;
 
   // Mempool (gossip-fed, pruned at commit).
   std::deque<MempoolEntry> mempool_;

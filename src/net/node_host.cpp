@@ -35,10 +35,12 @@ std::unique_ptr<IWireLedger> make_ledger(const NodeHostConfig& cfg,
 
 }  // namespace
 
-NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transport)
+NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transport,
+                   storage::Storage* storage)
     : cfg_(cfg),
       sim_(sim),
       transport_(transport),
+      storage_(storage),
       cluster_(cluster_id_of(cfg)),
       pki_(cfg.seed),
       cpus_(cfg.n),
@@ -95,10 +97,166 @@ NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transpo
   }
 }
 
+namespace {
+
+/// Snapshot body framing (the payload Storage wraps in its checksummed
+/// manifest): version, algorithm + ledger-mode sanity bytes, then the two
+/// length-prefixed state sections. docs/STORAGE_FORMAT.md is normative.
+constexpr std::uint8_t kSnapshotBodyVersion = 1;
+
+}  // namespace
+
+bool NodeHost::recover(std::string* error) {
+  const auto fail = [error](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  if (storage_ == nullptr) return true;
+
+  // 1. Newest valid snapshot -> ledger + server state. A fresh directory
+  // has none; the node recovers from height 0.
+  if (const auto body = storage_->load_snapshot()) {
+    codec::Reader r(*body);
+    const auto version = r.u8();
+    if (!version || *version != kSnapshotBodyVersion) {
+      return fail("snapshot body: unsupported version");
+    }
+    const auto alg = r.u8();
+    const auto mode = r.u8();
+    if (!alg || *alg != static_cast<std::uint8_t>(cfg_.algorithm) || !mode ||
+        *mode != static_cast<std::uint8_t>(cfg_.ledger_mode)) {
+      return fail("snapshot body: algorithm/ledger-mode mismatch with config");
+    }
+    const auto ledger_state = r.lp_bytes();
+    const auto server_state = r.lp_bytes();
+    if (!ledger_state || !server_state) {
+      return fail("snapshot body: truncated state sections");
+    }
+    codec::Reader lr(*ledger_state);
+    if (!ledger_->restore_state(lr)) {
+      return fail("snapshot body: ledger state did not restore");
+    }
+    codec::Reader sr(*server_state);
+    if (!server_->restore_state(sr)) {
+      return fail("snapshot body: server state did not restore");
+    }
+  }
+
+  // 2. WAL gap -> the normal apply paths. Block records advance the ledger
+  // (firing the application callback exactly like a live delivery); batch
+  // records refill the Hashchain batch store so the deferred continuations
+  // those blocks schedule find their payloads locally instead of fetching.
+  bool replay_ok = true;
+  storage_->replay([&](storage::WalRecordKind kind, std::uint64_t height,
+                       codec::ByteView payload) {
+    switch (kind) {
+      case storage::WalRecordKind::kBlock:
+        if (!ledger_->restore_block(payload)) replay_ok = false;
+        break;
+      case storage::WalRecordKind::kBatch: {
+        (void)height;
+        if (hashchain_ == nullptr || payload.size() <= sizeof(core::EpochHash)) break;
+        core::EpochHash h;
+        std::copy_n(payload.begin(), h.size(), h.begin());
+        const auto bytes = payload.subspan(h.size());
+        (void)hashchain_->restore_batch(h, codec::Bytes(bytes.begin(), bytes.end()));
+        break;
+      }
+    }
+  });
+  if (!replay_ok) {
+    return fail("WAL replay: a block record did not re-apply (height gap "
+                "or corrupt payload past the verified prefix)");
+  }
+
+  // 3. Drain the deferred work the replayed blocks scheduled (process_block
+  // continuations, consolidation) so the server catches up to the ledger
+  // before the transport goes live. Bounded: a batch lost to a torn WAL
+  // tail would retry its (dead, transport-down) fetch forever here — break
+  // out and let the live fetch path heal it after start().
+  std::uint64_t guard = 0;
+  while (server_->applied_height() < ledger_->height()) {
+    const sim::Time next = sim_.next_event_at();
+    if (next == std::numeric_limits<sim::Time>::max()) break;
+    if (++guard > 200'000) break;
+    sim_.run_until(next);
+  }
+
+  // 4. Only NOW arm the durability hooks: everything replayed above is
+  // already on disk, and re-logging it would double the WAL every restart.
+  install_durability_hooks();
+
+  // 5. Nudge head-of-line consolidation in case the drain left a fully
+  // available epoch pending (e.g. the guard tripped or timers interleaved).
+  if (hashchain_ != nullptr) hashchain_->kick_recovery();
+
+  last_snapshot_epoch_ = server_->epoch();
+  return true;
+}
+
+void NodeHost::install_durability_hooks() {
+  if (storage_ == nullptr || hooks_installed_) return;
+  hooks_installed_ = true;
+  ledger_->set_commit_hook([this](std::uint64_t height, codec::ByteView raw) {
+    storage_->append_block(height, raw);
+  });
+  if (hashchain_ != nullptr) {
+    // Batch record payload: 64-byte batch hash ‖ serialized batch. Stamped
+    // with the CURRENT ledger height — replay keeps batch records at the
+    // snapshot height (they may postdate it) and re-putting is idempotent.
+    hashchain_->set_store_on_put([this](const core::EpochHash& h,
+                                        const core::Batch& batch,
+                                        const codec::Bytes& serialized) {
+      codec::Writer w;
+      w.bytes(codec::ByteView(h.data(), h.size()));
+      if (!serialized.empty()) {
+        w.bytes(serialized);
+      } else {
+        w.bytes(core::serialize_batch(batch));
+      }
+      storage_->append_batch(ledger_->height(), w.take());
+    });
+  }
+}
+
 void NodeHost::start() {
+  // Safety net for hosts that skip recover() (in-memory tests attach no
+  // storage; durable callers are expected to recover first).
+  install_durability_hooks();
   transport_.set_handler(
       [this](EndpointId from, wire::Frame&& f) { on_frame(from, std::move(f)); });
   ledger_->start();
+  if (storage_ != nullptr && cfg_.snapshot_epochs > 0) {
+    sim_.schedule_in(cfg_.sync_interval, [this] { storage_tick(); });
+  }
+}
+
+void NodeHost::storage_tick() {
+  // Snapshot only a block-consistent cut: the server has applied every
+  // committed block, so (ledger state, server state) at this height is
+  // exactly what a peer replaying those blocks would compute.
+  if (server_->epoch() >= last_snapshot_epoch_ + cfg_.snapshot_epochs &&
+      server_->applied_height() == ledger_->height() &&
+      ledger_->height() > storage_->last_snapshot_height()) {
+    write_snapshot_now();
+  }
+  sim_.schedule_in(cfg_.sync_interval, [this] { storage_tick(); });
+}
+
+void NodeHost::write_snapshot_now() {
+  codec::Writer body;
+  body.u8(kSnapshotBodyVersion)
+      .u8(static_cast<std::uint8_t>(cfg_.algorithm))
+      .u8(static_cast<std::uint8_t>(cfg_.ledger_mode));
+  codec::Writer lw;
+  ledger_->serialize_state(lw);
+  body.lp_bytes(lw.buffer());
+  codec::Writer sw;
+  server_->serialize_state(sw);
+  body.lp_bytes(sw.buffer());
+  if (storage_->write_snapshot(ledger_->height(), body.buffer())) {
+    last_snapshot_epoch_ = server_->epoch();
+  }
 }
 
 void NodeHost::on_frame(EndpointId from, wire::Frame&& frame) {
@@ -328,10 +486,15 @@ void NodeHost::send_response(crypto::ProcessId responder, crypto::ProcessId requ
 void NodeHost::run_realtime(std::atomic<bool>& stop) {
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
-  const auto virtual_now = [&t0] {
-    return static_cast<sim::Time>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
-            .count());
+  // Recovery replay advances the simulation clock before this pump starts;
+  // anchoring virtual time at sim_.now() (not 0) keeps post-replay timers
+  // in the future instead of stalling a restarted node.
+  const sim::Time v0 = sim_.now();
+  const auto virtual_now = [&t0, v0] {
+    return v0 + static_cast<sim::Time>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        clock::now() - t0)
+                        .count());
   };
   while (!stop.load(std::memory_order_relaxed)) {
     sim_.run_until(virtual_now());

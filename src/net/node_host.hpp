@@ -14,6 +14,7 @@
 #include "net/wire_ledger.hpp"
 #include "runner/scenario.hpp"
 #include "sim/simulation.hpp"
+#include "storage/storage.hpp"
 
 namespace setchain::net {
 
@@ -45,6 +46,14 @@ struct NodeHostConfig {
   sim::Time timeout_propose = sim::from_millis(3000);   ///< consensus round timeout
   sim::Time retry_interval = sim::from_millis(400);     ///< consensus retransmit base
   sim::Time resubmit_interval = sim::from_millis(300);  ///< sequencer-mode resubmit base
+
+  /// Epoch-snapshot compaction cadence: once the node's epoch has advanced
+  /// this far past the last snapshot (and applied height == ledger height,
+  /// so the materialized state is block-consistent), serialize the state
+  /// into a snapshot and prune covered WAL segments. 0 disables compaction
+  /// (the WAL grows without bound — fine for tests and short runs). Only
+  /// meaningful when a Storage is attached.
+  std::uint64_t snapshot_epochs = 0;
 };
 
 /// One live Setchain node: a full-fidelity SetchainServer (vanilla /
@@ -59,9 +68,26 @@ struct NodeHostConfig {
 /// suite exercises byte-for-byte the stack a TCP daemon runs.
 class NodeHost final : public core::IBatchExchange {
  public:
-  NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transport);
+  /// `storage` (optional) makes the node durable: committed blocks and
+  /// received batches are WAL-logged, epoch snapshots compact the log, and
+  /// recover() resumes from disk. The Storage outlives the host; nullptr
+  /// runs the node fully in-memory (the pre-durability behavior).
+  NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transport,
+           storage::Storage* storage = nullptr);
 
-  /// Wire the transport handler and arm the ledger timers. Call once.
+  /// Restore state from the attached Storage: load the newest valid
+  /// snapshot into the ledger + server, replay the WAL gap through the
+  /// normal block-apply path, drain the resulting deferred work, then
+  /// install the durability hooks so NEW commits get logged (replayed ones
+  /// are not re-logged). Call once, BEFORE start(); a fresh data directory
+  /// recovers to height 0 and just installs the hooks. Returns false (with
+  /// a diagnostic in `error`) when the on-disk state is unusable — config
+  /// mismatch or malformed snapshot body; torn WAL tails are repaired, not
+  /// errors. Without a Storage this is a no-op returning true.
+  bool recover(std::string* error = nullptr);
+
+  /// Wire the transport handler and arm the ledger timers. Call once,
+  /// after recover() when a Storage is attached.
   void start();
 
   /// Inbound frame dispatch (the transport handler; exposed for tests).
@@ -90,6 +116,12 @@ class NodeHost final : public core::IBatchExchange {
   std::uint64_t rpcs_served() const { return rpcs_served_; }
   std::uint64_t bad_frames() const { return bad_frames_; }
 
+  /// Recovery counters from the attached Storage (nullptr when in-memory).
+  const storage::RecoveryStats* recovery() const {
+    return storage_ != nullptr ? &storage_->recovery() : nullptr;
+  }
+  storage::Storage* storage() { return storage_; }
+
   static std::uint64_t cluster_id_of(const NodeHostConfig& cfg) {
     return wire::cluster_id(cfg.seed, cfg.n, cfg.f,
                             static_cast<std::uint8_t>(cfg.algorithm),
@@ -102,9 +134,17 @@ class NodeHost final : public core::IBatchExchange {
   void handle_proofs(EndpointId from, const wire::ProofsRequest& m);
   void handle_epoch(EndpointId from, const wire::EpochRequest& m);
 
+  /// Point the ledger commit hook and the Hashchain batch store at the WAL.
+  /// Installed at the END of recovery so replayed records are not re-logged.
+  void install_durability_hooks();
+  /// Periodic check of the epoch-snapshot cadence (rides sync_interval).
+  void storage_tick();
+  void write_snapshot_now();
+
   NodeHostConfig cfg_;
   sim::Simulation& sim_;
   ITransport& transport_;
+  storage::Storage* storage_;  ///< nullptr = in-memory node
   std::uint64_t cluster_;
 
   crypto::Pki pki_;
@@ -116,6 +156,8 @@ class NodeHost final : public core::IBatchExchange {
 
   std::uint64_t rpcs_served_ = 0;
   std::uint64_t bad_frames_ = 0;
+  std::uint64_t last_snapshot_epoch_ = 0;
+  bool hooks_installed_ = false;
 };
 
 }  // namespace setchain::net

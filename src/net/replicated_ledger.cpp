@@ -28,7 +28,16 @@ void ReplicatedLedger::start() {
 ledger::TxIdx ReplicatedLedger::append(sim::NodeId origin, ledger::Transaction tx) {
   (void)origin;  // every tx of this node funnels through its own transport
   const auto ordinal = static_cast<ledger::TxIdx>(appended_++);
+  std::string key = tx_dedup_key(tx);
+  // Recovery replay re-appends the proofs the previous life of this process
+  // already published (byte-identical, thanks to deterministic signatures):
+  // drop anything whose content already committed.
+  if (committed_keys_.count(key)) return ordinal;
   if (is_sequencer()) {
+    // Locally ordered work shares the dedup set with forwarded submits, so
+    // a local re-append and a replica's retransmission of the same content
+    // can never be sealed twice.
+    if (!seen_submits_.insert(std::move(key)).second) return ordinal;
     pending_.push_back(std::move(tx));
   } else {
     const codec::Bytes payload = wire::encode_tx_submit(tx);
@@ -36,7 +45,6 @@ ledger::TxIdx ReplicatedLedger::append(sim::NodeId origin, ledger::Transaction t
     // Track until its key shows up in an applied block: the first send may
     // ride a connection that drops, and a lost submit would otherwise be
     // silently gone (the sequencer dedups, so the retries are safe).
-    std::string key = tx_dedup_key(tx);
     auto [it, inserted] = inflight_.try_emplace(std::move(key));
     if (inserted) {
       it->second.tx = std::move(tx);
@@ -58,8 +66,11 @@ void ReplicatedLedger::on_tx_submit(EndpointId from, wire::TxSubmit&& m) {
   if (!is_sequencer()) return;  // misrouted: only the sequencer orders
   // Dedup by content hash: replicas retransmit submissions until committed,
   // so the same tx may arrive many times. Keys are kept forever — a retry
-  // can land long after its tx was sealed.
-  if (!seen_submits_.insert(tx_dedup_key(m.tx)).second) return;
+  // can land long after its tx was sealed (and can even outlive a restart:
+  // committed_keys_ restores from the snapshot, seen_submits_ from it).
+  std::string key = tx_dedup_key(m.tx);
+  if (committed_keys_.count(key)) return;
+  if (!seen_submits_.insert(std::move(key)).second) return;
   pending_.push_back(std::move(m.tx));
 }
 
@@ -82,10 +93,15 @@ void ReplicatedLedger::seal_tick() {
     block->txs.push_back(idx);
     block->bytes += size;
     block_txs.push_back(&table_.get(idx));
+    committed_keys_.insert(tx_dedup_key(table_.get(idx)));
   }
 
   const codec::Bytes payload =
       wire::encode_block(block->height, block->proposer, block_txs);
+  // WAL write BEFORE the broadcast: once a peer has seen this block, a crash
+  // here must not let the restarted sequencer re-seal the height with
+  // different contents (that would fork the chain).
+  if (commit_hook_) commit_hook_(block->height, payload);
   for (std::uint32_t peer = 0; peer < cfg_.n; ++peer) {
     if (peer == cfg_.self) continue;
     transport_.send(peer, wire::MsgType::kBlock, payload);
@@ -135,31 +151,49 @@ void ReplicatedLedger::ingest(wire::BlockMsg&& m) {
   deliver_ready();
 }
 
+const ledger::Block& ReplicatedLedger::apply_txs(std::uint64_t height,
+                                                 std::uint32_t proposer,
+                                                 std::vector<ledger::Transaction>&& txs) {
+  auto block = std::make_shared<ledger::Block>();
+  block->height = height;
+  block->proposer = proposer;
+  block->proposed_at = timers_.now();
+  block->first_commit_at = timers_.now();
+  for (auto& tx : txs) {
+    const std::uint64_t size = tx.wire_size;
+    std::string key = tx_dedup_key(tx);
+    inflight_.erase(key);  // committed: stop retransmitting
+    // A sequencer replaying its own WAL must also refuse these submits when
+    // replicas retransmit them post-restart.
+    if (is_sequencer()) seen_submits_.insert(key);
+    committed_keys_.insert(std::move(key));
+    block->txs.push_back(table_.add(std::move(tx)));
+    block->bytes += size;
+  }
+  chain_.push_back(block);
+  delivered_ = height;
+  return *chain_.back();
+}
+
 void ReplicatedLedger::deliver_ready() {
   // Strict height order (the ledger's P10): holes wait for sync to fill.
   for (auto it = buffered_.begin();
        it != buffered_.end() && it->first == delivered_ + 1;
        it = buffered_.erase(it)) {
     wire::BlockMsg& m = it->second;
-    auto block = std::make_shared<ledger::Block>();
-    block->height = m.height;
-    block->proposer = m.proposer;
-    block->proposed_at = timers_.now();
-    block->first_commit_at = timers_.now();
-    for (auto& tx : m.txs) {
-      const std::uint64_t size = tx.wire_size;
-      if (!inflight_.empty()) inflight_.erase(tx_dedup_key(tx));  // committed
-      block->txs.push_back(table_.add(std::move(tx)));
-      block->bytes += size;
+    const ledger::Block& block = apply_txs(m.height, m.proposer, std::move(m.txs));
+    if (commit_hook_) {
+      // Re-encode from the table: canonical varints make this byte-identical
+      // to the frame the sequencer broadcast.
+      const codec::Bytes raw = encode_block_at(block.height);
+      commit_hook_(block.height, raw);
     }
-    chain_.push_back(block);
-    delivered_ = block->height;
-    if (app_cb_) app_cb_(*chain_.back());
+    if (app_cb_) app_cb_(block);
   }
 }
 
 codec::Bytes ReplicatedLedger::encode_block_at(std::uint64_t height1based) const {
-  const auto& block = *chain_.at(height1based - 1);
+  const auto& block = *chain_.at(height1based - 1 - base_height_);
   std::vector<const ledger::Transaction*> txs;
   txs.reserve(block.txs.size());
   for (const auto idx : block.txs) txs.push_back(&table_.get(idx));
@@ -168,8 +202,13 @@ codec::Bytes ReplicatedLedger::encode_block_at(std::uint64_t height1based) const
 
 void ReplicatedLedger::on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) {
   // Any node serves sync from its applied chain (crash model: peers are
-  // honest, so a replica's copy is as good as the sequencer's).
-  if (m.from_height == 0 || m.from_height > delivered_) return;  // caught up
+  // honest, so a replica's copy is as good as the sequencer's). Heights at
+  // or below base_height_ were compacted into a snapshot and cannot be
+  // served — the requester's rotation finds a peer with a longer chain.
+  if (m.from_height == 0 || m.from_height > delivered_ ||
+      m.from_height <= base_height_) {
+    return;
+  }
   std::vector<codec::Bytes> encoded;
   std::vector<codec::ByteView> views;
   std::uint64_t bytes = 0;
@@ -195,6 +234,62 @@ void ReplicatedLedger::on_sync_response(const wire::BlockSyncResponse& m) {
     if (!block) return;
     ingest(std::move(*block));
   }
+}
+
+namespace {
+constexpr std::uint8_t kReplicatedStateVersion = 1;
+}
+
+void ReplicatedLedger::serialize_state(codec::Writer& w) const {
+  w.u8(kReplicatedStateVersion);
+  w.varint(delivered_);
+  w.varint(appended_);
+  w.varint(table_.size());
+  w.varint(committed_keys_.size());
+  for (const std::string& key : committed_keys_) {
+    w.lp_bytes(codec::ByteView(reinterpret_cast<const std::uint8_t*>(key.data()),
+                               key.size()));
+  }
+}
+
+bool ReplicatedLedger::restore_state(codec::Reader& r) {
+  const auto version = r.u8();
+  if (!version || *version != kReplicatedStateVersion) return false;
+  const auto delivered = r.varint();
+  const auto appended = r.varint();
+  const auto tx_count = r.varint();
+  const auto key_count = r.varint();
+  if (!delivered || !appended || !tx_count || !key_count) return false;
+  delivered_ = *delivered;
+  base_height_ = *delivered;  // everything below lives only in the snapshot
+  appended_ = *appended;
+  // Keep uid assignment continuous with the pre-crash run even though the
+  // committed tx contents below the snapshot are gone.
+  table_.set_base(static_cast<ledger::TxIdx>(*tx_count));
+  committed_keys_.clear();
+  for (std::uint64_t i = 0; i < *key_count; ++i) {
+    const auto key = r.lp_bytes();
+    if (!key) return false;
+    committed_keys_.emplace(reinterpret_cast<const char*>(key->data()), key->size());
+  }
+  // The sequencer's submit-dedup set was a superset of the committed set;
+  // the uncommitted remainder died with the process and its origins will
+  // retransmit it.
+  if (is_sequencer()) seen_submits_ = committed_keys_;
+  return true;
+}
+
+bool ReplicatedLedger::restore_block(codec::ByteView payload) {
+  auto m = wire::parse_block(payload);
+  if (!m) return false;
+  if (m->height != delivered_ + 1) return false;
+  // Apply through the shared path — bypassing ingest()'s sequencer guard on
+  // purpose: a restarted sequencer rebuilds its own sealed chain this way.
+  // The commit hook is not fired (the record came FROM the WAL) and nothing
+  // goes out on the wire.
+  const ledger::Block& block = apply_txs(m->height, m->proposer, std::move(m->txs));
+  if (app_cb_) app_cb_(block);
+  return true;
 }
 
 }  // namespace setchain::net

@@ -88,6 +88,13 @@ class ReplicatedLedger final : public IWireLedger {
   }
   std::uint64_t blocks_broadcast() const override { return blocks_broadcast_; }
 
+  // Durable storage (see IWireLedger).
+  void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
+  void serialize_state(codec::Writer& w) const override;
+  bool restore_state(codec::Reader& r) override;
+  bool restore_block(codec::ByteView payload) override;
+  std::uint64_t base_height() const override { return base_height_; }
+
  private:
   /// One submission forwarded to the sequencer and not yet seen in a block.
   struct InflightSubmit {
@@ -102,7 +109,12 @@ class ReplicatedLedger final : public IWireLedger {
   void ingest(wire::BlockMsg&& m);
   void deliver_ready();
   void apply_block(std::shared_ptr<ledger::Block> block);
-  /// Re-encode block `height1based` from the local table (sync responses).
+  /// Apply one in-order block's transactions: dedup-key bookkeeping, table
+  /// adds, chain append. Shared by live delivery and WAL replay.
+  const ledger::Block& apply_txs(std::uint64_t height, std::uint32_t proposer,
+                                 std::vector<ledger::Transaction>&& txs);
+  /// Re-encode block `height1based` from the local table (sync responses,
+  /// WAL records). Height must be > base_height_.
   codec::Bytes encode_block_at(std::uint64_t height1based) const;
 
   ReplicatedLedgerConfig cfg_;
@@ -112,7 +124,9 @@ class ReplicatedLedger final : public IWireLedger {
   ledger::TxTable table_;
   std::deque<ledger::Transaction> pending_;  ///< sequencer: unsealed submissions
   /// Applied chain; deque gives stable references for the deferred
-  /// process_block continuations the servers schedule.
+  /// process_block continuations the servers schedule. chain_[h-1-base_height_]
+  /// is the block at height h; heights <= base_height_ were compacted into a
+  /// snapshot and are gone.
   std::deque<std::shared_ptr<ledger::Block>> chain_;
   std::map<std::uint64_t, wire::BlockMsg> buffered_;  ///< holes ahead of delivered_
   std::function<void(const ledger::Block&)> app_cb_;
@@ -123,12 +137,20 @@ class ReplicatedLedger final : public IWireLedger {
   /// Sequencer side: content keys ever accepted (pending or sealed), so a
   /// retransmitted submit can never enter a block twice.
   std::unordered_set<std::string> seen_submits_;
+  /// Content keys of every committed tx, on every role. Persisted in
+  /// snapshots: after a restart the WAL-gap replay re-publishes the proofs
+  /// it re-derives, and because Ed25519 is deterministic those re-appends
+  /// are byte-identical — this set drops them in append() instead of
+  /// letting them bloat the chain.
+  std::unordered_set<std::string> committed_keys_;
 
-  std::uint64_t delivered_ = 0;  ///< highest height applied locally
-  std::uint64_t appended_ = 0;   ///< local submission ordinal
+  std::uint64_t delivered_ = 0;    ///< highest height applied locally
+  std::uint64_t base_height_ = 0;  ///< heights <= this compacted away
+  std::uint64_t appended_ = 0;     ///< local submission ordinal
   std::uint64_t blocks_broadcast_ = 0;
   std::uint32_t sync_cursor_ = 0;  ///< round-robin peer cursor for sync pulls
   bool started_ = false;
+  CommitHook commit_hook_;
 };
 
 }  // namespace setchain::net

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <functional>
 #include <string>
 
+#include "codec/byte_io.hpp"
 #include "crypto/sha256.hpp"
 #include "ledger/ledger_node.hpp"
 #include "net/transport.hpp"
@@ -72,6 +74,39 @@ class IWireLedger : public ledger::IBlockLedger {
   /// Quiescence probe: nothing pending locally and no delivery hole.
   virtual bool idle() const = 0;
   virtual std::uint64_t blocks_broadcast() const = 0;
+
+  // ---- durable storage (src/storage, wired by NodeHost) ----
+
+  /// Fired once per locally committed block with its height and the exact
+  /// wire payload (kBlock / kProposal layout — the same bytes a peer would
+  /// receive). The sequencer fires it BEFORE broadcasting a sealed block so
+  /// a crash cannot publish a block the restarted process no longer has
+  /// (which could fork the chain when it re-seals that height differently).
+  /// NodeHost points this at the WAL — installed only after recovery replay
+  /// so replayed blocks are not re-logged.
+  using CommitHook = std::function<void(std::uint64_t height, codec::ByteView raw)>;
+  virtual void set_commit_hook(CommitHook hook) = 0;
+
+  /// Serialize the committed-ledger state into a snapshot body section:
+  /// applied height, submission ordinal, committed tx count, and the
+  /// committed content-key set that makes post-restart re-publication safe
+  /// (docs/STORAGE_FORMAT.md). Chain payload bytes are NOT included — the
+  /// WAL holds the tail, the snapshot compacts everything below it.
+  virtual void serialize_state(codec::Writer& w) const = 0;
+  /// Inverse, onto a freshly constructed not-yet-started ledger. After a
+  /// successful restore the ledger reports height() == the snapshot height
+  /// and base_height() == the same (compacted prefix). False on malformed
+  /// input.
+  virtual bool restore_state(codec::Reader& r) = 0;
+  /// Replay one WAL block record (wire payload) during recovery. Must be
+  /// the next height (height()+1); the block flows through the normal
+  /// apply path including the application callback, but never back out to
+  /// the wire or the commit hook. False on parse failure or height gap.
+  virtual bool restore_block(codec::ByteView payload) = 0;
+  /// Heights <= this are compacted away: no chain/raw storage, block-sync
+  /// cannot be served below it (a fresh node that far behind needs a
+  /// snapshot transfer, which is future work).
+  virtual std::uint64_t base_height() const = 0;
 };
 
 }  // namespace setchain::net

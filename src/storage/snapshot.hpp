@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::storage {
+
+/// Epoch snapshot files: `snap-<height 16 hex>.snap`, written atomically
+/// (tmp + fsync + rename + directory fsync). The header CRC covers the
+/// version, height, and body length fields as well as the body, so a bit
+/// flip anywhere in the file is detected. docs/STORAGE_FORMAT.md is
+/// normative.
+
+constexpr std::uint32_t kSnapshotMagic = 0x504E5353;  // "SSNP" LE
+constexpr std::uint8_t kSnapshotVersion = 1;
+/// magic(4) + version(1) + height(8) + body_len(8) + crc(4).
+constexpr std::size_t kSnapshotHeaderBytes = 25;
+
+/// Atomically write `snap-<height>.snap` in `dir`. False + diagnostic on
+/// I/O failure (a stale tmp file may remain; it is ignored by loaders and
+/// overwritten by the next attempt).
+bool write_snapshot_file(const std::string& dir, std::uint64_t height,
+                         codec::ByteView body, std::string* diagnostic);
+
+struct LoadedSnapshot {
+  std::uint64_t height = 0;
+  codec::Bytes body;
+  /// Newer snapshot files that failed validation and were skipped.
+  std::uint64_t fallbacks = 0;
+  std::string diagnostic;  ///< why each fallback happened (empty when none)
+};
+
+/// Load the newest snapshot in `dir` that passes magic/version/CRC
+/// validation, falling back to older ones when the newest is damaged.
+/// nullopt when no valid snapshot exists (diagnostics are lost in that
+/// case — use list_snapshots + load_snapshot_file to inspect).
+std::optional<LoadedSnapshot> load_latest_snapshot(const std::string& dir);
+
+/// Validate and read one snapshot file. False + diagnostic on any damage.
+bool load_snapshot_file(const std::string& path, std::uint64_t* height,
+                        codec::Bytes* body, std::string* diagnostic);
+
+/// All well-named snapshot files in `dir` as (height, path), newest first.
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(const std::string& dir);
+
+/// Delete all but the newest `keep` snapshots. Returns how many were
+/// removed.
+std::size_t prune_snapshots(const std::string& dir, std::size_t keep);
+
+}  // namespace setchain::storage

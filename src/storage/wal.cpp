@@ -1,0 +1,434 @@
+#include "storage/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+
+namespace setchain::storage {
+namespace {
+
+// ---- CRC32C (Castagnoli, reflected), slicing-by-4 -------------------------
+
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 4; ++s) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32cTables& crc_tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void put_u32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::string segment_path(const std::string& dir, std::uint64_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "wal-%016" PRIx64 ".log", seq);
+  return dir + "/" + name;
+}
+
+/// Parse `wal-<16 hex>.log`; nullopt for anything else in the dir.
+std::optional<std::uint64_t> parse_segment_name(const char* name) {
+  std::size_t len = std::strlen(name);
+  if (len != 4 + 16 + 4) return std::nullopt;
+  if (std::memcmp(name, "wal-", 4) != 0) return std::nullopt;
+  if (std::memcmp(name + 20, ".log", 4) != 0) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 4; i < 20; ++i) {
+    char c = name[i];
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    else return std::nullopt;
+    seq = (seq << 4) | digit;
+  }
+  return seq;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, codec::Bytes* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out->clear();
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buf, buf + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+void append_diag(std::string* diagnostic, const std::string& msg) {
+  if (diagnostic == nullptr) return;
+  if (!diagnostic->empty()) *diagnostic += "; ";
+  *diagnostic += msg;
+}
+
+struct ScannedRecord {
+  WalRecordKind kind;
+  std::uint64_t height;
+  std::size_t payload_off;  ///< into the segment buffer
+  std::uint32_t payload_len;
+};
+
+/// Walk records in `data`. Returns the byte offset of the valid prefix and
+/// appends each valid record to `out`. `*why` describes the first invalid
+/// record when the prefix ends before the buffer does.
+std::size_t scan_segment(const codec::Bytes& data, std::vector<ScannedRecord>* out,
+                         std::string* why) {
+  std::size_t off = 0;
+  while (data.size() - off >= Wal::kHeaderBytes) {
+    const std::uint8_t* h = data.data() + off;
+    if (get_u32le(h) != Wal::kRecordMagic) {
+      *why = "bad record magic at offset " + std::to_string(off);
+      return off;
+    }
+    std::uint8_t kind = h[4];
+    std::uint64_t height = get_u64le(h + 5);
+    std::uint32_t len = get_u32le(h + 13);
+    std::uint32_t crc = get_u32le(h + 17);
+    if (kind != static_cast<std::uint8_t>(WalRecordKind::kBlock) &&
+        kind != static_cast<std::uint8_t>(WalRecordKind::kBatch)) {
+      *why = "unknown record kind " + std::to_string(kind) + " at offset " + std::to_string(off);
+      return off;
+    }
+    if (len > Wal::kMaxRecordBytes) {
+      *why = "oversized record (" + std::to_string(len) + " bytes) at offset " + std::to_string(off);
+      return off;
+    }
+    if (data.size() - off - Wal::kHeaderBytes < len) {
+      *why = "torn tail: record at offset " + std::to_string(off) + " needs " +
+             std::to_string(len) + " payload bytes, " +
+             std::to_string(data.size() - off - Wal::kHeaderBytes) + " present";
+      return off;
+    }
+    // CRC covers kind ‖ height ‖ length ‖ payload, i.e. everything after the
+    // magic+crc framing itself.
+    std::uint32_t want = crc32c(codec::ByteView(h + 4, 13));
+    want = crc32c(codec::ByteView(h + Wal::kHeaderBytes, len), want);
+    if (want != crc) {
+      *why = "CRC mismatch at offset " + std::to_string(off);
+      return off;
+    }
+    if (out != nullptr) {
+      out->push_back(ScannedRecord{static_cast<WalRecordKind>(kind), height,
+                                   off + Wal::kHeaderBytes, len});
+    }
+    off += Wal::kHeaderBytes + len;
+  }
+  if (off < data.size()) {
+    *why = "torn tail: " + std::to_string(data.size() - off) +
+           " trailing bytes shorter than a record header";
+  }
+  return off;
+}
+
+void fsync_dir(const std::string& dir) {
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32c(codec::ByteView data, std::uint32_t seed) {
+  const auto& t = crc_tables().t;
+  std::uint32_t c = ~seed;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 4) {
+    c ^= get_u32le(p);
+    c = t[3][c & 0xFF] ^ t[2][(c >> 8) & 0xFF] ^ t[1][(c >> 16) & 0xFF] ^ t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  return ~c;
+}
+
+const char* fsync_mode_name(FsyncMode m) {
+  switch (m) {
+    case FsyncMode::kAlways: return "always";
+    case FsyncMode::kInterval: return "interval";
+    case FsyncMode::kOff: return "off";
+  }
+  return "?";
+}
+
+std::optional<FsyncMode> parse_fsync_mode(std::string_view name) {
+  std::string low(name);
+  for (char& c : low) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (low == "always") return FsyncMode::kAlways;
+  if (low == "interval") return FsyncMode::kInterval;
+  if (low == "off") return FsyncMode::kOff;
+  return std::nullopt;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    if (opts_.fsync != FsyncMode::kOff) ::fdatasync(fd_);
+    ::close(fd_);
+  }
+}
+
+bool Wal::open(WalOptions opts, std::string* diagnostic) {
+  if (diagnostic != nullptr) diagnostic->clear();
+  opts_ = std::move(opts);
+  if (opts_.segment_bytes == 0) opts_.segment_bytes = 8u << 20;
+
+  DIR* d = ::opendir(opts_.dir.c_str());
+  if (d == nullptr) {
+    append_diag(diagnostic, "cannot open WAL dir " + opts_.dir + ": " + std::strerror(errno));
+    return false;
+  }
+  segments_.clear();
+  while (dirent* e = ::readdir(d)) {
+    if (auto seq = parse_segment_name(e->d_name)) {
+      segments_.push_back(Segment{*seq, segment_path(opts_.dir, *seq), 0, 0});
+    }
+  }
+  ::closedir(d);
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) { return a.seq < b.seq; });
+
+  // Scan every segment; truncate the log at the first invalid record. A cut
+  // in the last segment is the expected torn tail; a cut earlier also drops
+  // every later segment so the surviving log is a contiguous valid prefix.
+  bool cut = false;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    Segment& seg = segments_[i];
+    codec::Bytes data;
+    if (!read_file(seg.path, &data)) {
+      append_diag(diagnostic, "cannot read " + seg.path + ": " + std::strerror(errno));
+      cut = true;
+      break;
+    }
+    std::vector<ScannedRecord> recs;
+    std::string why;
+    std::size_t valid = scan_segment(data, &recs, &why);
+    for (const ScannedRecord& r : recs) {
+      seg.max_height = std::max(seg.max_height, r.height);
+      last_height_ = std::max(last_height_, r.height);
+      ++counters_.records_scanned;
+    }
+    seg.bytes = valid;
+    if (valid < data.size()) {
+      counters_.truncated_bytes += data.size() - valid;
+      append_diag(diagnostic, seg.path + ": " + why + " — truncated to " +
+                                  std::to_string(valid) + " bytes");
+      if (::truncate(seg.path.c_str(), static_cast<off_t>(valid)) != 0) {
+        append_diag(diagnostic, "truncate failed on " + seg.path + ": " + std::strerror(errno));
+        return false;
+      }
+      keep = i + 1;
+      cut = true;
+      break;
+    }
+    keep = i + 1;
+  }
+  if (cut) {
+    for (std::size_t i = keep; i < segments_.size(); ++i) {
+      codec::Bytes data;
+      if (read_file(segments_[i].path, &data)) counters_.truncated_bytes += data.size();
+      ::unlink(segments_[i].path.c_str());
+      ++counters_.segments_deleted;
+      append_diag(diagnostic, "dropped " + segments_[i].path + " (follows a corrupt record)");
+    }
+    segments_.resize(keep);
+    fsync_dir(opts_.dir);
+  }
+
+  last_sync_ms_ = steady_ms();
+  return open_active_segment(segments_.empty(), diagnostic);
+}
+
+bool Wal::open_active_segment(bool create_fresh, std::string* diagnostic) {
+  if (create_fresh) {
+    std::uint64_t seq = segments_.empty() ? 1 : segments_.back().seq + 1;
+    segments_.push_back(Segment{seq, segment_path(opts_.dir, seq), 0, 0});
+    ++counters_.segments_created;
+  }
+  Segment& active = segments_.back();
+  fd_ = ::open(active.path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    append_diag(diagnostic, "cannot open " + active.path + ": " + std::strerror(errno));
+    return false;
+  }
+  if (create_fresh) fsync_dir(opts_.dir);
+  return true;
+}
+
+bool Wal::roll_segment() {
+  if (opts_.fsync != FsyncMode::kOff) {
+    ::fdatasync(fd_);
+    ++counters_.fsyncs;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  return open_active_segment(true, nullptr);
+}
+
+bool Wal::replay(const std::function<void(WalRecordKind, std::uint64_t, codec::ByteView)>& fn,
+                 std::string* diagnostic) const {
+  for (const Segment& seg : segments_) {
+    codec::Bytes data;
+    if (!read_file(seg.path, &data)) {
+      append_diag(diagnostic, "cannot read " + seg.path + ": " + std::strerror(errno));
+      return false;
+    }
+    std::vector<ScannedRecord> recs;
+    std::string why;
+    std::size_t valid = scan_segment(data, &recs, &why);
+    for (const ScannedRecord& r : recs) {
+      fn(r.kind, r.height, codec::ByteView(data.data() + r.payload_off, r.payload_len));
+    }
+    if (valid < data.size()) {
+      append_diag(diagnostic, seg.path + ": " + why);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Wal::append(WalRecordKind kind, std::uint64_t height, codec::ByteView payload) {
+  if (fd_ < 0) return false;
+  if (payload.size() > kMaxRecordBytes) return false;
+
+  std::uint8_t header[kHeaderBytes];
+  put_u32le(header, kRecordMagic);
+  header[4] = static_cast<std::uint8_t>(kind);
+  put_u64le(header + 5, height);
+  put_u32le(header + 13, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = crc32c(codec::ByteView(header + 4, 13));
+  crc = crc32c(payload, crc);
+  put_u32le(header + 17, crc);
+
+  if (!write_all(fd_, header, kHeaderBytes) ||
+      !write_all(fd_, payload.data(), payload.size())) {
+    return false;
+  }
+  Segment& active = segments_.back();
+  active.bytes += kHeaderBytes + payload.size();
+  active.max_height = std::max(active.max_height, height);
+  last_height_ = std::max(last_height_, height);
+  ++counters_.records_appended;
+  counters_.bytes_appended += kHeaderBytes + payload.size();
+  maybe_fsync();
+  if (active.bytes >= opts_.segment_bytes) return roll_segment();
+  return true;
+}
+
+void Wal::maybe_fsync() {
+  switch (opts_.fsync) {
+    case FsyncMode::kAlways:
+      ::fdatasync(fd_);
+      ++counters_.fsyncs;
+      break;
+    case FsyncMode::kInterval: {
+      std::int64_t now = steady_ms();
+      if (now - last_sync_ms_ >= static_cast<std::int64_t>(opts_.fsync_interval_ms)) {
+        ::fdatasync(fd_);
+        ++counters_.fsyncs;
+        last_sync_ms_ = now;
+      }
+      break;
+    }
+    case FsyncMode::kOff:
+      break;
+  }
+}
+
+void Wal::sync() {
+  if (fd_ < 0) return;
+  ::fdatasync(fd_);
+  ++counters_.fsyncs;
+  last_sync_ms_ = steady_ms();
+}
+
+void Wal::prune_covered(std::uint64_t height) {
+  // The active segment always survives, even when fully covered — it keeps
+  // the append path trivial and costs at most one segment of disk.
+  std::size_t removed = 0;
+  while (segments_.size() > 1 && segments_.front().max_height <= height) {
+    ::unlink(segments_.front().path.c_str());
+    segments_.erase(segments_.begin());
+    ++counters_.segments_deleted;
+    ++removed;
+  }
+  if (removed > 0) fsync_dir(opts_.dir);
+}
+
+}  // namespace setchain::storage

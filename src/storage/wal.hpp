@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codec/bytes.hpp"
+
+namespace setchain::storage {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), software
+/// slicing-by-4. `seed` chains incremental computations. This is the
+/// checksum every on-disk record and snapshot carries — see
+/// docs/STORAGE_FORMAT.md.
+std::uint32_t crc32c(codec::ByteView data, std::uint32_t seed = 0);
+
+/// When WAL appends reach the platters. `always` fdatasyncs every record
+/// (a committed block survives a power cut), `interval` fdatasyncs at most
+/// once per fsync_interval_ms (a kill -9 loses nothing, a power cut loses
+/// at most the interval), `off` leaves it to the kernel (bench baseline).
+enum class FsyncMode : std::uint8_t { kAlways, kInterval, kOff };
+
+const char* fsync_mode_name(FsyncMode m);
+/// Inverse of fsync_mode_name, case-insensitive. Unknown names -> nullopt.
+std::optional<FsyncMode> parse_fsync_mode(std::string_view name);
+
+/// What one WAL record carries. kBlock: a committed block payload in the
+/// wire kBlock/kProposal layout, at its height. kBatch: a Hashchain batch
+/// registered in the node's store (64-byte hash followed by the serialized
+/// batch bytes), stamped with the ledger height current at write time so
+/// segment compaction can reason about coverage uniformly.
+enum class WalRecordKind : std::uint8_t { kBlock = 1, kBatch = 2 };
+
+struct WalOptions {
+  std::string dir;
+  FsyncMode fsync = FsyncMode::kInterval;
+  std::uint64_t fsync_interval_ms = 50;
+  /// Rotate to a fresh segment once the active one exceeds this.
+  std::uint64_t segment_bytes = 8u << 20;
+};
+
+struct WalCounters {
+  std::uint64_t records_appended = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t segments_created = 0;
+  std::uint64_t segments_deleted = 0;
+  /// Bytes dropped on open: a torn tail (crash mid-write) or a record whose
+  /// CRC no longer matches. The log is always usable up to the cut.
+  std::uint64_t truncated_bytes = 0;
+  /// Valid records found by the opening scan.
+  std::uint64_t records_scanned = 0;
+};
+
+/// Append-only write-ahead log over numbered segment files
+/// (`wal-<seq 16 hex>.log`). Each record: magic, kind, height, length,
+/// CRC32C, payload (docs/STORAGE_FORMAT.md is normative). open() scans the
+/// whole log and truncates it to its longest valid prefix — a torn tail
+/// from a crash mid-append disappears; corruption deeper in the log cuts
+/// everything after it (and reports a diagnostic), never undefined
+/// behaviour. Single-owner, not thread-safe: the node's own thread is the
+/// only writer, matching the NodeHost threading model.
+class Wal {
+ public:
+  static constexpr std::uint32_t kRecordMagic = 0x4C415753;  // "SWAL" LE
+  /// magic(4) + kind(1) + height(8) + length(4) + crc(4).
+  static constexpr std::size_t kHeaderBytes = 21;
+  /// Sanity cap on a single record (the wire frame cap is 8 MiB).
+  static constexpr std::uint64_t kMaxRecordBytes = 16u << 20;
+
+  Wal() = default;
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Scan `opts.dir`, truncate to the longest valid prefix, and open the
+  /// active segment for append (creating the first segment when the dir is
+  /// empty). Returns false only on real I/O errors; corruption is handled
+  /// by truncation and reported through `diagnostic` (set non-empty even on
+  /// a true return when anything was cut).
+  bool open(WalOptions opts, std::string* diagnostic);
+
+  /// Re-read every record in order. `fn` sees each valid record; iteration
+  /// stops at the first invalid one (which open() should already have
+  /// removed — hitting one here means the disk changed underneath us and is
+  /// reported via `diagnostic` with a false return).
+  bool replay(const std::function<void(WalRecordKind kind, std::uint64_t height,
+                                       codec::ByteView payload)>& fn,
+              std::string* diagnostic) const;
+
+  /// Append one record, honoring the fsync policy and segment rotation.
+  /// Returns false on I/O failure (the caller decides whether to carry on
+  /// diskless or abort).
+  bool append(WalRecordKind kind, std::uint64_t height, codec::ByteView payload);
+
+  /// Force an fdatasync of the active segment (snapshot barrier).
+  void sync();
+
+  /// Delete every non-active segment whose records all sit at heights
+  /// <= `height` — they are fully covered by a snapshot at `height`.
+  void prune_covered(std::uint64_t height);
+
+  bool is_open() const { return fd_ >= 0; }
+  const WalCounters& counters() const { return counters_; }
+  /// Highest record height appended or scanned (0 when empty).
+  std::uint64_t last_height() const { return last_height_; }
+  std::size_t segment_count() const { return segments_.size(); }
+
+ private:
+  struct Segment {
+    std::uint64_t seq = 0;
+    std::string path;
+    std::uint64_t max_height = 0;  ///< highest record height inside
+    std::uint64_t bytes = 0;       ///< valid bytes (scan/appends)
+  };
+
+  bool open_active_segment(bool create_fresh, std::string* diagnostic);
+  bool roll_segment();
+  void maybe_fsync();
+
+  WalOptions opts_;
+  std::vector<Segment> segments_;  ///< ascending seq; back() is active
+  int fd_ = -1;
+  std::uint64_t last_height_ = 0;
+  std::int64_t last_sync_ms_ = 0;  ///< steady-clock ms of the last fdatasync
+  WalCounters counters_;
+};
+
+}  // namespace setchain::storage
