@@ -198,3 +198,70 @@ if ! grep -q "derived --first-seq 16" "${LOG_DIR}/durable_client2.log"; then
 fi
 
 echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N}, durable whole-cluster restart)"
+
+# ---- Phase 4: consensus ledger + one Byzantine node -----------------------
+# Fresh consensus cluster where node 1 — the round-0 proposer of height 1 —
+# runs --byz-consensus: it equivocates proposals, double-votes, forges votes
+# and serves junk sync, all signed with its real key. The client workload
+# must still commit end to end on the honest majority, and the honest nodes'
+# shutdown summaries must report the equivocator detected and masked.
+for pid in "${PIDS[@]}"; do
+  kill "$pid" 2>/dev/null || true
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
+PORT_BASE=$(( PORT_BASE + 100 ))
+PEER_ARGS=()
+for i in $(seq 0 $((N - 1))); do
+  PEER_ARGS+=(--peer "${HOST}:$((PORT_BASE + i))")
+done
+
+for i in $(seq 0 $((N - 1))); do
+  BYZ_ARGS=()
+  if [ "$i" -eq 1 ]; then
+    BYZ_ARGS=(--byz-consensus)
+  fi
+  "$NODE_BIN" --id "$i" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+    --ledger consensus --timeout-propose-ms 800 "${BYZ_ARGS[@]}" \
+    --listen "${HOST}:$((PORT_BASE + i))" "${PEER_ARGS[@]}" \
+    --collector 8 --collector-timeout-ms 150 --block-interval-ms 120 \
+    >"${LOG_DIR}/byz_node${i}.log" 2>&1 &
+  PIDS+=($!)
+done
+
+NODE_ARGS=()
+for i in $(seq 0 $((N - 1))); do
+  NODE_ARGS+=(--node "${HOST}:$((PORT_BASE + i))")
+done
+
+timeout --kill-after=10 120 \
+  "$CLIENT_BIN" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+  --ledger consensus --count 12 --wait-seconds 60 "${NODE_ARGS[@]}"
+
+# Graceful stop so every daemon prints its consensus counters, then demand
+# that at least one honest node detected and masked the equivocator.
+for pid in "${PIDS[@]}"; do
+  kill "$pid" 2>/dev/null || true
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
+DETECTED=0
+for i in 0 2 3; do
+  if grep -E "consensus: equivocations=[1-9][0-9]* masked=[1-9]" \
+      "${LOG_DIR}/byz_node${i}.log" >/dev/null; then
+    DETECTED=1
+  fi
+done
+if [ "$DETECTED" -ne 1 ]; then
+  echo "FAIL: no honest node reported the Byzantine peer detected+masked" >&2
+  grep -h "consensus:" "${LOG_DIR}"/byz_node*.log >&2 || true
+  exit 1
+fi
+
+echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N}, consensus + Byzantine node masked)"

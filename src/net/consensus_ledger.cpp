@@ -1,10 +1,31 @@
 #include "net/consensus_ledger.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "crypto/sha256.hpp"
 
 namespace setchain::net {
+
+namespace {
+constexpr std::uint8_t kConsensusStateVersion = 2;
+/// Rounds a vote may run ahead of the local round before it is ignored: a
+/// Byzantine voter spraying far-future rounds would otherwise allocate one
+/// n-slot vector per round it names.
+constexpr std::uint32_t kMaxRoundsAhead = 8;
+/// Held payloads per proposer per height. An equivocator signs many
+/// payloads; two is enough to prove the equivocation and keep the lowest
+/// hash available as the convergence target, without unbounded memory.
+constexpr std::size_t kMaxHeldPerProposer = 2;
+/// Evidence keeps a prefix of each conflicting message, not the whole
+/// (possibly 8 MiB) payload pair.
+constexpr std::size_t kEvidencePrefixBytes = 512;
+
+codec::Bytes evidence_prefix(codec::ByteView b) {
+  const std::size_t n = std::min(b.size(), kEvidencePrefixBytes);
+  return codec::Bytes(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(n));
+}
+}  // namespace
 
 ConsensusLedger::ConsensusLedger(ConsensusLedgerConfig cfg, sim::Simulation& timers,
                                  ITransport& transport)
@@ -16,6 +37,10 @@ ConsensusLedger::ConsensusLedger(ConsensusLedgerConfig cfg, sim::Simulation& tim
   // it a few times finer than the shortest timer it serves.
   tick_interval_ = std::max<sim::Time>(
       sim::from_millis(10), std::min(cfg_.block_interval, cfg_.timeout_propose) / 3);
+  masked_.assign(cfg_.n, false);
+  future_.prevotes.assign(cfg_.n, std::nullopt);
+  future_.precommits.assign(cfg_.n, std::nullopt);
+  future_.skips.assign(cfg_.n, std::nullopt);
 }
 
 void ConsensusLedger::start() {
@@ -29,11 +54,46 @@ void ConsensusLedger::start() {
   timers_.schedule_in(cfg_.sync_interval, [this] { sync_tick(); });
 }
 
+std::uint32_t ConsensusLedger::masked_count() const {
+  return static_cast<std::uint32_t>(std::count(masked_.begin(), masked_.end(), true));
+}
+
 void ConsensusLedger::broadcast(wire::MsgType type, codec::ByteView payload) {
   for (std::uint32_t peer = 0; peer < cfg_.n; ++peer) {
     if (peer == cfg_.self) continue;
     transport_.send(peer, type, payload);
   }
+}
+
+void ConsensusLedger::broadcast_split(wire::MsgType type, codec::ByteView even,
+                                      codec::ByteView odd) {
+  for (std::uint32_t peer = 0; peer < cfg_.n; ++peer) {
+    if (peer == cfg_.self) continue;
+    transport_.send(peer, type, (peer % 2 == 0) ? even : odd);
+  }
+}
+
+// --- Signing -----------------------------------------------------------------
+
+crypto::Ed25519::Signature ConsensusLedger::sign_proposal(
+    codec::ByteView block_bytes) const {
+  if (!cfg_.pki) return {};
+  return cfg_.pki->sign(cfg_.self,
+                        wire::proposal_transcript(cfg_.cluster, block_bytes));
+}
+
+crypto::Ed25519::Signature ConsensusLedger::sign_vote(wire::MsgType type,
+                                                      const wire::VoteMsg& m) const {
+  if (!cfg_.pki) return {};
+  return cfg_.pki->sign(
+      cfg_.self, wire::vote_transcript(cfg_.cluster, type, m.height, m.round, m.hash));
+}
+
+crypto::Ed25519::Signature ConsensusLedger::sign_skip(
+    const wire::RoundSkipMsg& m) const {
+  if (!cfg_.pki) return {};
+  return cfg_.pki->sign(cfg_.self,
+                        wire::round_skip_transcript(cfg_.cluster, m.height, m.round));
 }
 
 void ConsensusLedger::note_work() {
@@ -86,13 +146,54 @@ bool ConsensusLedger::on_proposal(EndpointId from, codec::ByteView payload) {
   // Validate and dedup on a zero-copy view first: proposals are rebroadcast
   // by every holder, so most arrivals are duplicates — those are dropped
   // after a hash over the payload, without materializing a single tx.
-  const auto v = wire::parse_block_view(payload);
+  const auto v = wire::parse_signed_proposal_view(payload);
   if (!v) return false;
-  if (v->proposer >= cfg_.n) return false;
-  if (v->height != active_height()) return true;  // stale/ahead: ignore
+  const std::uint32_t proposer = v->block.proposer;
+  if (proposer >= cfg_.n) return false;
+  if (v->block.height != active_height()) return true;  // stale/ahead: ignore
   const wire::ProposalHash hash = crypto::Sha256::hash(payload);
   if (proposals_.contains(hash)) return true;
-  auto m = wire::parse_proposal(payload);  // first sighting: materialize
+  // The proposer signature binds the payload to its scheduled author. An
+  // invalid signature blames the SENDER: honest holders verified the frame
+  // before relaying it, so whoever handed us a forgery authored the forgery.
+  if (cfg_.pki && !cfg_.pki->verify(
+                      proposer, wire::proposal_transcript(cfg_.cluster, v->block_bytes),
+                      v->sig)) {
+    return false;
+  }
+
+  // Proposer equivocation: a second validly signed payload for this height
+  // permanently masks the proposer's votes (the payloads themselves remain
+  // usable commit candidates — content is client-submitted either way, and
+  // refusing them would let an equivocator stall the height it proposed).
+  const HeldProposal* prior = nullptr;
+  std::size_t held_here = 0;
+  for (const auto& [h, held] : proposals_) {
+    if (held.block.proposer != proposer) continue;
+    ++held_here;
+    if (!prior) prior = &held;
+  }
+  if (prior && !masked_[proposer]) {
+    mask_node(proposer, 1, prior->raw, payload);
+  }
+  // Holding cap: keep the LOWEST hashes per proposer (the prevote
+  // tie-break's convergence targets); a lower newcomer evicts the highest
+  // non-locked held payload, a higher newcomer is dropped. A node missing
+  // an evicted payload that later sees its commit quorum heals via
+  // certified sync like any straggler.
+  if (held_here >= kMaxHeldPerProposer) {
+    auto victim = proposals_.end();
+    for (auto it = proposals_.rbegin(); it != proposals_.rend(); ++it) {
+      if (it->second.block.proposer != proposer) continue;
+      if (lock_hash_ && it->first == *lock_hash_) continue;
+      victim = std::prev(it.base());
+      break;
+    }
+    if (victim == proposals_.end() || !(hash < victim->first)) return true;
+    proposals_.erase(victim);
+  }
+
+  auto m = wire::parse_proposal(payload);  // same grammar as the view: cannot fail
   if (!m) return false;
   if (proposals_.emplace(hash, HeldProposal{std::move(m->block), std::move(m->raw)})
           .second) {
@@ -104,44 +205,213 @@ bool ConsensusLedger::on_proposal(EndpointId from, codec::ByteView payload) {
   return true;
 }
 
-bool ConsensusLedger::on_prevote(EndpointId from, const wire::VoteMsg& m) {
+// --- Vote intake: identity gate -> future buffer -> batch verify -> apply ----
+
+bool ConsensusLedger::on_vote_frame(wire::MsgType type, EndpointId from,
+                                    const wire::VoteMsg& m) {
+  // Votes are never relayed (only proposals are), so the author must be the
+  // transport sender; an impersonated vote is the SENDER's fault.
   if (m.voter >= cfg_.n || m.voter != from) return false;
-  if (m.height != active_height()) return true;  // stale/ahead: ignore
-  if (record_vote(prevotes_, m.round, m.hash, m.voter)) {
-    note_work();
-    check_polka();
+  if (masked_[m.voter]) return true;  // equivocator: drop silently
+  const std::uint64_t active = active_height();
+  if (m.height < active) return true;  // stale: the height already closed
+  if (m.height == active + 1) {
+    // One height of lookahead, one slot per voter per frame type: a node one
+    // commit behind re-validates these the moment it catches up instead of
+    // eating a full round timeout.
+    if (type == wire::MsgType::kRoundSkip) {
+      auto& slot = future_.skips[m.voter];
+      if (!slot) {
+        slot = wire::RoundSkipMsg{m.height, m.round, m.voter, m.sig};
+        ++votes_buffered_;
+      }
+    } else {
+      auto& slots = (type == wire::MsgType::kPrevote) ? future_.prevotes
+                                                      : future_.precommits;
+      auto& slot = slots[m.voter];
+      if (!slot) {
+        slot = m;
+        ++votes_buffered_;
+      }
+    }
+    return true;
   }
+  if (m.height > active + 1) {
+    ++votes_dropped_ahead_;
+    return true;
+  }
+  if (m.round > cur_round_ + kMaxRoundsAhead) return true;  // round-spam guard
+  // Exact-duplicate fast path: retransmissions skip re-verification.
+  if (type == wire::MsgType::kRoundSkip) {
+    if (skip_want_[m.voter] > m.round) return true;
+  } else {
+    const auto& rounds =
+        (type == wire::MsgType::kPrevote) ? prevotes_ : precommits_;
+    if (const auto it = rounds.find(m.round); it != rounds.end()) {
+      const VoteSlot& slot = it->second[m.voter];
+      if (slot.set && slot.hash == m.hash) return true;
+    }
+  }
+  enqueue_verify(type, m);
   return true;
+}
+
+bool ConsensusLedger::on_prevote(EndpointId from, const wire::VoteMsg& m) {
+  return on_vote_frame(wire::MsgType::kPrevote, from, m);
 }
 
 bool ConsensusLedger::on_precommit(EndpointId from, const wire::VoteMsg& m) {
-  if (m.voter >= cfg_.n || m.voter != from) return false;
-  if (m.height != active_height()) return true;  // stale/ahead: ignore
-  if (record_vote(precommits_, m.round, m.hash, m.voter)) {
-    note_work();
-    try_commit();
-  }
-  return true;
+  return on_vote_frame(wire::MsgType::kPrecommit, from, m);
 }
 
 bool ConsensusLedger::on_round_skip(EndpointId from, const wire::RoundSkipMsg& m) {
-  if (m.voter >= cfg_.n || m.voter != from) return false;
-  if (m.height != active_height()) return true;  // stale/ahead: ignore
-  skip_want_[m.voter] = std::max(skip_want_[m.voter], m.round + 1);
-  note_work();
-  maybe_advance_round();
+  wire::VoteMsg v;
+  v.height = m.height;
+  v.round = m.round;
+  v.voter = m.voter;
+  v.sig = m.sig;  // hash stays zero: skips sign no hash
+  return on_vote_frame(wire::MsgType::kRoundSkip, from, v);
+}
+
+void ConsensusLedger::enqueue_verify(wire::MsgType type, const wire::VoteMsg& m) {
+  if (!cfg_.pki) {
+    // Bare harnesses without keys keep the old synchronous semantics.
+    apply_vote(type, m, true);
+    return;
+  }
+  PendingVote pv;
+  pv.type = type;
+  pv.vote = m;
+  pv.transcript =
+      (type == wire::MsgType::kRoundSkip)
+          ? wire::round_skip_transcript(cfg_.cluster, m.height, m.round)
+          : wire::vote_transcript(cfg_.cluster, type, m.height, m.round, m.hash);
+  pending_verify_.push_back(std::move(pv));
+  if (!verify_scheduled_) {
+    // Zero-delay drain: every structurally valid vote that arrived at this
+    // sim instant verifies in ONE Ed25519 batch check.
+    verify_scheduled_ = true;
+    timers_.schedule_in(0, [this] { drain_verify(); });
+  }
+}
+
+void ConsensusLedger::drain_verify() {
+  verify_scheduled_ = false;
+  std::deque<PendingVote> batch;
+  batch.swap(pending_verify_);
+  if (batch.empty()) return;
+  std::vector<crypto::Pki::SignedMessage> items;
+  items.reserve(batch.size());
+  for (const PendingVote& pv : batch) {
+    items.push_back(crypto::Pki::SignedMessage{
+        pv.vote.voter, codec::ByteView(pv.transcript), &pv.vote.sig});
+  }
+  const crypto::Ed25519::BatchResult result = cfg_.pki->verify_batch(items);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    apply_vote(batch[i].type, batch[i].vote, result.valid[i]);
+  }
+}
+
+void ConsensusLedger::apply_vote(wire::MsgType type, const wire::VoteMsg& m,
+                                 bool sig_valid) {
+  if (!sig_valid) {
+    ++vote_sig_rejects_;
+    return;
+  }
+  if (masked_[m.voter]) return;  // masked while queued
+  // The world may have moved while the vote sat in the verify queue.
+  const std::uint64_t active = active_height();
+  if (m.height != active) {
+    if (m.height == active + 1) {
+      // A commit landed mid-queue and the vote now points one height ahead
+      // again: re-buffer it instead of dropping it.
+      if (type == wire::MsgType::kRoundSkip) {
+        auto& slot = future_.skips[m.voter];
+        if (!slot) {
+          slot = wire::RoundSkipMsg{m.height, m.round, m.voter, m.sig};
+          ++votes_buffered_;
+        }
+      } else {
+        auto& slots = (type == wire::MsgType::kPrevote) ? future_.prevotes
+                                                        : future_.precommits;
+        if (!slots[m.voter]) {
+          slots[m.voter] = m;
+          ++votes_buffered_;
+        }
+      }
+    }
+    return;
+  }
+  if (m.round > cur_round_ + kMaxRoundsAhead) return;
+  switch (type) {
+    case wire::MsgType::kPrevote:
+      if (record_vote(prevotes_, m.round, m.hash, m.voter, m.sig)) {
+        note_work();
+        check_polka();
+      }
+      break;
+    case wire::MsgType::kPrecommit:
+      if (record_vote(precommits_, m.round, m.hash, m.voter, m.sig)) {
+        note_work();
+        try_commit();
+      }
+      break;
+    case wire::MsgType::kRoundSkip:
+      skip_want_[m.voter] = std::max(skip_want_[m.voter], m.round + 1);
+      note_work();
+      maybe_advance_round();
+      break;
+    default:
+      break;
+  }
+}
+
+bool ConsensusLedger::record_vote(std::map<std::uint32_t, RoundVotes>& rounds,
+                                  std::uint32_t round, const wire::ProposalHash& hash,
+                                  std::uint32_t voter,
+                                  const crypto::Ed25519::Signature& sig) {
+  RoundVotes& rv = rounds[round];
+  if (rv.empty()) rv.assign(cfg_.n, VoteSlot{});
+  VoteSlot& slot = rv[voter];
+  if (slot.set && slot.hash == hash) return false;  // retransmission
+  if (slot.set) {
+    // Two validly signed hashes from one voter for one (height, round):
+    // equivocation. The FIRST recorded vote stands — honest voters vote once
+    // per round, so any two 2f+1 quorums still intersect in an honest
+    // once-voting node and conflicting commits stay impossible.
+    wire::VoteMsg first;
+    first.height = active_height();
+    first.round = round;
+    first.voter = voter;
+    first.hash = slot.hash;
+    first.sig = slot.sig;
+    wire::VoteMsg second = first;
+    second.hash = hash;
+    second.sig = sig;
+    mask_node(voter, 0, wire::encode_vote(first), wire::encode_vote(second));
+    return false;
+  }
+  slot.set = true;
+  slot.hash = hash;
+  slot.sig = sig;
   return true;
 }
 
-bool ConsensusLedger::record_vote(
-    std::map<std::uint32_t, std::map<wire::ProposalHash, VoteBits>>& rounds,
-    std::uint32_t round, const wire::ProposalHash& hash, std::uint32_t voter) {
-  VoteBits& bits = rounds[round][hash];
-  if (bits.empty()) bits.assign(cfg_.n, false);
-  if (bits[voter]) return false;
-  bits[voter] = true;
-  return true;
+void ConsensusLedger::mask_node(std::uint32_t node, std::uint8_t kind,
+                                codec::ByteView first, codec::ByteView second) {
+  if (node >= masked_.size() || masked_[node]) return;
+  masked_[node] = true;
+  ++equivocations_detected_;
+  EquivocationEvidence ev;
+  ev.node = node;
+  ev.height = active_height();
+  ev.kind = kind;
+  ev.first = evidence_prefix(first);
+  ev.second = evidence_prefix(second);
+  evidence_.push_back(std::move(ev));
 }
+
+// --- Timers ------------------------------------------------------------------
 
 void ConsensusLedger::tick() {
   timers_.schedule_in(tick_interval_, [this] { tick(); });
@@ -151,11 +421,32 @@ void ConsensusLedger::tick() {
   try_commit();
 
   const sim::Time now = timers_.now();
+
+  if (cfg_.byz.forge_votes && !forged_this_height_ && work_seen_) {
+    // Byzantine: one impersonated vote (author != transport sender — every
+    // receiver rejects the frame outright) and one vote with a garbage
+    // signature (passes the identity gate, dies in batch verification).
+    forged_this_height_ = true;
+    wire::VoteMsg imp;
+    imp.height = active_height();
+    imp.round = cur_round_;
+    imp.voter = (cfg_.self + 1) % cfg_.n;
+    imp.hash.fill(0x42);
+    broadcast(wire::MsgType::kPrevote, wire::encode_vote(imp));
+    wire::VoteMsg garbage;
+    garbage.height = active_height();
+    garbage.round = cur_round_;
+    garbage.voter = cfg_.self;
+    garbage.hash.fill(0x66);
+    broadcast(wire::MsgType::kPrevote, wire::encode_vote(garbage));
+  }
+
   if (work_seen_ && now >= round_deadline_) {
     // No commit despite pending work: the round proposer looks dead. Ask to
     // skip (and re-ask every further timeout — skips may be lost too).
     skip_want_[cfg_.self] = std::max(skip_want_[cfg_.self], cur_round_ + 1);
-    const wire::RoundSkipMsg m{active_height(), cur_round_, cfg_.self};
+    wire::RoundSkipMsg m{active_height(), cur_round_, cfg_.self, {}};
+    m.sig = sign_skip(m);
     broadcast(wire::MsgType::kRoundSkip, wire::encode_round_skip(m));
     round_deadline_ = now + cfg_.timeout_propose;
     maybe_advance_round();
@@ -214,10 +505,35 @@ void ConsensusLedger::seal_and_broadcast_fresh() {
     block.txs.push_back(entry.tx);
     bytes += size;
   }
-  codec::Bytes raw =
+  codec::Bytes block_bytes =
       wire::encode_block(block.height, block.proposer, block_txs);
+  codec::Bytes raw =
+      wire::encode_signed_proposal(block_bytes, sign_proposal(block_bytes));
+
+  if (cfg_.byz.equivocate_proposals) {
+    // Byzantine: seal a SECOND, conflicting but validly signed payload for
+    // the same height and split the peers. We hold (and retransmit) the
+    // honest payload ourselves, so receivers of the alternate eventually see
+    // both and mask us.
+    wire::BlockMsg alt = block;
+    std::vector<const ledger::Transaction*> alt_txs = block_txs;
+    if (alt_txs.size() >= 2) {
+      std::reverse(alt_txs.begin(), alt_txs.end());
+      std::reverse(alt.txs.begin(), alt.txs.end());
+    } else {
+      alt_txs.clear();
+      alt.txs.clear();
+    }
+    codec::Bytes alt_bytes =
+        wire::encode_block(alt.height, alt.proposer, alt_txs);
+    codec::Bytes alt_raw =
+        wire::encode_signed_proposal(alt_bytes, sign_proposal(alt_bytes));
+    broadcast_split(wire::MsgType::kProposal, raw, alt_raw);
+  } else {
+    broadcast(wire::MsgType::kProposal, raw);
+  }
+
   const wire::ProposalHash hash = crypto::Sha256::hash(raw);
-  broadcast(wire::MsgType::kProposal, raw);
   proposals_.emplace(hash, HeldProposal{std::move(block), std::move(raw)});
   ++blocks_broadcast_;
   next_propose_time_ = timers_.now() + cfg_.block_interval;
@@ -239,9 +555,18 @@ void ConsensusLedger::maybe_prevote() {
   m.round = cur_round_;
   m.voter = cfg_.self;
   m.hash = hash;
+  m.sig = sign_vote(wire::MsgType::kPrevote, m);
   my_prevotes_[cur_round_] = m;
-  record_vote(prevotes_, m.round, m.hash, m.voter);
+  record_vote(prevotes_, m.round, m.hash, m.voter, m.sig);
   broadcast(wire::MsgType::kPrevote, wire::encode_vote(m));
+  if (cfg_.byz.double_vote) {
+    // Byzantine: a second validly signed prevote for a fabricated hash in
+    // the same round — the receivers must mask us, not count both.
+    wire::VoteMsg evil = m;
+    evil.hash[0] ^= 0xFF;
+    evil.sig = sign_vote(wire::MsgType::kPrevote, evil);
+    broadcast(wire::MsgType::kPrevote, wire::encode_vote(evil));
+  }
   check_polka();
 }
 
@@ -255,13 +580,14 @@ void ConsensusLedger::check_polka() {
   // and commit_block clears prevotes_ — sending mid-iteration would leave
   // this loop walking a destroyed map.
   std::vector<std::pair<std::uint32_t, wire::ProposalHash>> to_precommit;
-  for (const auto& [round, by_hash] : prevotes_) {
+  for (const auto& [round, rv] : prevotes_) {
     if (round > cur_round_) break;
-    for (const auto& [hash, bits] : by_hash) {
-      if (static_cast<std::uint32_t>(std::count(bits.begin(), bits.end(), true)) <
-          quorum()) {
-        continue;
-      }
+    std::map<wire::ProposalHash, std::uint32_t> tally;
+    for (const VoteSlot& slot : rv) {
+      if (slot.set) ++tally[slot.hash];
+    }
+    for (const auto& [hash, count] : tally) {
+      if (count < quorum()) continue;
       if (!lock_hash_ || round >= lock_round_) {
         lock_hash_ = hash;
         lock_round_ = round;
@@ -283,24 +609,45 @@ void ConsensusLedger::send_precommit(std::uint32_t round,
   m.round = round;
   m.voter = cfg_.self;
   m.hash = hash;
+  m.sig = sign_vote(wire::MsgType::kPrecommit, m);
   my_precommits_[round] = m;
-  record_vote(precommits_, m.round, m.hash, m.voter);
+  record_vote(precommits_, m.round, m.hash, m.voter, m.sig);
   broadcast(wire::MsgType::kPrecommit, wire::encode_vote(m));
+  if (cfg_.byz.double_vote) {
+    wire::VoteMsg evil = m;
+    evil.hash[0] ^= 0xFF;
+    evil.sig = sign_vote(wire::MsgType::kPrecommit, evil);
+    broadcast(wire::MsgType::kPrecommit, wire::encode_vote(evil));
+  }
   try_commit();
 }
 
 void ConsensusLedger::try_commit() {
-  for (const auto& [round, by_hash] : precommits_) {
-    for (const auto& [hash, bits] : by_hash) {
-      if (static_cast<std::uint32_t>(std::count(bits.begin(), bits.end(), true)) <
-          quorum()) {
-        continue;
-      }
+  for (const auto& [round, rv] : precommits_) {
+    std::map<wire::ProposalHash, std::uint32_t> tally;
+    for (const VoteSlot& slot : rv) {
+      if (slot.set) ++tally[slot.hash];
+    }
+    for (const auto& [hash, count] : tally) {
+      if (count < quorum()) continue;
       const auto it = proposals_.find(hash);
       if (it == proposals_.end()) continue;  // retransmission will deliver it
+      // Assemble the commit certificate from the quorum's own signatures
+      // (slots are voter-indexed, so the voter ids come out ascending — the
+      // strictly-increasing wire rule holds by construction).
+      std::vector<wire::CommitVote> cert_votes;
+      cert_votes.reserve(count);
+      for (std::uint32_t voter = 0; voter < cfg_.n; ++voter) {
+        const VoteSlot& slot = rv[voter];
+        if (slot.set && slot.hash == hash) {
+          cert_votes.push_back(wire::CommitVote{voter, slot.sig});
+        }
+      }
       // Move the payload out first: commit_block resets proposals_.
       const HeldProposal held = std::move(it->second);
-      commit_block(held.block, held.raw);
+      const codec::Bytes cert =
+          wire::encode_certified_block(held.raw, round, cert_votes);
+      commit_block(held.block, cert);
       return;
     }
   }
@@ -310,8 +657,8 @@ void ConsensusLedger::maybe_advance_round() {
   bool advanced = false;
   for (;;) {
     std::uint32_t wanting = 0;
-    for (const auto want : skip_want_) {
-      if (want > cur_round_) ++wanting;
+    for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+      if (!masked_[i] && skip_want_[i] > cur_round_) ++wanting;
     }
     if (wanting < skip_quorum()) break;
     ++cur_round_;
@@ -347,7 +694,8 @@ void ConsensusLedger::retransmit() {
   }
 }
 
-void ConsensusLedger::commit_block(const wire::BlockMsg& block, codec::ByteView raw) {
+void ConsensusLedger::commit_block(const wire::BlockMsg& block,
+                                   codec::ByteView cert_raw) {
   auto applied = std::make_shared<ledger::Block>();
   applied->height = block.height;
   applied->proposer = block.proposer;
@@ -370,15 +718,17 @@ void ConsensusLedger::commit_block(const wire::BlockMsg& block, codec::ByteView 
     }
     mempool_.swap(kept);
   }
-  raw_blocks_.emplace_back(raw.begin(), raw.end());
+  raw_blocks_.emplace_back(cert_raw.begin(), cert_raw.end());
   chain_.push_back(applied);
   applied_ = applied->height;
-  // WAL the exact committed payload (covers both the vote-quorum and the
-  // sync-response commit paths). Unset during recovery replay, so replayed
-  // blocks are never re-logged.
-  if (commit_hook_) commit_hook_(applied->height, raw);
+  // WAL the exact CERTIFIED payload (covers both the vote-quorum and the
+  // sync-response commit paths): recovery and sync receivers re-verify the
+  // certificate instead of trusting the bytes. Unset during recovery
+  // replay, so replayed blocks are never re-logged.
+  if (commit_hook_) commit_hook_(applied->height, cert_raw);
 
   // Fresh height: all consensus state was scoped to the one we just closed.
+  // The masked set and evidence are NOT reset — equivocation is forever.
   proposals_.clear();
   prevotes_.clear();
   precommits_.clear();
@@ -389,6 +739,7 @@ void ConsensusLedger::commit_block(const wire::BlockMsg& block, codec::ByteView 
   lock_hash_.reset();
   lock_round_ = 0;
   cur_round_ = 0;
+  forged_this_height_ = false;
   work_seen_ = !mempool_.empty();
   const sim::Time now = timers_.now();
   round_deadline_ = now + cfg_.timeout_propose;
@@ -396,8 +747,65 @@ void ConsensusLedger::commit_block(const wire::BlockMsg& block, codec::ByteView 
   retry_at_ = now + cfg_.retry_interval;
 
   if (app_cb_) app_cb_(*chain_.back());
+  replay_buffered_votes();
   maybe_propose();
   maybe_prevote();
+}
+
+void ConsensusLedger::replay_buffered_votes() {
+  FutureVotes buffered;
+  buffered.prevotes.swap(future_.prevotes);
+  buffered.precommits.swap(future_.precommits);
+  buffered.skips.swap(future_.skips);
+  future_.prevotes.assign(cfg_.n, std::nullopt);
+  future_.precommits.assign(cfg_.n, std::nullopt);
+  future_.skips.assign(cfg_.n, std::nullopt);
+  // Feed buffered votes back through the normal frame path: the identity
+  // gate, height checks and signature verification all re-run (the buffer
+  // holds claims, not facts).
+  for (const auto& v : buffered.prevotes) {
+    if (v) on_prevote(v->voter, *v);
+  }
+  for (const auto& v : buffered.precommits) {
+    if (v) on_precommit(v->voter, *v);
+  }
+  for (const auto& s : buffered.skips) {
+    if (s) on_round_skip(s->voter, *s);
+  }
+}
+
+// --- Certified-block verification (sync + recovery) --------------------------
+
+std::optional<wire::ProposalMsg> ConsensusLedger::check_certified(
+    codec::ByteView cert_payload) const {
+  auto cert = wire::parse_certified_block(cert_payload);
+  if (!cert) return std::nullopt;
+  auto prop = wire::parse_proposal(cert->proposal);
+  if (!prop) return std::nullopt;
+  if (prop->block.proposer >= cfg_.n) return std::nullopt;
+  if (cert->votes.size() < quorum()) return std::nullopt;
+  // Voter ids are strictly increasing (wire rule), so checking the last
+  // covers them all.
+  if (cert->votes.back().voter >= cfg_.n) return std::nullopt;
+  if (cfg_.pki) {
+    const wire::ProposalHash hash = crypto::Sha256::hash(cert->proposal);
+    const codec::Bytes prop_transcript = wire::proposal_transcript(
+        cfg_.cluster, codec::ByteView(cert->proposal).first(prop->block_bytes_len));
+    const codec::Bytes vote_transcript = wire::vote_transcript(
+        cfg_.cluster, wire::MsgType::kPrecommit, prop->block.height, cert->round,
+        hash);
+    std::vector<crypto::Pki::SignedMessage> items;
+    items.reserve(cert->votes.size() + 1);
+    items.push_back(crypto::Pki::SignedMessage{
+        prop->block.proposer, codec::ByteView(prop_transcript), &prop->sig});
+    for (const wire::CommitVote& v : cert->votes) {
+      items.push_back(crypto::Pki::SignedMessage{
+          v.voter, codec::ByteView(vote_transcript), &v.sig});
+    }
+    const crypto::Ed25519::BatchResult result = cfg_.pki->verify_batch(items);
+    if (!result.all_valid) return std::nullopt;
+  }
+  return prop;
 }
 
 void ConsensusLedger::sync_tick() {
@@ -427,25 +835,44 @@ void ConsensusLedger::on_sync_request(EndpointId from, const wire::BlockSyncRequ
     bytes += b.size();
     views.emplace_back(b);
   }
+  if (cfg_.byz.junk_sync) {
+    // Byzantine: serve certificate bytes with one flipped byte each. The
+    // receiver's check_certified must reject them without crashing (and
+    // count cert_rejects); its rotation then finds an honest server.
+    std::vector<codec::Bytes> mangled;
+    mangled.reserve(views.size());
+    for (const codec::ByteView v : views) {
+      codec::Bytes b(v.begin(), v.end());
+      if (!b.empty()) b[b.size() / 2] ^= 0x5A;
+      mangled.push_back(std::move(b));
+    }
+    std::vector<codec::ByteView> mangled_views;
+    mangled_views.reserve(mangled.size());
+    for (const codec::Bytes& b : mangled) mangled_views.emplace_back(b);
+    transport_.send(from, wire::MsgType::kBlockSyncResponse,
+                    wire::encode_block_sync_response(mangled_views));
+    return;
+  }
   transport_.send(from, wire::MsgType::kBlockSyncResponse,
                   wire::encode_block_sync_response(views));
 }
 
 void ConsensusLedger::on_sync_response(const wire::BlockSyncResponse& m) {
   for (const auto& payload : m.blocks) {
-    auto b = wire::parse_proposal(payload);
-    if (!b) return;
-    // Sync sources only serve COMMITTED blocks (honest peers, crash model),
-    // so apply directly; any in-flight consensus state for this height is
-    // abandoned by commit_block's reset.
-    if (b->block.height != active_height()) continue;
-    commit_block(b->block, b->raw);
+    // Verify the certificate, not the peer: a Byzantine server cannot feed
+    // a straggler a fabricated chain. One bad entry poisons the whole reply
+    // (the sender is lying or corrupt either way).
+    auto prop = check_certified(payload);
+    if (!prop) {
+      ++cert_rejects_;
+      return;
+    }
+    if (prop->block.height != active_height()) continue;
+    commit_block(prop->block, payload);
   }
 }
 
-namespace {
-constexpr std::uint8_t kConsensusStateVersion = 1;
-}
+// --- Durable state -----------------------------------------------------------
 
 void ConsensusLedger::serialize_state(codec::Writer& w) const {
   w.u8(kConsensusStateVersion);
@@ -456,6 +883,22 @@ void ConsensusLedger::serialize_state(codec::Writer& w) const {
   for (const std::string& key : committed_keys_) {
     w.lp_bytes(codec::ByteView(reinterpret_cast<const std::uint8_t*>(key.data()),
                                key.size()));
+  }
+  // v2: Byzantine defences survive restarts — an equivocator stays masked.
+  w.varint(equivocations_detected_);
+  std::vector<std::uint32_t> masked_ids;
+  for (std::uint32_t i = 0; i < masked_.size(); ++i) {
+    if (masked_[i]) masked_ids.push_back(i);
+  }
+  w.varint(masked_ids.size());
+  for (const std::uint32_t id : masked_ids) w.varint(id);
+  w.varint(evidence_.size());
+  for (const EquivocationEvidence& ev : evidence_) {
+    w.varint(ev.node);
+    w.varint(ev.height);
+    w.u8(ev.kind);
+    w.lp_bytes(ev.first);
+    w.lp_bytes(ev.second);
   }
 }
 
@@ -477,20 +920,54 @@ bool ConsensusLedger::restore_state(codec::Reader& r) {
     if (!key) return false;
     committed_keys_.emplace(reinterpret_cast<const char*>(key->data()), key->size());
   }
+  const auto equivocations = r.varint();
+  const auto masked_count = r.varint();
+  if (!equivocations || !masked_count || *masked_count > cfg_.n) return false;
+  equivocations_detected_ = *equivocations;
+  masked_.assign(cfg_.n, false);
+  for (std::uint64_t i = 0; i < *masked_count; ++i) {
+    const auto id = r.varint();
+    if (!id || *id >= cfg_.n) return false;
+    masked_[*id] = true;
+  }
+  const auto ev_count = r.varint();
+  if (!ev_count || *ev_count > cfg_.n) return false;
+  evidence_.clear();
+  for (std::uint64_t i = 0; i < *ev_count; ++i) {
+    EquivocationEvidence ev;
+    const auto node = r.varint();
+    const auto height = r.varint();
+    const auto kind = r.u8();
+    const auto first = r.lp_bytes();
+    const auto second = r.lp_bytes();
+    if (!node || *node >= cfg_.n || !height || !kind || *kind > 1 || !first ||
+        !second) {
+      return false;
+    }
+    ev.node = static_cast<std::uint32_t>(*node);
+    ev.height = *height;
+    ev.kind = *kind;
+    ev.first.assign(first->begin(), first->end());
+    ev.second.assign(second->begin(), second->end());
+    evidence_.push_back(std::move(ev));
+  }
   return true;
 }
 
 bool ConsensusLedger::restore_block(codec::ByteView payload) {
-  auto b = wire::parse_proposal(payload);
-  if (!b) return false;
-  if (b->block.height != active_height()) return false;
-  // The WAL record IS a committed proposal payload: reuse the sync-response
-  // commit path. The mempool is empty during recovery, so the propose /
-  // prevote kicks at the end of commit_block are no-ops, and the commit
-  // hook is not installed yet, so nothing is re-logged. Not-yet-started:
-  // skip_want_ may be empty, which assign() in commit_block handles.
+  // The WAL record IS a certified block: re-verify the certificate on
+  // replay (a corrupted or truncated ledger entry must not resurrect as
+  // committed state).
+  auto prop = check_certified(payload);
+  if (!prop) return false;
+  if (prop->block.height != active_height()) return false;
+  // Reuse the sync-response commit path. The mempool is empty during
+  // recovery, so the propose / prevote kicks at the end of commit_block are
+  // no-ops, and the commit hook is not installed yet, so nothing is
+  // re-logged. Not-yet-started: skip_want_ may be empty, which assign() in
+  // commit_block handles.
   if (skip_want_.size() != cfg_.n) skip_want_.assign(cfg_.n, 0);
-  commit_block(b->block, b->raw);
+  commit_block(prop->block, payload);
   return true;
 }
 

@@ -10,14 +10,49 @@
 #include <unordered_set>
 #include <vector>
 
+#include "crypto/pki.hpp"
 #include "net/wire_ledger.hpp"
 #include "sim/simulation.hpp"
 
 namespace setchain::net {
 
+/// Test-only adversarial behaviours of a ConsensusLedger instance: a live
+/// malicious variant for Byzantine-path tests (the honest code paths are
+/// untouched when no flag is set). The flags drive the equivocation /
+/// forgery scenarios in tests/net/consensus_cluster_test.cpp and the
+/// `--byz-consensus` smoke-test node.
+struct ConsensusByzantinePlan {
+  /// Seal TWO validly signed, conflicting proposals for one height and
+  /// split them between the peers (even ids get one, odd ids the other).
+  bool equivocate_proposals = false;
+  /// Follow every honest vote with a second validly signed vote for a
+  /// fabricated hash in the same round.
+  bool double_vote = false;
+  /// Broadcast votes that impersonate another voter and votes carrying
+  /// garbage signatures.
+  bool forge_votes = false;
+  /// Serve corrupted certified blocks to sync requesters.
+  bool junk_sync = false;
+
+  bool any() const {
+    return equivocate_proposals || double_vote || forge_votes || junk_sync;
+  }
+};
+
+/// Retained proof of one equivocation: the two conflicting signed messages
+/// (truncated to a bounded prefix — enough to identify, not to replay an
+/// 8 MiB payload pair from memory forever). One record per masked node.
+struct EquivocationEvidence {
+  std::uint32_t node = 0;
+  std::uint64_t height = 0;
+  std::uint8_t kind = 0;  ///< 0 = conflicting votes, 1 = conflicting proposals
+  codec::Bytes first;
+  codec::Bytes second;
+};
+
 struct ConsensusLedgerConfig {
   std::uint32_t n = 4;
-  std::uint32_t f = 1;  ///< crash-fault tolerance target (n >= 3f+1)
+  std::uint32_t f = 1;  ///< fault-tolerance target (n >= 3f+1)
   std::uint32_t self = 0;
   /// Pacing for FRESH proposals: a proposer seals a new block from its
   /// mempool at most this often (same role as the sequencer's seal tick).
@@ -33,46 +68,86 @@ struct ConsensusLedgerConfig {
   sim::Time retry_interval = sim::from_millis(400);
   sim::Time sync_interval = sim::from_millis(400);
   std::size_t max_sync_blocks = 64;
+  /// Node keys (paper PKI): proposals and votes are signed with the
+  /// sender's key and verified against the claimed author's. Null disables
+  /// signing/verification (bare unit harnesses only — a live NodeHost
+  /// always provides one).
+  const crypto::Pki* pki = nullptr;
+  /// cluster_id() of this deployment: mixed into every signing transcript,
+  /// so signatures never replay across deployments.
+  std::uint64_t cluster = 0;
+  ConsensusByzantinePlan byz;  ///< test-only; default = honest
 };
 
 /// Wire-level consensus block ledger: the CometbftSim state machine
 /// (src/ledger/consensus.hpp) ported onto real frames, replacing the fixed
-/// sequencer so a live cluster keeps the paper's f-tolerance — any f crashed
+/// sequencer so a live cluster keeps the paper's f-tolerance — any f failed
 /// nodes (including every would-be proposer) and epochs keep committing.
 ///
-/// Crash-fault Tendermint-lite, one active height H = applied+1 at a time:
+/// AUTHENTICATED Tendermint-lite, one active height H = applied+1 at a time.
+/// Every consensus frame is signed with the author's Ed25519 key from the
+/// PKI, over a domain-separated transcript that mixes the cluster id (and,
+/// for votes, the frame type) — see wire.hpp transcripts. The threat model
+/// (docs/ARCHITECTURE.md): up to f Byzantine servers may equivocate, forge,
+/// replay, or corrupt frames; they can no longer impersonate another server
+/// or split honest nodes onto conflicting commits.
 ///
 ///  * proposer_for(H, r) = (H + r) % n. The round-r proposer broadcasts a
-///    kProposal (payload layout == kBlock); everyone hashes the payload
-///    bytes (SHA-256) and votes on the hash, so ANY holder can retransmit
-///    the original bytes past a crashed proposer.
+///    kProposal (block bytes ‖ proposer signature); everyone hashes the
+///    FULL payload bytes (SHA-256) and votes on the hash, so ANY holder can
+///    retransmit the original bytes past a crashed proposer while the
+///    signature still binds the payload to the scheduled proposer
+///    (proposer_for visits every id, so an in-range `proposer` field names
+///    the rounds r ≡ proposer − H (mod n) that node is scheduled for; the
+///    signature makes the claim unforgeable).
 ///  * Each node prevotes at most once per round: its locked hash if locked,
 ///    else the lowest proposal hash it holds (a deterministic tie-break that
 ///    needs no leader), else it waits. 2f+1 prevotes for one (round, hash)
 ///    form a polka: the node locks that hash and precommits it, once per
 ///    round. 2f+1 precommits for one (round, hash) commit the proposal —
 ///    applied when the payload is held (retransmission fetches it if not).
+///  * Votes are verified in batches: structurally valid signed votes queue
+///    and a zero-delay drain runs ONE Ed25519::verify_batch over everything
+///    that arrived together, then applies the valid ones (invalid
+///    signatures count into vote_sig_rejects() and are dropped).
+///  * Equivocation: a voter whose two validly signed votes name different
+///    hashes for one (height, round), or a proposer with two validly signed
+///    payloads for one height, is PERMANENTLY masked — its votes and skips
+///    are ignored from then on, the conflict is counted
+///    (equivocations_detected()) and the conflicting evidence retained
+///    (evidence()). The first recorded vote stands: honest voters vote once
+///    per round, so any two 2f+1 quorums still intersect in an honest
+///    voter and conflicting commits remain impossible. The masked set and
+///    evidence survive restarts (state snapshot v2). Payloads from a masked
+///    proposer are still usable as commit candidates (content is
+///    client-submitted either way); holding is capped at 2 payloads per
+///    proposer per height — lower hashes evict higher ones — so an
+///    equivocator cannot balloon memory, and the lowest-hash prevote rule
+///    still converges. A node missing an evicted payload that later gets a
+///    commit quorum heals via certified block sync like any straggler.
 ///  * Locks persist across rounds within a height and are never released
-///    (no unlock rule): a locked node only ever prevotes its lock, which
-///    gives safety under crash faults without vote justifications. A
+///    (no unlock rule): a locked node only ever prevotes its lock. A
 ///    minority (<= f) stuck locked on a hash the majority abandoned heals
 ///    via block sync once the majority commits.
 ///  * Dead proposer: when work is pending and timeout_propose elapses with
-///    no commit, a node broadcasts kRoundSkip for its current round and
-///    rebroadcasts it every further timeout. Skip wishes from f+1 distinct
-///    nodes (self included) advance the round; the new proposer rebroadcasts
-///    its locked/held proposal rather than sealing fresh, so one height
-///    converges on one payload.
+///    no commit, a node broadcasts a signed kRoundSkip for its current
+///    round and rebroadcasts it every further timeout. Skip wishes from f+1
+///    distinct unmasked nodes (self included) advance the round.
+///  * Votes one height AHEAD are buffered (one per voter per frame type)
+///    and re-validated when the height advances — a node one commit behind
+///    no longer eats a full timeout because its peers' precommits arrived
+///    early (votes_buffered() / votes_dropped_ahead() count the traffic).
 ///  * Submissions gossip: append() broadcasts kTxSubmit to every peer and
 ///    retransmits with capped backoff until the tx's content key lands in a
 ///    committed block; receivers dedup against mempool + committed history,
-///    and commits prune the mempool, so every correct proposer eventually
-///    holds (or has committed) every submission — P10 inclusion without a
+///    and commits prune the mempool — P10 inclusion without a
 ///    distinguished node.
-///  * Catch-up: committed proposal payloads are archived verbatim and served
-///    byte-identical via rotating kBlockSyncRequest pulls; sync responses
-///    commit directly (peers are honest in the crash model), which is also
-///    how a lagging or stuck-locked node rejoins the active height.
+///  * Catch-up: commits are archived as CERTIFIED blocks (proposal + the
+///    2f+1 signed precommits that committed it) and served byte-identical
+///    via rotating kBlockSyncRequest pulls. A sync receiver verifies the
+///    certificate (proposer signature + quorum of valid precommit
+///    signatures) before applying — a Byzantine peer can no longer feed a
+///    straggler a fabricated chain.
 ///
 /// Single-threaded like everything in src/net: frames and timer ticks run on
 /// the owning NodeHost's simulation loop.
@@ -93,7 +168,7 @@ class ConsensusLedger final : public IWireLedger {
   // Frame entry points (NodeHost routes inbound frames here).
   void on_tx_submit(EndpointId from, wire::TxSubmit&& m) override;
   /// kBlock is not part of the consensus dialect (blocks travel as
-  /// committed kProposal payloads inside sync responses): always false.
+  /// certified proposals inside sync responses): always false.
   bool on_block_frame(codec::ByteView payload) override;
   void on_sync_request(EndpointId from, const wire::BlockSyncRequest& m) override;
   void on_sync_response(const wire::BlockSyncResponse& m) override;
@@ -123,6 +198,23 @@ class ConsensusLedger final : public IWireLedger {
     return static_cast<std::uint32_t>((height1based + round) % cfg_.n);
   }
 
+  // Byzantine-defence observability (tests, tooling, smoke greps).
+  std::uint64_t equivocations_detected() const { return equivocations_detected_; }
+  std::uint64_t vote_sig_rejects() const { return vote_sig_rejects_; }
+  std::uint64_t cert_rejects() const { return cert_rejects_; }
+  std::uint64_t votes_buffered() const { return votes_buffered_; }
+  std::uint64_t votes_dropped_ahead() const { return votes_dropped_ahead_; }
+  bool masked(std::uint32_t node) const {
+    return node < masked_.size() && masked_[node];
+  }
+  std::uint32_t masked_count() const;
+  const std::vector<EquivocationEvidence>& evidence() const { return evidence_; }
+  /// Bounded-bookkeeping probe: rounds currently tracked across both vote
+  /// maps (each holds exactly one fixed-size slot vector per round).
+  std::size_t vote_rounds_tracked() const {
+    return prevotes_.size() + precommits_.size();
+  }
+
  private:
   struct MempoolEntry {
     std::string key;  ///< tx_dedup_key
@@ -136,10 +228,32 @@ class ConsensusLedger final : public IWireLedger {
   };
   struct HeldProposal {
     wire::BlockMsg block;
-    codec::Bytes raw;  ///< exact payload bytes (hash preimage; sync source)
+    codec::Bytes raw;  ///< exact payload bytes (hash preimage; retransmit unit)
   };
-  /// Votes for one (round, hash): one slot per voter.
-  using VoteBits = std::vector<bool>;
+  /// The one recorded vote of a voter in a round. A second hash from the
+  /// same voter is equivocation, not a second entry — this is what bounds
+  /// the vote maps at one slot per voter per round.
+  struct VoteSlot {
+    bool set = false;
+    wire::ProposalHash hash{};
+    crypto::Ed25519::Signature sig{};
+  };
+  using RoundVotes = std::vector<VoteSlot>;  ///< indexed by voter, size n
+
+  /// A structurally valid signed vote/skip awaiting batch verification.
+  struct PendingVote {
+    wire::MsgType type = wire::MsgType::kPrevote;
+    wire::VoteMsg vote;       ///< kRoundSkip rides here with hash zeroed
+    codec::Bytes transcript;  ///< signing transcript (stable for the batch)
+  };
+
+  /// Buffered votes for height active+1, one slot per voter per frame
+  /// type; replayed through the normal handlers when the height advances.
+  struct FutureVotes {
+    std::vector<std::optional<wire::VoteMsg>> prevotes;
+    std::vector<std::optional<wire::VoteMsg>> precommits;
+    std::vector<std::optional<wire::RoundSkipMsg>> skips;
+  };
 
   std::uint32_t quorum() const { return 2 * cfg_.f + 1; }
   std::uint32_t skip_quorum() const { return cfg_.f + 1; }
@@ -154,15 +268,42 @@ class ConsensusLedger final : public IWireLedger {
   void retransmit();
   void note_work();  ///< first work for this height arms the round deadline
   void broadcast(wire::MsgType type, codec::ByteView payload);
+  /// Byzantine splits: even-id peers get `even`, odd-id peers get `odd`.
+  void broadcast_split(wire::MsgType type, codec::ByteView even, codec::ByteView odd);
   void seal_and_broadcast_fresh();
-  /// Record a (pre)vote; returns true if newly set.
-  bool record_vote(std::map<std::uint32_t, std::map<wire::ProposalHash, VoteBits>>& rounds,
-                   std::uint32_t round, const wire::ProposalHash& hash,
-                   std::uint32_t voter);
+
+  // Signing / verification.
+  crypto::Ed25519::Signature sign_proposal(codec::ByteView block_bytes) const;
+  crypto::Ed25519::Signature sign_vote(wire::MsgType type, const wire::VoteMsg& m) const;
+  crypto::Ed25519::Signature sign_skip(const wire::RoundSkipMsg& m) const;
+  /// Shared vote/skip frame entry: identity and height gating, future-height
+  /// buffering, then the batch-verify queue. `type` selects the handler the
+  /// verified vote is applied through.
+  bool on_vote_frame(wire::MsgType type, EndpointId from, const wire::VoteMsg& m);
+  void enqueue_verify(wire::MsgType type, const wire::VoteMsg& m);
+  void drain_verify();
+  /// Apply one signature-checked vote (or reject it). Re-validates height /
+  /// round / masking: the world may have moved while the vote sat in the
+  /// verification queue.
+  void apply_vote(wire::MsgType type, const wire::VoteMsg& m, bool sig_valid);
+  /// Record a verified (pre)vote; returns true if newly set. Detects and
+  /// masks vote equivocation.
+  bool record_vote(std::map<std::uint32_t, RoundVotes>& rounds, std::uint32_t round,
+                   const wire::ProposalHash& hash, std::uint32_t voter,
+                   const crypto::Ed25519::Signature& sig);
+  /// Permanently mask `node` for equivocation; keeps the first evidence.
+  void mask_node(std::uint32_t node, std::uint8_t kind, codec::ByteView first,
+                 codec::ByteView second);
   void send_precommit(std::uint32_t round, const wire::ProposalHash& hash);
   void maybe_advance_round();
-  /// Apply a committed proposal at active_height() and reset per-height state.
-  void commit_block(const wire::BlockMsg& block, codec::ByteView raw);
+  /// Verify a certified block (parse + proposer signature + precommit
+  /// quorum); returns the materialized proposal on success.
+  std::optional<wire::ProposalMsg> check_certified(codec::ByteView cert_payload) const;
+  /// Apply a committed proposal at active_height() and reset per-height
+  /// state. `cert_raw` is the certified-block payload that proves the
+  /// commit — it is what gets archived, WAL-logged, and served to sync.
+  void commit_block(const wire::BlockMsg& block, codec::ByteView cert_raw);
+  void replay_buffered_votes();
 
   ConsensusLedgerConfig cfg_;
   sim::Simulation& timers_;
@@ -172,9 +313,9 @@ class ConsensusLedger final : public IWireLedger {
   // Committed state.
   ledger::TxTable table_;
   std::deque<std::shared_ptr<ledger::Block>> chain_;
-  /// Committed proposal payloads, byte-identical to what was voted on;
-  /// raw_blocks_[h-1-raw_base_] is what sync serves for height h. Heights
-  /// <= raw_base_ were compacted into a snapshot and are gone.
+  /// Committed CERTIFIED block payloads, byte-identical to what was
+  /// verified; raw_blocks_[h-1-raw_base_] is what sync serves for height h.
+  /// Heights <= raw_base_ were compacted into a snapshot and are gone.
   std::deque<codec::Bytes> raw_blocks_;
   std::function<void(const ledger::Block&)> app_cb_;
   std::uint64_t applied_ = 0;
@@ -189,8 +330,8 @@ class ConsensusLedger final : public IWireLedger {
 
   // Per-height consensus state, reset by commit_block.
   std::map<wire::ProposalHash, HeldProposal> proposals_;  ///< begin() = lowest hash
-  std::map<std::uint32_t, std::map<wire::ProposalHash, VoteBits>> prevotes_;
-  std::map<std::uint32_t, std::map<wire::ProposalHash, VoteBits>> precommits_;
+  std::map<std::uint32_t, RoundVotes> prevotes_;
+  std::map<std::uint32_t, RoundVotes> precommits_;
   std::map<std::uint32_t, wire::VoteMsg> my_prevotes_;    ///< round -> vote sent
   std::map<std::uint32_t, wire::VoteMsg> my_precommits_;  ///< round -> vote sent
   std::set<std::uint32_t> proposed_rounds_;
@@ -205,6 +346,19 @@ class ConsensusLedger final : public IWireLedger {
   sim::Time next_propose_time_ = 0;  ///< fresh-seal pacing
   sim::Time retry_at_ = 0;
   std::uint32_t retry_attempt_ = 0;
+
+  // Byzantine defences (masking persists across heights and restarts).
+  std::vector<bool> masked_;
+  std::vector<EquivocationEvidence> evidence_;
+  std::uint64_t equivocations_detected_ = 0;
+  std::uint64_t vote_sig_rejects_ = 0;
+  std::uint64_t cert_rejects_ = 0;
+  std::uint64_t votes_buffered_ = 0;
+  std::uint64_t votes_dropped_ahead_ = 0;
+  std::deque<PendingVote> pending_verify_;
+  bool verify_scheduled_ = false;
+  FutureVotes future_;
+  bool forged_this_height_ = false;  ///< byz.forge_votes pacing
 
   std::uint64_t appended_ = 0;
   std::uint64_t blocks_broadcast_ = 0;  ///< fresh proposals sealed here

@@ -40,6 +40,20 @@ bool LoopbackHub::route(EndpointId from, EndpointId to, wire::MsgType type,
       return true;  // "sent", then lost in transit — like a dead TCP conn
     }
     extra = verdict.extra_delay;
+    if (verdict.corrupt) {
+      // Deterministic in-flight mangling: flip the final byte (for signed
+      // consensus frames that is the signature tail) and one byte in the
+      // middle of the payload. The header is left intact when a payload
+      // exists, so the damage reaches the parsers and signature checks
+      // rather than dying at the framer every time.
+      frame_bytes.back() ^= 0xA5;
+      if (frame_bytes.size() > wire::kHeaderSize + 1) {
+        const std::size_t mid =
+            wire::kHeaderSize + (frame_bytes.size() - wire::kHeaderSize) / 2;
+        frame_bytes[mid] ^= 0x5A;
+      }
+      ++corrupted_;
+    }
   }
   sim_.schedule_in(latency_ + extra,
                    [this, from, to, bytes = std::move(frame_bytes)]() mutable {

@@ -54,6 +54,7 @@ class LoopbackHub {
   sim::Simulation& simulation() { return sim_; }
   std::uint32_t size() const { return n_; }
   std::uint64_t frames_dropped() const { return dropped_; }
+  std::uint64_t frames_corrupted() const { return corrupted_; }
 
  private:
   friend class LoopbackTransport;
@@ -67,6 +68,7 @@ class LoopbackHub {
   std::unordered_map<EndpointId, FrameHandler> clients_;
   EndpointId next_client_ = kClientEndpointBase;
   std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
 };
 
 /// ITransport face of one hub node. send() encodes the frame to real bytes

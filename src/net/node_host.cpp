@@ -10,7 +10,9 @@ namespace {
 
 std::unique_ptr<IWireLedger> make_ledger(const NodeHostConfig& cfg,
                                          sim::Simulation& sim,
-                                         ITransport& transport) {
+                                         ITransport& transport,
+                                         const crypto::Pki* pki,
+                                         std::uint64_t cluster) {
   if (cfg.ledger_mode == runner::LedgerMode::kConsensus) {
     ConsensusLedgerConfig lc;
     lc.n = cfg.n;
@@ -21,6 +23,14 @@ std::unique_ptr<IWireLedger> make_ledger(const NodeHostConfig& cfg,
     lc.timeout_propose = cfg.timeout_propose;
     lc.retry_interval = cfg.retry_interval;
     lc.sync_interval = cfg.sync_interval;
+    lc.pki = pki;
+    lc.cluster = cluster;
+    if (cfg.byz_consensus) {
+      lc.byz.equivocate_proposals = true;
+      lc.byz.double_vote = true;
+      lc.byz.forge_votes = true;
+      lc.byz.junk_sync = true;
+    }
     return std::make_unique<ConsensusLedger>(lc, sim, transport);
   }
   ReplicatedLedgerConfig lc;
@@ -44,7 +54,7 @@ NodeHost::NodeHost(NodeHostConfig cfg, sim::Simulation& sim, ITransport& transpo
       cluster_(cluster_id_of(cfg)),
       pki_(cfg.seed),
       cpus_(cfg.n),
-      ledger_(make_ledger(cfg, sim, transport)) {
+      ledger_(make_ledger(cfg, sim, transport, &pki_, cluster_)) {
   // Shared deterministic PKI: servers 0..n-1 plus the advertised client id
   // range. Every process of the cluster derives the same keys from the seed.
   for (crypto::ProcessId p = 0; p < cfg_.n + cfg_.client_slots; ++p) {

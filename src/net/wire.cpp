@@ -1,5 +1,7 @@
 #include "net/wire.hpp"
 
+#include <string_view>
+
 #include "sim/rng.hpp"
 
 namespace setchain::net::wire {
@@ -160,9 +162,12 @@ std::uint64_t cluster_id(std::uint64_t seed, std::uint32_t n, std::uint32_t f,
        algorithm;
   v ^= sim::splitmix64(s);
   // Folded as an extra mixing stage so mode-0 (fixed sequencer) ids are
-  // byte-identical to the historical four-parameter derivation.
+  // byte-identical to the historical four-parameter derivation. The dialect
+  // revision rides in the same stage: a consensus binary speaking an older
+  // frame layout derives a different id and is refused at Hello.
   if (ledger_mode != 0) {
     s ^= static_cast<std::uint64_t>(ledger_mode) << 16;
+    s ^= static_cast<std::uint64_t>(kConsensusWireRevision) << 24;
     v ^= sim::splitmix64(s);
   }
   return v;
@@ -445,6 +450,26 @@ std::optional<ledger::Transaction> get_tx(codec::Reader& r) {
   return tx;
 }
 
+/// Block grammar shared by kBlock and the signed kProposal prefix. Does NOT
+/// require the reader to be exhausted — the caller decides what follows.
+std::optional<BlockView> get_block_view(codec::Reader& r) {
+  BlockView m;
+  const auto height = r.varint();
+  const auto proposer = r.varint();
+  const auto count = r.varint();
+  if (!height || *height == 0 || !proposer || !count) return std::nullopt;
+  if (*proposer > 0xFFFFFFFFull || *count > kMaxListCount) return std::nullopt;
+  m.height = *height;
+  m.proposer = static_cast<std::uint32_t>(*proposer);
+  m.txs.reserve(reserve_bound(r, *count, kMinTxBytes));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto tx = get_tx_view(r);
+    if (!tx) return std::nullopt;
+    m.txs.push_back(*tx);
+  }
+  return m;
+}
+
 }  // namespace
 
 codec::Bytes encode_tx_submit(const ledger::Transaction& tx) {
@@ -472,21 +497,9 @@ codec::Bytes encode_block(std::uint64_t height, std::uint32_t proposer,
 
 std::optional<BlockView> parse_block_view(codec::ByteView payload) {
   codec::Reader r(payload);
-  BlockView m;
-  const auto height = r.varint();
-  const auto proposer = r.varint();
-  const auto count = r.varint();
-  if (!height || *height == 0 || !proposer || !count) return std::nullopt;
-  if (*proposer > 0xFFFFFFFFull || *count > kMaxListCount) return std::nullopt;
-  m.height = *height;
-  m.proposer = static_cast<std::uint32_t>(*proposer);
-  m.txs.reserve(reserve_bound(r, *count, kMinTxBytes));
-  for (std::uint64_t i = 0; i < *count; ++i) {
-    auto tx = get_tx_view(r);
-    if (!tx) return std::nullopt;
-    m.txs.push_back(*tx);
-  }
-  return finish(r, std::move(m));
+  auto m = get_block_view(r);
+  if (!m) return std::nullopt;
+  return finish(r, std::move(*m));
 }
 
 std::optional<BlockMsg> parse_block(codec::ByteView payload) {
@@ -540,21 +553,57 @@ std::optional<BlockSyncResponse> parse_block_sync_response(codec::ByteView paylo
   return finish(r, std::move(m));
 }
 
-std::optional<ProposalMsg> parse_proposal(codec::ByteView payload) {
-  // One layout with kBlock, but the raw bytes are retained: they are the
-  // preimage of the proposal hash and must be retransmittable verbatim.
-  auto block = parse_block(payload);
+std::optional<SignedProposalView> parse_signed_proposal_view(codec::ByteView payload) {
+  codec::Reader r(payload);
+  auto block = get_block_view(r);
   if (!block) return std::nullopt;
-  ProposalMsg m;
+  SignedProposalView m;
   m.block = std::move(*block);
+  m.block_bytes = payload.first(r.position());
+  const auto sig = r.bytes(m.sig.size());
+  if (!sig) return std::nullopt;
+  std::copy(sig->begin(), sig->end(), m.sig.begin());
+  return finish(r, std::move(m));
+}
+
+std::optional<ProposalMsg> parse_proposal(codec::ByteView payload) {
+  // Wrapper over the view parser — one grammar, so the owning and the
+  // zero-copy parsers accept exactly the same byte strings (a retransmitter
+  // of a payload the view parser accepted can never be blamed here). The
+  // raw bytes are retained: they are the preimage of the proposal hash and
+  // must be retransmittable verbatim.
+  const auto v = parse_signed_proposal_view(payload);
+  if (!v) return std::nullopt;
+  ProposalMsg m;
+  m.block.height = v->block.height;
+  m.block.proposer = v->block.proposer;
+  m.block.txs.reserve(v->block.txs.size());
+  for (const auto& t : v->block.txs) {
+    ledger::Transaction tx;
+    tx.kind = t.kind;
+    tx.wire_size = t.wire_size;
+    tx.data.assign(t.data.begin(), t.data.end());
+    m.block.txs.push_back(std::move(tx));
+  }
   m.raw.assign(payload.begin(), payload.end());
+  m.block_bytes_len = v->block_bytes.size();
+  m.sig = v->sig;
   return m;
+}
+
+codec::Bytes encode_signed_proposal(codec::ByteView block_bytes,
+                                    const crypto::Ed25519::Signature& sig) {
+  codec::Writer w;
+  w.bytes(block_bytes);
+  w.bytes(codec::ByteView(sig.data(), sig.size()));
+  return w.take();
 }
 
 codec::Bytes encode_vote(const VoteMsg& m) {
   codec::Writer w;
   w.varint(m.height).varint(m.round).varint(m.voter);
   w.bytes(codec::ByteView(m.hash.data(), m.hash.size()));
+  w.bytes(codec::ByteView(m.sig.data(), m.sig.size()));
   return w.take();
 }
 
@@ -568,16 +617,20 @@ std::optional<VoteMsg> parse_vote(codec::ByteView payload) {
   if (*round > 0xFFFFFFFFull || *voter > 0xFFFFFFFFull) return std::nullopt;
   const auto hash = r.bytes(m.hash.size());
   if (!hash) return std::nullopt;
+  std::copy(hash->begin(), hash->end(), m.hash.begin());
+  const auto sig = r.bytes(m.sig.size());
+  if (!sig) return std::nullopt;
+  std::copy(sig->begin(), sig->end(), m.sig.begin());
   m.height = *height;
   m.round = static_cast<std::uint32_t>(*round);
   m.voter = static_cast<std::uint32_t>(*voter);
-  std::copy(hash->begin(), hash->end(), m.hash.begin());
   return finish(r, std::move(m));
 }
 
 codec::Bytes encode_round_skip(const RoundSkipMsg& m) {
   codec::Writer w;
   w.varint(m.height).varint(m.round).varint(m.voter);
+  w.bytes(codec::ByteView(m.sig.data(), m.sig.size()));
   return w.take();
 }
 
@@ -589,9 +642,101 @@ std::optional<RoundSkipMsg> parse_round_skip(codec::ByteView payload) {
   const auto voter = r.varint();
   if (!height || *height == 0 || !round || !voter) return std::nullopt;
   if (*round > 0xFFFFFFFFull || *voter > 0xFFFFFFFFull) return std::nullopt;
+  const auto sig = r.bytes(m.sig.size());
+  if (!sig) return std::nullopt;
+  std::copy(sig->begin(), sig->end(), m.sig.begin());
   m.height = *height;
   m.round = static_cast<std::uint32_t>(*round);
   m.voter = static_cast<std::uint32_t>(*voter);
+  return finish(r, std::move(m));
+}
+
+namespace {
+
+// Transcript domain tags. Distinct per message family; the trailing
+// revision digit moves with kConsensusWireRevision so a transcript from an
+// older dialect never verifies under a newer one.
+constexpr std::string_view kProposalDomain = "SETC/consensus/proposal/2";
+constexpr std::string_view kVoteDomain = "SETC/consensus/vote/2";
+constexpr std::string_view kSkipDomain = "SETC/consensus/skip/2";
+
+void put_domain(codec::Writer& w, std::string_view d) {
+  w.bytes(codec::ByteView(reinterpret_cast<const std::uint8_t*>(d.data()), d.size()));
+}
+
+/// Smallest certificate vote entry: voter varint (>=1 byte) + 64-byte sig.
+constexpr std::size_t kMinCommitVoteBytes = 65;
+
+}  // namespace
+
+codec::Bytes proposal_transcript(std::uint64_t cluster, codec::ByteView block_bytes) {
+  codec::Writer w;
+  put_domain(w, kProposalDomain);
+  w.u64le(cluster);
+  w.bytes(block_bytes);
+  return w.take();
+}
+
+codec::Bytes vote_transcript(std::uint64_t cluster, MsgType type,
+                             std::uint64_t height, std::uint32_t round,
+                             const ProposalHash& hash) {
+  codec::Writer w;
+  put_domain(w, kVoteDomain);
+  w.u64le(cluster);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64le(height).u32le(round);
+  w.bytes(codec::ByteView(hash.data(), hash.size()));
+  return w.take();
+}
+
+codec::Bytes round_skip_transcript(std::uint64_t cluster, std::uint64_t height,
+                                   std::uint32_t round) {
+  codec::Writer w;
+  put_domain(w, kSkipDomain);
+  w.u64le(cluster);
+  w.u64le(height).u32le(round);
+  return w.take();
+}
+
+codec::Bytes encode_certified_block(codec::ByteView proposal, std::uint32_t round,
+                                    const std::vector<CommitVote>& votes) {
+  codec::Writer w;
+  w.lp_bytes(proposal);
+  w.varint(round);
+  w.varint(votes.size());
+  for (const auto& v : votes) {
+    w.varint(v.voter);
+    w.bytes(codec::ByteView(v.sig.data(), v.sig.size()));
+  }
+  return w.take();
+}
+
+std::optional<CertifiedBlockMsg> parse_certified_block(codec::ByteView payload) {
+  codec::Reader r(payload);
+  CertifiedBlockMsg m;
+  const auto proposal = r.lp_bytes();
+  if (!proposal || proposal->empty()) return std::nullopt;
+  m.proposal.assign(proposal->begin(), proposal->end());
+  const auto round = r.varint();
+  const auto count = r.varint();
+  if (!round || *round > 0xFFFFFFFFull || !count || *count > kMaxListCount) {
+    return std::nullopt;
+  }
+  m.round = static_cast<std::uint32_t>(*round);
+  m.votes.reserve(reserve_bound(r, *count, kMinCommitVoteBytes));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    CommitVote v;
+    const auto voter = r.varint();
+    if (!voter || *voter > 0xFFFFFFFFull) return std::nullopt;
+    v.voter = static_cast<std::uint32_t>(*voter);
+    // Strictly increasing voter ids: no voter can be counted twice toward
+    // the quorum, and verifiers get the entries pre-sorted.
+    if (!m.votes.empty() && v.voter <= m.votes.back().voter) return std::nullopt;
+    const auto sig = r.bytes(v.sig.size());
+    if (!sig) return std::nullopt;
+    std::copy(sig->begin(), sig->end(), v.sig.begin());
+    m.votes.push_back(v);
+  }
   return finish(r, std::move(m));
 }
 

@@ -10,6 +10,7 @@
 #include "core/element.hpp"
 #include "core/epoch_record.hpp"
 #include "core/proofs.hpp"
+#include "crypto/ed25519.hpp"
 #include "ledger/transaction.hpp"
 
 namespace setchain::net::wire {
@@ -148,6 +149,14 @@ class FrameReader {
 // or trailing garbage (the payload must be consumed exactly).
 // ---------------------------------------------------------------------------
 
+/// Consensus wire dialect revision. Bumped when the consensus frame layouts
+/// (kProposal/kPrevote/kPrecommit/kRoundSkip and the certified-block sync
+/// payload) change incompatibly; mixed into cluster_id() for non-sequencer
+/// modes so old consensus binaries are cleanly rejected at the Hello
+/// handshake instead of mis-parsing signed frames. Revision 2 = signed
+/// consensus frames (Ed25519 over domain-separated transcripts).
+inline constexpr std::uint8_t kConsensusWireRevision = 2;
+
 /// Identifies a cluster instance: every process derives the same value from
 /// the shared (seed, n, f, algorithm, ledger_mode) deployment parameters, so
 /// a daemon refuses peers/clients configured for a different cluster.
@@ -155,6 +164,8 @@ class FrameReader {
 /// historical value — ids for mode 0 are unchanged from v1 four-parameter
 /// derivations): a consensus-mode daemon and a sequencer-mode daemon can
 /// never join one cluster and deadlock on each other's ledger traffic.
+/// Non-zero modes additionally mix kConsensusWireRevision, so binaries
+/// speaking different consensus dialects split into disjoint clusters.
 std::uint64_t cluster_id(std::uint64_t seed, std::uint32_t n, std::uint32_t f,
                          std::uint8_t algorithm, std::uint8_t ledger_mode = 0);
 
@@ -293,44 +304,120 @@ struct BlockSyncResponse {
 codec::Bytes encode_block_sync_response(const std::vector<codec::ByteView>& blocks);
 std::optional<BlockSyncResponse> parse_block_sync_response(codec::ByteView payload);
 
-/// kProposal: a consensus-mode block proposal. The payload layout is
-/// IDENTICAL to kBlock (height varint, proposer varint, tx count varint,
-/// txs) — a committed proposal IS the block. The 32-byte proposal hash that
-/// every vote carries is SHA-256 of these exact payload bytes, so ANY
-/// holder can retransmit the original bytes past a crashed proposer and
-/// the hash stays stable. No round field: a round-r' re-broadcast of a
-/// round-r proposal is byte-identical (prevote discipline, not the
-/// proposer field, carries the safety argument — see ConsensusLedger).
+/// kProposal: a consensus-mode block proposal, SIGNED by its proposer.
+/// Layout: block bytes (the kBlock layout: height varint, proposer varint,
+/// tx count varint, txs) followed by the proposer's 64-byte Ed25519
+/// signature over proposal_transcript(cluster, block bytes). The 32-byte
+/// proposal hash that every vote carries is SHA-256 of the FULL payload
+/// (block bytes ‖ signature), so ANY holder can retransmit the original
+/// bytes past a crashed proposer and the hash stays stable while the
+/// signature still binds the payload to its author. No round field: a
+/// round-r' re-broadcast of a round-r proposal is byte-identical (prevote
+/// discipline plus the signature, not the transport sender, carries the
+/// safety argument — see ConsensusLedger).
 struct ProposalMsg {
   BlockMsg block;
-  codec::Bytes raw;  ///< the exact payload bytes (the vote-hash preimage)
+  codec::Bytes raw;                  ///< exact payload bytes (vote-hash preimage)
+  std::size_t block_bytes_len = 0;   ///< prefix of `raw` the signature covers
+  crypto::Ed25519::Signature sig{};  ///< proposer signature (transcript-bound)
 };
 std::optional<ProposalMsg> parse_proposal(codec::ByteView payload);
-// Encoding a proposal is encode_block(): the payloads are one layout.
+
+/// Zero-copy kProposal: validates the identical grammar to parse_proposal
+/// (the owning parser is a wrapper over this one, so the two can never
+/// disagree on which bytes are well-formed — an honest retransmitter of a
+/// payload this parser accepted is never blamed for it downstream).
+struct SignedProposalView {
+  BlockView block;
+  codec::ByteView block_bytes;       ///< signed prefix of the payload
+  crypto::Ed25519::Signature sig{};
+};
+std::optional<SignedProposalView> parse_signed_proposal_view(codec::ByteView payload);
+
+/// Assemble a kProposal payload: `block_bytes` must be encode_block()
+/// output; `sig` the proposer's signature over
+/// proposal_transcript(cluster, block_bytes).
+codec::Bytes encode_signed_proposal(codec::ByteView block_bytes,
+                                    const crypto::Ed25519::Signature& sig);
 
 inline constexpr std::size_t kProposalHashSize = 32;
 using ProposalHash = std::array<std::uint8_t, kProposalHashSize>;
 
 /// kPrevote / kPrecommit share one layout: height varint, round varint,
-/// voter varint, proposal hash 32 raw (SHA-256 of the kProposal payload).
+/// voter varint, proposal hash 32 raw (SHA-256 of the kProposal payload),
+/// voter signature 64 raw over vote_transcript(cluster, type, ...). The
+/// signature binds the vote to the cluster AND the frame type, so a prevote
+/// can never be replayed as a precommit (or into another deployment).
 struct VoteMsg {
   std::uint64_t height = 0;
   std::uint32_t round = 0;
   std::uint32_t voter = 0;
   ProposalHash hash{};
+  crypto::Ed25519::Signature sig{};
 };
 codec::Bytes encode_vote(const VoteMsg& m);
 std::optional<VoteMsg> parse_vote(codec::ByteView payload);
 
-/// kRoundSkip: height varint, round varint, voter varint — "I want to move
-/// past round `round` of `height`" (the proposer looks dead from here).
+/// kRoundSkip: height varint, round varint, voter varint, voter signature
+/// 64 raw over round_skip_transcript(cluster, ...) — "I want to move past
+/// round `round` of `height`" (the proposer looks dead from here).
 struct RoundSkipMsg {
   std::uint64_t height = 0;
   std::uint32_t round = 0;
   std::uint32_t voter = 0;
+  crypto::Ed25519::Signature sig{};
 };
 codec::Bytes encode_round_skip(const RoundSkipMsg& m);
 std::optional<RoundSkipMsg> parse_round_skip(codec::ByteView payload);
+
+// ---------------------------------------------------------------------------
+// Consensus signing transcripts. Signatures never cover raw frame payloads
+// directly: each is over a domain-separated transcript that mixes the
+// cluster id (no cross-deployment replay) and, for votes, the frame type
+// (no prevote->precommit replay). Layouts are pinned in docs/WIRE_FORMAT.md.
+// ---------------------------------------------------------------------------
+
+/// Proposer transcript: domain tag ‖ cluster u64le ‖ block bytes.
+codec::Bytes proposal_transcript(std::uint64_t cluster, codec::ByteView block_bytes);
+
+/// Vote transcript (type must be kPrevote or kPrecommit):
+/// domain tag ‖ cluster u64le ‖ type u8 ‖ height u64le ‖ round u32le ‖ hash 32.
+codec::Bytes vote_transcript(std::uint64_t cluster, MsgType type,
+                             std::uint64_t height, std::uint32_t round,
+                             const ProposalHash& hash);
+
+/// Round-skip transcript: domain tag ‖ cluster u64le ‖ height u64le ‖ round u32le.
+codec::Bytes round_skip_transcript(std::uint64_t cluster, std::uint64_t height,
+                                   std::uint32_t round);
+
+// ---------------------------------------------------------------------------
+// Certified blocks: the consensus-mode block-sync / durability unit. A bare
+// proposal proves nothing about commitment, so consensus-mode
+// kBlockSyncResponse entries (and WAL block records) wrap the proposal in
+// the precommit quorum that committed it — a receiver verifies the
+// certificate instead of trusting the peer that served it.
+// ---------------------------------------------------------------------------
+
+/// One precommit of a commit certificate: the voter id and its signature
+/// over vote_transcript(cluster, kPrecommit, height, round, hash).
+struct CommitVote {
+  std::uint32_t voter = 0;
+  crypto::Ed25519::Signature sig{};
+};
+
+/// Certified block layout: proposal lp_bytes (a full signed kProposal
+/// payload), round varint (the round the quorum formed in), vote count
+/// varint, votes (voter varint ‖ sig 64 each, voter ids STRICTLY
+/// increasing — the parser rejects duplicates, so a certificate can never
+/// count one voter twice).
+struct CertifiedBlockMsg {
+  codec::Bytes proposal;  ///< signed kProposal payload, verbatim
+  std::uint32_t round = 0;
+  std::vector<CommitVote> votes;
+};
+codec::Bytes encode_certified_block(codec::ByteView proposal, std::uint32_t round,
+                                    const std::vector<CommitVote>& votes);
+std::optional<CertifiedBlockMsg> parse_certified_block(codec::ByteView payload);
 
 /// kBatchRequest: requester varint, hash 64 raw (Request_batch(h)).
 struct BatchRequest {

@@ -78,8 +78,10 @@ class IWireLedger : public ledger::IBlockLedger {
   // ---- durable storage (src/storage, wired by NodeHost) ----
 
   /// Fired once per locally committed block with its height and the exact
-  /// wire payload (kBlock / kProposal layout — the same bytes a peer would
-  /// receive). The sequencer fires it BEFORE broadcasting a sealed block so
+  /// durable payload (kBlock layout for the sequencer; a CERTIFIED block —
+  /// proposal plus its precommit quorum — for consensus mode, so replay can
+  /// re-verify the certificate). The sequencer fires it BEFORE broadcasting
+  /// a sealed block so
   /// a crash cannot publish a block the restarted process no longer has
   /// (which could fork the chain when it re-seals that height differently).
   /// NodeHost points this at the WAL — installed only after recovery replay

@@ -16,6 +16,8 @@ const char* fault_kind_name(FaultKind k) {
       return "delay_spike";
     case FaultKind::kCrash:
       return "crash";
+    case FaultKind::kCorrupt:
+      return "corrupt";
   }
   return "?";
 }
@@ -63,6 +65,18 @@ Fault Fault::crash(NodeId node, Time start, Time restart, bool wipe) {
   return f;
 }
 
+Fault Fault::corrupt(NodeId from, NodeId to, double probability, Time start,
+                     Time end) {
+  Fault f;
+  f.kind = FaultKind::kCorrupt;
+  f.from = from;
+  f.to = to;
+  f.probability = probability;
+  f.start = start;
+  f.end = end;
+  return f;
+}
+
 std::vector<std::string> FaultPlan::validate(std::uint32_t n) const {
   std::vector<std::string> errors;
   const auto reject = [&errors](std::size_t i, const std::string& msg) {
@@ -89,12 +103,13 @@ std::vector<std::string> FaultPlan::validate(std::uint32_t n) const {
     }
     switch (f.kind) {
       case FaultKind::kDrop:
+      case FaultKind::kCorrupt:
         if (!(f.probability >= 0.0 && f.probability <= 1.0)) {
-          reject(i, "drop probability " + std::to_string(f.probability) +
-                        " outside [0, 1]");
+          reject(i, std::string(kind) + " probability " +
+                        std::to_string(f.probability) + " outside [0, 1]");
         }
-        check_node(i, f.from, "drop 'from'");
-        check_node(i, f.to, "drop 'to'");
+        check_node(i, f.from, "'from'");
+        check_node(i, f.to, "'to'");
         break;
       case FaultKind::kPartition: {
         if (f.group.empty()) reject(i, "partition group is empty");
@@ -202,6 +217,11 @@ FaultInjector::Verdict FaultInjector::on_message(Time now, NodeId from, NodeId t
           v.extra_delay += f.extra_delay;
         }
         break;
+      case FaultKind::kCorrupt:
+        if (!v.corrupt && link_matches(f, from, to) && rng_.chance(f.probability)) {
+          v.corrupt = true;
+        }
+        break;
       case FaultKind::kCrash:
         break;  // handled by the endpoint check above
     }
@@ -210,6 +230,7 @@ FaultInjector::Verdict FaultInjector::on_message(Time now, NodeId from, NodeId t
     ++stats_.delayed;
     stats_.delay_added += v.extra_delay;
   }
+  if (v.corrupt) ++stats_.corrupted;
   return v;
 }
 

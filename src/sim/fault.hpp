@@ -28,6 +28,7 @@ enum class FaultKind : std::uint8_t {
   kPartition,   ///< cut the links between `group` and the rest
   kDelaySpike,  ///< add `extra_delay` to matching messages
   kCrash,       ///< node `from` is down; restarts at `end` (state kept or wiped)
+  kCorrupt,     ///< flip bytes of matching messages with `probability`
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -39,12 +40,12 @@ struct Fault {
   Time start = 0;
   Time end = kNeverHeals;  ///< heal / restart time (exclusive)
 
-  /// kDrop / kDelaySpike: directed link filter (kAnyNode = wildcard).
-  /// kCrash: the crashing node.
+  /// kDrop / kDelaySpike / kCorrupt: directed link filter (kAnyNode =
+  /// wildcard). kCrash: the crashing node.
   NodeId from = kAnyNode;
   NodeId to = kAnyNode;
 
-  double probability = 1.0;    ///< kDrop: per-message loss probability
+  double probability = 1.0;    ///< kDrop/kCorrupt: per-message hit probability
   std::vector<NodeId> group;   ///< kPartition: one side of the cut
   bool symmetric = true;       ///< kPartition: false cuts group->rest only
   Time extra_delay = 0;        ///< kDelaySpike
@@ -59,6 +60,8 @@ struct Fault {
   static Fault delay_spike(Time extra, Time start, Time end, NodeId from = kAnyNode,
                            NodeId to = kAnyNode);
   static Fault crash(NodeId node, Time start, Time restart, bool wipe = false);
+  static Fault corrupt(NodeId from, NodeId to, double probability, Time start,
+                       Time end);
 };
 
 /// The full fault schedule of one run, replayable from (plan, seed).
@@ -81,6 +84,7 @@ struct FaultStats {
   std::uint64_t dropped_crash = 0;      ///< lost to a down endpoint
   std::uint64_t delayed = 0;            ///< messages a spike delayed
   Time delay_added = 0;                 ///< total spike delay applied
+  std::uint64_t corrupted = 0;          ///< messages kCorrupt mangled
 
   std::uint64_t total_dropped() const {
     return dropped_random + dropped_partition + dropped_crash;
@@ -97,12 +101,18 @@ class FaultInjector {
   struct Verdict {
     bool deliver = true;
     Time extra_delay = 0;
+    /// The delivered bytes should be mangled. Only transports that carry
+    /// real encoded frames can honor this (LoopbackHub flips frame bytes);
+    /// the in-memory sim Network moves typed values, not bytes, and
+    /// ignores it.
+    bool corrupt = false;
   };
 
   /// Fate of one message sent at `now` on link from->to. Precedence: a down
   /// endpoint loses the message outright, then partitions, then random
-  /// drops, then delay spikes accumulate. Loopback (from == to) is only
-  /// affected by crashes — a node is never partitioned from itself.
+  /// drops, then delay spikes and corruption accumulate. Loopback
+  /// (from == to) is only affected by crashes — a node is never partitioned
+  /// from itself.
   Verdict on_message(Time now, NodeId from, NodeId to);
 
   /// Is `node` inside an active crash window at `now`?

@@ -2,8 +2,11 @@
 // ConsensusLedger must (a) match the in-process sim reference on P1-P9 in
 // fault-free runs for every algorithm, (b) keep committing epochs with the
 // round-0 proposer crashed — the f-tolerance the fixed sequencer lacks —
-// under the PR-4 fault-injection plans with seeded replays, and (c) reject
-// malformed or mode-mismatched frames without poisoning a node. The fixed
+// under the PR-4 fault-injection plans with seeded replays, (c) reject
+// malformed or mode-mismatched frames without poisoning a node, and (d)
+// survive a fully Byzantine member — equivocating proposals, double votes,
+// forged votes, junk sync, corrupted frames — by masking the equivocator
+// and staying conformant on the honest majority. The fixed
 // sequencer's lost-submit retransmission regression rides along: a submit
 // window cut mid-flight must heal by resubmission, not luck.
 #include "net/consensus_ledger.hpp"
@@ -53,13 +56,22 @@ struct ConsensusCluster {
     return cfg;
   }
 
-  void start() {
+  static constexpr std::uint32_t kNoByz = ~0u;
+
+  /// `byz_node` (if any) runs with every Byzantine consensus behaviour on:
+  /// proposal equivocation, double voting, vote forgery, junk sync.
+  void start(std::uint32_t byz_node = kNoByz) {
     for (std::uint32_t i = 0; i < cfg.n; ++i) {
       NodeHostConfig c = cfg;
       c.id = i;
+      c.byz_consensus = (i == byz_node);
       hosts.push_back(std::make_unique<NodeHost>(c, sim, hub.transport(i)));
       hosts.back()->start();
     }
+  }
+
+  const ConsensusLedger* cons(std::uint32_t i) const {
+    return dynamic_cast<const ConsensusLedger*>(&hosts[i]->ledger());
   }
 
   api::QuorumClient client(std::vector<std::unique_ptr<RemoteNode>>& stubs) {
@@ -317,6 +329,230 @@ TEST(ConsensusRobustness, SequencerModeRejectsConsensusFrames) {
   hub.transport(1).send(0, wire::MsgType::kProposal, wire::encode_block(1, 1, {&tx}));
   sim.run_until(sim.now() + sim::from_seconds(1));
   EXPECT_EQ(host.bad_frames(), 4u);
+}
+
+// THE Byzantine scenario of this PR: node 1 — the round-0 proposer of
+// height 1 — runs every adversarial behaviour at once (equivocating
+// proposals, double votes, forged votes, junk sync), signing its conflicting
+// messages with its REAL key. The honest majority must detect the
+// equivocation, permanently mask the node, reject the forgeries, and still
+// commit the full workload with exact P1-P9 conformance against the
+// fault-free reference.
+TEST(ConsensusByzantine, EquivocatingNodeIsMaskedAndSurvivorsStayConformant) {
+  ConsensusCluster cl(runner::Algorithm::kVanilla);
+  cl.start(/*byz_node=*/1);
+
+  const std::vector<std::uint32_t> byz = {1};
+  const auto elements = make_workload(cl.cfg, 24, cl.pki);
+  std::vector<std::unique_ptr<RemoteNode>> stubs;
+  api::QuorumClient client = cl.client(stubs);
+  const auto accepted = drive(client, elements);
+  ASSERT_EQ(accepted.size(), elements.size());
+
+  ASSERT_TRUE(cl.pump_until([&] { return cl.consolidated(accepted.size(), byz); }))
+      << "honest nodes never consolidated past the Byzantine proposer";
+  ASSERT_TRUE(cl.pump_until([&] { return cl.liveness_green(accepted, byz); }))
+      << "honest epoch-proof traffic never quiesced";
+
+  std::uint64_t equivocations = 0;
+  std::uint64_t sig_rejects = 0;
+  std::uint64_t bad = 0;
+  std::uint32_t masked_at = 0;
+  for (const std::uint32_t i : {0u, 2u, 3u}) {
+    const ConsensusLedger* c = cl.cons(i);
+    ASSERT_NE(c, nullptr);
+    equivocations += c->equivocations_detected();
+    sig_rejects += c->vote_sig_rejects();
+    bad += cl.hosts[i]->bad_frames();
+    if (c->masked(1)) {
+      ++masked_at;
+      ASSERT_FALSE(c->evidence().empty());
+      EXPECT_EQ(c->evidence().front().node, 1u);
+    }
+    EXPECT_FALSE(c->masked(i)) << "honest node " << i << " masked itself";
+  }
+  EXPECT_GE(equivocations, 1u);
+  EXPECT_EQ(masked_at, 3u) << "an honest node never masked the equivocator";
+  EXPECT_GT(sig_rejects, 0u) << "the garbage-signature forgery was never rejected";
+  EXPECT_GT(bad, 0u) << "the impersonated vote passed the identity gate";
+
+  const ReferenceRun reference = run_reference(cl.cfg, elements);
+  std::unordered_set<core::ElementId> created(accepted.begin(), accepted.end());
+  assert_cluster_matches_reference(cl.servers(byz), accepted, created,
+                                   cl.hosts[0]->params(), cl.hosts[0]->pki(),
+                                   reference, "vanilla/byzantine-proposer");
+
+  const auto view = client.get();
+  for (const auto id : accepted) {
+    EXPECT_TRUE(view.the_set.contains(id)) << "quorum view missing " << id;
+  }
+}
+
+// Vote-equivocation bookkeeping, driven by hand-signed frames (the shared
+// test seed lets the harness sign as any node): the second conflicting vote
+// masks exactly once with one evidence record, further conflicts are inert,
+// round spam is clamped to a bounded number of tracked rounds, and the
+// masked set survives a state-snapshot round trip (consensus state v2).
+TEST(ConsensusByzantine, VoteEquivocationMasksOnceAndBoundsBookkeeping) {
+  ConsensusCluster cl(runner::Algorithm::kVanilla);
+  cl.start();
+
+  const std::uint64_t cluster = cl.hosts[0]->cluster();
+  const auto send_prevote = [&](std::uint32_t voter, std::uint64_t height,
+                                std::uint32_t round, std::uint8_t fill) {
+    wire::VoteMsg m;
+    m.height = height;
+    m.round = round;
+    m.voter = voter;
+    m.hash.fill(fill);
+    m.sig = cl.pki.sign(voter, wire::vote_transcript(cluster, wire::MsgType::kPrevote,
+                                                     height, round, m.hash));
+    cl.hub.transport(voter).send(0, wire::MsgType::kPrevote, wire::encode_vote(m));
+  };
+
+  send_prevote(1, 1, 0, 0x11);
+  send_prevote(1, 1, 0, 0x22);
+  cl.pump_seconds(1);
+  const ConsensusLedger* c0 = cl.cons(0);
+  ASSERT_NE(c0, nullptr);
+  EXPECT_EQ(c0->equivocations_detected(), 1u);
+  EXPECT_TRUE(c0->masked(1));
+  EXPECT_EQ(c0->masked_count(), 1u);
+  ASSERT_EQ(c0->evidence().size(), 1u);
+  EXPECT_EQ(c0->evidence()[0].node, 1u);
+  EXPECT_EQ(c0->evidence()[0].kind, 0u);  // conflicting votes
+
+  // Masking is permanent and idempotent: a third conflicting vote changes
+  // nothing (it is dropped before it even reaches signature verification).
+  send_prevote(1, 1, 0, 0x33);
+  cl.pump_seconds(1);
+  EXPECT_EQ(c0->equivocations_detected(), 1u);
+  EXPECT_EQ(c0->evidence().size(), 1u);
+
+  // Round spam: node 2 names rounds 0..63 of the active height. Before the
+  // per-voter slot rework this grew a per-(round, hash) entry for every
+  // named round; now at most current_round + 8 lookahead rounds are
+  // tracked, one fixed-size slot vector each.
+  for (std::uint32_t r = 0; r < 64; ++r) send_prevote(2, 1, r, 0x44);
+  cl.pump_seconds(1);
+  EXPECT_GE(c0->vote_rounds_tracked(), 1u);
+  // The local round may have drifted a little (idle skip quorums), but 64
+  // named rounds must never mean 64 tracked rounds.
+  EXPECT_LE(c0->vote_rounds_tracked(), c0->current_round() + 9u);
+
+  codec::Writer w;
+  cl.hosts[0]->ledger().serialize_state(w);
+  codec::Reader r{codec::ByteView(w.buffer())};
+  ConsensusLedgerConfig lc;
+  lc.n = cl.cfg.n;
+  lc.f = cl.cfg.f;
+  lc.self = 0;
+  ConsensusLedger restored(lc, cl.sim, cl.hub.transport(0));
+  ASSERT_TRUE(restored.restore_state(r));
+  EXPECT_TRUE(restored.masked(1));
+  EXPECT_EQ(restored.equivocations_detected(), 1u);
+  ASSERT_EQ(restored.evidence().size(), 1u);
+  EXPECT_EQ(restored.evidence()[0].node, 1u);
+}
+
+// Future-height intake: exactly ONE height of lookahead is buffered, one
+// slot per voter per frame type; anything further ahead is dropped and
+// counted. The buffered claims replay through the full validation path on
+// commit and must not wedge a later workload.
+TEST(ConsensusByzantine, FutureHeightVotesBufferOneHeightOnly) {
+  ConsensusCluster cl(runner::Algorithm::kVanilla);
+  cl.start();
+  const std::uint64_t cluster = cl.hosts[0]->cluster();
+
+  const auto send_signed = [&](std::uint64_t height) {
+    wire::VoteMsg m;
+    m.height = height;
+    m.round = 0;
+    m.voter = 2;
+    m.hash.fill(0x55);
+    m.sig = cl.pki.sign(2, wire::vote_transcript(cluster, wire::MsgType::kPrevote,
+                                                 height, 0, m.hash));
+    cl.hub.transport(2).send(0, wire::MsgType::kPrevote, wire::encode_vote(m));
+  };
+
+  // Active height is 1: height-2 frames park in the buffer (the duplicate
+  // prevote takes no second slot), the height-3 frame is dropped.
+  send_signed(2);
+  send_signed(2);
+  send_signed(3);
+  wire::RoundSkipMsg skip{2, 0, 2, {}};
+  skip.sig = cl.pki.sign(2, wire::round_skip_transcript(cluster, 2, 0));
+  cl.hub.transport(2).send(0, wire::MsgType::kRoundSkip,
+                           wire::encode_round_skip(skip));
+  cl.pump_seconds(1);
+
+  const ConsensusLedger* c0 = cl.cons(0);
+  ASSERT_NE(c0, nullptr);
+  EXPECT_EQ(c0->votes_buffered(), 2u);  // one prevote slot + one skip slot
+  EXPECT_EQ(c0->votes_dropped_ahead(), 1u);
+
+  const auto elements = make_workload(cl.cfg, 8, cl.pki);
+  std::vector<std::unique_ptr<RemoteNode>> stubs;
+  api::QuorumClient client = cl.client(stubs);
+  const auto accepted = drive(client, elements);
+  ASSERT_TRUE(cl.pump_until([&] { return cl.consolidated(accepted.size()); }));
+}
+
+// Random bit-flips on the server<->server links (the kCorrupt fault): every
+// corrupted frame must die in a parser, a signature check, or the element
+// validators — never in committed state. Conformance against the fault-free
+// reference proves it.
+TEST(ConsensusRobustness, CorruptedFramesDoNotBreakConformance) {
+  ConsensusCluster cl(runner::Algorithm::kVanilla);
+  sim::FaultPlan plan;
+  plan.faults.push_back(sim::Fault::corrupt(sim::kAnyNode, sim::kAnyNode,
+                                            /*probability=*/0.05,
+                                            sim::from_millis(10),
+                                            sim::from_seconds(30)));
+  cl.hub.install_faults(plan, /*seed=*/11);
+  cl.start();
+
+  const auto elements = make_workload(cl.cfg, 16, cl.pki);
+  std::vector<std::unique_ptr<RemoteNode>> stubs;
+  api::QuorumClient client = cl.client(stubs);
+  const auto accepted = drive(client, elements);
+  ASSERT_EQ(accepted.size(), elements.size());
+
+  ASSERT_TRUE(cl.pump_until([&] { return cl.consolidated(accepted.size()); }))
+      << "cluster never consolidated under frame corruption";
+  ASSERT_TRUE(cl.pump_until([&] { return cl.liveness_green(accepted); }));
+  EXPECT_GT(cl.hub.frames_corrupted(), 0u)
+      << "the corruption window never touched a frame — the run is vacuous";
+
+  const ReferenceRun reference = run_reference(cl.cfg, elements);
+  std::unordered_set<core::ElementId> created(accepted.begin(), accepted.end());
+  assert_cluster_matches_reference(cl.servers(), accepted, created,
+                                   cl.hosts[0]->params(), cl.hosts[0]->pki(),
+                                   reference, "vanilla/corrupt-frames");
+}
+
+// A fabricated block-sync response — structurally a block list, but the
+// entry is no valid certified block — must bump cert_rejects and commit
+// nothing; the node keeps working afterwards.
+TEST(ConsensusRobustness, JunkSyncResponsesAreRejectedAndCounted) {
+  ConsensusCluster cl(runner::Algorithm::kVanilla);
+  cl.start();
+
+  const codec::Bytes junk = codec::to_bytes("not a certified block");
+  std::vector<codec::ByteView> blocks{codec::ByteView(junk)};
+  cl.hub.transport(2).send(0, wire::MsgType::kBlockSyncResponse,
+                           wire::encode_block_sync_response(blocks));
+  cl.pump_seconds(1);
+  const ConsensusLedger* c0 = cl.cons(0);
+  ASSERT_NE(c0, nullptr);
+  EXPECT_EQ(c0->cert_rejects(), 1u);
+  EXPECT_EQ(c0->height(), 0u);
+
+  const auto elements = make_workload(cl.cfg, 8, cl.pki);
+  std::vector<std::unique_ptr<RemoteNode>> stubs;
+  api::QuorumClient client = cl.client(stubs);
+  const auto accepted = drive(client, elements);
+  ASSERT_TRUE(cl.pump_until([&] { return cl.consolidated(accepted.size()); }));
 }
 
 // Satellite regression for the fixed-sequencer mode: a replica's kTxSubmit

@@ -313,14 +313,21 @@ TEST(WirePayloads, BatchExchangeRoundTrip) {
 }
 
 TEST(WirePayloads, ConsensusFramesRoundTrip) {
+  crypto::Pki pki(21);
+  pki.register_process(2);
+
   ledger::Transaction tx;
   tx.kind = ledger::TxKind::kElement;
   tx.wire_size = 99;
   tx.data = Bytes{4, 2, 4, 2};
 
-  // A proposal IS a block payload; the parser must hand back the exact
-  // bytes (the vote-hash preimage) alongside the decoded block.
-  const Bytes payload = encode_block(7, 2, {&tx});
+  // A proposal is block bytes + the proposer's signature; the parser must
+  // hand back the exact payload bytes (the vote-hash preimage), the signed
+  // prefix length, and the signature alongside the decoded block.
+  const Bytes block_bytes = encode_block(7, 2, {&tx});
+  const auto sig = pki.sign(2, proposal_transcript(0xC0FFEE, block_bytes));
+  const Bytes payload = encode_signed_proposal(block_bytes, sig);
+  ASSERT_EQ(payload.size(), block_bytes.size() + crypto::Ed25519::kSignatureSize);
   const auto prop = parse_proposal(payload);
   ASSERT_TRUE(prop.has_value());
   EXPECT_EQ(prop->block.height, 7u);
@@ -328,7 +335,16 @@ TEST(WirePayloads, ConsensusFramesRoundTrip) {
   ASSERT_EQ(prop->block.txs.size(), 1u);
   EXPECT_EQ(prop->block.txs[0].data, tx.data);
   EXPECT_EQ(prop->raw, payload);
+  EXPECT_EQ(prop->block_bytes_len, block_bytes.size());
+  EXPECT_EQ(prop->sig, sig);
+  // The signature survived the trip: the transcript over the signed prefix
+  // still verifies against the proposer's key.
+  EXPECT_TRUE(pki.verify(
+      2, proposal_transcript(0xC0FFEE, ByteView(prop->raw).first(prop->block_bytes_len)),
+      prop->sig));
   EXPECT_FALSE(parse_proposal(Bytes{0}).has_value());  // height 0 illegal
+  // A bare (unsigned) block payload is NOT a proposal any more.
+  EXPECT_FALSE(parse_proposal(block_bytes).has_value());
 
   VoteMsg v;
   v.height = 12;
@@ -337,22 +353,139 @@ TEST(WirePayloads, ConsensusFramesRoundTrip) {
   for (std::size_t i = 0; i < v.hash.size(); ++i) {
     v.hash[i] = static_cast<std::uint8_t>(i * 5 + 1);
   }
+  for (std::size_t i = 0; i < v.sig.size(); ++i) {
+    v.sig[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
   const auto pv = parse_vote(encode_vote(v));
   ASSERT_TRUE(pv.has_value());
   EXPECT_EQ(pv->height, v.height);
   EXPECT_EQ(pv->round, v.round);
   EXPECT_EQ(pv->voter, v.voter);
   EXPECT_EQ(pv->hash, v.hash);
+  EXPECT_EQ(pv->sig, v.sig);
   VoteMsg zero = v;
   zero.height = 0;  // heights are 1-based; 0 would vote on nothing
   EXPECT_FALSE(parse_vote(encode_vote(zero)).has_value());
 
-  const RoundSkipMsg s{9, 4, 2};
+  RoundSkipMsg s{9, 4, 2};
+  for (std::size_t i = 0; i < s.sig.size(); ++i) {
+    s.sig[i] = static_cast<std::uint8_t>(i + 11);
+  }
   const auto ps = parse_round_skip(encode_round_skip(s));
   ASSERT_TRUE(ps.has_value());
   EXPECT_EQ(ps->height, s.height);
   EXPECT_EQ(ps->round, s.round);
   EXPECT_EQ(ps->voter, s.voter);
+  EXPECT_EQ(ps->sig, s.sig);
+}
+
+// The two proposal parsers (owning and zero-copy view) must accept and
+// reject EXACTLY the same byte strings: an honest node relays only payloads
+// the view parser validated, and a receiver must never blame that relayer
+// because the owning parser disagreed about well-formedness.
+TEST(WirePayloads, ProposalParsersAgreeOnEveryInput) {
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kElement;
+  tx.wire_size = 40;
+  tx.data = Bytes{9, 9, 9};
+  const Bytes block_bytes = encode_block(3, 1, {&tx});
+  crypto::Ed25519::Signature sig{};
+  sig.fill(0x5C);
+  const Bytes payload = encode_signed_proposal(block_bytes, sig);
+
+  const auto agree = [](ByteView v) {
+    const auto owning = parse_proposal(v);
+    const auto view = parse_signed_proposal_view(v);
+    ASSERT_EQ(owning.has_value(), view.has_value());
+    if (owning) {
+      EXPECT_EQ(owning->block.height, view->block.height);
+      EXPECT_EQ(owning->block.proposer, view->block.proposer);
+      EXPECT_EQ(owning->block_bytes_len, view->block_bytes.size());
+      EXPECT_EQ(owning->sig, view->sig);
+    }
+  };
+
+  agree(payload);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    agree(ByteView(payload).first(cut));
+  }
+  // Single-byte mutations at every position: whatever each does to the
+  // grammar, both parsers must rule identically.
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    Bytes mutated = payload;
+    mutated[i] ^= 0xFF;
+    agree(mutated);
+  }
+  sim::Rng rng(77);
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes junk(rng.uniform_u64(96) + 1);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    agree(junk);
+  }
+}
+
+TEST(WirePayloads, TranscriptsAreDomainSeparated) {
+  ProposalHash h{};
+  h.fill(0xAA);
+  const Bytes block = {1, 2, 3};
+  // Different clusters, types, heights and rounds must all change the
+  // transcript bytes — equal transcripts would let a signature replay.
+  EXPECT_NE(proposal_transcript(1, block), proposal_transcript(2, block));
+  EXPECT_NE(vote_transcript(1, MsgType::kPrevote, 5, 0, h),
+            vote_transcript(1, MsgType::kPrecommit, 5, 0, h));
+  EXPECT_NE(vote_transcript(1, MsgType::kPrevote, 5, 0, h),
+            vote_transcript(2, MsgType::kPrevote, 5, 0, h));
+  EXPECT_NE(vote_transcript(1, MsgType::kPrevote, 5, 0, h),
+            vote_transcript(1, MsgType::kPrevote, 6, 0, h));
+  EXPECT_NE(vote_transcript(1, MsgType::kPrevote, 5, 0, h),
+            vote_transcript(1, MsgType::kPrevote, 5, 1, h));
+  EXPECT_NE(round_skip_transcript(1, 5, 0), round_skip_transcript(1, 5, 1));
+  // Distinct message families never collide (distinct domain tags).
+  EXPECT_NE(proposal_transcript(1, block),
+            round_skip_transcript(1, 5, 0));
+}
+
+TEST(WirePayloads, CertifiedBlockRoundTripAndVoterOrdering) {
+  ledger::Transaction tx;
+  tx.kind = ledger::TxKind::kElement;
+  tx.wire_size = 10;
+  tx.data = Bytes{1};
+  const Bytes block_bytes = encode_block(5, 1, {&tx});
+  crypto::Ed25519::Signature psig{};
+  psig.fill(0x11);
+  const Bytes proposal = encode_signed_proposal(block_bytes, psig);
+
+  std::vector<CommitVote> votes;
+  for (std::uint32_t v : {0u, 1u, 3u}) {
+    CommitVote cv;
+    cv.voter = v;
+    cv.sig.fill(static_cast<std::uint8_t>(0x20 + v));
+    votes.push_back(cv);
+  }
+  const Bytes cert = encode_certified_block(proposal, 2, votes);
+  const auto parsed = parse_certified_block(cert);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->proposal, proposal);
+  EXPECT_EQ(parsed->round, 2u);
+  ASSERT_EQ(parsed->votes.size(), 3u);
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    EXPECT_EQ(parsed->votes[i].voter, votes[i].voter);
+    EXPECT_EQ(parsed->votes[i].sig, votes[i].sig);
+  }
+
+  // Duplicate (or descending) voter ids would count one voter twice toward
+  // a quorum: the parser must reject them outright.
+  std::vector<CommitVote> dup = votes;
+  dup.push_back(votes[1]);
+  EXPECT_FALSE(parse_certified_block(encode_certified_block(proposal, 2, dup))
+                   .has_value());
+  std::vector<CommitVote> descending = {votes[2], votes[0]};
+  EXPECT_FALSE(
+      parse_certified_block(encode_certified_block(proposal, 2, descending))
+          .has_value());
+  // An empty proposal certifies nothing.
+  EXPECT_FALSE(parse_certified_block(encode_certified_block({}, 2, votes))
+                   .has_value());
 }
 
 TEST(WirePayloads, ClusterIdSeparatesLedgerModes) {
@@ -408,6 +541,22 @@ TEST(WirePayloads, EveryParserRejectsTruncationAndTrailingGarbage) {
   for (std::size_t i = 0; i < vote.hash.size(); ++i) {
     vote.hash[i] = static_cast<std::uint8_t>(i + 1);
   }
+  for (std::size_t i = 0; i < vote.sig.size(); ++i) {
+    vote.sig[i] = static_cast<std::uint8_t>(i + 2);
+  }
+
+  crypto::Ed25519::Signature prop_sig{};
+  prop_sig.fill(0x3D);
+  const Bytes signed_proposal =
+      encode_signed_proposal(encode_block(2, 1, {&tx}), prop_sig);
+  CommitVote cv0;
+  cv0.voter = 0;
+  cv0.sig.fill(0x44);
+  CommitVote cv1;
+  cv1.voter = 2;
+  cv1.sig.fill(0x45);
+  const Bytes certified =
+      encode_certified_block(signed_proposal, 1, {cv0, cv1});
 
   struct Case {
     const char* name;
@@ -445,12 +594,16 @@ TEST(WirePayloads, EveryParserRejectsTruncationAndTrailingGarbage) {
        [](ByteView v) { return parse_batch_request(v).has_value(); }},
       {"batch_resp", encode_batch_response({{}, Bytes{1, 2, 3}}),
        [](ByteView v) { return parse_batch_response(v).has_value(); }},
-      {"proposal", encode_block(2, 1, {&tx}),
+      {"proposal", signed_proposal,
        [](ByteView v) { return parse_proposal(v).has_value(); }},
+      {"proposal_view", signed_proposal,
+       [](ByteView v) { return parse_signed_proposal_view(v).has_value(); }},
       {"vote", encode_vote(vote),
        [](ByteView v) { return parse_vote(v).has_value(); }},
       {"round_skip", encode_round_skip({4, 1, 2}),
        [](ByteView v) { return parse_round_skip(v).has_value(); }},
+      {"certified_block", certified,
+       [](ByteView v) { return parse_certified_block(v).has_value(); }},
   };
 
   for (const auto& c : cases) {
@@ -488,8 +641,10 @@ TEST(WirePayloads, RandomBytesNeverCrash) {
     parse_batch_request(junk);
     parse_batch_response(junk);
     parse_proposal(junk);
+    parse_signed_proposal_view(junk);
     parse_vote(junk);
     parse_round_skip(junk);
+    parse_certified_block(junk);
   }
 }
 

@@ -34,7 +34,7 @@ void usage(const char* argv0) {
       "          [--collector K] [--collector-timeout-ms T] [--block-interval-ms B]\n"
       "          [--block-bytes BYTES] [--clients C] [--quiet]\n"
       "          [--data-dir DIR] [--fsync always|interval|off]\n"
-      "          [--snapshot-epochs E]\n"
+      "          [--snapshot-epochs E] [--byz-consensus]\n"
       "\n"
       "Every daemon (and client) of one cluster must share --seed, --n, --f,\n"
       "--algo and --ledger: the PKI keys and the cluster id derive from them.\n"
@@ -42,7 +42,10 @@ void usage(const char* argv0) {
       "consensus: the cluster keeps committing with any f nodes crashed.\n"
       "--data-dir makes the node durable: committed blocks are WAL-logged\n"
       "there, snapshots compact the log every E epochs (default 8), and a\n"
-      "restart recovers the node's state from disk before it rejoins.\n",
+      "restart recovers the node's state from disk before it rejoins.\n"
+      "--byz-consensus (TEST ONLY, consensus mode) runs this node as a\n"
+      "Byzantine adversary: it equivocates proposals, double-votes, forges\n"
+      "votes and serves junk sync — honest peers must mask it and stay live.\n",
       argv0);
 }
 
@@ -119,6 +122,8 @@ int main(int argc, char** argv) {
       store_cfg.fsync = *m;
     } else if (arg == "--snapshot-epochs") {
       cfg.snapshot_epochs = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--byz-consensus") {
+      cfg.byz_consensus = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -229,6 +234,21 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(c.decode_errors),
           static_cast<unsigned long long>(c.reconnects),
           static_cast<unsigned long long>(c.send_queue_peak));
+      if (const auto* cons =
+              dynamic_cast<const net::ConsensusLedger*>(&host.ledger())) {
+        std::fprintf(
+            stderr,
+            "setchain_node[%u] consensus: equivocations=%llu masked=%u "
+            "vote_sig_rejects=%llu cert_rejects=%llu votes_buffered=%llu "
+            "votes_dropped_ahead=%llu\n",
+            cfg.id,
+            static_cast<unsigned long long>(cons->equivocations_detected()),
+            cons->masked_count(),
+            static_cast<unsigned long long>(cons->vote_sig_rejects()),
+            static_cast<unsigned long long>(cons->cert_rejects()),
+            static_cast<unsigned long long>(cons->votes_buffered()),
+            static_cast<unsigned long long>(cons->votes_dropped_ahead()));
+      }
       if (store != nullptr) {
         const auto& w = store->wal_counters();
         std::fprintf(
