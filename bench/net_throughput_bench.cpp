@@ -8,38 +8,28 @@
 //   ./bench/net_throughput_bench --algo hashchain --nodes 4 --conns 8
 //       --duration-s 5 --json BENCH_net.json
 //
-// Open-loop drive: each connection schedules sends on a fixed interval
+// Open-loop drive: the fleet schedules arrivals on a fixed interval
 // (--rate, per connection) independent of responses; --rate 0 means "as
 // fast as the socket accepts", bounded only by --window locally-queued
 // unacked requests so memory stays finite when the cluster saturates.
 // Latency is measured schedule-to-ack, so queueing delay above a saturated
 // node is charged to the node, as an open-loop client should.
 //
-// The whole fleet is driven by ONE thread multiplexing every connection
-// through poll(): the load generator must scale better than the system
-// under test, or high --conns measurements bottleneck on the generator's
-// own scheduling instead of the cluster's.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <atomic>
+// The fleet itself is the src/load library (one epoll thread multiplexing
+// every session; see docs/LOAD_HARNESS.md): the load generator must scale
+// better than the system under test, or high --conns measurements
+// bottleneck on the generator's own scheduling instead of the cluster's.
+// This file only maps the bench's historical CLI and JSON schema onto it.
 #include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <memory>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "core/element.hpp"
-#include "net/node_host.hpp"
-#include "net/tcp.hpp"
+#include "load/fleet.hpp"
+#include "load/local_cluster.hpp"
+#include "load/report.hpp"
 #include "runner/scenario.hpp"
 #include "workload/arbitrum_like.hpp"
 
@@ -59,314 +49,6 @@ struct Options {
   std::string json_path;
   bool smoke = false;
 };
-
-struct ConnStats {
-  std::uint64_t sent = 0;
-  std::uint64_t acked = 0;
-  std::uint64_t accepted = 0;
-  std::vector<double> latency_ms;
-};
-
-/// In-process cluster: the tcp_cluster_test topology without gtest.
-struct BenchCluster {
-  net::NodeHostConfig cfg;
-  std::vector<std::unique_ptr<sim::Simulation>> sims;
-  std::vector<std::unique_ptr<net::TcpTransport>> transports;
-  std::vector<std::unique_ptr<net::NodeHost>> hosts;
-  std::vector<std::thread> pumps;
-  std::atomic<bool> stop{false};
-
-  explicit BenchCluster(const Options& opt) {
-    cfg.n = opt.nodes;
-    cfg.f = (opt.nodes - 1) / 3;
-    cfg.algorithm = opt.algo;
-    cfg.ledger_mode = opt.ledger;
-    cfg.seed = 42;
-    cfg.collector_limit = 64;
-    cfg.collector_timeout = sim::from_millis(50);
-    cfg.block_interval = sim::from_millis(50);
-    cfg.sync_interval = sim::from_millis(400);
-
-    std::vector<std::string> peer_addrs;
-    const std::uint64_t cluster = net::NodeHost::cluster_id_of(cfg);
-    for (std::uint32_t i = 0; i < cfg.n; ++i) {
-      net::TcpConfig tc;
-      tc.self = i;
-      tc.n = cfg.n;
-      tc.cluster = cluster;
-      tc.listen_port = 0;
-      tc.peers = peer_addrs;
-      tc.peers.resize(cfg.n);
-      transports.push_back(std::make_unique<net::TcpTransport>(tc));
-      peer_addrs.push_back("127.0.0.1:" +
-                           std::to_string(transports[i]->listen_port()));
-    }
-    for (std::uint32_t i = 0; i < cfg.n; ++i) {
-      net::NodeHostConfig c = cfg;
-      c.id = i;
-      sims.push_back(std::make_unique<sim::Simulation>());
-      hosts.push_back(std::make_unique<net::NodeHost>(c, *sims[i], *transports[i]));
-    }
-  }
-
-  void start() {
-    for (std::uint32_t i = 0; i < cfg.n; ++i) {
-      hosts[i]->start();
-      transports[i]->start();
-    }
-    for (std::uint32_t i = 0; i < cfg.n; ++i) {
-      pumps.emplace_back([this, i] { hosts[i]->run_realtime(stop); });
-    }
-  }
-
-  void shutdown() {
-    if (stop.exchange(true)) return;
-    for (auto& t : pumps) {
-      if (t.joinable()) t.join();
-    }
-    for (auto& t : transports) t->stop();
-  }
-
-  ~BenchCluster() { shutdown(); }
-};
-
-bool send_all_blocking(int fd, const std::uint8_t* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t w = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        pollfd p{fd, POLLOUT, 0};
-        ::poll(&p, 1, 100);
-        continue;
-      }
-      return false;
-    }
-    data += w;
-    len -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-/// Thread count and peak RSS of this process (cluster + client fleet),
-/// sampled from /proc while the run is live. The thread count is the
-/// clearest resource signature of the transport architecture: thread-per-
-/// connection scales it with --conns, an event loop keeps it flat.
-struct ProcSample {
-  std::uint64_t threads = 0;
-  std::uint64_t vm_hwm_kb = 0;
-};
-
-ProcSample sample_proc() {
-  ProcSample s;
-  if (FILE* f = std::fopen("/proc/self/status", "r")) {
-    char line[256];
-    while (std::fgets(line, sizeof(line), f)) {
-      unsigned long long v = 0;
-      if (std::sscanf(line, "Threads: %llu", &v) == 1) s.threads = v;
-      else if (std::sscanf(line, "VmHWM: %llu", &v) == 1) s.vm_hwm_kb = v;
-    }
-    std::fclose(f);
-  }
-  return s;
-}
-
-/// One open-loop client connection's state. All connections are advanced by
-/// a single fleet thread; a connection never blocks it — partial writes park
-/// in `outbuf` until poll() reports POLLOUT.
-struct ClientConn {
-  int fd = -1;
-  bool alive = false;
-  std::size_t next_elem = 0;  // index into the shared pool; advances by conns
-  std::uint64_t next_req = 1;
-  Clock::time_point next_send;
-  std::unordered_map<std::uint64_t, Clock::time_point> in_flight;
-  net::wire::FrameReader reader;
-  codec::Bytes outbuf;  // frame bytes not yet accepted by the socket
-  std::size_t out_off = 0;
-  ConnStats stats;
-};
-
-bool conn_connect(ClientConn& c, std::uint16_t port, std::uint64_t cluster) {
-  c.fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (c.fd < 0) return false;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(c.fd);
-    c.fd = -1;
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  net::wire::Hello h;
-  h.role = net::wire::kRoleClient;
-  h.sender = 0;  // informational for clients; the transport assigns the id
-  h.cluster = cluster;
-  const codec::Bytes hello =
-      net::wire::encode_frame(net::wire::MsgType::kHello, net::wire::encode_hello(h));
-  if (!send_all_blocking(c.fd, hello.data(), hello.size())) {
-    ::close(c.fd);
-    c.fd = -1;
-    return false;
-  }
-  c.alive = true;
-  return true;
-}
-
-void conn_read_acks(ClientConn& c, std::uint8_t* buf, std::size_t buf_len) {
-  for (;;) {
-    const ssize_t got = ::recv(c.fd, buf, buf_len, MSG_DONTWAIT);
-    if (got == 0) {
-      c.alive = false;
-      return;
-    }
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      if (errno != EAGAIN && errno != EWOULDBLOCK) c.alive = false;
-      return;
-    }
-    c.reader.feed(codec::ByteView(buf, static_cast<std::size_t>(got)));
-    net::wire::Frame f;
-    while (c.reader.next(f) == net::wire::DecodeStatus::kOk) {
-      if (f.type != net::wire::MsgType::kAddResponse) continue;
-      const auto resp = net::wire::parse_add_response(f.payload);
-      if (!resp) continue;
-      const auto it = c.in_flight.find(resp->req_id);
-      if (it == c.in_flight.end()) continue;
-      ++c.stats.acked;
-      if (resp->accepted) ++c.stats.accepted;
-      c.stats.latency_ms.push_back(
-          std::chrono::duration<double, std::milli>(Clock::now() - it->second)
-              .count());
-      c.in_flight.erase(it);
-    }
-    if (c.reader.failed()) {
-      c.alive = false;
-      return;
-    }
-    if (static_cast<std::size_t>(got) < buf_len) return;  // drained
-  }
-}
-
-/// Push pending bytes; returns true when outbuf is empty again.
-bool conn_flush(ClientConn& c) {
-  while (c.out_off < c.outbuf.size()) {
-    const ssize_t w = ::send(c.fd, c.outbuf.data() + c.out_off,
-                             c.outbuf.size() - c.out_off,
-                             MSG_NOSIGNAL | MSG_DONTWAIT);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      if (errno != EAGAIN && errno != EWOULDBLOCK) c.alive = false;
-      return false;
-    }
-    c.out_off += static_cast<std::size_t>(w);
-  }
-  c.outbuf.clear();
-  c.out_off = 0;
-  return true;
-}
-
-/// Schedule and emit sends for one connection up to its window/rate budget.
-void conn_pump_sends(ClientConn& c, const Options& opt,
-                     const std::vector<core::Element>& elements,
-                     std::chrono::nanoseconds interval) {
-  if (!c.outbuf.empty() && !conn_flush(c)) return;  // still backpressured
-  while (c.alive && c.in_flight.size() < opt.window &&
-         c.next_elem < elements.size()) {
-    const auto now = Clock::now();
-    if (now < c.next_send) return;
-    net::wire::AddRequest req;
-    req.req_id = c.next_req++;
-    req.element = elements[c.next_elem];
-    c.next_elem += opt.conns;
-    c.outbuf = net::wire::encode_frame(
-        net::wire::MsgType::kAddRequest, net::wire::encode_add_request(req));
-    c.out_off = 0;
-    // Open loop: the element is considered "offered" at its schedule time,
-    // so latency includes any socket backpressure stall.
-    c.in_flight.emplace(req.req_id, opt.rate > 0 ? c.next_send : now);
-    ++c.stats.sent;
-    c.next_send = opt.rate > 0 ? c.next_send + interval : now;
-    if (!conn_flush(c)) return;  // wait for POLLOUT before the next frame
-  }
-}
-
-/// Drive the whole fleet off one thread: poll() across every connection,
-/// drain acks, flush backpressured writes, schedule fresh sends.
-void run_fleet(const Options& opt, const BenchCluster& cluster,
-               std::uint64_t cluster_id,
-               const std::vector<core::Element>& elements,
-               Clock::time_point t_end, std::vector<ClientConn>& conns,
-               ProcSample& live_sample) {
-  const std::chrono::nanoseconds interval =
-      opt.rate > 0
-          ? std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / opt.rate))
-          : std::chrono::nanoseconds(0);
-  for (std::uint32_t i = 0; i < opt.conns; ++i) {
-    ClientConn& c = conns[i];
-    c.next_elem = i;
-    c.in_flight.reserve(opt.window * 2);
-    c.stats.latency_ms.reserve(4096);
-    conn_connect(c, cluster.transports[i % opt.nodes]->listen_port(), cluster_id);
-    c.next_send = Clock::now();
-  }
-
-  std::vector<pollfd> pfds(opt.conns);
-  std::vector<std::uint8_t> buf(64 * 1024);
-  const auto poll_round = [&](bool sending, int wait_ms) -> std::size_t {
-    std::size_t alive = 0;
-    for (std::uint32_t i = 0; i < opt.conns; ++i) {
-      ClientConn& c = conns[i];
-      pfds[i].fd = c.alive ? c.fd : -1;  // poll() ignores negative fds
-      pfds[i].events =
-          static_cast<short>(POLLIN | (c.outbuf.empty() ? 0 : POLLOUT));
-      pfds[i].revents = 0;
-      if (c.alive) ++alive;
-    }
-    if (alive == 0) return 0;
-    ::poll(pfds.data(), pfds.size(), wait_ms);
-    for (std::uint32_t i = 0; i < opt.conns; ++i) {
-      ClientConn& c = conns[i];
-      if (!c.alive) continue;
-      if (pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
-        conn_read_acks(c, buf.data(), buf.size());
-      }
-      if (c.alive && sending) conn_pump_sends(c, opt, elements, interval);
-    }
-    return alive;
-  };
-
-  while (Clock::now() < t_end) {
-    if (poll_round(/*sending=*/true, /*wait_ms=*/1) == 0) break;
-  }
-  // Snapshot resource usage while every connection is still open — the
-  // thread-per-connection signature disappears the moment clients hang up.
-  live_sample = sample_proc();
-  // Grace window: collect in-flight acks so tail latency is not truncated.
-  const auto t_drain = Clock::now() + std::chrono::milliseconds(1500);
-  while (Clock::now() < t_drain) {
-    bool pending = false;
-    for (const auto& c : conns) {
-      if (c.alive && !c.in_flight.empty()) pending = true;
-    }
-    if (!pending || poll_round(/*sending=*/false, /*wait_ms=*/10) == 0) break;
-  }
-  for (auto& c : conns) {
-    if (c.fd >= 0) ::close(c.fd);
-  }
-}
-
-double percentile(std::vector<double>& v, double p) {
-  if (v.empty()) return 0;
-  const std::size_t k =
-      std::min(v.size() - 1, static_cast<std::size_t>(p * (v.size() - 1)));
-  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), v.end());
-  return v[k];
-}
 
 }  // namespace
 
@@ -403,8 +85,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  BenchCluster cluster(opt);
-  const std::uint64_t cluster_id = net::NodeHost::cluster_id_of(cluster.cfg);
+  net::NodeHostConfig cfg;
+  cfg.n = opt.nodes;
+  cfg.f = (opt.nodes - 1) / 3;
+  cfg.algorithm = opt.algo;
+  cfg.ledger_mode = opt.ledger;
+  cfg.seed = 42;
+  cfg.collector_limit = 64;
+  cfg.collector_timeout = sim::from_millis(50);
+  cfg.block_interval = sim::from_millis(50);
+  cfg.sync_interval = sim::from_millis(400);
+  load::LocalCluster cluster(cfg);
 
   // Pre-generate (and pre-sign) the workload outside the measured window.
   // All connections share one signed element pool, striped by connection so
@@ -413,54 +104,57 @@ int main(int argc, char** argv) {
       200'000, opt.rate > 0
                    ? static_cast<std::size_t>(opt.rate * opt.conns * opt.duration_s * 1.3) + 256
                    : static_cast<std::size_t>(40'000 * opt.duration_s));
-  crypto::Pki pki(cluster.cfg.seed);
-  for (crypto::ProcessId p = 0; p < cluster.cfg.n + cluster.cfg.client_slots; ++p) {
+  crypto::Pki pki(cfg.seed);
+  for (crypto::ProcessId p = 0; p < cfg.n + cfg.client_slots; ++p) {
     pki.register_process(p);
   }
-  workload::ArbitrumLikeGenerator gen(cluster.cfg.seed ^ 0xBE7C4ULL);
+  workload::ArbitrumLikeGenerator gen(cfg.seed ^ 0xBE7C4ULL);
   core::ElementFactory factory(gen, pki, core::Fidelity::kFull);
   std::vector<core::Element> elements;
   elements.reserve(budget);
   for (std::size_t s = 0; s < budget; ++s) {
-    elements.push_back(factory.make(cluster.cfg.n, s));
+    elements.push_back(factory.make(cfg.n, s));
   }
 
   cluster.start();
   // Let the mesh dial before load starts.
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
 
+  load::FleetConfig fc;
+  fc.targets = cluster.targets();
+  fc.cluster = cluster.cluster_id();
+  fc.sessions = opt.conns;
+  fc.window = opt.window;
+
+  // The bench's historical --rate is per connection on a fixed interval;
+  // the fleet schedule is fleet-wide, so kUniform at rate * conns is the
+  // same offered load.
+  load::ArrivalConfig arrival;
+  arrival.kind = load::ArrivalKind::kUniform;
+  arrival.rate = opt.rate * opt.conns;
+  arrival.seed = cfg.seed;
+
+  load::PooledElementSource source(elements, opt.conns);
+  load::LoadFleet fleet(fc);
+
   const auto t0 = Clock::now();
-  const auto t_end = t0 + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double>(opt.duration_s));
-  std::vector<ClientConn> conns(opt.conns);
-  ProcSample live;
-  run_fleet(opt, cluster, cluster_id, elements, t_end, conns, live);
-  const double wall_s =
-      std::chrono::duration<double>(Clock::now() - t0).count();
+  fleet.connect();
+  const load::PhaseStats st = fleet.run_phase(source, arrival, opt.duration_s);
+  // Snapshot resource usage while every session is still connected — the
+  // thread-per-connection signature disappears the moment clients hang up.
+  const load::ProcSample live = load::sample_proc();
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  fleet.close();
 
   cluster.shutdown();
 
-  std::uint64_t sent = 0, acked = 0, accepted = 0;
-  std::vector<double> lat;
-  for (auto& c : conns) {
-    const ConnStats& s = c.stats;
-    sent += s.sent;
-    acked += s.acked;
-    accepted += s.accepted;
-    lat.insert(lat.end(), s.latency_ms.begin(), s.latency_ms.end());
-  }
+  const std::uint64_t acked = st.acked;
   const double eps = wall_s > 0 ? static_cast<double>(acked) / wall_s : 0;
-  const double p50 = percentile(lat, 0.50);
-  const double p99 = percentile(lat, 0.99);
+  const double p50 = static_cast<double>(st.latency_us.percentile(0.50)) / 1000.0;
+  const double p99 = static_cast<double>(st.latency_us.percentile(0.99)) / 1000.0;
 
-  std::uint64_t frames_tx = 0, frames_rx = 0, drops = 0, decode_errors = 0;
-  for (const auto& t : cluster.transports) {
-    const auto c = t->counters();
-    frames_tx += c.frames_sent;
-    frames_rx += c.frames_received;
-    drops += c.send_drops;
-    decode_errors += c.decode_errors;
-  }
+  const auto tc = cluster.counters_total();
+  const std::uint64_t decode_errors = tc.decode_errors;
 
   char json[2048];
   std::snprintf(
@@ -478,11 +172,12 @@ int main(int argc, char** argv) {
       opt.nodes, opt.conns, opt.window, opt.rate, opt.duration_s,
       runner::algorithm_name(opt.algo),
       opt.ledger == runner::LedgerMode::kConsensus ? "consensus" : "sequencer",
-      static_cast<unsigned long long>(sent), static_cast<unsigned long long>(acked),
-      static_cast<unsigned long long>(accepted), eps, eps / opt.nodes, p50, p99,
-      wall_s, static_cast<unsigned long long>(frames_tx),
-      static_cast<unsigned long long>(frames_rx),
-      static_cast<unsigned long long>(drops),
+      static_cast<unsigned long long>(st.sent),
+      static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(st.accepted), eps, eps / opt.nodes, p50,
+      p99, wall_s, static_cast<unsigned long long>(tc.frames_sent),
+      static_cast<unsigned long long>(tc.frames_received),
+      static_cast<unsigned long long>(tc.send_drops),
       static_cast<unsigned long long>(decode_errors),
       static_cast<unsigned long long>(live.threads),
       static_cast<unsigned long long>(live.vm_hwm_kb));
@@ -496,10 +191,13 @@ int main(int argc, char** argv) {
 
   if (opt.smoke) {
     // Self-check: the cluster must actually have served traffic cleanly.
-    if (acked == 0 || decode_errors != 0) {
-      std::fprintf(stderr, "net_throughput_bench smoke FAILED: acked=%llu decode_errors=%llu\n",
+    if (acked == 0 || decode_errors != 0 || st.decode_errors != 0) {
+      std::fprintf(stderr,
+                   "net_throughput_bench smoke FAILED: acked=%llu "
+                   "decode_errors=%llu client_decode_errors=%llu\n",
                    static_cast<unsigned long long>(acked),
-                   static_cast<unsigned long long>(decode_errors));
+                   static_cast<unsigned long long>(decode_errors),
+                   static_cast<unsigned long long>(st.decode_errors));
       return 1;
     }
     std::fprintf(stderr, "net_throughput_bench smoke OK\n");

@@ -4,12 +4,17 @@
 # timeout so a wedged cluster can never hang CI. Used by the `smoke_tcp_cluster`
 # ctest target and the CI "TCP cluster smoke" step.
 #
-#   usage: tcp_cluster_smoke.sh <setchain_node> <remote_quorum_client> [algo]
+#   usage: tcp_cluster_smoke.sh <setchain_node> <remote_quorum_client> \
+#          [setchain_loadgen] [algo]
+#
+# When a setchain_loadgen binary is given, phase 5 additionally drives a
+# 60-second open-loop rollup load against a fresh consensus cluster.
 set -euo pipefail
 
 NODE_BIN=${1:?path to setchain_node}
 CLIENT_BIN=${2:?path to remote_quorum_client}
-ALGO=${3:-hashchain}
+LOADGEN_BIN=${3:-}
+ALGO=${4:-hashchain}
 
 N=4
 F=1
@@ -31,6 +36,10 @@ cleanup() {
   if [ "$code" -ne 0 ]; then
     echo "--- daemon logs (${LOG_DIR}) ---" >&2
     tail -n 20 "${LOG_DIR}"/*node*.log >&2 || true
+    if [ -s "${LOG_DIR}/loadgen.json" ]; then
+      echo "--- loadgen report ---" >&2
+      cat "${LOG_DIR}/loadgen.json" >&2 || true
+    fi
   fi
   rm -rf "${LOG_DIR}" "${DATA_DIR:-}"
   exit "$code"
@@ -265,3 +274,79 @@ if [ "$DETECTED" -ne 1 ]; then
 fi
 
 echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N}, consensus + Byzantine node masked)"
+
+# ---- Phase 5: 60-second open-loop rollup load (consensus cluster) ---------
+# Fresh consensus cluster, then the load harness: an open-loop client fleet
+# (Poisson arrivals, hundreds of concurrent TCP sessions) submitting L2
+# token txs while the rollup operator/verifier agents post and audit epoch
+# commitments through the same cluster. The loadgen's --check gate fails on
+# shed arrivals, framing damage, or a bad rollup verdict; afterwards every
+# daemon's shutdown counters must report zero drops and zero decode errors,
+# so generator overload cannot masquerade as a pass.
+if [ -n "${LOADGEN_BIN}" ]; then
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  PIDS=()
+
+  PORT_BASE=$(( PORT_BASE + 100 ))
+  PEER_ARGS=()
+  for i in $(seq 0 $((N - 1))); do
+    PEER_ARGS+=(--peer "${HOST}:$((PORT_BASE + i))")
+  done
+
+  # Bigger collectors than the earlier phases: at hundreds of elements/sec a
+  # tiny collector mints an epoch every few milliseconds, and since the rollup
+  # operator posts one commitment per tx-bearing epoch, that amplifies the
+  # element stream and bloats every quorum-view poll the verifier makes.
+  for i in $(seq 0 $((N - 1))); do
+    "$NODE_BIN" --id "$i" --n "$N" --f "$F" --algo "$ALGO" --seed "$SEED" \
+      --ledger consensus --timeout-propose-ms 800 \
+      --listen "${HOST}:$((PORT_BASE + i))" "${PEER_ARGS[@]}" \
+      --collector 64 --collector-timeout-ms 250 --block-interval-ms 120 \
+      >"${LOG_DIR}/load_node${i}.log" 2>&1 &
+    PIDS+=($!)
+  done
+
+  NODE_ARGS=()
+  for i in $(seq 0 $((N - 1))); do
+    NODE_ARGS+=(--node "${HOST}:$((PORT_BASE + i))")
+  done
+
+  # --settle-s 60: after the 60 s load phase the trailing commitments still
+  # need to consolidate and be audited; on a loaded single-core runner each
+  # settle poll re-verifies a multi-thousand-epoch quorum view, so the default
+  # 20 s budget is flaky-tight here.
+  sleep 1
+  timeout --kill-after=10 200 \
+    "$LOADGEN_BIN" "${NODE_ARGS[@]}" --algo "$ALGO" --ledger consensus \
+    --seed "$SEED" --workload rollup --sessions 256 --rate 300 \
+    --duration-s 60 --settle-s 60 --check >"${LOG_DIR}/loadgen.json"
+
+  # Graceful stop so every daemon prints its transport counters.
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  PIDS=()
+
+  for i in $(seq 0 $((N - 1))); do
+    if ! grep -q "drops(peer=0 client=0)" "${LOG_DIR}/load_node${i}.log"; then
+      echo "FAIL: node ${i} dropped frames under load" >&2
+      grep -h "stopped:" "${LOG_DIR}/load_node${i}.log" >&2 || true
+      exit 1
+    fi
+    if ! grep -q "decode_errors=0" "${LOG_DIR}/load_node${i}.log"; then
+      echo "FAIL: node ${i} saw framing errors under load" >&2
+      grep -h "stopped:" "${LOG_DIR}/load_node${i}.log" >&2 || true
+      exit 1
+    fi
+  done
+
+  echo "tcp_cluster_smoke: PASS (${ALGO}, n=${N}, 60 s open-loop rollup load)"
+fi

@@ -1,0 +1,75 @@
+#include "load/arrival.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace setchain::load {
+
+const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kUniform: return "uniform";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBurst: return "burst";
+  }
+  return "?";
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed ^ 0xA881D7ULL) {
+  if (cfg_.kind == ArrivalKind::kBurst && cfg_.burst_rate <= 0) {
+    cfg_.burst_rate = 4.0 * cfg_.rate;
+  }
+}
+
+double ArrivalProcess::rate_at(double t) const {
+  if (cfg_.kind != ArrivalKind::kBurst) return cfg_.rate;
+  const double period = cfg_.burst_on_s + cfg_.burst_off_s;
+  if (period <= 0) return cfg_.burst_rate;
+  const double pos = std::fmod(t, period);
+  return pos < cfg_.burst_on_s ? cfg_.burst_rate : cfg_.rate;
+}
+
+double ArrivalProcess::segment_end(double t) const {
+  if (cfg_.kind != ArrivalKind::kBurst) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double period = cfg_.burst_on_s + cfg_.burst_off_s;
+  if (period <= 0) return std::numeric_limits<double>::infinity();
+  const double base = std::floor(t / period) * period;
+  const double pos = t - base;
+  return pos < cfg_.burst_on_s ? base + cfg_.burst_on_s : base + period;
+}
+
+double ArrivalProcess::next() {
+  if (!open_loop()) return t_;
+  switch (cfg_.kind) {
+    case ArrivalKind::kUniform:
+      t_ += 1.0 / cfg_.rate;
+      return t_;
+    case ArrivalKind::kPoisson:
+      t_ += rng_.exponential(cfg_.rate);
+      return t_;
+    case ArrivalKind::kBurst:
+      break;
+  }
+  // Piecewise Poisson: draw at the current segment's rate; a draw crossing
+  // the segment boundary is clipped there and redrawn at the new rate —
+  // exact for exponential gaps (memorylessness), and it keeps each phase's
+  // realized rate honest instead of smearing bursts across boundaries.
+  for (;;) {
+    const double r = rate_at(t_);
+    const double end = segment_end(t_);
+    if (r <= 0) {  // silent segment: jump to its end
+      t_ = end;
+      continue;
+    }
+    const double gap = rng_.exponential(r);
+    if (t_ + gap <= end) {
+      t_ += gap;
+      return t_;
+    }
+    t_ = end;
+  }
+}
+
+}  // namespace setchain::load

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace setchain::load {
+
+/// Arrival-process shapes for open-loop load generation.
+enum class ArrivalKind : std::uint8_t {
+  kUniform,  ///< deterministic fixed inter-arrival gap (1/rate)
+  kPoisson,  ///< exponential gaps — the classic open-loop client model
+  kBurst,    ///< Poisson alternating base-rate / burst-rate phases
+};
+
+const char* arrival_kind_name(ArrivalKind k);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Target arrivals/second across the WHOLE fleet (not per session).
+  /// 0 disables the schedule: the fleet runs closed-loop, windows kept full.
+  double rate = 0;
+  /// kBurst phase lengths: the process alternates `burst_on_s` seconds at
+  /// `burst_rate` with `burst_off_s` seconds at `rate`, starting bursty.
+  double burst_on_s = 1.0;
+  double burst_off_s = 4.0;
+  /// Rate during the burst phase; 0 means 4x the base rate.
+  double burst_rate = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the absolute arrival schedule for one load phase: next()
+/// returns nondecreasing offsets in seconds from the phase start. The
+/// schedule depends only on the config (seeded RNG), never on responses —
+/// that independence is what makes the harness open-loop: a slow server
+/// cannot slow down the offered load, it can only grow its own queue.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& cfg);
+
+  bool open_loop() const { return cfg_.rate > 0; }
+
+  /// Next arrival offset (seconds from phase start). Only meaningful when
+  /// open_loop(); closed-loop phases never consult the schedule.
+  double next();
+
+ private:
+  /// Offered rate at offset `t` (piecewise-constant for kBurst).
+  double rate_at(double t) const;
+  /// End of the constant-rate segment containing `t` (inf for non-burst).
+  double segment_end(double t) const;
+
+  ArrivalConfig cfg_;
+  sim::Rng rng_;
+  double t_ = 0;
+};
+
+}  // namespace setchain::load

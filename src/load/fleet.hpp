@@ -1,0 +1,145 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/bytes.hpp"
+#include "core/element.hpp"
+#include "load/arrival.hpp"
+#include "net/wire.hpp"
+#include "util/latency_recorder.hpp"
+
+namespace setchain::load {
+
+/// One node's client-facing address.
+struct Target {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Supplies the elements a fleet offers. next(session) hands out the next
+/// element for one session, or nullptr when that session's supply is
+/// exhausted. Called only from the fleet thread; returned pointers must stay
+/// valid until the phase ends (sources hold pre-generated pools).
+class IElementSource {
+ public:
+  virtual ~IElementSource() = default;
+  virtual const core::Element* next(std::uint32_t session) = 0;
+};
+
+/// Pre-generated element pool striped across sessions: session s consumes
+/// pool[s], pool[s + stride], ... so every element is offered at most once
+/// and per-client (id) sequence order is preserved within a session.
+class PooledElementSource final : public IElementSource {
+ public:
+  PooledElementSource(const std::vector<core::Element>& pool,
+                      std::uint32_t sessions);
+  const core::Element* next(std::uint32_t session) override;
+  std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  const std::vector<core::Element>& pool_;
+  std::size_t stride_;
+  std::vector<std::size_t> cursor_;
+  std::uint64_t consumed_ = 0;
+};
+
+struct FleetConfig {
+  std::vector<Target> targets;  ///< node addresses; session i pins to i % size
+  std::uint64_t cluster = 0;    ///< cluster_id() for the Hello handshake
+  std::uint32_t sessions = 64;
+  /// Max in-flight (unacked) requests per session — the local memory bound.
+  std::uint32_t window = 64;
+  /// Max queued-but-unsent arrivals per session before the fleet sheds the
+  /// arrival (counted, never silently dropped): bounds generator memory when
+  /// the cluster falls behind an open-loop schedule.
+  std::uint32_t max_pending = 1024;
+  /// Sessions dialed concurrently during connect() — bounds SYN pressure on
+  /// the nodes' accept queues when the fleet is thousands strong.
+  std::uint32_t connect_batch = 256;
+  double connect_timeout_s = 20.0;
+  /// Post-phase grace window collecting in-flight acks (tail latency).
+  double drain_s = 1.5;
+};
+
+/// Everything one load phase measured. Accounting identities (pinned by
+/// tests): offered == sent + shed + pending_end, sent == acked + in_flight_end
+/// when every session survived (dead sessions abandon their in-flight).
+struct PhaseStats {
+  double wall_s = 0;
+  std::uint64_t offered = 0;   ///< arrivals the schedule produced
+  std::uint64_t shed = 0;      ///< arrivals dropped at a full pending queue
+  std::uint64_t sent = 0;      ///< requests written to a socket
+  std::uint64_t acked = 0;     ///< responses matched to a request
+  std::uint64_t accepted = 0;  ///< acks with accepted == true
+  std::uint64_t io_errors = 0;      ///< sessions lost to socket errors / EOF
+  std::uint64_t decode_errors = 0;  ///< sessions lost to framing errors
+  std::uint64_t pending_end = 0;    ///< arrivals still queued at phase end
+  std::uint64_t in_flight_end = 0;  ///< requests never acked by drain end
+  std::uint64_t queue_peak = 0;     ///< max per-session pending backlog seen
+  std::uint64_t outbuf_peak = 0;    ///< max per-session unsent bytes seen
+  std::uint32_t sessions_alive = 0;
+  /// Schedule-to-ack latency, microseconds (open loop charges queueing
+  /// delay behind a saturated cluster to the cluster, as it should).
+  util::LatencyRecorder latency_us;
+};
+
+/// An open-loop client fleet: N concurrent QuorumClient-equivalent add
+/// sessions over real TCP sockets, all multiplexed on ONE epoll loop and
+/// driven by the calling thread. The generator must scale better than the
+/// system under test — an event loop keeps its thread count at 1 and its
+/// memory at O(sessions), where thread-per-client would melt first.
+///
+/// Lifecycle: connect() dials and handshakes every session (batched),
+/// run_phase() drives one measured phase (callable repeatedly for rate
+/// curves; sessions persist across phases), close() hangs up.
+class LoadFleet {
+ public:
+  explicit LoadFleet(FleetConfig cfg);
+  ~LoadFleet();
+  LoadFleet(const LoadFleet&) = delete;
+  LoadFleet& operator=(const LoadFleet&) = delete;
+
+  /// Dial every session (connect_batch at a time, nonblocking) and send the
+  /// client Hello. Returns the number of sessions that came up.
+  std::uint32_t connect();
+
+  /// Drive one phase: schedule arrivals per `arrival` (rate 0 = closed
+  /// loop), offer elements from `source`, collect acks, then drain.
+  PhaseStats run_phase(IElementSource& source, const ArrivalConfig& arrival,
+                       double duration_s);
+
+  void close();
+  std::uint32_t sessions_alive() const;
+
+ private:
+  struct Session;
+  using Clock = std::chrono::steady_clock;
+
+  bool start_dial(Session& s);
+  void finish_dial(Session& s);
+  void kill(Session& s, PhaseStats* st, bool decode_error);
+  /// Push outbuf bytes; false while backpressured (EPOLLOUT armed) or dead.
+  bool flush(Session& s, PhaseStats* st);
+  void read_acks(Session& s, PhaseStats& st, Clock::time_point now);
+  /// Encode+send while window and supply allow. Closed loop keeps the
+  /// window full; open loop consumes the session's pending queue.
+  void pump(Session& s, IElementSource& source, PhaseStats& st,
+            bool closed_loop);
+  Session* pick_session();
+  void update_interest(Session& s);
+
+  FleetConfig cfg_;
+  int epoll_fd_ = -1;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rr_ = 0;
+  std::uint32_t alive_ = 0;
+};
+
+}  // namespace setchain::load

@@ -1,0 +1,79 @@
+#include "load/local_cluster.hpp"
+
+#include <string>
+
+namespace setchain::load {
+
+LocalCluster::LocalCluster(const net::NodeHostConfig& cfg) : cfg_(cfg) {
+  cluster_ = net::NodeHost::cluster_id_of(cfg_);
+  std::vector<std::string> peer_addrs;
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    net::TcpConfig tc;
+    tc.self = i;
+    tc.n = cfg_.n;
+    tc.cluster = cluster_;
+    tc.listen_port = 0;
+    tc.peers = peer_addrs;
+    tc.peers.resize(cfg_.n);
+    transports_.push_back(std::make_unique<net::TcpTransport>(tc));
+    peer_addrs.push_back("127.0.0.1:" +
+                         std::to_string(transports_[i]->listen_port()));
+  }
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    net::NodeHostConfig c = cfg_;
+    c.id = i;
+    sims_.push_back(std::make_unique<sim::Simulation>());
+    hosts_.push_back(std::make_unique<net::NodeHost>(c, *sims_[i], *transports_[i]));
+  }
+}
+
+void LocalCluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    hosts_[i]->start();
+    transports_[i]->start();
+  }
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    pumps_.emplace_back([this, i] { hosts_[i]->run_realtime(stop_); });
+  }
+}
+
+void LocalCluster::shutdown() {
+  if (stop_.exchange(true)) return;
+  for (auto& t : pumps_) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& t : transports_) t->stop();
+}
+
+LocalCluster::~LocalCluster() { shutdown(); }
+
+std::vector<Target> LocalCluster::targets() const {
+  std::vector<Target> out;
+  out.reserve(cfg_.n);
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    out.push_back(Target{"127.0.0.1", transports_[i]->listen_port()});
+  }
+  return out;
+}
+
+net::ITransport::Counters LocalCluster::counters_total() const {
+  net::ITransport::Counters total;
+  for (const auto& t : transports_) {
+    const auto c = t->counters();
+    total.frames_sent += c.frames_sent;
+    total.bytes_sent += c.bytes_sent;
+    total.frames_received += c.frames_received;
+    total.bytes_received += c.bytes_received;
+    total.send_drops += c.send_drops;
+    total.send_drops_peer += c.send_drops_peer;
+    total.send_drops_client += c.send_drops_client;
+    total.decode_errors += c.decode_errors;
+    total.reconnects += c.reconnects;
+    total.send_queue_peak = std::max(total.send_queue_peak, c.send_queue_peak);
+  }
+  return total;
+}
+
+}  // namespace setchain::load

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "load/fleet.hpp"
+#include "net/node_host.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+
+namespace setchain::load {
+
+/// An in-process n-node cluster over real TCP — the exact NodeHost /
+/// TcpTransport stack the daemon runs, with one realtime pump thread per
+/// node. Lifted from the bench's ad-hoc cluster so the bench, the loadgen
+/// CLI, and the load/rollup test tiers all boot the identical topology.
+class LocalCluster {
+ public:
+  /// `cfg.id` is ignored (each node gets its own); listen ports are
+  /// ephemeral — read them back via targets()/port().
+  explicit LocalCluster(const net::NodeHostConfig& cfg);
+  ~LocalCluster();
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  void start();
+  void shutdown();
+
+  std::uint32_t nodes() const { return cfg_.n; }
+  std::uint64_t cluster_id() const { return cluster_; }
+  const net::NodeHostConfig& config() const { return cfg_; }
+  std::uint16_t port(std::uint32_t i) const { return transports_[i]->listen_port(); }
+  /// Client-facing addresses, FleetConfig-ready.
+  std::vector<Target> targets() const;
+
+  net::NodeHost& host(std::uint32_t i) { return *hosts_[i]; }
+  const net::NodeHost& host(std::uint32_t i) const { return *hosts_[i]; }
+
+  /// Transport counters summed across nodes (drops/decode errors feed the
+  /// post-run health checks).
+  net::ITransport::Counters counters_total() const;
+
+ private:
+  net::NodeHostConfig cfg_;
+  std::uint64_t cluster_ = 0;
+  std::vector<std::unique_ptr<sim::Simulation>> sims_;
+  std::vector<std::unique_ptr<net::TcpTransport>> transports_;
+  std::vector<std::unique_ptr<net::NodeHost>> hosts_;
+  std::vector<std::thread> pumps_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace setchain::load

@@ -1,0 +1,148 @@
+#include "load/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace setchain::load {
+
+ProcSample sample_proc() {
+  ProcSample s;
+  if (FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+      unsigned long long v = 0;
+      if (std::sscanf(line, "Threads: %llu", &v) == 1) s.threads = v;
+      else if (std::sscanf(line, "VmHWM: %llu", &v) == 1) s.vm_hwm_kb = v;
+    }
+    std::fclose(f);
+  }
+  return s;
+}
+
+void JsonWriter::open(char c) {
+  comma();
+  out_.push_back(c);
+  need_comma_ = false;
+}
+
+void JsonWriter::close(char c) {
+  out_.push_back(c);
+  need_comma_ = true;
+}
+
+void JsonWriter::comma() {
+  if (need_comma_) out_.push_back(',');
+  need_comma_ = false;
+}
+
+void JsonWriter::key(const char* k) {
+  comma();
+  out_.push_back('"');
+  out_ += k;
+  out_ += "\":";
+  need_comma_ = false;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma();
+  out_.push_back('"');
+  for (const char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+namespace {
+double us_to_ms(std::uint64_t us) { return static_cast<double>(us) / 1000.0; }
+}  // namespace
+
+void append_phase_json(JsonWriter& w, const char* label, double rate,
+                       const PhaseStats& st) {
+  w.begin_object();
+  w.kv("label", label);
+  w.kv("target_rate", rate);
+  w.kv("wall_s", st.wall_s);
+  w.kv("offered", st.offered);
+  w.kv("shed", st.shed);
+  w.kv("sent", st.sent);
+  w.kv("acked", st.acked);
+  w.kv("accepted", st.accepted);
+  w.kv("pending_end", st.pending_end);
+  w.kv("in_flight_end", st.in_flight_end);
+  w.kv("io_errors", st.io_errors);
+  w.kv("decode_errors", st.decode_errors);
+  w.kv("queue_peak", st.queue_peak);
+  w.kv("outbuf_peak_bytes", st.outbuf_peak);
+  w.kv("sessions_alive", st.sessions_alive);
+  const double eps =
+      st.wall_s > 0 ? static_cast<double>(st.acked) / st.wall_s : 0.0;
+  w.kv("acked_per_sec", eps);
+  w.key("latency_ms");
+  w.begin_object();
+  w.kv("count", st.latency_us.count());
+  w.kv("min", us_to_ms(st.latency_us.min()));
+  w.kv("mean", us_to_ms(static_cast<std::uint64_t>(st.latency_us.mean())));
+  w.kv("p50", us_to_ms(st.latency_us.percentile(0.50)));
+  w.kv("p90", us_to_ms(st.latency_us.percentile(0.90)));
+  w.kv("p99", us_to_ms(st.latency_us.percentile(0.99)));
+  w.kv("p999", us_to_ms(st.latency_us.percentile(0.999)));
+  w.kv("max", us_to_ms(st.latency_us.max()));
+  w.end_object();
+  w.end_object();
+}
+
+void emit_report(const std::string& json, const std::string& path) {
+  std::printf("%s\n", json.c_str());
+  if (!path.empty()) {
+    if (FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+}
+
+}  // namespace setchain::load

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "load/fleet.hpp"
+
+namespace setchain::load {
+
+/// Thread count and peak RSS of this process, sampled from /proc while a
+/// run is live. The thread count is the clearest resource signature of the
+/// generator architecture: thread-per-connection scales with sessions, the
+/// event loop keeps it flat.
+struct ProcSample {
+  std::uint64_t threads = 0;
+  std::uint64_t vm_hwm_kb = 0;
+};
+
+ProcSample sample_proc();
+
+/// Minimal append-only JSON builder — enough structure for the loadgen /
+/// bench reports without pulling in a JSON library. The caller is
+/// responsible for balanced begin/end calls; keys are emitted verbatim
+/// (no escaping: report keys are compile-time literals).
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const char* k);
+  void value(const std::string& v);  ///< escaped string value
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+
+  template <typename T>
+  void kv(const char* k, T v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void open(char c);
+  void close(char c);
+  void comma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Append one phase's stats as a JSON object (latency in milliseconds,
+/// converted from the recorder's microsecond buckets) under the current
+/// writer position. `label` names the phase; `rate` is the offered target.
+void append_phase_json(JsonWriter& w, const char* label, double rate,
+                       const PhaseStats& st);
+
+/// Write `json` to `path` ("" = skip) and echo it to stdout.
+void emit_report(const std::string& json, const std::string& path);
+
+}  // namespace setchain::load

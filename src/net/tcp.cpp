@@ -62,7 +62,10 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
     throw std::runtime_error("TcpTransport: bad listen host " + cfg_.listen_host);
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
+      // Deep accept backlog: a load-generator fleet dials thousands of
+      // client sessions in bursts; a shallow backlog turns those into
+      // spurious connection resets before the event loop can accept.
+      ::listen(listen_fd_, 1024) != 0) {
     ::close(listen_fd_);
     throw std::runtime_error("TcpTransport: bind/listen failed on " +
                              cfg_.listen_host + ":" + std::to_string(cfg_.listen_port));

@@ -1,0 +1,90 @@
+#include "util/latency_recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace setchain::util {
+
+namespace {
+// Index layout: group g = index / kSubBuckets. Groups 0 and 1 (indices
+// 0..63) are exact values; group g >= 2 covers one octave with shift
+// h = g - 1 (values [kSubBuckets << h, kSubBuckets << (h+1))). The exact
+// region is just the h = 0 octave written out, so one formula rules all
+// indices >= kSubBuckets.
+constexpr std::size_t kBucketCount =
+    (LatencyRecorder::kMaxShift + 2) * LatencyRecorder::kSubBuckets;
+}  // namespace
+
+LatencyRecorder::LatencyRecorder() : buckets_(kBucketCount, 0) {}
+
+std::size_t LatencyRecorder::bucket_index(std::uint64_t v) {
+  if (v < 2 * kSubBuckets) return static_cast<std::size_t>(v);
+  // v >= 64: shift so the mantissa keeps kSubBits bits below the leading one.
+  const unsigned h = static_cast<unsigned>(std::bit_width(v)) - 1 - kSubBits;
+  if (h > kMaxShift) return kBucketCount - 1;
+  const std::uint64_t sub = (v >> h) - kSubBuckets;  // in [0, kSubBuckets)
+  return static_cast<std::size_t>((h + 1) * kSubBuckets + sub);
+}
+
+std::uint64_t LatencyRecorder::index_bound(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const unsigned h = static_cast<unsigned>(index / kSubBuckets) - 1;
+  const std::uint64_t sub = index % kSubBuckets;
+  return ((sub + kSubBuckets + 1) << h) - 1;  // inclusive upper bound
+}
+
+std::uint64_t LatencyRecorder::bucket_bound(std::uint64_t value) {
+  return index_bound(bucket_index(value));
+}
+
+void LatencyRecorder::record_n(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  buckets_[bucket_index(value)] += n;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += n;
+  sum_ += static_cast<unsigned __int128>(value) * n;
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyRecorder::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0;
+}
+
+double LatencyRecorder::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyRecorder::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  if (p == 0.0) return min();
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Never report above the exact max: the top occupied bucket's bound
+      // may overshoot the largest sample by the quantization error.
+      return std::min(index_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace setchain::util

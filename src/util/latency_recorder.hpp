@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace setchain::util {
+
+/// HDR-style log-linear latency histogram: p50/p90/p99/p999 over millions of
+/// samples without storing any of them.
+///
+/// Layout: values below 2^(kSubBits+1) are bucketed exactly; above that,
+/// each power of two is split into kSubBuckets linear sub-buckets, so a
+/// reported percentile overestimates the true sample by strictly less than
+/// 1/kSubBuckets (3.125%) of its value — the classic HDR trade of bounded
+/// relative error for O(1) record and a fixed ~10 KiB footprint.
+///
+/// The recorder is unit-agnostic (the load harness feeds microseconds).
+/// record() is O(1); percentile() walks the bucket array; merge() adds two
+/// recorders bucket-by-bucket and is exact (associative and commutative —
+/// merging per-shard recorders equals recording into one, pinned in tests).
+/// Not thread-safe: one recorder per thread, merge at the end.
+class LatencyRecorder {
+ public:
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;  // 32
+  /// Highest exactly-representable octave shift. Values at or above
+  /// kMaxTrackable land in the final bucket (count and max() stay exact,
+  /// percentiles saturate at the last bucket's bound).
+  static constexpr unsigned kMaxShift = 37;
+  static constexpr std::uint64_t kMaxTrackable =
+      (kSubBuckets * 2) << kMaxShift;  // ~2^43: > 2 hours in microseconds
+
+  LatencyRecorder();
+
+  void record(std::uint64_t value) { record_n(value, 1); }
+  void record_n(std::uint64_t value, std::uint64_t n);
+
+  /// Fold `other` into this recorder. Exact: the result is identical to one
+  /// recorder having seen both sample streams.
+  void merge(const LatencyRecorder& other);
+
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  /// Exact smallest / largest recorded value (0 when empty).
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  /// Exact mean (sums are kept outside the buckets).
+  double mean() const;
+
+  /// Value v such that at least ceil(p * count) samples are <= v, with
+  /// v >= the true rank-th sample and v < sample * (1 + 1/kSubBuckets).
+  /// p is clamped to [0, 1]; p == 0 returns min(); empty recorder returns 0.
+  std::uint64_t percentile(double p) const;
+
+  /// Upper value bound of the bucket `value` falls into — the quantization
+  /// percentile() reports at. Exposed so tests can pin the error contract.
+  static std::uint64_t bucket_bound(std::uint64_t value);
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t index_bound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  /// Totals for mean(): sum in 64-bit with saturation guard via 128-bit.
+  unsigned __int128 sum_ = 0;
+};
+
+}  // namespace setchain::util

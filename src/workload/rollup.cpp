@@ -1,0 +1,371 @@
+#include "workload/rollup.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sim/rng.hpp"
+
+namespace setchain::workload::rollup {
+
+namespace {
+constexpr std::size_t kRootSize =
+    std::tuple_size<exec::LedgerState::StateRoot>::value;
+
+void write_root(codec::Writer& w, const exec::LedgerState::StateRoot& root) {
+  w.bytes(codec::ByteView(root.data(), root.size()));
+}
+
+bool read_root(codec::Reader& r, exec::LedgerState::StateRoot& out) {
+  const auto v = r.bytes(kRootSize);
+  if (!v) return false;
+  std::copy(v->begin(), v->end(), out.begin());
+  return true;
+}
+}  // namespace
+
+codec::Bytes encode_commitment(const Commitment& c) {
+  codec::Writer w;
+  w.u8(kCommitTag);
+  w.u64le(c.epoch);
+  write_root(w, c.root);
+  return w.take();
+}
+
+std::optional<Commitment> parse_commitment(codec::ByteView payload) {
+  codec::Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kCommitTag) return std::nullopt;
+  Commitment c;
+  const auto epoch = r.u64le();
+  if (!epoch) return std::nullopt;
+  c.epoch = *epoch;
+  if (!read_root(r, c.root) || !r.done()) return std::nullopt;
+  return c;
+}
+
+codec::Bytes encode_fraud_proof(const FraudProof& f) {
+  codec::Writer w;
+  w.u8(kFraudTag);
+  w.u64le(f.accused);
+  w.u64le(f.epoch);
+  write_root(w, f.claimed);
+  write_root(w, f.correct);
+  return w.take();
+}
+
+std::optional<FraudProof> parse_fraud_proof(codec::ByteView payload) {
+  codec::Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kFraudTag) return std::nullopt;
+  FraudProof f;
+  const auto accused = r.u64le();
+  const auto epoch = r.u64le();
+  if (!accused || !epoch) return std::nullopt;
+  f.accused = *accused;
+  f.epoch = *epoch;
+  if (!read_root(r, f.claimed) || !read_root(r, f.correct) || !r.done()) {
+    return std::nullopt;
+  }
+  return f;
+}
+
+core::Element make_artifact_element(const crypto::Pki& pki,
+                                    crypto::ProcessId client, std::uint64_t seq,
+                                    codec::Bytes payload) {
+  core::Element e;
+  e.client = client;
+  e.id = core::make_element_id(client, seq);
+  e.payload = std::move(payload);
+  codec::Writer signing;
+  signing.u64le(e.id);
+  signing.bytes(e.payload);
+  e.sig = pki.sign(client, signing.buffer());
+  codec::Writer wire;
+  core::serialize_element(wire, e);
+  e.wire_size = static_cast<std::uint32_t>(wire.size());
+  return e;
+}
+
+void TxPool::genesis_into(exec::EpochExecutor& ex) const {
+  for (const auto account : accounts) ex.genesis(account, cfg.genesis_amount);
+}
+
+TxPool build_tx_pool(const TxPoolConfig& cfg, const crypto::Pki& pki) {
+  TxPool pool;
+  pool.cfg = cfg;
+  const std::uint32_t sessions = std::max<std::uint32_t>(1, cfg.sessions);
+  const std::uint32_t span = std::max<std::uint32_t>(1, cfg.client_span);
+  pool.accounts.reserve(sessions);
+  for (std::uint32_t s = 0; s < sessions; ++s) {
+    pool.accounts.push_back(cfg.account_base + s);
+  }
+  sim::Rng rng(cfg.seed ^ 0x50119ULL);
+  std::vector<std::uint64_t> session_nonce(sessions, 0);
+  // Sessions share PKI client slots, so per-client element seqs must be
+  // globally unique: one counter per client, handed out during generation.
+  std::vector<std::uint64_t> client_seq(span, 0);
+  pool.elements.reserve(cfg.budget);
+  pool.index.reserve(cfg.budget);
+  // Striped generation: element k belongs to session k % sessions, so the
+  // fleet's striped source offers each session's txs in nonce order.
+  for (std::size_t k = 0; k < cfg.budget; ++k) {
+    const std::uint32_t s = static_cast<std::uint32_t>(k % sessions);
+    const std::uint32_t c = s % span;
+    exec::TokenTx tx;
+    tx.from = pool.accounts[s];
+    std::uint32_t to = s;
+    if (sessions > 1) {
+      to = static_cast<std::uint32_t>(rng.uniform_u64(sessions - 1));
+      if (to >= s) ++to;  // skip self: self-transfers void deterministically
+    }
+    tx.to = pool.accounts[to];
+    tx.amount = 1 + rng.uniform_u64(100);
+    tx.nonce = session_nonce[s]++;
+    const core::Element e = exec::make_token_element(
+        pki, cfg.first_client + c, client_seq[c]++, tx);
+    pool.index.emplace(e.id, static_cast<std::uint32_t>(pool.elements.size()));
+    pool.elements.push_back(e);
+  }
+  return pool;
+}
+
+bool RollupReport::ok(const RollupConfig& cfg) const {
+  if (txs_executed == 0 || !roots_agree || unknown_ids) return false;
+  if (commitments_posted == 0 ||
+      commitments_consolidated != commitments_posted) {
+    return false;
+  }
+  if (cfg.dishonest) {
+    return mismatches == 1 && frauds_caught_in_window == 1 &&
+           commitments_ok == commitments_consolidated - 1;
+  }
+  return mismatches == 0 && commitments_ok == commitments_consolidated;
+}
+
+RollupHarness::RollupHarness(const std::vector<load::Target>& targets,
+                             std::uint64_t cluster, const crypto::Pki& pki,
+                             const TxPool& pool, RollupConfig cfg)
+    : cfg_(cfg), pki_(pki), pool_(pool) {
+  std::vector<api::ISetchainNode*> node_ptrs;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    net::TcpRpcChannel::Config cc;
+    cc.host = targets[i].host;
+    cc.port = targets[i].port;
+    cc.client_id = cfg_.verifier_client;
+    cc.cluster = cluster;
+    nodes_.push_back(std::make_unique<net::RemoteNode>(
+        std::make_unique<net::TcpRpcChannel>(cc),
+        static_cast<crypto::ProcessId>(i)));
+    node_ptrs.push_back(nodes_.back().get());
+  }
+  // kAll submission: the paper's Byzantine-proof artifact path — at least
+  // one correct server receives every commitment / fraud proof.
+  qc_.emplace(api::make_quorum_client(std::move(node_ptrs), pki_, cfg_.f,
+                                      core::Fidelity::kFull,
+                                      api::WritePolicy::kAll));
+  pool_.genesis_into(op_exec_);
+  pool_.genesis_into(ver_exec_);
+}
+
+RollupHarness::~RollupHarness() {
+  stop_.store(true);
+  if (agent_.joinable()) agent_.join();
+}
+
+void RollupHarness::start() {
+  stop_.store(false);
+  agent_ = std::thread([this] { run_agent(); });
+}
+
+void RollupHarness::run_agent() {
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double>(cfg_.poll_interval_s));
+  while (!stop_.load(std::memory_order_relaxed)) {
+    step();
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+std::uint64_t RollupHarness::quorum_epoch_estimate() {
+  std::vector<std::uint64_t> epochs;
+  epochs.reserve(nodes_.size());
+  for (const auto& n : nodes_) epochs.push_back(n->epoch());
+  std::sort(epochs.begin(), epochs.end(), std::greater<>());
+  const std::size_t q = std::min<std::size_t>(cfg_.f, epochs.size() - 1);
+  return epochs[q];  // (f+1)-th largest: supported by at least f+1 nodes
+}
+
+void RollupHarness::step() {
+  if (nodes_.empty()) return;
+  if (quorum_epoch_estimate() <= last_exec_) return;  // nothing new; skip get
+  const auto view = qc_->get();
+  const std::uint64_t top =
+      std::min<std::uint64_t>(view.epoch, view.history.size());
+  for (std::uint64_t e = last_exec_ + 1; e <= top; ++e) {
+    adopt_epoch(view.history[e - 1]);
+  }
+}
+
+void RollupHarness::adopt_epoch(const core::EpochRecord& rec) {
+  // Reconstruct the epoch's elements in canonical (id-sorted) order — the
+  // exact order EpochExecutor contracts for. Every id is either an L2 tx
+  // from the pre-generated pool or an artifact this harness injected.
+  std::vector<core::Element> elems;
+  elems.reserve(rec.ids.size());
+  bool has_pool_tx = false;
+  for (const core::ElementId id : rec.ids) {
+    if (const auto it = pool_.index.find(id); it != pool_.index.end()) {
+      elems.push_back(pool_.elements[it->second]);
+      has_pool_tx = true;
+    } else if (const auto it2 = artifacts_.find(id); it2 != artifacts_.end()) {
+      elems.push_back(it2->second);
+    } else {
+      report_.unknown_ids = true;
+      core::Element dummy;  // empty payload: voids as kMalformedPayload
+      dummy.id = id;
+      dummy.client = core::element_client(id);
+      elems.push_back(dummy);
+    }
+  }
+  op_exec_.on_epoch(rec, elems);
+  ver_exec_.on_epoch(rec, elems);
+  if (op_exec_.state_root() != ver_exec_.state_root()) {
+    report_.roots_agree = false;
+  }
+  last_exec_ = rec.number;
+
+  // Verifier role: react to freshly consolidated artifacts.
+  for (const core::Element& el : elems) {
+    if (const auto it = commit_by_element_.find(el.id);
+        it != commit_by_element_.end()) {
+      CommitmentStatus& cs = commitments_[it->second];
+      cs.consolidated_at = rec.number;
+      const auto c = parse_commitment(el.payload);
+      if (c && c->epoch >= 1 &&
+          c->epoch <= ver_exec_.epoch_roots().size()) {
+        cs.checked = true;
+        const auto& truth = ver_exec_.epoch_roots()[c->epoch - 1];
+        cs.mismatch = (c->root != truth);
+        if (cs.mismatch) post_fraud(cs, *c);
+      } else {
+        cs.checked = true;  // unparseable commitment is itself fraud
+        cs.mismatch = true;
+        Commitment claimed;
+        claimed.epoch = cs.epoch;
+        post_fraud(cs, claimed);
+      }
+    } else if (const auto itf = fraud_by_element_.find(el.id);
+               itf != fraud_by_element_.end()) {
+      CommitmentStatus& cs = commitments_[itf->second];
+      cs.fraud_consolidated_at = rec.number;
+      cs.caught_in_window =
+          cs.consolidated_at != 0 &&
+          rec.number - cs.consolidated_at <= cfg_.fraud_window;
+    }
+  }
+
+  // Operator role: commit epochs that carried L2 traffic. Artifact-only
+  // epochs get no commitment, so the commitment stream terminates once
+  // client traffic stops instead of feeding itself forever.
+  if (has_pool_tx) post_commitment(rec.number);
+}
+
+void RollupHarness::post_commitment(std::uint64_t epoch) {
+  Commitment c;
+  c.epoch = epoch;
+  c.root = op_exec_.epoch_roots()[epoch - 1];
+  CommitmentStatus cs;
+  cs.epoch = epoch;
+  if (cfg_.dishonest &&
+      commitments_.size() == cfg_.corrupt_commit_index) {
+    c.root[0] ^= 0xFF;  // the lie the verifier must catch
+    cs.corrupted = true;
+  }
+  core::Element el = make_artifact_element(pki_, cfg_.operator_client,
+                                           op_seq_++, encode_commitment(c));
+  cs.element = el.id;
+  artifacts_.emplace(el.id, el);
+  commit_by_element_.emplace(el.id, commitments_.size());
+  commitments_.push_back(cs);
+  ++report_.commitments_posted;
+  qc_->add(std::move(el));
+}
+
+void RollupHarness::post_fraud(CommitmentStatus& cs, const Commitment& c) {
+  if (cs.fraud_element != 0) return;  // already contested
+  FraudProof f;
+  f.accused = cs.element;
+  f.epoch = cs.epoch;
+  f.claimed = c.root;
+  if (cs.epoch >= 1 && cs.epoch <= ver_exec_.epoch_roots().size()) {
+    f.correct = ver_exec_.epoch_roots()[cs.epoch - 1];
+  }
+  core::Element el = make_artifact_element(pki_, cfg_.verifier_client,
+                                           ver_seq_++, encode_fraud_proof(f));
+  cs.fraud_element = el.id;
+  artifacts_.emplace(el.id, el);
+  fraud_by_element_.emplace(el.id, commit_by_element_.at(cs.element));
+  ++report_.fraud_proofs_posted;
+  qc_->add(std::move(el));
+}
+
+bool RollupHarness::settled() const {
+  for (const auto& cs : commitments_) {
+    if (cs.consolidated_at == 0) return false;
+    if (cs.mismatch && cs.fraud_consolidated_at == 0) return false;
+  }
+  return true;
+}
+
+RollupReport RollupHarness::build_report() {
+  report_.last_epoch = last_exec_;
+  report_.epochs_executed = op_exec_.epochs_executed();
+  report_.txs_executed = op_exec_.executed();
+  report_.txs_voided = op_exec_.voided();
+  report_.commitments_consolidated = 0;
+  report_.commitments_ok = 0;
+  report_.mismatches = 0;
+  report_.fraud_proofs_consolidated = 0;
+  report_.frauds_caught_in_window = 0;
+  report_.max_fraud_detect_epochs = 0;
+  for (const auto& cs : commitments_) {
+    if (cs.consolidated_at != 0) ++report_.commitments_consolidated;
+    if (cs.checked && !cs.mismatch) ++report_.commitments_ok;
+    if (cs.mismatch) ++report_.mismatches;
+    if (cs.fraud_consolidated_at != 0) {
+      ++report_.fraud_proofs_consolidated;
+      if (cs.caught_in_window) {
+        ++report_.frauds_caught_in_window;
+        report_.max_fraud_detect_epochs =
+            std::max(report_.max_fraud_detect_epochs,
+                     cs.fraud_consolidated_at - cs.consolidated_at);
+      }
+    }
+  }
+  report_.commitments = commitments_;
+  return report_;
+}
+
+RollupReport RollupHarness::finish() {
+  if (finished_) return report_;
+  finished_ = true;
+  stop_.store(true);
+  if (agent_.joinable()) agent_.join();
+  // Settle: trailing commitments (and any fraud proof they trigger) still
+  // need an epoch of their own to consolidate; keep polling while the
+  // cluster is up.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(cfg_.settle_timeout_s));
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double>(std::max(0.02, cfg_.poll_interval_s / 2)));
+  while (std::chrono::steady_clock::now() < deadline) {
+    step();
+    if (settled()) break;
+    std::this_thread::sleep_for(interval);
+  }
+  return build_report();
+}
+
+}  // namespace setchain::workload::rollup

@@ -1,0 +1,227 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/quorum_client.hpp"
+#include "codec/bytes.hpp"
+#include "core/element.hpp"
+#include "crypto/pki.hpp"
+#include "exec/executor.hpp"
+#include "load/fleet.hpp"
+#include "net/remote_node.hpp"
+
+namespace setchain::workload::rollup {
+
+// ---------------------------------------------------------------------------
+// Optimistic rollup over Setchain ("Fast and Secure Decentralized Optimistic
+// Rollups Using Setchain", arXiv 2406.02316): the Setchain is the rollup's
+// data-availability / sequencing layer. L2 clients inject signed token
+// transactions as ordinary elements; an OPERATOR executes each consolidated
+// epoch and posts a commitment (the post-epoch state root) back into the
+// Setchain; VERIFIERS re-execute independently and, when a commitment lies,
+// post a fraud proof. A commitment consolidated at epoch P becomes final
+// unless a fraud proof consolidates by epoch P + fraud_window — the fraud
+// window rides the existing epoch barrier instead of wall-clock timers.
+// ---------------------------------------------------------------------------
+
+/// Rollup artifact payload tags (distinct from exec::kTokenTxTag, so token
+/// execution deterministically voids artifacts as kMalformedPayload and
+/// artifact parsing rejects token txs).
+constexpr std::uint8_t kCommitTag = 0x43;  // 'C'
+constexpr std::uint8_t kFraudTag = 0x46;   // 'F'
+
+/// Operator commitment: "after epoch `epoch`, the L2 state root is `root`".
+struct Commitment {
+  std::uint64_t epoch = 0;
+  exec::LedgerState::StateRoot root{};
+};
+codec::Bytes encode_commitment(const Commitment& c);
+std::optional<Commitment> parse_commitment(codec::ByteView payload);
+
+/// Verifier fraud proof: commitment element `accused` claimed `claimed` for
+/// `epoch`, but re-execution yields `correct`.
+struct FraudProof {
+  core::ElementId accused = 0;
+  std::uint64_t epoch = 0;
+  exec::LedgerState::StateRoot claimed{};
+  exec::LedgerState::StateRoot correct{};
+};
+codec::Bytes encode_fraud_proof(const FraudProof& f);
+std::optional<FraudProof> parse_fraud_proof(codec::ByteView payload);
+
+/// Wrap an arbitrary artifact payload into a signed Setchain element (same
+/// id/signature scheme as exec::make_token_element).
+core::Element make_artifact_element(const crypto::Pki& pki,
+                                    crypto::ProcessId client, std::uint64_t seq,
+                                    codec::Bytes payload);
+
+// ---------------------------------------------------------------------------
+// L2 transaction pool: pre-generated (and pre-signed) outside the measured
+// window, striped by fleet session. Each SESSION owns one L2 account and a
+// private nonce sequence; a session's elements flow over one TCP connection
+// to one node, so collector order preserves nonce order and honest traffic
+// executes without void cascades (remaining voids are deterministic and
+// reported, never a correctness failure).
+// ---------------------------------------------------------------------------
+
+struct TxPoolConfig {
+  std::uint32_t sessions = 64;
+  std::size_t budget = 10'000;  ///< total pre-generated transactions
+  /// PKI client ids used for tx signing: first_client .. first_client +
+  /// client_span - 1, sessions round-robin across them. Keep artifact
+  /// clients (operator/verifier) OUT of this span.
+  crypto::ProcessId first_client = 0;
+  std::uint32_t client_span = 1;
+  exec::AccountId account_base = 1'000'000;
+  exec::Amount genesis_amount = 1'000'000'000;
+  std::uint64_t seed = 42;
+};
+
+struct TxPool {
+  TxPoolConfig cfg;
+  /// Striped for PooledElementSource: session s consumes s, s+S, s+2S, ...
+  std::vector<core::Element> elements;
+  /// id -> index into `elements`, for epoch replay by any rollup agent.
+  std::unordered_map<core::ElementId, std::uint32_t> index;
+  /// session -> its L2 account.
+  std::vector<exec::AccountId> accounts;
+
+  /// Apply the pool's genesis allocation to an executor (operator and
+  /// verifier must seed identically, like any chain genesis).
+  void genesis_into(exec::EpochExecutor& ex) const;
+};
+
+TxPool build_tx_pool(const TxPoolConfig& cfg, const crypto::Pki& pki);
+
+// ---------------------------------------------------------------------------
+// The rollup agents.
+// ---------------------------------------------------------------------------
+
+struct RollupConfig {
+  std::uint32_t f = 1;
+  /// Epoch-barrier fraud window: a commitment consolidated at epoch P must
+  /// be contested by a fraud proof consolidating at Q <= P + fraud_window.
+  /// Sized in epochs, and epochs are FAST here (every node's collector
+  /// seals on a 50 ms timeout, so n nodes produce an epoch every
+  /// collector_timeout / n) — 64 epochs is on the order of a second of
+  /// wall time, which still leaves the verifier's poll cadence plus two
+  /// consolidations of headroom. Production rollups use windows of days.
+  std::uint32_t fraud_window = 64;
+  /// Dishonest-operator mode: corrupt the root of one posted commitment
+  /// (0-based `corrupt_commit_index`-th). The verifier must catch it.
+  bool dishonest = false;
+  std::uint64_t corrupt_commit_index = 1;
+  crypto::ProcessId operator_client = 0;
+  crypto::ProcessId verifier_client = 0;
+  double poll_interval_s = 0.25;
+  /// finish(): how long to keep polling for trailing consolidations.
+  double settle_timeout_s = 20.0;
+};
+
+/// Lifecycle of one posted commitment.
+struct CommitmentStatus {
+  core::ElementId element = 0;
+  std::uint64_t epoch = 0;      ///< the L2 epoch it commits
+  bool corrupted = false;       ///< operator lied about this one
+  std::uint64_t consolidated_at = 0;  ///< P; 0 = still pending
+  bool checked = false;         ///< verifier compared roots
+  bool mismatch = false;
+  core::ElementId fraud_element = 0;
+  std::uint64_t fraud_consolidated_at = 0;  ///< Q; 0 = pending/none
+  bool caught_in_window = false;            ///< Q != 0 && Q - P <= window
+};
+
+struct RollupReport {
+  std::uint64_t last_epoch = 0;
+  std::uint64_t epochs_executed = 0;
+  std::uint64_t txs_executed = 0;
+  std::uint64_t txs_voided = 0;
+  std::uint64_t commitments_posted = 0;
+  std::uint64_t commitments_consolidated = 0;
+  std::uint64_t commitments_ok = 0;  ///< checked, roots matched
+  std::uint64_t mismatches = 0;
+  std::uint64_t fraud_proofs_posted = 0;
+  std::uint64_t fraud_proofs_consolidated = 0;
+  std::uint64_t frauds_caught_in_window = 0;
+  std::uint64_t max_fraud_detect_epochs = 0;  ///< max Q - P over caught frauds
+  bool roots_agree = true;   ///< operator and verifier executors never diverged
+  bool unknown_ids = false;  ///< an adopted epoch referenced an unknown element
+  std::vector<CommitmentStatus> commitments;
+
+  /// Mode-aware verdict. Honest: every posted commitment consolidated,
+  /// checked, and matched. Dishonest: exactly the corrupted commitment
+  /// mismatched AND its fraud proof consolidated inside the window; every
+  /// other commitment clean. Both: txs executed, executors agreed, no
+  /// unknown ids.
+  bool ok(const RollupConfig& cfg) const;
+};
+
+/// Runs the operator and the verifier as one background agent polling a
+/// QuorumClient over the live cluster: adopt new f+1-agreed epochs, replay
+/// them through two independent EpochExecutors, post commitments (operator)
+/// and fraud proofs (verifier). Single agent thread; start() it alongside a
+/// LoadFleet phase, finish() after traffic stops (while the cluster is
+/// still up) to settle trailing consolidations and collect the report.
+///
+/// step() is exposed for single-threaded use in tests: construct, call
+/// step() between traffic injections, then finish() (never start()ed,
+/// finish() just settles on the calling thread).
+class RollupHarness {
+ public:
+  RollupHarness(const std::vector<load::Target>& targets, std::uint64_t cluster,
+                const crypto::Pki& pki, const TxPool& pool, RollupConfig cfg);
+  ~RollupHarness();
+  RollupHarness(const RollupHarness&) = delete;
+  RollupHarness& operator=(const RollupHarness&) = delete;
+
+  void start();
+  /// One poll round: adopt + execute new epochs, post artifacts. Must not
+  /// be called while the agent thread runs.
+  void step();
+  /// Stop the agent thread (if any), settle pending artifacts, and build
+  /// the final report.
+  RollupReport finish();
+
+ private:
+  void run_agent();
+  /// f+1-supported cluster epoch from cheap epoch RPCs (skip full gets
+  /// while nothing new consolidated — snapshot RPCs are the expensive part).
+  std::uint64_t quorum_epoch_estimate();
+  void adopt_epoch(const core::EpochRecord& rec);
+  void post_commitment(std::uint64_t epoch);
+  void post_fraud(CommitmentStatus& cs, const Commitment& c);
+  bool settled() const;
+  RollupReport build_report();
+
+  RollupConfig cfg_;
+  const crypto::Pki& pki_;
+  const TxPool& pool_;
+  std::vector<std::unique_ptr<net::RemoteNode>> nodes_;
+  std::optional<api::QuorumClient> qc_;
+
+  exec::EpochExecutor op_exec_;
+  exec::EpochExecutor ver_exec_;
+  std::uint64_t last_exec_ = 0;
+
+  /// Elements this harness itself injected (commitments + fraud proofs),
+  /// for epoch replay: id -> element.
+  std::unordered_map<core::ElementId, core::Element> artifacts_;
+  std::unordered_map<core::ElementId, std::size_t> commit_by_element_;
+  std::unordered_map<core::ElementId, std::size_t> fraud_by_element_;
+  std::vector<CommitmentStatus> commitments_;
+  std::uint64_t op_seq_ = 0;
+  std::uint64_t ver_seq_ = 0;
+
+  RollupReport report_;
+  std::thread agent_;
+  std::atomic<bool> stop_{false};
+  bool finished_ = false;
+};
+
+}  // namespace setchain::workload::rollup

@@ -1,0 +1,239 @@
+// LatencyRecorder conformance: the log-linear histogram must reproduce a
+// sorted-vector percentile oracle within its advertised quantization bound
+// (< 1/kSubBuckets relative overestimate, never an underestimate) across
+// benign and adversarial sample distributions, and merge() must be exact.
+#include "util/latency_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace setchain::util {
+namespace {
+
+constexpr double kPercentiles[] = {0.01, 0.25, 0.50, 0.90,
+                                   0.99, 0.999, 1.0};
+
+/// Exact oracle: the recorder's documented rank, answered from the raw
+/// samples. rank = max(1, ceil(p * n)), value = sorted[rank - 1].
+std::uint64_t oracle_percentile(std::vector<std::uint64_t> sorted, double p) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(n))));
+  return sorted[rank - 1];
+}
+
+/// Feed `samples` and check every percentile against the oracle: the
+/// recorder may overestimate by at most the oracle value's own bucket
+/// width (and never past max()), and must never underestimate.
+void check_against_oracle(const std::vector<std::uint64_t>& samples) {
+  LatencyRecorder rec;
+  for (const auto v : samples) rec.record(v);
+  ASSERT_EQ(rec.count(), samples.size());
+
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  EXPECT_EQ(rec.min(), *mn);
+  EXPECT_EQ(rec.max(), *mx);
+
+  long double exact_sum = 0;
+  for (const auto v : samples) exact_sum += static_cast<long double>(v);
+  EXPECT_NEAR(rec.mean(),
+              static_cast<double>(exact_sum / static_cast<long double>(samples.size())),
+              1e-6 * static_cast<double>(exact_sum / static_cast<long double>(samples.size())) + 1e-9);
+
+  for (const double p : kPercentiles) {
+    const std::uint64_t truth = oracle_percentile(samples, p);
+    const std::uint64_t got = rec.percentile(p);
+    EXPECT_GE(got, truth) << "p=" << p << " underestimated";
+    EXPECT_LE(got, std::min(LatencyRecorder::bucket_bound(truth), rec.max()))
+        << "p=" << p << " beyond the rank value's bucket";
+    if (truth > 0) {
+      EXPECT_LT(static_cast<double>(got - truth) / static_cast<double>(truth),
+                1.0 / static_cast<double>(LatencyRecorder::kSubBuckets))
+          << "p=" << p << " relative error bound broken";
+    }
+  }
+}
+
+TEST(LatencyRecorder, EmptyReturnsZeroes) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.min(), 0u);
+  EXPECT_EQ(rec.max(), 0u);
+  EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+  for (const double p : kPercentiles) EXPECT_EQ(rec.percentile(p), 0u);
+}
+
+TEST(LatencyRecorder, SingleSampleIsExactAtEveryPercentile) {
+  // The max() clamp makes a single sample exact even deep in the log range.
+  for (const std::uint64_t v : {0ull, 1ull, 42ull, 63ull, 64ull, 1'000'000ull,
+                                987'654'321ull}) {
+    LatencyRecorder rec;
+    rec.record(v);
+    EXPECT_EQ(rec.min(), v);
+    EXPECT_EQ(rec.max(), v);
+    EXPECT_DOUBLE_EQ(rec.mean(), static_cast<double>(v));
+    for (const double p : kPercentiles) EXPECT_EQ(rec.percentile(p), v) << v;
+  }
+}
+
+TEST(LatencyRecorder, ExactRegionHasZeroError) {
+  // Values below 2 * kSubBuckets get one bucket each: percentiles are exact.
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 10'000; ++i) samples.push_back(rng() % 64);
+  LatencyRecorder rec;
+  for (const auto v : samples) rec.record(v);
+  for (const double p : kPercentiles) {
+    EXPECT_EQ(rec.percentile(p), oracle_percentile(samples, p)) << p;
+  }
+}
+
+TEST(LatencyRecorder, OracleUniform) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 5'000'000);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 100'000; ++i) samples.push_back(dist(rng));
+  check_against_oracle(samples);
+}
+
+TEST(LatencyRecorder, OracleLognormal) {
+  // The shape real ack latency has: a tight body and a heavy tail spanning
+  // several orders of magnitude — exactly what the log buckets are for.
+  std::mt19937_64 rng(1234);
+  std::lognormal_distribution<double> dist(/*m=*/6.0, /*s=*/2.0);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 100'000; ++i) {
+    samples.push_back(static_cast<std::uint64_t>(dist(rng)));
+  }
+  check_against_oracle(samples);
+}
+
+TEST(LatencyRecorder, OracleAdversarialBucketEdges) {
+  // Sit exactly on bucket boundaries: powers of two and their neighbours,
+  // where an off-by-one in the index math shows up first.
+  std::vector<std::uint64_t> samples;
+  for (unsigned shift = 0; shift < 40; ++shift) {
+    const std::uint64_t v = 1ull << shift;
+    for (const std::uint64_t s : {v - 1, v, v + 1}) {
+      for (int rep = 0; rep < 50; ++rep) samples.push_back(s);
+    }
+  }
+  check_against_oracle(samples);
+}
+
+TEST(LatencyRecorder, OracleAllIdentical) {
+  std::vector<std::uint64_t> samples(5'000, 123'456);
+  check_against_oracle(samples);
+}
+
+TEST(LatencyRecorder, OverflowSaturatesPercentileKeepsExactMax) {
+  LatencyRecorder rec;
+  const std::uint64_t huge = LatencyRecorder::kMaxTrackable * 8;
+  rec.record(huge);
+  rec.record(huge + 1);
+  EXPECT_EQ(rec.count(), 2u);
+  EXPECT_EQ(rec.max(), huge + 1);  // min/max/count stay exact
+  // Percentiles saturate at the final bucket's bound.
+  EXPECT_EQ(rec.percentile(0.99), LatencyRecorder::kMaxTrackable - 1);
+}
+
+TEST(LatencyRecorder, BucketBoundContract) {
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 200'000; ++i) {
+    const std::uint64_t v = rng() >> (rng() % 24);  // span many octaves
+    const std::uint64_t b = LatencyRecorder::bucket_bound(
+        std::min(v, LatencyRecorder::kMaxTrackable - 1));
+    const std::uint64_t clamped = std::min(v, LatencyRecorder::kMaxTrackable - 1);
+    ASSERT_GE(b, clamped);
+    if (clamped >= 64) {
+      ASSERT_LT(static_cast<double>(b),
+                static_cast<double>(clamped) *
+                    (1.0 + 1.0 / static_cast<double>(LatencyRecorder::kSubBuckets)));
+    } else {
+      ASSERT_EQ(b, clamped);  // exact region
+    }
+  }
+}
+
+TEST(LatencyRecorder, RecordNMatchesRepeatedRecord) {
+  LatencyRecorder a, b;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 1'000; ++i) {
+    const std::uint64_t v = rng() % 1'000'000;
+    const std::uint64_t n = 1 + rng() % 7;
+    a.record_n(v, n);
+    for (std::uint64_t k = 0; k < n; ++k) b.record(v);
+  }
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  for (const double p : kPercentiles) EXPECT_EQ(a.percentile(p), b.percentile(p));
+}
+
+TEST(LatencyRecorder, MergeIsExactAndAssociative) {
+  // Split one stream across three shards; every merge order must equal the
+  // single-recorder ground truth bucket-for-bucket (observable through
+  // count/min/max/mean and every percentile).
+  std::mt19937_64 rng(2026);
+  std::lognormal_distribution<double> dist(5.0, 1.5);
+  LatencyRecorder all, a, b, c;
+  for (int i = 0; i < 30'000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(rng));
+    all.record(v);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+  }
+
+  LatencyRecorder left_first;  // (a + b) + c
+  left_first.merge(a);
+  left_first.merge(b);
+  left_first.merge(c);
+  LatencyRecorder right_first;  // a + (b + c)
+  LatencyRecorder bc;
+  bc.merge(b);
+  bc.merge(c);
+  right_first.merge(a);
+  right_first.merge(bc);
+
+  for (const LatencyRecorder* m : {&left_first, &right_first}) {
+    EXPECT_EQ(m->count(), all.count());
+    EXPECT_EQ(m->min(), all.min());
+    EXPECT_EQ(m->max(), all.max());
+    EXPECT_DOUBLE_EQ(m->mean(), all.mean());
+    for (double p = 0.0; p <= 1.0; p += 0.01) {
+      EXPECT_EQ(m->percentile(p), all.percentile(p)) << p;
+    }
+  }
+}
+
+TEST(LatencyRecorder, MergeEmptyIsIdentity) {
+  LatencyRecorder a, empty;
+  a.record(17);
+  a.record(93'000);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 17u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.max(), a.max());
+  EXPECT_EQ(empty.percentile(0.5), a.percentile(0.5));
+}
+
+TEST(LatencyRecorder, ClearResets) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 100; ++i) rec.record(1000 + i);
+  rec.clear();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.percentile(0.99), 0u);
+  rec.record(5);
+  EXPECT_EQ(rec.count(), 1u);
+  EXPECT_EQ(rec.percentile(0.5), 5u);
+}
+
+}  // namespace
+}  // namespace setchain::util
